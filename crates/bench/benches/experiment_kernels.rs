@@ -1,0 +1,109 @@
+//! Criterion end-to-end kernels: one short simulation per experiment
+//! family, so `cargo bench` exercises the exact code paths behind every
+//! figure and table at a measurable size.
+//!
+//! * `fig1_fig4_headline/<policy>` — the shared-run kernel behind
+//!   Figures 1, 4, 5, 6 and 7 (one 24-thread 50 %-intensity workload).
+//! * `fig2_static_priority` — the Figure 2 strict-priority kernel.
+//! * `fig8_weighted_tcm` — the Figure 8 weighted-shuffling kernel.
+//! * `alone_run` — the per-benchmark alone-IPC kernel every slowdown
+//!   computation depends on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcm_bench::StaticPriority;
+use tcm_core::TcmParams;
+use tcm_sim::{PolicyKind, System};
+use tcm_types::{SystemConfig, ThreadId};
+use tcm_workload::{random_workload, BenchmarkProfile, WorkloadSpec};
+
+const KERNEL_CYCLES: u64 = 300_000;
+
+fn bench_headline_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_fig4_headline");
+    group.sample_size(10);
+    let cfg = SystemConfig::paper_baseline();
+    let workload = random_workload(0, 24, 0.5);
+    for kind in PolicyKind::paper_lineup(24) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let scheduler = kind.build(24, &cfg);
+                    let mut sys = System::new(&cfg, &workload, scheduler, 1);
+                    black_box(sys.run(KERNEL_CYCLES).total_serviced)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig2_kernel(c: &mut Criterion) {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.num_threads = 2;
+    let workload = WorkloadSpec::new(
+        "fig2",
+        vec![
+            BenchmarkProfile::random_access(),
+            BenchmarkProfile::streaming(),
+        ],
+    );
+    let mut group = c.benchmark_group("fig2_static_priority");
+    group.sample_size(10);
+    group.bench_function("strict_priority_run", |b| {
+        b.iter(|| {
+            let policy = StaticPriority::new(ThreadId::new(0));
+            let mut sys = System::new(&cfg, &workload, Box::new(policy), 5);
+            black_box(sys.run(KERNEL_CYCLES).total_serviced)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig8_kernel(c: &mut Criterion) {
+    let cfg = SystemConfig::paper_baseline();
+    let workload = random_workload(3, 24, 1.0);
+    let weights: Vec<f64> = (0..24).map(|i| (1 << (i % 6)) as f64).collect();
+    let mut group = c.benchmark_group("fig8_weighted_tcm");
+    group.sample_size(10);
+    group.bench_function("weighted_run", |b| {
+        b.iter(|| {
+            let kind = PolicyKind::Tcm(TcmParams::reproduction_default(24));
+            let scheduler = kind.build(24, &cfg);
+            let mut sys = System::new(&cfg, &workload, scheduler, 2);
+            sys.set_thread_weights(&weights);
+            black_box(sys.run(KERNEL_CYCLES).total_serviced)
+        })
+    });
+    group.finish();
+}
+
+fn bench_alone_run(c: &mut Criterion) {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.num_threads = 1;
+    let mut group = c.benchmark_group("alone_run");
+    group.sample_size(10);
+    for name in ["mcf", "libquantum"] {
+        let profile = tcm_workload::spec_by_name(name).expect("benchmark");
+        let workload = WorkloadSpec::new(name, vec![profile]);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let kind = PolicyKind::FrFcfs;
+                let mut sys = System::new(&cfg, &workload, kind.build(1, &cfg), 0);
+                black_box(sys.run(KERNEL_CYCLES).retired[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_headline_kernel,
+    bench_fig2_kernel,
+    bench_fig8_kernel,
+    bench_alone_run
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the scheduling-policy kernels: the
+//! per-decision `pick` latency of every policy (the operation on the
+//! critical path of every DRAM scheduling decision in Figures 1/4–7),
+//! plus TCM's quantum-boundary machinery (clustering, niceness,
+//! shuffling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcm_core::{
+    cluster_threads, niceness_scores, InsertionShuffler, InsertionVariant, RandomShuffler, Tcm,
+    TcmParams,
+};
+use tcm_sched::{Atlas, Fcfs, FrFcfs, ParBs, PickContext, Scheduler, Stfm};
+use tcm_types::{BankId, ChannelId, MemAddress, Request, RequestId, Row, SystemConfig, ThreadId};
+
+/// Builds a realistic pending-queue snapshot: `n` requests from distinct
+/// threads, mixed rows.
+fn pending(n: usize) -> Vec<Request> {
+    (0..n)
+        .map(|i| {
+            Request::new(
+                RequestId::new(i as u64),
+                ThreadId::new(i % 24),
+                MemAddress::new(ChannelId::new(0), BankId::new(0), Row::new(i % 7)),
+                (i as u64) * 13,
+            )
+        })
+        .collect()
+}
+
+fn ctx() -> PickContext {
+    PickContext {
+        now: 1_000_000,
+        channel: ChannelId::new(0),
+        bank: BankId::new(0),
+        open_row: Some(Row::new(3)),
+    }
+}
+
+fn bench_pick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_pick");
+    let queue = pending(12);
+    let context = ctx();
+    let cfg = SystemConfig::paper_baseline();
+
+    let mut policies: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(Fcfs::new()),
+        Box::new(FrFcfs::new()),
+        Box::new(Stfm::new(24)),
+        Box::new(ParBs::new(24)),
+        Box::new(Atlas::new(24)),
+        Box::new(Tcm::with_params(
+            TcmParams::reproduction_default(24),
+            24,
+            &cfg,
+        )),
+    ];
+    for policy in &mut policies {
+        // PAR-BS needs its queue mirror populated.
+        for r in &queue {
+            policy.on_enqueue(r, 0);
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &queue,
+            |b, queue| b.iter(|| black_box(policy.pick(black_box(queue), &context))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_tcm_quantum_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcm_quantum_kernels");
+    let n = 24;
+    let mpki: Vec<f64> = (0..n).map(|i| i as f64 * 4.0 + 0.1).collect();
+    let bw: Vec<u64> = (0..n).map(|i| (i as u64 + 1) * 10_000).collect();
+    group.bench_function("clustering_algorithm1", |b| {
+        b.iter(|| black_box(cluster_threads(black_box(&mpki), black_box(&bw), 4.0 / 24.0)))
+    });
+
+    let blp: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let rbl: Vec<f64> = (0..n).map(|i| (i % 10) as f64 / 10.0).collect();
+    group.bench_function("niceness", |b| {
+        b.iter(|| black_box(niceness_scores(black_box(&blp), black_box(&rbl))))
+    });
+
+    let entries: Vec<(ThreadId, i64)> =
+        (0..12).map(|i| (ThreadId::new(i), (i % 5) as i64)).collect();
+    let mut printed = InsertionShuffler::with_variant(entries.clone(), InsertionVariant::Printed);
+    group.bench_function("insertion_shuffle_advance", |b| {
+        b.iter(|| {
+            printed.advance();
+            black_box(printed.ranking_vec())
+        })
+    });
+    let mut random = RandomShuffler::new((0..12).map(ThreadId::new).collect(), 7);
+    group.bench_function("random_shuffle_advance", |b| {
+        b.iter(|| {
+            random.advance();
+            black_box(random.ranking().first().copied())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pick, bench_tcm_quantum_kernels);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Ablation study (beyond the paper): contribution of TCM's clustering
+//! and shuffling mechanisms, plus the FQM extension baseline.
+
+use tcm_bench::{experiments, Scale};
+use tcm_sim::AloneCache;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut alone = AloneCache::new();
+    println!("{}", experiments::ablation(&scale, &mut alone).render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 2 / Table 1 (random-access vs
+//! streaming under strict prioritization).
+
+use tcm_bench::{experiments, Scale};
+
+fn main() {
+    println!("{}", experiments::fig2(&Scale::from_env()).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 3 (shuffling visualization).
+
+use tcm_bench::experiments;
+
+fn main() {
+    println!("{}", experiments::fig3().render());
+}

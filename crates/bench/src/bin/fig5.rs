@@ -1,0 +1,11 @@
+//! Regenerates the paper's fig5. Scale via TCM_CYCLES / TCM_WORKLOADS /
+//! TCM_FULL=1 (see tcm-bench crate docs).
+
+use tcm_bench::{experiments, Scale};
+use tcm_sim::AloneCache;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut alone = AloneCache::new();
+    println!("{}", experiments::fig5(&scale, &mut alone).render());
+}

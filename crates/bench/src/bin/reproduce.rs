@@ -1,0 +1,47 @@
+//! Runs every experiment of the paper (all figures and tables) and writes
+//! the combined report to `experiments_output.md` in the current
+//! directory, in the format EXPERIMENTS.md records.
+//!
+//! Scale via TCM_CYCLES / TCM_WORKLOADS / TCM_FULL=1.
+
+use std::io::Write;
+use tcm_bench::{experiments, Scale};
+use tcm_sim::AloneCache;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut alone = AloneCache::new();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# TCM reproduction — experiment outputs\n\nScale: {} cycles per run, {} workloads \
+         per intensity category, {} threads.\n\n",
+        scale.horizon, scale.workloads_per_category, scale.threads
+    ));
+    let t0 = std::time::Instant::now();
+    let reports = [
+        experiments::fig1(&scale, &mut alone),
+        experiments::fig2(&scale),
+        experiments::fig3(),
+        experiments::fig4(&scale, &mut alone),
+        experiments::fig5(&scale, &mut alone),
+        experiments::fig6(&scale, &mut alone),
+        experiments::fig7(&scale, &mut alone),
+        experiments::fig8(&scale, &mut alone),
+        experiments::table2(),
+        experiments::table4(),
+        experiments::table6(&scale, &mut alone),
+        experiments::table7(&scale, &mut alone),
+        experiments::table8(&scale),
+        experiments::ablation(&scale, &mut alone),
+    ];
+    for report in &reports {
+        let rendered = report.render();
+        println!("{rendered}");
+        out.push_str(&rendered);
+        out.push('\n');
+    }
+    out.push_str(&format!("\nTotal wall time: {:?}\n", t0.elapsed()));
+    let mut file = std::fs::File::create("experiments_output.md").expect("writable cwd");
+    file.write_all(out.as_bytes()).expect("write report");
+    eprintln!("wrote experiments_output.md in {:?}", t0.elapsed());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table 2 (storage cost) and prints the Table 3
+//! baseline configuration.
+
+use tcm_bench::experiments;
+
+fn main() {
+    println!("{}", experiments::table2().render());
+}

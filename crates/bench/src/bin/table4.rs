@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table 4 (benchmark characteristics), verifying
+//! the trace generators' calibration.
+
+use tcm_bench::experiments;
+
+fn main() {
+    println!("{}", experiments::table4().render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table 8 (TCM vs ATLAS across system
+//! configurations). Scale via TCM_CYCLES / TCM_WORKLOADS / TCM_FULL=1.
+
+use tcm_bench::{experiments, Scale};
+
+fn main() {
+    println!("{}", experiments::table8(&Scale::from_env()).render());
+}

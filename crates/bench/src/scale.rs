@@ -1,0 +1,61 @@
+//! Experiment scaling knobs.
+
+use tcm_types::Cycle;
+
+/// How big to run the experiments.
+///
+/// The paper simulates 100 M cycles per run and 32 workloads per
+/// intensity category; the defaults here (20 M / 8) reproduce the same
+/// shapes at laptop scale. Set `TCM_FULL=1` for paper scale, or override
+/// the individual knobs with `TCM_CYCLES` / `TCM_WORKLOADS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Cycles simulated per run.
+    pub horizon: Cycle,
+    /// Workloads per intensity category.
+    pub workloads_per_category: usize,
+    /// Hardware threads (cores).
+    pub threads: usize,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (see crate docs).
+    pub fn from_env() -> Self {
+        let full = std::env::var("TCM_FULL").map(|v| v == "1").unwrap_or(false);
+        let horizon = std::env::var("TCM_CYCLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if full { 100_000_000 } else { 20_000_000 });
+        let workloads_per_category = std::env::var("TCM_WORKLOADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if full { 32 } else { 8 });
+        Self {
+            horizon,
+            workloads_per_category,
+            threads: 24,
+        }
+    }
+
+    /// A tiny scale for unit tests and Criterion kernels.
+    pub fn smoke() -> Self {
+        Self {
+            horizon: 2_000_000,
+            workloads_per_category: 2,
+            threads: 24,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_laptop_scale() {
+        // Environment-dependent, but the smoke scale is fixed.
+        let s = Scale::smoke();
+        assert_eq!(s.horizon, 2_000_000);
+        assert_eq!(s.threads, 24);
+    }
+}

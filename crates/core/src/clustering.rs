@@ -1,0 +1,194 @@
+//! Thread clustering: the paper's Algorithm 1.
+
+use tcm_types::ThreadId;
+
+/// Which cluster a thread landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cluster {
+    /// Memory-non-intensive: always strictly prioritized.
+    LatencySensitive,
+    /// Memory-intensive: shares the remaining bandwidth fairly via
+    /// shuffling.
+    BandwidthSensitive,
+}
+
+/// Result of one clustering pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Latency-sensitive threads, ascending MPKI (the order Algorithm 1
+    /// inserted them, which is also their intra-cluster priority order:
+    /// first = lowest MPKI = highest priority).
+    pub latency: Vec<ThreadId>,
+    /// Bandwidth-sensitive threads (ascending MPKI).
+    pub bandwidth: Vec<ThreadId>,
+}
+
+impl Clustering {
+    /// Cluster membership of `thread`.
+    pub fn cluster_of(&self, thread: ThreadId) -> Cluster {
+        if self.latency.contains(&thread) {
+            Cluster::LatencySensitive
+        } else {
+            Cluster::BandwidthSensitive
+        }
+    }
+
+    /// Total thread count.
+    pub fn len(&self) -> usize {
+        self.latency.len() + self.bandwidth.len()
+    }
+
+    /// Whether no threads were clustered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The paper's Algorithm 1: groups threads into the latency-sensitive and
+/// bandwidth-sensitive clusters.
+///
+/// Threads are visited in ascending `mpki` order (ties by thread id, which
+/// keeps the algorithm deterministic); each visited thread joins the
+/// latency-sensitive cluster as long as the cluster's accumulated
+/// bandwidth usage (`bw_usage`, the per-thread bank-busy cycles of the
+/// *previous* quantum) stays within `cluster_thresh ×
+/// total bandwidth usage`. The first thread that would exceed the budget
+/// stops the process; it and all remaining threads form the
+/// bandwidth-sensitive cluster.
+///
+/// Note the boundary semantics follow the pseudocode exactly: the check
+/// is `SumBW ≤ ClusterThresh · TotalBW` *after* adding the candidate's
+/// usage, so a candidate exactly on the budget is admitted.
+///
+/// # Panics
+///
+/// Panics if `mpki` and `bw_usage` lengths differ.
+///
+/// # Example
+///
+/// ```
+/// use tcm_core::cluster_threads;
+///
+/// // Threads 0,1 are light; threads 2,3 are heavy.
+/// let mpki = [0.1, 0.5, 50.0, 90.0];
+/// let bw = [10, 20, 5000, 9000];
+/// let clusters = cluster_threads(&mpki, &bw, 4.0 / 24.0);
+/// assert_eq!(clusters.latency.len(), 2);
+/// assert_eq!(clusters.bandwidth.len(), 2);
+/// ```
+pub fn cluster_threads(mpki: &[f64], bw_usage: &[u64], cluster_thresh: f64) -> Clustering {
+    assert_eq!(
+        mpki.len(),
+        bw_usage.len(),
+        "mpki and bandwidth-usage vectors must align"
+    );
+    let total_bw: u64 = bw_usage.iter().sum();
+    let budget = cluster_thresh * total_bw as f64;
+
+    // Ascending MPKI, ties by thread id (deterministic).
+    let mut order: Vec<usize> = (0..mpki.len()).collect();
+    order.sort_by(|&a, &b| {
+        mpki[a]
+            .partial_cmp(&mpki[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let mut latency = Vec::new();
+    let mut sum_bw = 0u64;
+    let mut split = order.len();
+    for (pos, &t) in order.iter().enumerate() {
+        sum_bw += bw_usage[t];
+        if sum_bw as f64 <= budget {
+            latency.push(ThreadId::new(t));
+        } else {
+            split = pos;
+            break;
+        }
+    }
+    let bandwidth = order[split..].iter().map(|&t| ThreadId::new(t)).collect();
+    Clustering { latency, bandwidth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_threads_fill_the_latency_cluster_up_to_budget() {
+        // Total BW 1000; thresh 0.2 -> budget 200.
+        let mpki = [0.1, 0.2, 10.0, 20.0, 30.0];
+        let bw = [50u64, 100, 250, 300, 300];
+        let c = cluster_threads(&mpki, &bw, 0.2);
+        // 50 + 100 = 150 <= 200; adding 250 exceeds.
+        assert_eq!(c.latency, vec![ThreadId::new(0), ThreadId::new(1)]);
+        assert_eq!(c.bandwidth.len(), 3);
+        assert_eq!(c.cluster_of(ThreadId::new(0)), Cluster::LatencySensitive);
+        assert_eq!(c.cluster_of(ThreadId::new(4)), Cluster::BandwidthSensitive);
+    }
+
+    #[test]
+    fn boundary_candidate_exactly_on_budget_is_admitted() {
+        let mpki = [1.0, 2.0];
+        let bw = [20u64, 80];
+        // Budget = 0.2 * 100 = 20: thread 0 lands exactly on it.
+        let c = cluster_threads(&mpki, &bw, 0.2);
+        assert_eq!(c.latency, vec![ThreadId::new(0)]);
+    }
+
+    #[test]
+    fn visits_threads_in_ascending_mpki_not_id_order() {
+        let mpki = [90.0, 0.1, 50.0];
+        let bw = [900u64, 10, 500];
+        let c = cluster_threads(&mpki, &bw, 0.05);
+        // Budget 70.5: only the lightest thread (id 1) fits.
+        assert_eq!(c.latency, vec![ThreadId::new(1)]);
+        // Bandwidth cluster keeps ascending-MPKI order: 50.0 before 90.0.
+        assert_eq!(c.bandwidth, vec![ThreadId::new(2), ThreadId::new(0)]);
+    }
+
+    #[test]
+    fn zero_total_bandwidth_puts_everyone_in_latency_cluster() {
+        // First quantum: nobody used any bandwidth yet. `0 <= 0` admits
+        // all threads (pseudocode semantics), which degenerates to a pure
+        // MPKI ranking — reasonable cold-start behavior.
+        let mpki = [5.0, 1.0];
+        let bw = [0u64, 0];
+        let c = cluster_threads(&mpki, &bw, 0.2);
+        assert_eq!(c.latency.len(), 2);
+        assert_eq!(c.latency[0], ThreadId::new(1), "lowest MPKI first");
+        assert!(c.bandwidth.is_empty());
+    }
+
+    #[test]
+    fn thresh_one_admits_everyone() {
+        let mpki = [1.0, 2.0, 3.0];
+        let bw = [100u64, 200, 300];
+        let c = cluster_threads(&mpki, &bw, 1.0);
+        assert_eq!(c.latency.len(), 3);
+    }
+
+    #[test]
+    fn mpki_ties_break_by_thread_id() {
+        let mpki = [1.0, 1.0, 1.0];
+        let bw = [10u64, 10, 10];
+        let c = cluster_threads(&mpki, &bw, 0.34);
+        assert_eq!(c.latency, vec![ThreadId::new(0)]);
+        assert_eq!(c.bandwidth, vec![ThreadId::new(1), ThreadId::new(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_inputs_panic() {
+        cluster_threads(&[1.0], &[1, 2], 0.5);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let c = cluster_threads(&[], &[], 0.5);
+        assert!(c.is_empty());
+        let c = cluster_threads(&[1.0], &[10], 1.0);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Thread niceness: the paper's interference-propensity metric.
+
+/// Ranks `values` ascending: the result's `i`-th entry is the 1-based
+/// position of `values[i]` in ascending order (1 = smallest, N =
+/// largest). Ties break by index, keeping the ranking deterministic.
+///
+/// # Example
+///
+/// ```
+/// use tcm_core::rank_ascending;
+///
+/// assert_eq!(rank_ascending(&[0.5, 2.0, 1.0]), vec![1, 3, 2]);
+/// ```
+pub fn rank_ascending(values: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut ranks = vec![0usize; values.len()];
+    for (pos, &i) in order.iter().enumerate() {
+        ranks[i] = pos + 1;
+    }
+    ranks
+}
+
+/// Computes each thread's *niceness* from its bank-level parallelism and
+/// row-buffer locality (paper Section 3.3).
+///
+/// The paper defines `Niceness_i ≡ b_i − r_i` with `b`/`r` the thread's
+/// BLP/RBL rank positions, with the stated semantics that **high BLP ⇒
+/// fragile ⇒ nicer** and **high RBL ⇒ hostile ⇒ less nice**, and that
+/// sorting ascending by niceness puts the nicest thread at the highest
+/// rank. We therefore count rank positions *ascending* (`b_i = N` for the
+/// highest BLP, `r_i = N` for the highest RBL), which realizes exactly
+/// those semantics; counting positions descending — a literal reading of
+/// "b-th highest" — would invert them (see DESIGN.md §4).
+///
+/// Inputs are parallel slices over the bandwidth-sensitive cluster's
+/// threads; the output is parallel to them.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ.
+///
+/// # Example
+///
+/// ```
+/// use tcm_core::niceness_scores;
+///
+/// // Thread 0: high BLP, low RBL  -> nicest.
+/// // Thread 1: low BLP, high RBL  -> least nice.
+/// let n = niceness_scores(&[8.0, 1.0], &[0.1, 0.99]);
+/// assert!(n[0] > n[1]);
+/// ```
+pub fn niceness_scores(blp: &[f64], rbl: &[f64]) -> Vec<i64> {
+    assert_eq!(blp.len(), rbl.len(), "blp and rbl slices must align");
+    let b = rank_ascending(blp);
+    let r = rank_ascending(rbl);
+    b.iter()
+        .zip(&r)
+        .map(|(&bi, &ri)| bi as i64 - ri as i64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_ascending_basic() {
+        assert_eq!(rank_ascending(&[3.0, 1.0, 2.0]), vec![3, 1, 2]);
+        assert_eq!(rank_ascending(&[]), Vec::<usize>::new());
+        assert_eq!(rank_ascending(&[5.0]), vec![1]);
+    }
+
+    #[test]
+    fn rank_ties_break_by_index() {
+        assert_eq!(rank_ascending(&[1.0, 1.0, 1.0]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fragile_thread_is_nicest_hostile_least_nice() {
+        // Mirrors the paper's Table 1 microbenchmarks: random-access has
+        // high BLP + low RBL (fragile), streaming the opposite (hostile).
+        let blp = [11.6, 1.0];
+        let rbl = [0.001, 0.99];
+        let n = niceness_scores(&blp, &rbl);
+        assert!(n[0] > n[1]);
+        assert_eq!(n[0], 2 - 1);
+        assert_eq!(n[1], 1 - 2);
+    }
+
+    #[test]
+    fn niceness_is_zero_sum_like_for_aligned_ranks() {
+        // When BLP and RBL induce the same ordering, niceness is all zero:
+        // no thread is distinctly nicer.
+        let blp = [1.0, 2.0, 3.0];
+        let rbl = [0.1, 0.2, 0.3];
+        assert_eq!(niceness_scores(&blp, &rbl), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn niceness_spans_expected_range() {
+        // Extremes: +/- (N-1).
+        let blp = [4.0, 3.0, 2.0, 1.0];
+        let rbl = [0.1, 0.2, 0.3, 0.4];
+        let n = niceness_scores(&blp, &rbl);
+        assert_eq!(n, vec![3, 1, -1, -3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        niceness_scores(&[1.0], &[0.5, 0.6]);
+    }
+}

@@ -1,0 +1,570 @@
+//! The TCM scheduling policy: Algorithm 3 plus the quantum/shuffle
+//! machinery, implementing [`tcm_sched::Scheduler`].
+
+use crate::clustering::{cluster_threads, Clustering};
+use crate::monitor::TcmMonitor;
+use crate::niceness::niceness_scores;
+use crate::params::{ShuffleMode, TcmParams};
+use crate::shuffle::{
+    weighted_random_permutation, InsertionShuffler, RandomShuffler, RoundRobinShuffler, Shuffler,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tcm_dram::ServiceOutcome;
+use tcm_sched::select::{age_key, pick_max_by_key, row_hit};
+use tcm_sched::{PickContext, Scheduler, SystemView};
+use tcm_types::{Cycle, Request, SystemConfig, ThreadId};
+
+/// Which shuffling algorithm the current quantum ended up using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ActiveShuffle {
+    Insertion,
+    Random,
+    RoundRobin,
+    WeightedRandom,
+    /// Ablation: fixed ascending-niceness ranking, never advanced.
+    Static,
+}
+
+/// Thread Cluster Memory scheduling.
+///
+/// Every quantum (1 M cycles): harvest the monitors, split threads into
+/// the latency-sensitive and bandwidth-sensitive clusters
+/// ([`cluster_threads`]), compute niceness for the bandwidth cluster and
+/// pick a shuffling algorithm (insertion when the cluster is diverse
+/// enough in BLP and RBL, random otherwise). Every `ShuffleInterval`
+/// (800 cycles): advance the bandwidth cluster's shuffler. Request
+/// prioritization is the paper's Algorithm 3: thread rank first (latency
+/// cluster above bandwidth cluster; within latency, ascending
+/// weight-scaled MPKI; within bandwidth, the shuffled order), then
+/// row-hit, then age.
+///
+/// One `Tcm` instance arbitrates all channels, playing the role of the
+/// paper's per-controller logic *plus* the central meta-controller, so
+/// clustering and shuffling are inherently synchronized across
+/// controllers.
+#[derive(Debug)]
+pub struct Tcm {
+    params: TcmParams,
+    num_threads: usize,
+    monitor: TcmMonitor,
+    weights: Vec<f64>,
+    /// Per-thread priority value; higher = scheduled first.
+    priority: Vec<usize>,
+    clustering: Clustering,
+    shuffler: Option<Shuffler>,
+    active_shuffle: ActiveShuffle,
+    rng: StdRng,
+    next_quantum: Cycle,
+    next_shuffle: Cycle,
+    quanta_elapsed: u64,
+    insertion_quanta: u64,
+    random_quanta: u64,
+}
+
+impl Tcm {
+    /// Creates TCM with the paper's defaults for an `num_threads`-thread
+    /// system on the paper's baseline memory topology (4 channels × 4
+    /// banks).
+    pub fn new(num_threads: usize) -> Self {
+        Self::with_params(
+            TcmParams::paper_default(num_threads),
+            num_threads,
+            &SystemConfig::paper_baseline(),
+        )
+    }
+
+    /// Creates TCM with explicit parameters for a given machine shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation (see [`TcmParams::validate`]).
+    pub fn with_params(params: TcmParams, num_threads: usize, config: &SystemConfig) -> Self {
+        params.validate().expect("invalid TCM parameters");
+        let monitor = TcmMonitor::new(num_threads, config.num_channels, config.banks_per_channel);
+        Self {
+            next_quantum: params.quantum,
+            next_shuffle: params.shuffle_interval,
+            params,
+            num_threads,
+            monitor,
+            weights: vec![1.0; num_threads],
+            // Until the first quantum completes, all threads tie at rank
+            // 0 and Algorithm 3 degenerates to FR-FCFS.
+            priority: vec![0; num_threads],
+            clustering: Clustering {
+                latency: Vec::new(),
+                bandwidth: (0..num_threads).map(ThreadId::new).collect(),
+            },
+            shuffler: None,
+            active_shuffle: ActiveShuffle::Random,
+            rng: StdRng::seed_from_u64(0x7C4D_15EA_5E1E_C7ED),
+            quanta_elapsed: 0,
+            insertion_quanta: 0,
+            random_quanta: 0,
+        }
+    }
+
+    /// The parameters in effect.
+    pub fn params(&self) -> &TcmParams {
+        &self.params
+    }
+
+    /// The most recent clustering decision.
+    pub fn clustering(&self) -> &Clustering {
+        &self.clustering
+    }
+
+    /// Current per-thread priority values (higher = scheduled first).
+    pub fn priorities(&self) -> &[usize] {
+        &self.priority
+    }
+
+    /// `(insertion, random)` quantum counts — how often the dynamic
+    /// algorithm selection chose each shuffle (diagnostics for the
+    /// Table 6/7 experiments).
+    pub fn shuffle_algo_counts(&self) -> (u64, u64) {
+        (self.insertion_quanta, self.random_quanta)
+    }
+
+    /// Whether any OS thread weight differs from the default.
+    fn has_weights(&self) -> bool {
+        self.weights.iter().any(|&w| (w - 1.0).abs() > 1e-12)
+    }
+
+    /// Rebuilds `priority` from the clustering and the shuffler state.
+    ///
+    /// Bandwidth-cluster threads get priorities `1..=B` following the
+    /// shuffled order; latency-cluster threads get `N+1..=N+L` (always
+    /// strictly above), ordered by ascending weight-scaled MPKI.
+    fn rebuild_priorities(&mut self) {
+        self.priority = vec![0; self.num_threads];
+        if let Some(shuffler) = &self.shuffler {
+            for (pos, t) in shuffler.ranking_vec().into_iter().enumerate() {
+                if t.index() < self.num_threads {
+                    self.priority[t.index()] = pos + 1;
+                }
+            }
+        }
+        let n = self.num_threads;
+        // `clustering.latency` is ascending MPKI: first = highest rank.
+        let latency_len = self.clustering.latency.len();
+        for (pos, t) in self.clustering.latency.iter().enumerate() {
+            if t.index() < n {
+                self.priority[t.index()] = n + (latency_len - pos);
+            }
+        }
+    }
+
+    /// Quantum boundary: harvest monitors, re-cluster, re-seed the
+    /// shuffler.
+    fn quantum_boundary(&mut self, now: Cycle, view: &SystemView<'_>) {
+        let snap = self
+            .monitor
+            .quantum_snapshot(now, view.retired, view.misses, view.service);
+        // Thread weights scale MPKI down (paper Section 3.6), affecting
+        // both clustering admission order and latency-cluster ranking.
+        let scaled_mpki: Vec<f64> = snap
+            .mpki
+            .iter()
+            .zip(&self.weights)
+            .map(|(&m, &w)| m / w)
+            .collect();
+        self.clustering = cluster_threads(&scaled_mpki, &snap.bw_usage, self.params.cluster_thresh);
+
+        let bw_threads = self.clustering.bandwidth.clone();
+        let bw_blp: Vec<f64> = bw_threads.iter().map(|t| snap.blp[t.index()]).collect();
+        let bw_rbl: Vec<f64> = bw_threads.iter().map(|t| snap.rbl[t.index()]).collect();
+
+        self.active_shuffle = self.choose_shuffle(&bw_blp, &bw_rbl);
+        self.shuffler = match self.active_shuffle {
+            ActiveShuffle::Insertion => {
+                self.insertion_quanta += 1;
+                let niceness = niceness_scores(&bw_blp, &bw_rbl);
+                Some(Shuffler::Insertion(InsertionShuffler::new(
+                    bw_threads.iter().copied().zip(niceness).collect(),
+                )))
+            }
+            ActiveShuffle::Random => {
+                self.random_quanta += 1;
+                let seed = 0x5EED_0000 + self.quanta_elapsed;
+                let mut s = RandomShuffler::new(bw_threads, seed);
+                s.advance();
+                Some(Shuffler::Random(s))
+            }
+            ActiveShuffle::RoundRobin => Some(Shuffler::RoundRobin(RoundRobinShuffler::new(
+                bw_threads,
+            ))),
+            ActiveShuffle::WeightedRandom => {
+                let perm = self.weighted_ranking(&bw_threads);
+                Some(Shuffler::RoundRobin(RoundRobinShuffler::new(perm)))
+            }
+            ActiveShuffle::Static => {
+                // Ascending niceness, never advanced (see shuffle_boundary).
+                let niceness = niceness_scores(&bw_blp, &bw_rbl);
+                Some(Shuffler::Insertion(InsertionShuffler::new(
+                    bw_threads.iter().copied().zip(niceness).collect(),
+                )))
+            }
+        };
+        self.quanta_elapsed += 1;
+        self.rebuild_priorities();
+    }
+
+    /// Selects the shuffle algorithm for this quantum.
+    fn choose_shuffle(&self, bw_blp: &[f64], bw_rbl: &[f64]) -> ActiveShuffle {
+        if self.has_weights() {
+            // Weighted shuffling (paper Section 3.6): time at the top is
+            // proportional to thread weight.
+            return ActiveShuffle::WeightedRandom;
+        }
+        match self.params.shuffle_mode {
+            ShuffleMode::RoundRobin => ActiveShuffle::RoundRobin,
+            ShuffleMode::RandomOnly => ActiveShuffle::Random,
+            ShuffleMode::InsertionOnly => ActiveShuffle::Insertion,
+            ShuffleMode::Static => ActiveShuffle::Static,
+            ShuffleMode::Dynamic => {
+                // Insertion shuffle only when the cluster is diverse
+                // enough for niceness to be meaningful.
+                let spread = |v: &[f64]| {
+                    let max = v.iter().cloned().fold(f64::MIN, f64::max);
+                    let min = v.iter().cloned().fold(f64::MAX, f64::min);
+                    max - min
+                };
+                let diverse = bw_blp.len() >= 2
+                    && spread(bw_blp)
+                        > self.params.shuffle_algo_thresh * self.monitor.total_banks() as f64
+                    && spread(bw_rbl) > self.params.shuffle_algo_thresh;
+                if diverse {
+                    ActiveShuffle::Insertion
+                } else {
+                    ActiveShuffle::Random
+                }
+            }
+        }
+    }
+
+    /// Draws a weighted ranking for the bandwidth cluster.
+    fn weighted_ranking(&mut self, threads: &[ThreadId]) -> Vec<ThreadId> {
+        let weights: Vec<f64> = threads
+            .iter()
+            .map(|t| self.weights.get(t.index()).copied().unwrap_or(1.0))
+            .collect();
+        weighted_random_permutation(threads, &weights, &mut self.rng)
+    }
+
+    /// Shuffle boundary: advance the bandwidth cluster's permutation.
+    fn shuffle_boundary(&mut self) {
+        if self.has_weights() {
+            // Weighted shuffling redraws a weighted permutation every
+            // interval instead of following a fixed pattern.
+            if let Some(Shuffler::RoundRobin(inner)) = &self.shuffler {
+                let threads = inner.ranking().to_vec();
+                let perm = self.weighted_ranking(&threads);
+                self.shuffler = Some(Shuffler::RoundRobin(RoundRobinShuffler::new(perm)));
+            }
+        } else if self.active_shuffle == ActiveShuffle::Static {
+            // Ablation mode: the ranking never changes within a quantum.
+        } else if let Some(s) = &mut self.shuffler {
+            s.advance();
+        }
+        self.rebuild_priorities();
+    }
+}
+
+impl Scheduler for Tcm {
+    fn name(&self) -> &'static str {
+        match self.params.shuffle_mode {
+            ShuffleMode::Dynamic => "TCM",
+            ShuffleMode::InsertionOnly => "TCM-insertion",
+            ShuffleMode::RandomOnly => "TCM-random",
+            ShuffleMode::RoundRobin => "TCM-roundrobin",
+            ShuffleMode::Static => "TCM-static",
+        }
+    }
+
+    fn pick(&mut self, pending: &[Request], ctx: &PickContext) -> usize {
+        // Algorithm 3: highest-rank first, then row-hit, then oldest.
+        pick_max_by_key(pending, |r| {
+            (
+                self.priority.get(r.thread.index()).copied().unwrap_or(0),
+                row_hit(r, ctx.open_row),
+                age_key(r),
+            )
+        })
+    }
+
+    fn on_enqueue(&mut self, req: &Request, now: Cycle) {
+        self.monitor
+            .on_enqueue(req.thread, req.addr.global_bank(), req.addr.row, now);
+    }
+
+    fn on_service(
+        &mut self,
+        outcome: &ServiceOutcome,
+        _remaining_same_bank: &[Request],
+        now: Cycle,
+    ) {
+        self.monitor.on_service(
+            outcome.request.thread,
+            outcome.request.addr.global_bank(),
+            now,
+        );
+    }
+
+    fn next_tick(&self, now: Cycle) -> Option<Cycle> {
+        Some(self.next_quantum.min(self.next_shuffle).max(now + 1))
+    }
+
+    fn tick(&mut self, now: Cycle, view: &SystemView<'_>) {
+        if now >= self.next_quantum {
+            self.quantum_boundary(now, view);
+            while self.next_quantum <= now {
+                self.next_quantum += self.params.quantum;
+            }
+            // A fresh quantum restarts the shuffle cadence.
+            self.next_shuffle = now + self.params.shuffle_interval;
+        } else if now >= self.next_shuffle {
+            self.shuffle_boundary();
+            while self.next_shuffle <= now {
+                self.next_shuffle += self.params.shuffle_interval;
+            }
+        }
+    }
+
+    fn set_thread_weights(&mut self, weights: &[f64]) {
+        for (w, &v) in self.weights.iter_mut().zip(weights) {
+            *w = v.max(f64::MIN_POSITIVE);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcm_types::{BankId, ChannelId, MemAddress, RequestId, Row};
+
+    fn req(id: u64, thread: usize, row: usize, at: Cycle) -> Request {
+        Request::new(
+            RequestId::new(id),
+            ThreadId::new(thread),
+            MemAddress::new(ChannelId::new(0), BankId::new(0), Row::new(row)),
+            at,
+        )
+    }
+
+    fn ctx(now: Cycle, open_row: Option<usize>) -> PickContext {
+        PickContext {
+            now,
+            channel: ChannelId::new(0),
+            bank: BankId::new(0),
+            open_row: open_row.map(Row::new),
+        }
+    }
+
+    fn small_config() -> SystemConfig {
+        SystemConfig::builder()
+            .num_threads(4)
+            .num_channels(2)
+            .banks_per_channel(2)
+            .build()
+            .unwrap()
+    }
+
+    /// Drives one quantum with thread 0 light and thread 1..=3 heavy.
+    fn tcm_after_one_quantum() -> Tcm {
+        let cfg = small_config();
+        let mut tcm = Tcm::with_params(TcmParams::paper_default(4).with_cluster_thresh(0.25), 4, &cfg);
+        // Simulated counters: thread 0 retired a lot with few misses;
+        // the rest are memory-bound with heavy service.
+        let retired = [3_000_000u64, 200_000, 200_000, 200_000];
+        let misses = [30u64, 20_000, 20_000, 20_000];
+        let service = [2_000u64, 300_000, 300_000, 300_000];
+        let view = SystemView {
+            retired: &retired,
+            misses: &misses,
+            service: &service,
+        };
+        tcm.tick(1_000_000, &view);
+        tcm
+    }
+
+    #[test]
+    fn before_first_quantum_tcm_is_frfcfs() {
+        let mut tcm = Tcm::with_params(
+            TcmParams::paper_default(4).with_cluster_thresh(0.25),
+            4,
+            &small_config(),
+        );
+        let pending = vec![req(0, 0, 1, 0), req(1, 1, 9, 100)];
+        assert_eq!(tcm.pick(&pending, &ctx(200, Some(9))), 1, "row hit");
+        assert_eq!(tcm.pick(&pending, &ctx(200, None)), 0, "age");
+    }
+
+    #[test]
+    fn light_thread_lands_in_latency_cluster_and_outranks_everyone() {
+        let mut tcm = tcm_after_one_quantum();
+        let c = tcm.clustering().clone();
+        assert!(c.latency.contains(&ThreadId::new(0)));
+        assert_eq!(c.bandwidth.len(), 3);
+        // Even a row-hit from a heavy thread loses to the light thread.
+        let pending = vec![req(0, 1, 9, 0), req(1, 0, 1, 500)];
+        assert_eq!(tcm.pick(&pending, &ctx(600, Some(9))), 1);
+    }
+
+    #[test]
+    fn bandwidth_cluster_priorities_change_across_shuffles() {
+        let mut tcm = tcm_after_one_quantum();
+        let view_arrays = ([0u64; 4], [0u64; 4], [0u64; 4]);
+        let view = SystemView {
+            retired: &view_arrays.0,
+            misses: &view_arrays.1,
+            service: &view_arrays.2,
+        };
+        let mut orders = std::collections::HashSet::new();
+        let mut t = 1_000_000;
+        for _ in 0..12 {
+            t += tcm.params().shuffle_interval;
+            tcm.tick(t, &view);
+            let bw_prios: Vec<usize> = (1..4)
+                .map(|i| tcm.priorities()[i])
+                .collect();
+            orders.insert(bw_prios);
+        }
+        assert!(orders.len() >= 2, "shuffling must change the order");
+    }
+
+    #[test]
+    fn latency_cluster_always_above_bandwidth_cluster() {
+        let tcm = tcm_after_one_quantum();
+        let prio = tcm.priorities();
+        let min_latency = tcm
+            .clustering()
+            .latency
+            .iter()
+            .map(|t| prio[t.index()])
+            .min()
+            .unwrap();
+        let max_bandwidth = tcm
+            .clustering()
+            .bandwidth
+            .iter()
+            .map(|t| prio[t.index()])
+            .max()
+            .unwrap();
+        assert!(min_latency > max_bandwidth);
+    }
+
+    #[test]
+    fn homogeneous_cluster_falls_back_to_random_shuffle() {
+        let cfg = small_config();
+        let mut tcm = Tcm::with_params(TcmParams::paper_default(4).with_cluster_thresh(0.25), 4, &cfg);
+        // No enqueues at all: BLP and RBL are flat across threads.
+        let retired = [100_000u64; 4];
+        let misses = [10_000u64; 4];
+        let service = [100_000u64; 4];
+        let view = SystemView {
+            retired: &retired,
+            misses: &misses,
+            service: &service,
+        };
+        tcm.tick(1_000_000, &view);
+        assert_eq!(tcm.shuffle_algo_counts(), (0, 1), "random shuffle chosen");
+    }
+
+    #[test]
+    fn diverse_cluster_uses_insertion_shuffle() {
+        let cfg = small_config();
+        let mut tcm = Tcm::with_params(TcmParams::paper_default(4).with_cluster_thresh(0.25), 4, &cfg);
+        // Feed the monitor diverse access behavior: thread 1 streams one
+        // bank with one row; thread 2 sprays all four banks with new rows.
+        use tcm_types::GlobalBank;
+        let gb = |c: usize, b: usize| GlobalBank::new(ChannelId::new(c), BankId::new(b));
+        for i in 0..100u64 {
+            tcm.monitor
+                .on_enqueue(ThreadId::new(1), gb(0, 0), Row::new(5), i * 100);
+            tcm.monitor
+                .on_service(ThreadId::new(1), gb(0, 0), i * 100 + 50);
+            for (j, bank) in [(0, 0), (0, 1), (1, 0), (1, 1)].iter().enumerate() {
+                tcm.monitor.on_enqueue(
+                    ThreadId::new(2),
+                    gb(bank.0, bank.1),
+                    Row::new((i as usize) * 4 + j),
+                    i * 100,
+                );
+            }
+            for bank in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                tcm.monitor
+                    .on_service(ThreadId::new(2), gb(bank.0, bank.1), i * 100 + 90);
+            }
+        }
+        let retired = [100_000u64; 4];
+        let misses = [10_000u64; 4];
+        let service = [100_000u64; 4];
+        let view = SystemView {
+            retired: &retired,
+            misses: &misses,
+            service: &service,
+        };
+        tcm.tick(1_000_000, &view);
+        assert_eq!(tcm.shuffle_algo_counts(), (1, 0), "insertion shuffle chosen");
+    }
+
+    #[test]
+    fn weights_switch_to_weighted_shuffling() {
+        let cfg = small_config();
+        let mut tcm = Tcm::with_params(TcmParams::paper_default(4).with_cluster_thresh(0.25), 4, &cfg);
+        tcm.set_thread_weights(&[1.0, 1.0, 1.0, 16.0]);
+        let retired = [100_000u64; 4];
+        // Thread 3 is so intensive that even its weight-scaled MPKI keeps
+        // it in the bandwidth cluster.
+        let misses = [10_000u64, 10_000, 10_000, 1_000_000];
+        let service = [100_000u64; 4];
+        let view = SystemView {
+            retired: &retired,
+            misses: &misses,
+            service: &service,
+        };
+        tcm.tick(1_000_000, &view);
+        // Heavy-weight thread should occupy the top of the bandwidth
+        // cluster most intervals.
+        let mut top3 = 0;
+        let mut t = 1_000_000;
+        for _ in 0..200 {
+            t += 800;
+            tcm.tick(t, &view);
+            let bw: Vec<_> = tcm.clustering().bandwidth.clone();
+            if let Some(best) = bw.iter().max_by_key(|th| tcm.priorities()[th.index()]) {
+                if best.index() == 3 {
+                    top3 += 1;
+                }
+            }
+        }
+        assert!(top3 > 120, "weight-16 thread topped {top3}/200 intervals");
+    }
+
+    #[test]
+    fn tick_scheduling_interleaves_quanta_and_shuffles() {
+        let tcm = Tcm::with_params(TcmParams::paper_default(4), 4, &small_config());
+        assert_eq!(tcm.next_tick(0), Some(800));
+        let t2 = tcm_after_one_quantum();
+        // Right after a quantum at 1M, the next event is a shuffle.
+        assert_eq!(t2.next_tick(1_000_000), Some(1_000_800));
+    }
+
+    #[test]
+    fn name_reflects_shuffle_mode() {
+        let cfg = small_config();
+        let mk = |mode| {
+            Tcm::with_params(
+                TcmParams::paper_default(4).with_shuffle_mode(mode),
+                4,
+                &cfg,
+            )
+        };
+        assert_eq!(mk(ShuffleMode::Dynamic).name(), "TCM");
+        assert_eq!(mk(ShuffleMode::RoundRobin).name(), "TCM-roundrobin");
+        assert_eq!(mk(ShuffleMode::RandomOnly).name(), "TCM-random");
+        assert_eq!(mk(ShuffleMode::InsertionOnly).name(), "TCM-insertion");
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for the shuffling algorithms and clustering: the
+//! invariants every quantum of TCM relies on.
+
+use proptest::prelude::*;
+use tcm_core::{
+    cluster_threads, niceness_scores, rank_ascending, InsertionShuffler, InsertionVariant,
+    RandomShuffler, RoundRobinShuffler,
+};
+use tcm_types::ThreadId;
+
+fn is_permutation(ranking: &[ThreadId], n: usize) -> bool {
+    let mut seen = vec![false; n];
+    for t in ranking {
+        if t.index() >= n || seen[t.index()] {
+            return false;
+        }
+        seen[t.index()] = true;
+    }
+    ranking.len() == n
+}
+
+proptest! {
+    /// Every shuffler state is a permutation of the cluster, always.
+    #[test]
+    fn shufflers_always_produce_permutations(
+        niceness in proptest::collection::vec(-50i64..50, 1..20),
+        steps in 1usize..100,
+        variant_printed in any::<bool>(),
+    ) {
+        let n = niceness.len();
+        let entries: Vec<(ThreadId, i64)> = niceness
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (ThreadId::new(i), v))
+            .collect();
+        let variant = if variant_printed {
+            InsertionVariant::Printed
+        } else {
+            InsertionVariant::SuffixRestore
+        };
+        let mut insertion = InsertionShuffler::with_variant(entries, variant);
+        let mut random = RandomShuffler::new((0..n).map(ThreadId::new).collect(), 9);
+        let mut rr = RoundRobinShuffler::new((0..n).map(ThreadId::new).collect());
+        for _ in 0..steps {
+            insertion.advance();
+            random.advance();
+            rr.advance();
+            prop_assert!(is_permutation(&insertion.ranking_vec(), n));
+            prop_assert!(is_permutation(random.ranking(), n));
+            prop_assert!(is_permutation(rr.ranking(), n));
+        }
+    }
+
+    /// The insertion shuffle is periodic with period 2N (for N > 1) and
+    /// returns to ascending-niceness order.
+    #[test]
+    fn insertion_shuffle_period_is_2n(
+        n in 2usize..16,
+        variant_printed in any::<bool>(),
+    ) {
+        let entries: Vec<(ThreadId, i64)> =
+            (0..n).map(|i| (ThreadId::new(i), i as i64)).collect();
+        let variant = if variant_printed {
+            InsertionVariant::Printed
+        } else {
+            InsertionVariant::SuffixRestore
+        };
+        let mut s = InsertionShuffler::with_variant(entries, variant);
+        let initial = s.ranking_vec();
+        for _ in 0..2 * n {
+            s.advance();
+        }
+        prop_assert_eq!(s.ranking_vec(), initial);
+    }
+
+    /// Every thread reaches the top priority at least once per period
+    /// under insertion shuffle (starvation avoidance). Niceness values
+    /// are made distinct: with exact ties the stable sorts legitimately
+    /// keep tied threads in place (TCM's dynamic check falls back to
+    /// random shuffling for such homogeneous clusters).
+    #[test]
+    fn insertion_shuffle_tops_every_thread(
+        niceness in proptest::collection::vec(-10i64..10, 2..12),
+    ) {
+        let n = niceness.len();
+        let entries: Vec<(ThreadId, i64)> = niceness
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (ThreadId::new(i), v * 100 + i as i64))
+            .collect();
+        let mut s = InsertionShuffler::with_variant(entries, InsertionVariant::SuffixRestore);
+        let mut topped = vec![false; n];
+        for _ in 0..2 * n {
+            topped[s.ranking_vec().last().unwrap().index()] = true;
+            s.advance();
+        }
+        prop_assert!(topped.iter().all(|&t| t), "some thread never topped: {topped:?}");
+    }
+
+    /// rank_ascending returns each position exactly once and orders by
+    /// value.
+    #[test]
+    fn rank_ascending_is_a_valid_ranking(values in proptest::collection::vec(-1e6..1e6f64, 1..30)) {
+        let ranks = rank_ascending(&values);
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (1..=values.len()).collect::<Vec<_>>());
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] < values[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+            }
+        }
+    }
+
+    /// Niceness is antisymmetric in its inputs: swapping the BLP and RBL
+    /// vectors negates every score.
+    #[test]
+    fn niceness_antisymmetry(
+        pairs in proptest::collection::vec((0.0..20.0f64, 0.0..1.0f64), 1..16),
+    ) {
+        let blp: Vec<f64> = pairs.iter().map(|&(b, _)| b).collect();
+        let rbl: Vec<f64> = pairs.iter().map(|&(_, r)| r).collect();
+        let forward = niceness_scores(&blp, &rbl);
+        let backward = niceness_scores(&rbl, &blp);
+        // Antisymmetry requires identical tie-breaking on both sides, so
+        // only check when all values are distinct.
+        let distinct = |v: &[f64]| {
+            let mut s = v.to_vec();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s.windows(2).all(|w| w[0] != w[1])
+        };
+        if distinct(&blp) && distinct(&rbl) {
+            for (f, b) in forward.iter().zip(&backward) {
+                prop_assert_eq!(*f, -*b);
+            }
+        }
+    }
+
+    /// Clustering always partitions the threads, keeps the latency
+    /// cluster within budget, and orders it by ascending MPKI.
+    #[test]
+    fn clustering_partitions_and_respects_budget(
+        threads in proptest::collection::vec((0.0..200.0f64, 0u64..1_000_000), 1..32),
+        thresh in 0.01..1.0f64,
+    ) {
+        let mpki: Vec<f64> = threads.iter().map(|&(m, _)| m).collect();
+        let bw: Vec<u64> = threads.iter().map(|&(_, b)| b).collect();
+        let c = cluster_threads(&mpki, &bw, thresh);
+        // Partition: every thread in exactly one cluster.
+        let mut seen = vec![0u8; threads.len()];
+        for t in c.latency.iter().chain(&c.bandwidth) {
+            seen[t.index()] += 1;
+        }
+        prop_assert!(seen.iter().all(|&s| s == 1));
+        // Budget: the latency cluster's usage fits within thresh * total.
+        let total: u64 = bw.iter().sum();
+        let latency_bw: u64 = c.latency.iter().map(|t| bw[t.index()]).sum();
+        prop_assert!(latency_bw as f64 <= thresh * total as f64 + 1e-9);
+        // Ascending MPKI within the latency cluster.
+        for pair in c.latency.windows(2) {
+            prop_assert!(mpki[pair[0].index()] <= mpki[pair[1].index()]);
+        }
+        // No bandwidth thread is lighter than a latency thread... only
+        // guaranteed in MPKI order: the max latency MPKI <= min bandwidth
+        // MPKI (ties broken by id can interleave equal values).
+        if let (Some(max_lat), Some(min_bw)) = (
+            c.latency.iter().map(|t| mpki[t.index()]).fold(None, |a: Option<f64>, v| {
+                Some(a.map_or(v, |x| x.max(v)))
+            }),
+            c.bandwidth.iter().map(|t| mpki[t.index()]).fold(None, |a: Option<f64>, v| {
+                Some(a.map_or(v, |x| x.min(v)))
+            }),
+        ) {
+            prop_assert!(max_lat <= min_bw);
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! CPU core model: instruction-window-occupancy stall semantics.
+//!
+//! Each simulated core executes a single thread at up to `issue_width`
+//! instructions per cycle (3 in the paper's baseline) and tolerates cache
+//! misses with a `window_size`-entry instruction window (128 in the
+//! baseline): the core may run ahead of an outstanding miss by at most
+//! `window_size` instructions before the full window stalls it. This is
+//! exactly the latency-tolerance model the paper's arguments rely on:
+//!
+//! * a *latency-sensitive* thread misses rarely, so each miss finds an
+//!   empty window and the stall time is roughly the full memory latency —
+//!   every cycle of memory latency is a lost compute cycle;
+//! * a *bandwidth-sensitive* thread misses constantly, keeps several
+//!   misses outstanding (bank-level parallelism), and its progress is
+//!   bounded by memory throughput rather than latency.
+//!
+//! [`Core`] is event-driven and lazily evaluated: it only recomputes
+//! progress when polled, and reports as its next event the cycle at which
+//! it will inject its next miss burst (or that it is blocked until a
+//! completion arrives). The simulation driver in `tcm-sim` owns the event
+//! queue.
+//!
+//! # Example
+//!
+//! ```
+//! use tcm_cpu::{Core, CoreStatus};
+//! use tcm_types::{RequestId, ThreadId};
+//!
+//! let mut core = Core::new(ThreadId::new(0), 3, 128, 32);
+//! core.schedule_burst(300, 1); // one miss, 300 instructions from now
+//! // 300 instructions at 3 IPC take 100 cycles:
+//! assert_eq!(core.poll(0), CoreStatus::WillBurst { at: 100 });
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use tcm_types::{Cycle, RequestId, ThreadId};
+
+/// What a core is doing, as reported by [`Core::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreStatus {
+    /// The core reaches its next miss burst at cycle `at` (≥ the polled
+    /// cycle) provided no earlier window/MSHR block intervenes — and
+    /// `poll` guarantees none does. When `at` equals the polled cycle the
+    /// burst is due now and the driver must call [`Core::issue_burst`].
+    WillBurst {
+        /// Cycle at which the burst instruction is reached.
+        at: Cycle,
+    },
+    /// The core cannot reach its next burst: its window (or MSHR pool) is
+    /// exhausted behind an outstanding miss. No timed event — progress
+    /// resumes when a completion arrives (re-poll then).
+    Blocked,
+    /// No miss burst is scheduled; the core executes freely. (Compute-only
+    /// threads stay in this state forever.)
+    ComputeOnly,
+}
+
+/// One simulated core running one thread.
+///
+/// Lazy/event-driven: internal progress is only materialized on
+/// [`Core::poll`], which must be called with non-decreasing cycles.
+#[derive(Debug, Clone)]
+pub struct Core {
+    thread: ThreadId,
+    issue_width: u64,
+    window: u64,
+    mshrs: usize,
+    /// Instructions executed as of `anchor_cycle`.
+    anchor_instr: u64,
+    anchor_cycle: Cycle,
+    /// Outstanding misses: `(request id, instruction index at issue)`.
+    outstanding: Vec<(RequestId, u64)>,
+    /// Next burst: `(absolute instruction index, number of accesses)`.
+    next_burst: Option<(u64, usize)>,
+    /// Instruction index of the most recently issued burst.
+    last_burst_instr: u64,
+    misses_issued: u64,
+    misses_completed: u64,
+}
+
+impl Core {
+    /// Creates a core for `thread` with the given issue width, window
+    /// size and MSHR count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issue_width`, `window_size` or `mshrs` is zero.
+    pub fn new(thread: ThreadId, issue_width: usize, window_size: usize, mshrs: usize) -> Self {
+        assert!(issue_width > 0, "issue width must be non-zero");
+        assert!(window_size > 0, "window must be non-zero");
+        assert!(mshrs > 0, "mshr count must be non-zero");
+        Self {
+            thread,
+            issue_width: issue_width as u64,
+            window: window_size as u64,
+            mshrs,
+            anchor_instr: 0,
+            anchor_cycle: 0,
+            outstanding: Vec::new(),
+            next_burst: None,
+            last_burst_instr: 0,
+            misses_issued: 0,
+            misses_completed: 0,
+        }
+    }
+
+    /// The thread this core runs.
+    #[inline]
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Instructions executed as of the last poll.
+    #[inline]
+    pub fn retired(&self) -> u64 {
+        self.anchor_instr
+    }
+
+    /// Misses injected into the memory system so far.
+    #[inline]
+    pub fn misses_issued(&self) -> u64 {
+        self.misses_issued
+    }
+
+    /// Misses that have completed so far.
+    #[inline]
+    pub fn misses_completed(&self) -> u64 {
+        self.misses_completed
+    }
+
+    /// Number of currently outstanding misses.
+    #[inline]
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Schedules the next miss burst: `size` concurrent misses, `gap`
+    /// instructions after the previously issued burst (or after
+    /// instruction 0 for the first burst).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a burst is already scheduled, if `gap` is zero, or if
+    /// `size` is zero or exceeds the MSHR count (such a burst could never
+    /// issue).
+    pub fn schedule_burst(&mut self, gap: u64, size: usize) {
+        assert!(self.next_burst.is_none(), "burst already scheduled");
+        assert!(gap > 0, "burst gap must be positive");
+        assert!(size > 0, "burst must contain at least one access");
+        assert!(
+            size <= self.mshrs,
+            "burst larger than MSHR pool can never issue"
+        );
+        self.next_burst = Some((self.last_burst_instr + gap, size));
+    }
+
+    /// First instruction index that cannot execute because of the window:
+    /// `min(outstanding issue index) + window`, or `u64::MAX` when no
+    /// miss is outstanding.
+    fn window_limit(&self) -> u64 {
+        self.outstanding
+            .iter()
+            .map(|&(_, instr)| instr.saturating_add(self.window))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Advances execution to `now` and reports the core's status.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than a previous poll (time must be
+    /// non-decreasing).
+    pub fn poll(&mut self, now: Cycle) -> CoreStatus {
+        assert!(now >= self.anchor_cycle, "core polled backwards in time");
+        let window_limit = self.window_limit();
+        let burst_at = self.next_burst.map(|(at, _)| at).unwrap_or(u64::MAX);
+        let target = window_limit.min(burst_at);
+
+        // Materialize progress up to `now`, capped at the target.
+        let elapsed = now - self.anchor_cycle;
+        let possible = self
+            .anchor_instr
+            .saturating_add(elapsed.saturating_mul(self.issue_width));
+        self.anchor_instr = possible.min(target);
+        self.anchor_cycle = now;
+
+        let Some((at, size)) = self.next_burst else {
+            return CoreStatus::ComputeOnly;
+        };
+
+        if self.anchor_instr >= at {
+            // At the burst instruction: can the misses actually enter the
+            // machine? The burst instruction must fit in the window and
+            // the MSHR pool must have room.
+            let window_ok = at < window_limit || self.outstanding.is_empty();
+            let mshr_ok = self.outstanding.len() + size <= self.mshrs;
+            if window_ok && mshr_ok {
+                CoreStatus::WillBurst { at: now }
+            } else {
+                CoreStatus::Blocked
+            }
+        } else if window_limit > self.anchor_instr && window_limit >= at {
+            // Nothing blocks before the burst instruction.
+            let remaining = at - self.anchor_instr;
+            let cycles = remaining.div_ceil(self.issue_width);
+            CoreStatus::WillBurst { at: now + cycles }
+        } else {
+            // The window will fill (or already has) before the burst.
+            CoreStatus::Blocked
+        }
+    }
+
+    /// Injects the scheduled burst at the current cycle, registering one
+    /// outstanding miss per id in `ids`.
+    ///
+    /// Must only be called when [`Core::poll`] returned
+    /// `WillBurst { at: now }` for the current cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no burst is scheduled, if `ids.len()` differs from the
+    /// scheduled burst size, if the core has not reached the burst
+    /// instruction, or if the MSHR pool would overflow.
+    pub fn issue_burst(&mut self, ids: &[RequestId]) {
+        let (at, size) = self.next_burst.expect("no burst scheduled");
+        assert_eq!(ids.len(), size, "id count must match burst size");
+        assert!(
+            self.anchor_instr >= at,
+            "burst issued before the core reached it"
+        );
+        assert!(
+            self.outstanding.len() + size <= self.mshrs,
+            "burst issued past MSHR capacity"
+        );
+        for &id in ids {
+            self.outstanding.push((id, at));
+        }
+        self.misses_issued += size as u64;
+        self.last_burst_instr = at;
+        self.next_burst = None;
+    }
+
+    /// Records completion of the miss with request id `id`.
+    ///
+    /// The caller should re-poll the core afterwards: a completion can
+    /// unblock the window or MSHR pool and move the next burst time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not outstanding.
+    pub fn complete(&mut self, id: RequestId) {
+        let idx = self
+            .outstanding
+            .iter()
+            .position(|&(rid, _)| rid == id)
+            .expect("completion for unknown request");
+        self.outstanding.swap_remove(idx);
+        self.misses_completed += 1;
+    }
+
+    /// Whether this core currently has a burst pending injection.
+    pub fn has_pending_burst(&self) -> bool {
+        self.next_burst.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(n: u64) -> RequestId {
+        RequestId::new(n)
+    }
+
+    fn core() -> Core {
+        Core::new(ThreadId::new(0), 3, 128, 32)
+    }
+
+    #[test]
+    fn compute_only_core_runs_at_issue_width() {
+        let mut c = core();
+        assert_eq!(c.poll(0), CoreStatus::ComputeOnly);
+        c.poll(100);
+        assert_eq!(c.retired(), 300);
+        c.poll(1000);
+        assert_eq!(c.retired(), 3000);
+    }
+
+    #[test]
+    fn burst_time_is_gap_over_issue_width() {
+        let mut c = core();
+        c.schedule_burst(299, 2);
+        // ceil(299/3) = 100.
+        assert_eq!(c.poll(0), CoreStatus::WillBurst { at: 100 });
+        assert_eq!(c.poll(100), CoreStatus::WillBurst { at: 100 });
+        c.issue_burst(&[rid(0), rid(1)]);
+        assert_eq!(c.retired(), 299);
+        assert_eq!(c.outstanding(), 2);
+    }
+
+    #[test]
+    fn core_runs_ahead_until_window_fills_then_blocks() {
+        let mut c = Core::new(ThreadId::new(0), 1, 8, 4);
+        c.schedule_burst(1, 1);
+        assert_eq!(c.poll(0), CoreStatus::WillBurst { at: 1 });
+        c.poll(1);
+        c.issue_burst(&[rid(0)]);
+        // Next burst far away: the window (8) fills first.
+        c.schedule_burst(100, 1);
+        assert_eq!(c.poll(1), CoreStatus::Blocked);
+        c.poll(50);
+        // Executed up to miss instr (1) + window (8) = 9 instructions.
+        assert_eq!(c.retired(), 9);
+        // Completion unblocks and re-times the burst: burst is at
+        // instruction 101, 92 instructions past the current 9.
+        c.complete(rid(0));
+        assert_eq!(c.poll(50), CoreStatus::WillBurst { at: 50 + 92 });
+    }
+
+    #[test]
+    fn mshr_exhaustion_blocks_burst() {
+        let mut c = Core::new(ThreadId::new(0), 1, 1024, 2);
+        c.schedule_burst(1, 2);
+        c.poll(1);
+        c.issue_burst(&[rid(0), rid(1)]);
+        c.schedule_burst(1, 1);
+        // Window is huge, but both MSHRs are taken.
+        assert_eq!(c.poll(2), CoreStatus::Blocked);
+        c.complete(rid(1));
+        assert_eq!(c.poll(2), CoreStatus::WillBurst { at: 2 });
+    }
+
+    #[test]
+    fn latency_sensitive_thread_stalls_full_latency() {
+        // Window 4, one miss, the thread stalls from (miss instr + 4)
+        // until completion.
+        let mut c = Core::new(ThreadId::new(0), 1, 4, 4);
+        c.schedule_burst(10, 1);
+        assert_eq!(c.poll(0), CoreStatus::WillBurst { at: 10 });
+        c.poll(10);
+        c.issue_burst(&[rid(7)]);
+        c.schedule_burst(100, 1);
+        c.poll(200); // memory takes 190 cycles, say
+        assert_eq!(c.retired(), 14, "ran ahead only window-many instructions");
+        c.complete(rid(7));
+        let status = c.poll(200);
+        // The next burst is at instruction 110; 96 instructions remain.
+        assert_eq!(status, CoreStatus::WillBurst { at: 200 + 96 });
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn polling_backwards_panics() {
+        let mut c = core();
+        c.poll(10);
+        c.poll(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown request")]
+    fn completing_unknown_request_panics() {
+        let mut c = core();
+        c.complete(rid(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "already scheduled")]
+    fn double_scheduling_panics() {
+        let mut c = core();
+        c.schedule_burst(10, 1);
+        c.schedule_burst(10, 1);
+    }
+
+    #[test]
+    fn issue_requires_reaching_burst_instruction() {
+        let mut c = core();
+        c.schedule_burst(300, 1);
+        c.poll(0);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.issue_burst(&[rid(0)])));
+        assert!(result.is_err(), "issuing early must panic");
+    }
+
+    #[test]
+    fn miss_counters_track_lifecycle() {
+        let mut c = core();
+        c.schedule_burst(3, 2);
+        c.poll(1);
+        c.issue_burst(&[rid(0), rid(1)]);
+        assert_eq!(c.misses_issued(), 2);
+        assert!(!c.has_pending_burst());
+        c.complete(rid(0));
+        assert_eq!(c.outstanding(), 1);
+        assert_eq!(c.misses_completed(), 1);
+    }
+
+    #[test]
+    fn blocked_core_does_not_pass_window_even_with_long_poll_gaps() {
+        let mut c = Core::new(ThreadId::new(0), 3, 16, 8);
+        c.schedule_burst(2, 1);
+        c.poll(1);
+        c.issue_burst(&[rid(0)]);
+        c.schedule_burst(1000, 1);
+        for t in [10u64, 100, 10_000] {
+            c.poll(t);
+            assert_eq!(c.retired(), 2 + 16);
+        }
+    }
+}

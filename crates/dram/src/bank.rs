@@ -1,0 +1,191 @@
+//! A single DRAM bank: open-row state plus service timing.
+
+use tcm_types::{Cycle, DramTiming, Row, RowState};
+
+/// The access-phase timing computed by [`Bank::begin_service`].
+///
+/// The access phase covers precharge/activate/column-access at the bank;
+/// the subsequent data-bus transfer is arbitrated separately by the
+/// channel (see [`DataBus`](crate::DataBus)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankService {
+    /// Cycle at which the bank actually began the access (>= request
+    /// schedule time; waits for the bank to be ready).
+    pub start: Cycle,
+    /// Cycle at which the access phase ends and the data transfer may
+    /// begin.
+    pub access_done: Cycle,
+    /// Row-buffer state the request encountered.
+    pub row_state: RowState,
+}
+
+/// One DRAM bank.
+///
+/// A bank is busy from the moment a request is issued to it until the
+/// request's data has left on the channel bus ([`Bank::finish_service`]
+/// records that time). While busy it cannot accept another request; the
+/// simulator only issues to banks whose [`Bank::ready_at`] has passed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bank {
+    open_row: Option<Row>,
+    ready_at: Cycle,
+    busy: bool,
+}
+
+impl Bank {
+    /// Creates an idle, precharged bank (no open row).
+    pub fn new() -> Self {
+        Self {
+            open_row: None,
+            ready_at: 0,
+            busy: false,
+        }
+    }
+
+    /// The row currently held in the row-buffer, if any.
+    #[inline]
+    pub fn open_row(&self) -> Option<Row> {
+        self.open_row
+    }
+
+    /// First cycle at which the bank can begin a new access.
+    #[inline]
+    pub fn ready_at(&self) -> Cycle {
+        self.ready_at
+    }
+
+    /// Whether the bank is currently in the middle of servicing a request.
+    #[inline]
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Row-buffer state a request for `row` would encounter right now.
+    #[inline]
+    pub fn row_state(&self, row: Row) -> RowState {
+        match self.open_row {
+            Some(open) if open == row => RowState::Hit,
+            Some(_) => RowState::Conflict,
+            None => RowState::Closed,
+        }
+    }
+
+    /// Begins servicing an access to `row` at cycle `now`.
+    ///
+    /// The access starts at `max(now, ready_at)`. The row-buffer is
+    /// updated to hold `row` (open-page policy: rows stay open until a
+    /// conflicting access precharges them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is already busy: the simulator must wait for
+    /// [`Bank::finish_service`] before issuing again (issuing to a busy
+    /// bank would silently corrupt timing).
+    pub fn begin_service(&mut self, row: Row, now: Cycle, timing: &DramTiming) -> BankService {
+        assert!(!self.busy, "bank issued while busy");
+        let start = now.max(self.ready_at);
+        let row_state = self.row_state(row);
+        let access_done = start + timing.access_phase(row_state);
+        self.open_row = Some(row);
+        self.busy = true;
+        // Until finish_service fixes the true end (after bus arbitration),
+        // conservatively mark the bank unavailable forever.
+        self.ready_at = Cycle::MAX;
+        BankService {
+            start,
+            access_done,
+            row_state,
+        }
+    }
+
+    /// Completes the in-flight service: the bank becomes ready again at
+    /// `busy_until` (the cycle the data transfer finished on the bus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is not busy.
+    pub fn finish_service(&mut self, busy_until: Cycle) {
+        assert!(self.busy, "finish_service on idle bank");
+        self.busy = false;
+        self.ready_at = busy_until;
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcm_types::DramTiming;
+
+    fn timing() -> DramTiming {
+        DramTiming::ddr2_800()
+    }
+
+    #[test]
+    fn fresh_bank_is_closed_and_ready() {
+        let b = Bank::new();
+        assert_eq!(b.open_row(), None);
+        assert_eq!(b.ready_at(), 0);
+        assert!(!b.is_busy());
+        assert_eq!(b.row_state(Row::new(5)), RowState::Closed);
+    }
+
+    #[test]
+    fn first_access_is_closed_then_hit_then_conflict() {
+        let t = timing();
+        let mut b = Bank::new();
+
+        let s1 = b.begin_service(Row::new(7), 0, &t);
+        assert_eq!(s1.row_state, RowState::Closed);
+        assert_eq!(s1.start, 0);
+        assert_eq!(s1.access_done, t.rcd + t.cl);
+        b.finish_service(s1.access_done + t.bus_burst);
+
+        // Same row: hit.
+        let s2 = b.begin_service(Row::new(7), s1.access_done + t.bus_burst, &t);
+        assert_eq!(s2.row_state, RowState::Hit);
+        assert_eq!(s2.access_done - s2.start, t.cl);
+        b.finish_service(s2.access_done + t.bus_burst);
+
+        // Different row: conflict.
+        let s3 = b.begin_service(Row::new(9), s2.access_done + t.bus_burst, &t);
+        assert_eq!(s3.row_state, RowState::Conflict);
+        assert_eq!(s3.access_done - s3.start, t.rp + t.rcd + t.cl);
+    }
+
+    #[test]
+    fn service_waits_for_bank_ready() {
+        let t = timing();
+        let mut b = Bank::new();
+        let s1 = b.begin_service(Row::new(1), 0, &t);
+        b.finish_service(s1.access_done + t.bus_burst);
+        // Issue "at" cycle 10, but the bank is only ready later.
+        let s2 = b.begin_service(Row::new(1), 10, &t);
+        assert_eq!(s2.start, s1.access_done + t.bus_burst);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy")]
+    fn double_issue_panics() {
+        let t = timing();
+        let mut b = Bank::new();
+        b.begin_service(Row::new(1), 0, &t);
+        b.begin_service(Row::new(2), 0, &t);
+    }
+
+    #[test]
+    fn open_row_tracks_last_access() {
+        let t = timing();
+        let mut b = Bank::new();
+        let s = b.begin_service(Row::new(3), 0, &t);
+        b.finish_service(s.access_done);
+        assert_eq!(b.open_row(), Some(Row::new(3)));
+        assert_eq!(b.row_state(Row::new(3)), RowState::Hit);
+        assert_eq!(b.row_state(Row::new(4)), RowState::Conflict);
+    }
+}

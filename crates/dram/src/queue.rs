@@ -1,0 +1,228 @@
+//! The controller's bounded request buffer.
+
+use std::error::Error;
+use std::fmt;
+use tcm_types::{BankId, Request, RequestId, ThreadId};
+
+/// Error returned when the controller's request buffer is full.
+///
+/// In the simulator the core model applies backpressure (MSHR and window
+/// limits) long before a 128-entry buffer fills at realistic intensities,
+/// but the bound is enforced for fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFullError {
+    capacity: usize,
+}
+
+impl QueueFullError {
+    /// The buffer capacity that was exceeded.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl fmt::Display for QueueFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request buffer full (capacity {})", self.capacity)
+    }
+}
+
+impl Error for QueueFullError {}
+
+/// A bounded buffer of requests waiting at one memory controller.
+///
+/// Requests stay in the buffer until a scheduling policy picks them for
+/// service; lookups are by *position within a bank's pending set*, which
+/// is how scheduling decisions are phrased.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestQueue {
+    requests: Vec<Request>,
+    capacity: usize,
+}
+
+impl RequestQueue {
+    /// Creates an empty buffer with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            requests: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+        }
+    }
+
+    /// Number of buffered requests.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.requests.len() >= self.capacity
+    }
+
+    /// Buffer capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFullError`] if the buffer is at capacity.
+    pub fn push(&mut self, request: Request) -> Result<(), QueueFullError> {
+        if self.is_full() {
+            return Err(QueueFullError {
+                capacity: self.capacity,
+            });
+        }
+        self.requests.push(request);
+        Ok(())
+    }
+
+    /// Iterates over all buffered requests (arrival order).
+    pub fn iter(&self) -> impl Iterator<Item = &Request> {
+        self.requests.iter()
+    }
+
+    /// Collects the requests pending for `bank`, in arrival order.
+    ///
+    /// The returned vector's positions are the indices expected by
+    /// [`RequestQueue::take_for_bank`].
+    pub fn pending_for_bank(&self, bank: BankId) -> Vec<Request> {
+        self.requests
+            .iter()
+            .filter(|r| r.addr.bank == bank)
+            .copied()
+            .collect()
+    }
+
+    /// Whether any request is pending for `bank`.
+    pub fn has_pending_for_bank(&self, bank: BankId) -> bool {
+        self.requests.iter().any(|r| r.addr.bank == bank)
+    }
+
+    /// Removes and returns the `pos`-th pending request for `bank`
+    /// (position as in [`RequestQueue::pending_for_bank`]).
+    ///
+    /// Returns `None` if fewer than `pos + 1` requests are pending for the
+    /// bank.
+    pub fn take_for_bank(&mut self, bank: BankId, pos: usize) -> Option<Request> {
+        let mut seen = 0usize;
+        let mut idx = None;
+        for (i, r) in self.requests.iter().enumerate() {
+            if r.addr.bank == bank {
+                if seen == pos {
+                    idx = Some(i);
+                    break;
+                }
+                seen += 1;
+            }
+        }
+        idx.map(|i| self.requests.remove(i))
+    }
+
+    /// Removes a request by id, returning it if present.
+    pub fn remove(&mut self, id: RequestId) -> Option<Request> {
+        let idx = self.requests.iter().position(|r| r.id == id)?;
+        Some(self.requests.remove(idx))
+    }
+
+    /// Number of buffered requests belonging to `thread`.
+    pub fn count_for_thread(&self, thread: ThreadId) -> usize {
+        self.requests.iter().filter(|r| r.thread == thread).count()
+    }
+
+    /// Set of banks (per-channel ids) with at least one pending request,
+    /// deduplicated, in ascending order.
+    pub fn banks_with_pending(&self) -> Vec<BankId> {
+        let mut banks: Vec<BankId> = self.requests.iter().map(|r| r.addr.bank).collect();
+        banks.sort_unstable();
+        banks.dedup();
+        banks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcm_types::{ChannelId, MemAddress, Row};
+
+    fn req(id: u64, thread: usize, bank: usize, row: u64) -> Request {
+        Request::new(
+            RequestId::new(id),
+            ThreadId::new(thread),
+            MemAddress::new(ChannelId::new(0), BankId::new(bank), Row::new(row as usize)),
+            id,
+        )
+    }
+
+    #[test]
+    fn push_respects_capacity() {
+        let mut q = RequestQueue::new(2);
+        q.push(req(0, 0, 0, 0)).unwrap();
+        q.push(req(1, 0, 0, 0)).unwrap();
+        let err = q.push(req(2, 0, 0, 0)).unwrap_err();
+        assert_eq!(err.capacity(), 2);
+        assert!(q.is_full());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pending_for_bank_filters_and_preserves_order() {
+        let mut q = RequestQueue::new(16);
+        q.push(req(0, 0, 1, 10)).unwrap();
+        q.push(req(1, 1, 0, 20)).unwrap();
+        q.push(req(2, 2, 1, 30)).unwrap();
+        let pending = q.pending_for_bank(BankId::new(1));
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].id, RequestId::new(0));
+        assert_eq!(pending[1].id, RequestId::new(2));
+        assert!(q.has_pending_for_bank(BankId::new(0)));
+        assert!(!q.has_pending_for_bank(BankId::new(3)));
+    }
+
+    #[test]
+    fn take_for_bank_removes_selected_position() {
+        let mut q = RequestQueue::new(16);
+        q.push(req(0, 0, 1, 10)).unwrap();
+        q.push(req(1, 1, 0, 20)).unwrap();
+        q.push(req(2, 2, 1, 30)).unwrap();
+        let taken = q.take_for_bank(BankId::new(1), 1).unwrap();
+        assert_eq!(taken.id, RequestId::new(2));
+        assert_eq!(q.len(), 2);
+        assert!(q.take_for_bank(BankId::new(1), 1).is_none());
+        let taken = q.take_for_bank(BankId::new(1), 0).unwrap();
+        assert_eq!(taken.id, RequestId::new(0));
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut q = RequestQueue::new(16);
+        q.push(req(0, 0, 1, 10)).unwrap();
+        q.push(req(1, 0, 1, 10)).unwrap();
+        assert_eq!(q.remove(RequestId::new(0)).unwrap().id, RequestId::new(0));
+        assert!(q.remove(RequestId::new(0)).is_none());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn per_thread_counts_and_bank_sets() {
+        let mut q = RequestQueue::new(16);
+        q.push(req(0, 0, 1, 1)).unwrap();
+        q.push(req(1, 0, 2, 1)).unwrap();
+        q.push(req(2, 1, 2, 1)).unwrap();
+        assert_eq!(q.count_for_thread(ThreadId::new(0)), 2);
+        assert_eq!(q.count_for_thread(ThreadId::new(1)), 1);
+        assert_eq!(q.count_for_thread(ThreadId::new(9)), 0);
+        assert_eq!(q.banks_with_pending(), vec![BankId::new(1), BankId::new(2)]);
+    }
+}

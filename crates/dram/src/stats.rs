@@ -1,0 +1,164 @@
+//! Per-channel service accounting.
+//!
+//! The counters here are the raw material of the evaluated scheduling
+//! policies: per-thread *bank busy cycles* are the paper's definition of
+//! memory bandwidth usage (TCM's clustering input) and of attained
+//! service (ATLAS's ranking input); row-hit counters feed reporting.
+
+use tcm_types::{Cycle, RowState, ThreadId};
+
+/// Counters for a single bank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BankStats {
+    /// Requests serviced.
+    pub serviced: u64,
+    /// Requests that were row-buffer hits.
+    pub row_hits: u64,
+    /// Requests that found the bank precharged.
+    pub row_closed: u64,
+    /// Requests that were row-buffer conflicts.
+    pub row_conflicts: u64,
+    /// Total cycles the bank spent busy.
+    pub busy_cycles: u64,
+}
+
+impl BankStats {
+    /// Records one serviced request.
+    pub fn record(&mut self, state: RowState, busy: u64) {
+        self.serviced += 1;
+        match state {
+            RowState::Hit => self.row_hits += 1,
+            RowState::Closed => self.row_closed += 1,
+            RowState::Conflict => self.row_conflicts += 1,
+        }
+        self.busy_cycles += busy;
+    }
+
+    /// Fraction of serviced requests that were row hits (0 when no
+    /// requests were serviced).
+    pub fn hit_rate(&self) -> f64 {
+        if self.serviced == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.serviced as f64
+        }
+    }
+}
+
+/// Counters for one channel: per-bank stats plus per-thread service time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelStats {
+    banks: Vec<BankStats>,
+    /// Bank-busy cycles consumed by each thread, cumulative since reset.
+    thread_service: Vec<u64>,
+    /// Total data-bus busy cycles.
+    pub bus_busy_cycles: u64,
+    /// Cycle of the last serviced request (coverage indicator).
+    pub last_service_at: Cycle,
+}
+
+impl ChannelStats {
+    /// Creates zeroed stats for `num_banks` banks and `num_threads`
+    /// threads.
+    pub fn new(num_banks: usize, num_threads: usize) -> Self {
+        Self {
+            banks: vec![BankStats::default(); num_banks],
+            thread_service: vec![0; num_threads],
+            bus_busy_cycles: 0,
+            last_service_at: 0,
+        }
+    }
+
+    /// Records a serviced request.
+    pub fn record(
+        &mut self,
+        bank: usize,
+        thread: ThreadId,
+        state: RowState,
+        busy: u64,
+        bus: u64,
+        at: Cycle,
+    ) {
+        self.banks[bank].record(state, busy);
+        if let Some(ts) = self.thread_service.get_mut(thread.index()) {
+            *ts += busy;
+        }
+        self.bus_busy_cycles += bus;
+        self.last_service_at = at;
+    }
+
+    /// Per-bank statistics.
+    pub fn banks(&self) -> &[BankStats] {
+        &self.banks
+    }
+
+    /// Cumulative bank-busy cycles consumed by `thread` on this channel.
+    pub fn thread_service(&self, thread: ThreadId) -> u64 {
+        self.thread_service
+            .get(thread.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Cumulative bank-busy cycles for all threads (indexed by thread).
+    pub fn thread_service_all(&self) -> &[u64] {
+        &self.thread_service
+    }
+
+    /// Total requests serviced on this channel.
+    pub fn total_serviced(&self) -> u64 {
+        self.banks.iter().map(|b| b.serviced).sum()
+    }
+
+    /// Total row hits across banks.
+    pub fn total_row_hits(&self) -> u64 {
+        self.banks.iter().map(|b| b.row_hits).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_stats_accumulate_by_row_state() {
+        let mut s = BankStats::default();
+        s.record(RowState::Hit, 125);
+        s.record(RowState::Hit, 125);
+        s.record(RowState::Conflict, 275);
+        s.record(RowState::Closed, 200);
+        assert_eq!(s.serviced, 4);
+        assert_eq!(s.row_hits, 2);
+        assert_eq!(s.row_conflicts, 1);
+        assert_eq!(s.row_closed, 1);
+        assert_eq!(s.busy_cycles, 125 + 125 + 275 + 200);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(BankStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn channel_stats_track_threads_and_banks() {
+        let mut s = ChannelStats::new(4, 2);
+        s.record(0, ThreadId::new(0), RowState::Hit, 125, 50, 100);
+        s.record(1, ThreadId::new(1), RowState::Conflict, 275, 50, 400);
+        s.record(0, ThreadId::new(0), RowState::Hit, 125, 50, 500);
+        assert_eq!(s.thread_service(ThreadId::new(0)), 250);
+        assert_eq!(s.thread_service(ThreadId::new(1)), 275);
+        assert_eq!(s.total_serviced(), 3);
+        assert_eq!(s.total_row_hits(), 2);
+        assert_eq!(s.bus_busy_cycles, 150);
+        assert_eq!(s.last_service_at, 500);
+        assert_eq!(s.banks()[0].serviced, 2);
+    }
+
+    #[test]
+    fn out_of_range_thread_is_ignored() {
+        let mut s = ChannelStats::new(1, 1);
+        s.record(0, ThreadId::new(5), RowState::Hit, 10, 10, 1);
+        assert_eq!(s.thread_service(ThreadId::new(5)), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Memory-request scheduling policies: the common [`Scheduler`] interface
+//! and the four baseline algorithms the paper compares TCM against.
+//!
+//! * [`Fcfs`] — oldest-first (thread-unaware sanity baseline).
+//! * [`FrFcfs`] — row-hit-first, then oldest (Rixner et al., ISCA 2000);
+//!   the policy commonly used in real controllers.
+//! * [`Stfm`] — stall-time fair memory scheduling (Mutlu & Moscibroda,
+//!   MICRO 2007): estimates each thread's slowdown and prioritizes the
+//!   most-slowed thread when unfairness exceeds a threshold.
+//! * [`ParBs`] — parallelism-aware batch scheduling (Mutlu & Moscibroda,
+//!   ISCA 2008): batches requests and ranks threads shortest-job-first
+//!   within a batch.
+//! * [`Atlas`] — least-attained-service scheduling over long quanta
+//!   (Kim et al., HPCA 2010).
+//! * [`FairQueueing`] — a network-fair-queueing-style scheduler (after
+//!   Nesbit et al., MICRO 2006), an extension baseline representing the
+//!   fairness-only designs the paper's related work discusses.
+//!
+//! TCM itself lives in the `tcm-core` crate and implements the same
+//! [`Scheduler`] trait.
+//!
+//! # Scheduling model
+//!
+//! The simulator consults the policy each time a DRAM bank is idle and
+//! has pending requests, passing the bank's pending set and a
+//! [`PickContext`]; the policy returns the index of the request to issue.
+//! Policies keep their own state current via the notification hooks
+//! (`on_enqueue` / `on_service` / `on_complete`) and via periodic
+//! [`Scheduler::tick`]s, which receive a [`SystemView`] of per-thread
+//! counters (retired instructions, misses, attained service) — the same
+//! signals the paper's hardware monitors expose.
+//!
+//! # Example
+//!
+//! ```
+//! use tcm_sched::{FrFcfs, PickContext, Scheduler};
+//! use tcm_types::{BankId, ChannelId, MemAddress, Request, RequestId, Row, ThreadId};
+//!
+//! let mut policy = FrFcfs::new();
+//! let addr = |row| MemAddress::new(ChannelId::new(0), BankId::new(0), Row::new(row));
+//! let pending = vec![
+//!     Request::new(RequestId::new(0), ThreadId::new(0), addr(1), 0),
+//!     Request::new(RequestId::new(1), ThreadId::new(1), addr(2), 5),
+//! ];
+//! let ctx = PickContext {
+//!     now: 10,
+//!     channel: ChannelId::new(0),
+//!     bank: BankId::new(0),
+//!     open_row: Some(Row::new(2)), // request 1 is a row hit
+//! };
+//! assert_eq!(policy.pick(&pending, &ctx), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod atlas;
+mod fcfs;
+mod fqm;
+mod frfcfs;
+mod parbs;
+pub mod select;
+mod stfm;
+
+pub use atlas::{Atlas, AtlasParams};
+pub use fcfs::Fcfs;
+pub use fqm::FairQueueing;
+pub use frfcfs::FrFcfs;
+pub use parbs::{ParBs, ParBsParams};
+pub use stfm::{Stfm, StfmParams};
+
+use tcm_dram::ServiceOutcome;
+use tcm_types::{BankId, ChannelId, Cycle, Request, Row};
+
+/// Everything a policy may inspect when choosing the next request for a
+/// bank.
+#[derive(Debug, Clone, Copy)]
+pub struct PickContext {
+    /// Current cycle.
+    pub now: Cycle,
+    /// Channel owning the bank being scheduled.
+    pub channel: ChannelId,
+    /// The bank being scheduled (per-channel index).
+    pub bank: BankId,
+    /// Row currently open in the bank's row-buffer, if any.
+    pub open_row: Option<Row>,
+}
+
+/// Snapshot of per-thread hardware counters, indexed by thread id.
+///
+/// All counters are cumulative since simulation start; policies that need
+/// per-quantum deltas (ATLAS, TCM) keep their own previous snapshots.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemView<'a> {
+    /// Instructions retired per thread.
+    pub retired: &'a [u64],
+    /// LLC misses generated per thread.
+    pub misses: &'a [u64],
+    /// Bank-busy cycles attained per thread, summed over all channels —
+    /// the paper's *memory service time*.
+    pub service: &'a [u64],
+}
+
+impl SystemView<'_> {
+    /// Number of threads in the system.
+    pub fn num_threads(&self) -> usize {
+        self.retired.len()
+    }
+}
+
+/// A memory-request scheduling policy.
+///
+/// One policy instance arbitrates *all* channels (mirroring the paper's
+/// synchronized, meta-controller-coordinated designs); per-channel state,
+/// where an algorithm requires it (e.g. PAR-BS batches), is keyed by
+/// [`PickContext::channel`].
+pub trait Scheduler: std::fmt::Debug + Send {
+    /// Human-readable policy name (used in reports and plots).
+    fn name(&self) -> &'static str;
+
+    /// Chooses which request the bank should service next.
+    ///
+    /// `pending` is the non-empty, arrival-ordered set of requests queued
+    /// for `ctx.bank` on `ctx.channel`; the returned value is an index
+    /// into it.
+    fn pick(&mut self, pending: &[Request], ctx: &PickContext) -> usize;
+
+    /// Called when a request enters a controller's request buffer.
+    fn on_enqueue(&mut self, _req: &Request, _now: Cycle) {}
+
+    /// Called when a request is issued to its bank. `remaining_same_bank`
+    /// is the set of requests still queued for that bank (the serviced
+    /// request already removed) — the information STFM-style interference
+    /// accounting needs.
+    fn on_service(
+        &mut self,
+        _outcome: &ServiceOutcome,
+        _remaining_same_bank: &[Request],
+        _now: Cycle,
+    ) {
+    }
+
+    /// Called when a request's data returns to the core.
+    fn on_complete(&mut self, _req: &Request, _now: Cycle) {}
+
+    /// The next cycle strictly after `now` at which [`Scheduler::tick`]
+    /// should run, or `None` for policies without timers.
+    fn next_tick(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
+
+    /// Timer callback (quantum/shuffle boundaries) with fresh counters.
+    fn tick(&mut self, _now: Cycle, _view: &SystemView<'_>) {}
+
+    /// Installs OS-assigned thread weights (1.0 = default). Policies that
+    /// do not support weights ignore this.
+    fn set_thread_weights(&mut self, _weights: &[f64]) {}
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared helpers for scheduler unit tests.
+
+    use tcm_types::{
+        BankId, ChannelId, Cycle, MemAddress, Request, RequestId, Row, ThreadId,
+    };
+
+    /// Builds a request on channel 0, bank 0.
+    pub fn req(id: u64, thread: usize, row: usize, at: Cycle) -> Request {
+        req_at_bank(id, thread, 0, row, at)
+    }
+
+    /// Builds a request on channel 0 with an explicit bank.
+    pub fn req_at_bank(id: u64, thread: usize, bank: usize, row: usize, at: Cycle) -> Request {
+        Request::new(
+            RequestId::new(id),
+            ThreadId::new(thread),
+            MemAddress::new(ChannelId::new(0), BankId::new(bank), Row::new(row)),
+            at,
+        )
+    }
+
+    /// A pick context for channel 0 / bank 0.
+    pub fn ctx(now: Cycle, open_row: Option<usize>) -> crate::PickContext {
+        crate::PickContext {
+            now,
+            channel: ChannelId::new(0),
+            bank: BankId::new(0),
+            open_row: open_row.map(Row::new),
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Request-selection helpers shared by all policies.
+//!
+//! Every evaluated scheduler resolves to some lexicographic priority key
+//! over the pending requests of a bank; [`pick_max_by_key`] picks the
+//! request with the maximum key, and [`age_key`] provides the universal
+//! lowest-priority tie-breaker (*oldest first*, rule 3 of the paper's
+//! Algorithm 3).
+
+use std::cmp::Reverse;
+use tcm_types::{Request, Row};
+
+/// Returns the index of the request with the *maximum* `key`.
+///
+/// Keys must be totally ordered; embed [`age_key`] as the final tuple
+/// element to guarantee uniqueness (request ids are unique), which makes
+/// selection deterministic.
+///
+/// # Panics
+///
+/// Panics if `pending` is empty — the simulator only schedules banks with
+/// pending work.
+pub fn pick_max_by_key<K: Ord>(pending: &[Request], mut key: impl FnMut(&Request) -> K) -> usize {
+    assert!(!pending.is_empty(), "no pending requests to pick from");
+    let mut best = 0;
+    let mut best_key = key(&pending[0]);
+    for (i, r) in pending.iter().enumerate().skip(1) {
+        let k = key(r);
+        if k > best_key {
+            best = i;
+            best_key = k;
+        }
+    }
+    best
+}
+
+/// Age component of a priority key: older requests (smaller issue cycle,
+/// then smaller id) compare *greater*, i.e. win ties.
+#[inline]
+pub fn age_key(r: &Request) -> Reverse<(u64, u64)> {
+    Reverse((r.issued_at, r.id.raw()))
+}
+
+/// Row-hit component of a priority key: `true` when the request targets
+/// the currently open row.
+#[inline]
+pub fn row_hit(r: &Request, open_row: Option<Row>) -> bool {
+    open_row == Some(r.addr.row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::req;
+
+    #[test]
+    fn max_key_wins_and_age_breaks_ties() {
+        let pending = vec![req(0, 0, 1, 10), req(1, 1, 2, 5), req(2, 2, 3, 5)];
+        // Pure age: request 1 (cycle 5, lower id than request 2).
+        let idx = pick_max_by_key(&pending, age_key);
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn lexicographic_tiers_dominate_age() {
+        let pending = vec![req(0, 0, 7, 0), req(1, 1, 9, 50)];
+        // Row 9 open: the younger request wins on the row-hit tier.
+        let open = Some(tcm_types::Row::new(9));
+        let idx = pick_max_by_key(&pending, |r| (row_hit(r, open), age_key(r)));
+        assert_eq!(idx, 1);
+        // No row open: age decides.
+        let idx = pick_max_by_key(&pending, |r| (row_hit(r, None), age_key(r)));
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no pending")]
+    fn empty_pending_panics() {
+        pick_max_by_key(&[], age_key);
+    }
+
+    #[test]
+    fn row_hit_requires_matching_open_row() {
+        let r = req(0, 0, 4, 0);
+        assert!(row_hit(&r, Some(tcm_types::Row::new(4))));
+        assert!(!row_hit(&r, Some(tcm_types::Row::new(5))));
+        assert!(!row_hit(&r, None));
+    }
+}

@@ -1,0 +1,170 @@
+//! `tcm-run` — command-line front end for the simulator: run one
+//! workload under one or more scheduling policies and print the paper's
+//! metrics (optionally as JSON).
+//!
+//! ```text
+//! tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]
+//!         [--policies fr-fcfs,stfm,par-bs,atlas,fqm,tcm] [--json]
+//!         [--workload A|B|C|D]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release -p tcm-sim --bin tcm-run -- --intensity 1.0 --cycles 5000000
+//! cargo run --release -p tcm-sim --bin tcm-run -- --workload B --json
+//! ```
+
+use serde::Serialize;
+use tcm_core::TcmParams;
+use tcm_sched::{AtlasParams, ParBsParams, StfmParams};
+use tcm_sim::{evaluate, AloneCache, PolicyKind, RunConfig};
+use tcm_types::SystemConfig;
+use tcm_workload::{random_workload, table5_workloads, WorkloadSpec};
+
+#[derive(Debug, Serialize)]
+struct PolicyOutput {
+    policy: String,
+    weighted_speedup: f64,
+    harmonic_speedup: f64,
+    max_slowdown: f64,
+    slowdowns: Vec<f64>,
+}
+
+#[derive(Debug, Serialize)]
+struct Output {
+    workload: String,
+    threads: usize,
+    cycles: u64,
+    benchmarks: Vec<String>,
+    results: Vec<PolicyOutput>,
+}
+
+fn parse_policy(name: &str, n: usize) -> Result<PolicyKind, String> {
+    Ok(match name {
+        "fcfs" => PolicyKind::Fcfs,
+        "fr-fcfs" | "frfcfs" => PolicyKind::FrFcfs,
+        "stfm" => PolicyKind::Stfm(StfmParams::paper_default()),
+        "par-bs" | "parbs" => PolicyKind::ParBs(ParBsParams::paper_default()),
+        "atlas" => PolicyKind::Atlas(AtlasParams::paper_default()),
+        "fqm" => PolicyKind::FairQueueing,
+        "tcm" => PolicyKind::Tcm(TcmParams::reproduction_default(n)),
+        other => return Err(format!("unknown policy `{other}`")),
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]\n\
+         \x20              [--policies p1,p2,...] [--workload A|B|C|D] [--json]\n\
+         policies: fcfs fr-fcfs stfm par-bs atlas fqm tcm (default: all but fcfs/fqm)"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut threads = 24usize;
+    let mut intensity = 0.5f64;
+    let mut seed = 0u64;
+    let mut cycles = 5_000_000u64;
+    let mut policies: Option<Vec<String>> = None;
+    let mut named_workload: Option<String> = None;
+    let mut json = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    usage()
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--threads" => threads = value("--threads").parse().unwrap_or_else(|_| usage()),
+            "--intensity" => intensity = value("--intensity").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--cycles" => cycles = value("--cycles").parse().unwrap_or_else(|_| usage()),
+            "--policies" => {
+                policies = Some(value("--policies").split(',').map(String::from).collect())
+            }
+            "--workload" => named_workload = Some(value("--workload")),
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+
+    let workload: WorkloadSpec = match named_workload.as_deref() {
+        Some(name) => table5_workloads()
+            .into_iter()
+            .find(|w| w.name == name)
+            .unwrap_or_else(|| {
+                eprintln!("unknown workload `{name}` (expected A, B, C or D)");
+                usage()
+            }),
+        None => random_workload(seed, threads, intensity),
+    };
+    let threads = workload.threads.len();
+
+    let kinds: Vec<PolicyKind> = match policies {
+        Some(names) => names
+            .iter()
+            .map(|name| parse_policy(name, threads).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                usage()
+            }))
+            .collect(),
+        None => PolicyKind::paper_lineup(threads),
+    };
+
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.num_threads = threads;
+    let rc = RunConfig {
+        system: cfg,
+        horizon: cycles,
+    };
+    let mut alone = AloneCache::new();
+
+    let mut output = Output {
+        workload: workload.name.clone(),
+        threads,
+        cycles,
+        benchmarks: workload.threads.iter().map(|p| p.name.clone()).collect(),
+        results: Vec::new(),
+    };
+    if !json {
+        println!("{workload}");
+        println!("{:>8} | {:>8} {:>8} {:>8}", "policy", "WS", "maxSD", "HS");
+    }
+    for kind in kinds {
+        let r = evaluate(&kind, &workload, &rc, &mut alone);
+        if !json {
+            println!(
+                "{:>8} | {:8.2} {:8.2} {:8.3}",
+                r.policy,
+                r.metrics.weighted_speedup,
+                r.metrics.max_slowdown,
+                r.metrics.harmonic_speedup
+            );
+        }
+        output.results.push(PolicyOutput {
+            policy: r.policy,
+            weighted_speedup: r.metrics.weighted_speedup,
+            harmonic_speedup: r.metrics.harmonic_speedup,
+            max_slowdown: r.metrics.max_slowdown,
+            slowdowns: r.slowdowns,
+        });
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&output).expect("serializable output")
+        );
+    }
+}

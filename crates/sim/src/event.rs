@@ -1,0 +1,134 @@
+//! Deterministic event queue for the system simulator.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tcm_types::{BankId, ChannelId, Cycle, Request, ThreadId};
+
+/// A simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A core reaches its next miss-burst instruction. Carries the core's
+    /// epoch at scheduling time; stale epochs are ignored (the core was
+    /// re-polled in the meantime).
+    CoreBurst {
+        /// Core reaching its burst.
+        thread: ThreadId,
+        /// Epoch stamp for staleness detection.
+        epoch: u64,
+    },
+    /// A bank finished its previous service and can be scheduled again.
+    BankReady {
+        /// Channel owning the bank.
+        channel: ChannelId,
+        /// The bank.
+        bank: BankId,
+    },
+    /// A request's data arrives back at its core.
+    Completion {
+        /// The completed request.
+        request: Request,
+    },
+    /// The scheduling policy's timer (quantum / shuffle boundary).
+    SchedTick,
+}
+
+/// Time-ordered event queue. Events at the same cycle pop in insertion
+/// order (a monotone sequence number breaks ties), making runs exactly
+/// reproducible.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(Cycle, u64, EventEntry)>>,
+    seq: u64,
+}
+
+/// Wrapper giving `Event` a total order for heap membership (never
+/// actually compared: the `(cycle, seq)` prefix is unique).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EventEntry(Event);
+
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventEntry {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `cycle`.
+    pub fn push(&mut self, cycle: Cycle, event: Event) {
+        self.heap.push(Reverse((cycle, self.seq, EventEntry(event))));
+        self.seq += 1;
+    }
+
+    /// Removes and returns the earliest event as `(cycle, event)`.
+    pub fn pop(&mut self) -> Option<(Cycle, Event)> {
+        self.heap.pop().map(|Reverse((c, _, e))| (c, e.0))
+    }
+
+    /// The cycle of the earliest pending event.
+    pub fn peek_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse((c, _, _))| *c)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::SchedTick);
+        q.push(10, Event::SchedTick);
+        q.push(20, Event::SchedTick);
+        let order: Vec<Cycle> = std::iter::from_fn(|| q.pop().map(|(c, _)| c)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::CoreBurst { thread: ThreadId::new(0), epoch: 0 });
+        q.push(5, Event::CoreBurst { thread: ThreadId::new(1), epoch: 0 });
+        q.push(5, Event::CoreBurst { thread: ThreadId::new(2), epoch: 0 });
+        let threads: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::CoreBurst { thread, .. } => thread.index(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(threads, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_cycle(), None);
+        q.push(7, Event::SchedTick);
+        assert_eq!(q.peek_cycle(), Some(7));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! System simulator and experiment runner for the TCM reproduction.
+//!
+//! Binds the substrates together: [`System`] couples `tcm-cpu` cores,
+//! `tcm-dram` channels and a `tcm-sched` policy behind a deterministic
+//! event queue; the runner helpers ([`evaluate`], [`AloneCache`],
+//! [`PolicyKind`]) run whole experiments and compute the paper's
+//! metrics (weighted speedup, harmonic speedup, maximum slowdown).
+//!
+//! # Example: compare TCM to FR-FCFS on one workload
+//!
+//! ```
+//! use tcm_sim::{evaluate, AloneCache, PolicyKind, RunConfig};
+//! use tcm_types::SystemConfig;
+//! use tcm_workload::random_workload;
+//!
+//! let rc = RunConfig {
+//!     system: SystemConfig::builder().num_threads(4).build()?,
+//!     horizon: 50_000,
+//! };
+//! let workload = random_workload(0, 4, 0.75);
+//! let mut alone = AloneCache::new();
+//! let frfcfs = evaluate(&PolicyKind::FrFcfs, &workload, &rc, &mut alone);
+//! assert!(frfcfs.metrics.weighted_speedup > 0.0);
+//! # Ok::<(), tcm_types::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod metrics;
+pub mod report;
+mod runner;
+pub mod scatter;
+mod system;
+
+pub use event::{Event, EventQueue};
+pub use metrics::{mean, variance, workload_metrics, IpcPair, WorkloadMetrics};
+pub use runner::{
+    average_metrics, evaluate, evaluate_weighted, AloneCache, EvalResult, PolicyKind, RunConfig,
+};
+pub use system::{RunResult, System};

@@ -1,0 +1,339 @@
+//! Experiment runner: policy factories, alone-run caching, and
+//! per-workload evaluation.
+
+use crate::metrics::{workload_metrics, IpcPair, WorkloadMetrics};
+use crate::system::{RunResult, System};
+use std::collections::HashMap;
+use tcm_core::{Tcm, TcmParams};
+use tcm_sched::{
+    Atlas, AtlasParams, FairQueueing, Fcfs, FrFcfs, ParBs, ParBsParams, Scheduler, Stfm,
+    StfmParams,
+};
+use tcm_types::{Cycle, SystemConfig};
+use tcm_workload::{BenchmarkProfile, WorkloadSpec};
+
+/// A scheduling policy to instantiate, with its parameters.
+///
+/// Exists so experiments can name policies declaratively and instantiate
+/// a fresh, correctly-sized instance per run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    /// Oldest-first.
+    Fcfs,
+    /// Row-hit-first, then oldest.
+    FrFcfs,
+    /// Stall-time fair memory scheduling.
+    Stfm(StfmParams),
+    /// Parallelism-aware batch scheduling.
+    ParBs(ParBsParams),
+    /// Least-attained-service scheduling.
+    Atlas(AtlasParams),
+    /// Fair-queueing memory scheduling (extension baseline).
+    FairQueueing,
+    /// Thread cluster memory scheduling.
+    Tcm(TcmParams),
+}
+
+impl PolicyKind {
+    /// The paper's five headline policies for an `n`-thread system, in
+    /// the order Figures 1/4 list them (FR-FCFS, STFM, PAR-BS, ATLAS,
+    /// TCM). TCM uses [`TcmParams::reproduction_default`] (random
+    /// shuffling via `ShuffleAlgoThresh = 1`; see that method's docs).
+    pub fn paper_lineup(n: usize) -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::FrFcfs,
+            PolicyKind::Stfm(StfmParams::paper_default()),
+            PolicyKind::ParBs(ParBsParams::paper_default()),
+            PolicyKind::Atlas(AtlasParams::paper_default()),
+            PolicyKind::Tcm(TcmParams::reproduction_default(n)),
+        ]
+    }
+
+    /// Instantiates the policy for an `n`-thread system.
+    pub fn build(&self, n: usize, cfg: &SystemConfig) -> Box<dyn Scheduler> {
+        match self {
+            PolicyKind::Fcfs => Box::new(Fcfs::new()),
+            PolicyKind::FrFcfs => Box::new(FrFcfs::new()),
+            PolicyKind::Stfm(p) => Box::new(Stfm::with_params(n, *p)),
+            PolicyKind::ParBs(p) => Box::new(ParBs::with_params(n, *p)),
+            PolicyKind::Atlas(p) => Box::new(Atlas::with_params(n, *p)),
+            PolicyKind::FairQueueing => Box::new(FairQueueing::new(n)),
+            PolicyKind::Tcm(p) => Box::new(Tcm::with_params(*p, n, cfg)),
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyKind::Fcfs => "FCFS".into(),
+            PolicyKind::FrFcfs => "FR-FCFS".into(),
+            PolicyKind::Stfm(_) => "STFM".into(),
+            PolicyKind::ParBs(_) => "PAR-BS".into(),
+            PolicyKind::Atlas(_) => "ATLAS".into(),
+            PolicyKind::FairQueueing => "FQM".into(),
+            PolicyKind::Tcm(p) => match p.shuffle_mode {
+                tcm_core::ShuffleMode::Dynamic => "TCM".into(),
+                tcm_core::ShuffleMode::InsertionOnly => "TCM-ins".into(),
+                tcm_core::ShuffleMode::RandomOnly => "TCM-rand".into(),
+                tcm_core::ShuffleMode::RoundRobin => "TCM-rr".into(),
+                tcm_core::ShuffleMode::Static => "TCM-static".into(),
+            },
+        }
+    }
+}
+
+/// How long to run and on what machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Machine description.
+    pub system: SystemConfig,
+    /// Cycles to simulate per run.
+    pub horizon: Cycle,
+}
+
+impl RunConfig {
+    /// Paper baseline machine with the given horizon.
+    pub fn baseline(horizon: Cycle) -> Self {
+        Self {
+            system: SystemConfig::paper_baseline(),
+            horizon,
+        }
+    }
+}
+
+/// Cache of alone-run IPCs, keyed by benchmark characteristics and
+/// machine configuration.
+///
+/// A thread's slowdown compares its shared-run IPC against its IPC when
+/// running *alone on the same machine*; alone runs depend only on the
+/// benchmark profile and machine, so they are shared across workloads
+/// (25 profiles instead of `96 × 24` runs).
+#[derive(Debug, Default)]
+pub struct AloneCache {
+    cache: HashMap<String, f64>,
+}
+
+impl AloneCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(profile: &BenchmarkProfile, rc: &RunConfig) -> String {
+        format!(
+            "{}|{:.4}|{:.4}|{:.4}|{}ch{}b{}w{}q{}",
+            profile.name,
+            profile.mpki,
+            profile.rbl,
+            profile.blp,
+            rc.system.num_channels,
+            rc.system.banks_per_channel,
+            rc.system.window_size,
+            rc.system.request_buffer,
+            rc.horizon,
+        )
+    }
+
+    /// IPC of `profile` running alone on `rc`'s machine (cached).
+    pub fn alone_ipc(&mut self, profile: &BenchmarkProfile, rc: &RunConfig) -> f64 {
+        let key = Self::key(profile, rc);
+        if let Some(&ipc) = self.cache.get(&key) {
+            return ipc;
+        }
+        let ipc = if profile.mpki <= 0.0 {
+            rc.system.issue_width as f64
+        } else {
+            let mut cfg = rc.system.clone();
+            cfg.num_threads = 1;
+            let workload = WorkloadSpec::new(profile.name.clone(), vec![profile.clone()]);
+            // The policy is irrelevant with a single thread.
+            let mut sys = System::new(&cfg, &workload, Box::new(FrFcfs::new()), 0);
+            sys.run(rc.horizon).ipc[0]
+        };
+        self.cache.insert(key, ipc);
+        ipc
+    }
+
+    /// Number of cached alone runs.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+/// One policy's results on one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// Policy label.
+    pub policy: String,
+    /// Workload name.
+    pub workload: String,
+    /// The paper's three metrics.
+    pub metrics: WorkloadMetrics,
+    /// Per-thread slowdowns (`IPC_alone / IPC_shared`).
+    pub slowdowns: Vec<f64>,
+    /// Per-thread speedups (`IPC_shared / IPC_alone`).
+    pub speedups: Vec<f64>,
+    /// Raw run result of the shared run.
+    pub run: RunResult,
+}
+
+/// Runs `workload` under `policy` and computes the paper's metrics,
+/// using (and filling) `alone` for the denominator IPCs.
+pub fn evaluate(
+    policy: &PolicyKind,
+    workload: &WorkloadSpec,
+    rc: &RunConfig,
+    alone: &mut AloneCache,
+) -> EvalResult {
+    evaluate_weighted(policy, workload, rc, alone, None)
+}
+
+/// Like [`evaluate`], with optional OS thread weights installed on the
+/// policy before the run.
+pub fn evaluate_weighted(
+    policy: &PolicyKind,
+    workload: &WorkloadSpec,
+    rc: &RunConfig,
+    alone: &mut AloneCache,
+    weights: Option<&[f64]>,
+) -> EvalResult {
+    let n = workload.threads.len();
+    let scheduler = policy.build(n, &rc.system);
+    let mut sys = System::new(&rc.system, workload, scheduler, workload_seed(workload));
+    if let Some(w) = weights {
+        sys.set_thread_weights(w);
+    }
+    let run = sys.run(rc.horizon);
+    let pairs: Vec<IpcPair> = workload
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(i, profile)| IpcPair {
+            shared: run.ipc[i],
+            alone: alone.alone_ipc(profile, rc),
+        })
+        .collect();
+    let metrics = workload_metrics(&pairs);
+    EvalResult {
+        policy: policy.label(),
+        workload: workload.name.clone(),
+        metrics,
+        slowdowns: pairs.iter().map(|p| p.slowdown()).collect(),
+        speedups: pairs.iter().map(|p| p.speedup()).collect(),
+        run,
+    }
+}
+
+/// Deterministic per-workload seed so every policy sees the identical
+/// trace for a given workload.
+fn workload_seed(workload: &WorkloadSpec) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in workload.name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Averages metrics across many evaluation results.
+pub fn average_metrics(results: &[EvalResult]) -> WorkloadMetrics {
+    assert!(!results.is_empty(), "cannot average zero results");
+    let n = results.len() as f64;
+    WorkloadMetrics {
+        weighted_speedup: results.iter().map(|r| r.metrics.weighted_speedup).sum::<f64>() / n,
+        harmonic_speedup: results.iter().map(|r| r.metrics.harmonic_speedup).sum::<f64>() / n,
+        max_slowdown: results.iter().map(|r| r.metrics.max_slowdown).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcm_workload::random_workload;
+
+    fn small_rc() -> RunConfig {
+        RunConfig {
+            system: SystemConfig::builder().num_threads(4).build().unwrap(),
+            horizon: 60_000,
+        }
+    }
+
+    #[test]
+    fn alone_cache_hits_after_first_run() {
+        let rc = small_rc();
+        let mut cache = AloneCache::new();
+        let p = tcm_workload::spec_by_name("mcf").unwrap();
+        let a = cache.alone_ipc(&p, &rc);
+        assert_eq!(cache.len(), 1);
+        let b = cache.alone_ipc(&p, &rc);
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn compute_only_profile_runs_at_issue_width_alone() {
+        let rc = small_rc();
+        let mut cache = AloneCache::new();
+        let p = BenchmarkProfile::new("idle", 0.0, 0.5, 1.0);
+        assert_eq!(cache.alone_ipc(&p, &rc), 3.0);
+    }
+
+    #[test]
+    fn evaluate_produces_consistent_metrics() {
+        let rc = small_rc();
+        let mut cache = AloneCache::new();
+        let w = random_workload(1, 4, 0.5);
+        let r = evaluate(&PolicyKind::FrFcfs, &w, &rc, &mut cache);
+        assert_eq!(r.slowdowns.len(), 4);
+        assert!(r.metrics.weighted_speedup > 0.0);
+        assert!(r.metrics.weighted_speedup <= 4.0 + 1e-9);
+        assert!(r.metrics.max_slowdown >= 0.9, "ms={}", r.metrics.max_slowdown);
+        assert_eq!(r.policy, "FR-FCFS");
+    }
+
+    #[test]
+    fn every_policy_kind_builds_and_runs() {
+        let rc = small_rc();
+        let mut cache = AloneCache::new();
+        let w = random_workload(2, 4, 0.75);
+        let mut kinds = PolicyKind::paper_lineup(4);
+        kinds[4] = PolicyKind::Tcm(TcmParams::paper_default(4).with_cluster_thresh(0.25));
+        kinds.push(PolicyKind::Fcfs);
+        for kind in kinds {
+            let r = evaluate(&kind, &w, &rc, &mut cache);
+            assert!(
+                r.metrics.weighted_speedup.is_finite(),
+                "{} produced bad metrics",
+                r.policy
+            );
+        }
+    }
+
+    #[test]
+    fn same_policy_same_workload_is_reproducible() {
+        let rc = small_rc();
+        let mut cache = AloneCache::new();
+        let w = random_workload(5, 4, 1.0);
+        let a = evaluate(&PolicyKind::FrFcfs, &w, &rc, &mut cache);
+        let b = evaluate(&PolicyKind::FrFcfs, &w, &rc, &mut cache);
+        assert_eq!(a.run, b.run);
+    }
+
+    #[test]
+    fn average_metrics_averages() {
+        let rc = small_rc();
+        let mut cache = AloneCache::new();
+        let results: Vec<EvalResult> = (0..3)
+            .map(|s| evaluate(&PolicyKind::FrFcfs, &random_workload(s, 4, 0.5), &rc, &mut cache))
+            .collect();
+        let avg = average_metrics(&results);
+        let manual: f64 =
+            results.iter().map(|r| r.metrics.weighted_speedup).sum::<f64>() / 3.0;
+        assert!((avg.weighted_speedup - manual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,525 @@
+//! The system simulator: cores + channels + a scheduling policy, driven
+//! by a deterministic event queue.
+
+use crate::event::{Event, EventQueue};
+use std::collections::VecDeque;
+use tcm_cpu::{Core, CoreStatus};
+use tcm_dram::Channel;
+use tcm_sched::{PickContext, Scheduler, SystemView};
+use tcm_types::{
+    BankId, ChannelId, Cycle, MemAddress, Request, RequestId, SystemConfig, ThreadId,
+};
+use tcm_workload::{MachineShape, TraceGenerator, WorkloadSpec};
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Instructions retired per thread.
+    pub retired: Vec<u64>,
+    /// IPC per thread.
+    pub ipc: Vec<f64>,
+    /// Misses injected per thread.
+    pub misses: Vec<u64>,
+    /// Bank-busy service cycles attained per thread (all channels).
+    pub service: Vec<u64>,
+    /// Requests serviced in total.
+    pub total_serviced: u64,
+    /// Row-buffer hit rate over all serviced requests.
+    pub row_hit_rate: f64,
+    /// Number of requests that had to wait for controller-buffer space
+    /// before admission (diagnostic; rare at realistic intensities).
+    pub spilled: u64,
+}
+
+/// One simulated CMP + memory system executing one workload under one
+/// scheduling policy.
+///
+/// Drive it with [`System::run`]; everything else is plumbing fed by the
+/// event queue. Identical inputs (workload, seed base, config, policy)
+/// produce bit-identical results.
+///
+/// # Example
+///
+/// ```
+/// use tcm_sched::FrFcfs;
+/// use tcm_sim::System;
+/// use tcm_types::SystemConfig;
+/// use tcm_workload::random_workload;
+///
+/// let cfg = SystemConfig::builder().num_threads(4).build()?;
+/// let workload = random_workload(0, 4, 0.5);
+/// let mut sys = System::new(&cfg, &workload, Box::new(FrFcfs::new()), 1);
+/// let result = sys.run(50_000);
+/// assert_eq!(result.ipc.len(), 4);
+/// # Ok::<(), tcm_types::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    channels: Vec<Channel>,
+    cores: Vec<Core>,
+    generators: Vec<Option<TraceGenerator>>,
+    /// Addresses of each core's pending (not yet injected) burst.
+    pending_accesses: Vec<Vec<MemAddress>>,
+    scheduler: Box<dyn Scheduler>,
+    events: EventQueue,
+    now: Cycle,
+    next_request_id: u64,
+    /// Epoch per core for stale-event elimination.
+    core_epoch: Vec<u64>,
+    /// Requests that found their controller's buffer full, waiting to be
+    /// admitted (hardware would backpressure; semantics preserved:
+    /// arrival order per channel).
+    spill: Vec<VecDeque<Request>>,
+    spilled: u64,
+    sched_tick_pending: bool,
+}
+
+impl System {
+    /// Builds a system running `workload` under `scheduler`.
+    ///
+    /// `seed_base` decorrelates multiple instances of the same benchmark
+    /// within a workload (thread `i` uses seed
+    /// `seed_base · 1000 + i` mixed with its profile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload's thread count differs from
+    /// `cfg.num_threads` or the config fails validation.
+    pub fn new(
+        cfg: &SystemConfig,
+        workload: &WorkloadSpec,
+        scheduler: Box<dyn Scheduler>,
+        seed_base: u64,
+    ) -> Self {
+        cfg.validate().expect("invalid system config");
+        assert_eq!(
+            workload.threads.len(),
+            cfg.num_threads,
+            "workload must have one profile per hardware thread"
+        );
+        let shape = MachineShape::from(cfg);
+        let cores = (0..cfg.num_threads)
+            .map(|i| {
+                Core::new(
+                    ThreadId::new(i),
+                    cfg.issue_width,
+                    cfg.window_size,
+                    cfg.mshrs_per_core,
+                )
+            })
+            .collect();
+        let generators = workload
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(i, profile)| {
+                if TraceGenerator::is_compute_only(profile) {
+                    None
+                } else {
+                    Some(TraceGenerator::new(
+                        profile,
+                        shape,
+                        seed_base.wrapping_mul(1000).wrapping_add(i as u64),
+                    ))
+                }
+            })
+            .collect();
+        let channels = (0..cfg.num_channels)
+            .map(|c| {
+                Channel::with_threads(
+                    ChannelId::new(c),
+                    cfg.banks_per_channel,
+                    cfg.request_buffer,
+                    cfg.num_threads,
+                )
+            })
+            .collect();
+        let mut sys = Self {
+            cfg: cfg.clone(),
+            channels,
+            cores,
+            generators,
+            pending_accesses: vec![Vec::new(); cfg.num_threads],
+            scheduler,
+            events: EventQueue::new(),
+            now: 0,
+            next_request_id: 0,
+            core_epoch: vec![0; cfg.num_threads],
+            spill: (0..cfg.num_channels).map(|_| VecDeque::new()).collect(),
+            spilled: 0,
+            sched_tick_pending: false,
+        };
+        sys.bootstrap();
+        sys
+    }
+
+    /// The scheduling policy's display name.
+    pub fn scheduler_name(&self) -> &'static str {
+        self.scheduler.name()
+    }
+
+    /// Installs OS thread weights on the policy.
+    pub fn set_thread_weights(&mut self, weights: &[f64]) {
+        self.scheduler.set_thread_weights(weights);
+    }
+
+    fn bootstrap(&mut self) {
+        for t in 0..self.cfg.num_threads {
+            self.arm_next_burst(t);
+            self.poll_core(t);
+        }
+        self.schedule_next_tick();
+    }
+
+    /// Pulls the next burst from thread `t`'s generator into its core.
+    fn arm_next_burst(&mut self, t: usize) {
+        let Some(generator) = self.generators[t].as_mut() else {
+            return;
+        };
+        let burst = generator.next_burst();
+        self.cores[t].schedule_burst(burst.gap, burst.accesses.len());
+        self.pending_accesses[t] = burst.accesses;
+    }
+
+    /// Polls core `t` at the current cycle and (re)schedules its burst
+    /// event. The only place core events are created; each call bumps the
+    /// core's epoch so previously queued events become stale.
+    fn poll_core(&mut self, t: usize) {
+        match self.cores[t].poll(self.now) {
+            CoreStatus::WillBurst { at } => {
+                self.core_epoch[t] += 1;
+                self.events.push(
+                    at,
+                    Event::CoreBurst {
+                        thread: ThreadId::new(t),
+                        epoch: self.core_epoch[t],
+                    },
+                );
+            }
+            CoreStatus::Blocked | CoreStatus::ComputeOnly => {}
+        }
+    }
+
+    fn schedule_next_tick(&mut self) {
+        if self.sched_tick_pending {
+            return;
+        }
+        if let Some(at) = self.scheduler.next_tick(self.now) {
+            self.events.push(at, Event::SchedTick);
+            self.sched_tick_pending = true;
+        }
+    }
+
+    /// Builds the per-thread counter view for the policy.
+    fn view_arrays(&self) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+        let n = self.cfg.num_threads;
+        let retired = self.cores.iter().map(|c| c.retired()).collect();
+        let misses = self.cores.iter().map(|c| c.misses_issued()).collect();
+        let mut service = vec![0u64; n];
+        for ch in &self.channels {
+            for (t, s) in ch.stats().thread_service_all().iter().enumerate() {
+                if t < n {
+                    service[t] += s;
+                }
+            }
+        }
+        (retired, misses, service)
+    }
+
+    /// Injects thread `t`'s pending burst into the memory system.
+    fn inject_burst(&mut self, t: usize) {
+        let accesses = std::mem::take(&mut self.pending_accesses[t]);
+        let mut ids = Vec::with_capacity(accesses.len());
+        for addr in &accesses {
+            let id = RequestId::new(self.next_request_id);
+            self.next_request_id += 1;
+            ids.push(id);
+            let request = Request::new(id, ThreadId::new(t), *addr, self.now);
+            self.admit(request);
+        }
+        self.cores[t].issue_burst(&ids);
+        // Newly arrived requests may wake idle banks.
+        let mut touched: Vec<ChannelId> = accesses.iter().map(|a| a.channel).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for ch in touched {
+            self.schedule_idle_banks(ch);
+        }
+        self.arm_next_burst(t);
+        self.poll_core(t);
+    }
+
+    /// Admits a request into its controller's buffer, spilling if full.
+    fn admit(&mut self, request: Request) {
+        let c = request.addr.channel.index();
+        if self.spill[c].is_empty() {
+            match self.channels[c].enqueue(request) {
+                Ok(()) => {
+                    self.scheduler.on_enqueue(&request, self.now);
+                    return;
+                }
+                Err(_) => {}
+            }
+        }
+        self.spilled += 1;
+        self.spill[c].push_back(request);
+    }
+
+    /// Drains spilled requests into the channel while room exists.
+    fn drain_spill(&mut self, channel: usize) {
+        while let Some(&request) = self.spill[channel].front() {
+            let request = Request {
+                issued_at: self.now,
+                ..request
+            };
+            if self.channels[channel].enqueue(request).is_ok() {
+                self.spill[channel].pop_front();
+                self.scheduler.on_enqueue(&request, self.now);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Runs a scheduling decision for every idle bank with pending work.
+    fn schedule_idle_banks(&mut self, channel: ChannelId) {
+        let c = channel.index();
+        for bank in self.channels[c].schedulable_banks(self.now) {
+            self.decide(c, bank);
+        }
+    }
+
+    /// Consults the policy and issues one request at `(channel, bank)`.
+    fn decide(&mut self, channel: usize, bank: BankId) {
+        let pending = self.channels[channel].pending_for_bank(bank);
+        debug_assert!(!pending.is_empty());
+        let ctx = PickContext {
+            now: self.now,
+            channel: ChannelId::new(channel),
+            bank,
+            open_row: self.channels[channel].bank(bank).open_row(),
+        };
+        let idx = self.scheduler.pick(&pending, &ctx);
+        assert!(idx < pending.len(), "policy returned an invalid index");
+        let outcome =
+            self.channels[channel].issue_at(bank.index(), idx, self.now, &self.cfg.timing);
+        let remaining = self.channels[channel].pending_for_bank(bank);
+        self.scheduler.on_service(&outcome, &remaining, self.now);
+        self.events
+            .push(outcome.completes_at, Event::Completion { request: outcome.request });
+        self.events.push(
+            outcome.bank_free,
+            Event::BankReady {
+                channel: ChannelId::new(channel),
+                bank,
+            },
+        );
+        // Freed buffer space: admit spilled requests.
+        self.drain_spill(channel);
+    }
+
+    /// Processes events until `horizon`, then settles all cores at the
+    /// horizon and reports the run's results.
+    pub fn run(&mut self, horizon: Cycle) -> RunResult {
+        while let Some(at) = self.events.peek_cycle() {
+            if at > horizon {
+                break;
+            }
+            let (cycle, event) = self.events.pop().expect("peeked event vanished");
+            debug_assert!(cycle >= self.now, "event queue went backwards");
+            self.now = cycle;
+            match event {
+                Event::CoreBurst { thread, epoch } => {
+                    let t = thread.index();
+                    if epoch != self.core_epoch[t] {
+                        continue; // stale
+                    }
+                    match self.cores[t].poll(self.now) {
+                        CoreStatus::WillBurst { at } if at <= self.now => {
+                            self.inject_burst(t);
+                        }
+                        // Blocked (e.g. MSHR raced) or re-timed: re-poll
+                        // created no event for Blocked; completions will.
+                        CoreStatus::WillBurst { .. } => self.poll_core(t),
+                        _ => {}
+                    }
+                }
+                Event::BankReady { channel, bank } => {
+                    self.drain_spill(channel.index());
+                    let idle_ready = {
+                        let b = self.channels[channel.index()].bank(bank);
+                        !b.is_busy() && b.ready_at() <= self.now
+                    };
+                    if idle_ready && self.channels[channel.index()].queue().has_pending_for_bank(bank)
+                    {
+                        self.decide(channel.index(), bank);
+                    }
+                }
+                Event::Completion { request } => {
+                    let t = request.thread.index();
+                    self.cores[t].complete(request.id);
+                    self.scheduler.on_complete(&request, self.now);
+                    self.poll_core(t);
+                }
+                Event::SchedTick => {
+                    self.sched_tick_pending = false;
+                    let (retired, misses, service) = self.view_arrays();
+                    let view = SystemView {
+                        retired: &retired,
+                        misses: &misses,
+                        service: &service,
+                    };
+                    self.scheduler.tick(self.now, &view);
+                    self.schedule_next_tick();
+                }
+            }
+        }
+        self.now = horizon;
+        for t in 0..self.cfg.num_threads {
+            self.cores[t].poll(horizon);
+        }
+        self.collect(horizon)
+    }
+
+    fn collect(&self, horizon: Cycle) -> RunResult {
+        let (retired, misses, service) = self.view_arrays();
+        let ipc = retired
+            .iter()
+            .map(|&r| r as f64 / horizon.max(1) as f64)
+            .collect();
+        let total_serviced: u64 = self.channels.iter().map(|c| c.stats().total_serviced()).sum();
+        let total_hits: u64 = self.channels.iter().map(|c| c.stats().total_row_hits()).sum();
+        RunResult {
+            cycles: horizon,
+            retired,
+            ipc,
+            misses,
+            service,
+            total_serviced,
+            row_hit_rate: if total_serviced == 0 {
+                0.0
+            } else {
+                total_hits as f64 / total_serviced as f64
+            },
+            spilled: self.spilled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcm_sched::FrFcfs;
+    use tcm_workload::BenchmarkProfile;
+
+    fn cfg(threads: usize) -> SystemConfig {
+        SystemConfig::builder().num_threads(threads).build().unwrap()
+    }
+
+    fn workload_of(profiles: Vec<BenchmarkProfile>) -> WorkloadSpec {
+        WorkloadSpec::new("test", profiles)
+    }
+
+    #[test]
+    fn compute_only_thread_runs_at_full_ipc() {
+        let c = cfg(1);
+        let w = workload_of(vec![BenchmarkProfile::new("idle", 0.0, 0.5, 1.0)]);
+        let mut sys = System::new(&c, &w, Box::new(FrFcfs::new()), 0);
+        let r = sys.run(10_000);
+        assert_eq!(r.retired[0], 30_000, "3-wide core, never stalls");
+        assert_eq!(r.misses[0], 0);
+        assert_eq!(r.total_serviced, 0);
+    }
+
+    #[test]
+    fn memory_bound_thread_is_slower_than_ideal() {
+        let c = cfg(1);
+        let w = workload_of(vec![BenchmarkProfile::streaming()]);
+        let mut sys = System::new(&c, &w, Box::new(FrFcfs::new()), 0);
+        let r = sys.run(200_000);
+        assert!(r.ipc[0] < 3.0, "memory stalls must bite: ipc={}", r.ipc[0]);
+        // A streaming thread alone is bank-latency bound: one row hit per
+        // ~125 cycles, ~10 instructions per miss => IPC ~0.08.
+        assert!(r.ipc[0] > 0.05, "but the thread must make progress");
+        assert!(r.total_serviced > 100);
+        // Streaming thread: overwhelmingly row hits when alone.
+        assert!(r.row_hit_rate > 0.8, "hit rate {}", r.row_hit_rate);
+    }
+
+    #[test]
+    fn random_access_thread_has_low_hit_rate_alone() {
+        let c = cfg(1);
+        let w = workload_of(vec![BenchmarkProfile::random_access()]);
+        let mut sys = System::new(&c, &w, Box::new(FrFcfs::new()), 0);
+        let r = sys.run(200_000);
+        assert!(r.row_hit_rate < 0.2, "hit rate {}", r.row_hit_rate);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let c = cfg(4);
+        let w = random_workload_4();
+        let r1 = System::new(&c, &w, Box::new(FrFcfs::new()), 7).run(100_000);
+        let r2 = System::new(&c, &w, Box::new(FrFcfs::new()), 7).run(100_000);
+        assert_eq!(r1, r2);
+        let r3 = System::new(&c, &w, Box::new(FrFcfs::new()), 8).run(100_000);
+        assert_ne!(r1.retired, r3.retired, "different seeds, different runs");
+    }
+
+    fn random_workload_4() -> WorkloadSpec {
+        tcm_workload::random_workload(3, 4, 0.75)
+    }
+
+    #[test]
+    fn service_accounting_balances() {
+        let c = cfg(2);
+        let w = workload_of(vec![
+            BenchmarkProfile::streaming(),
+            BenchmarkProfile::random_access(),
+        ]);
+        let mut sys = System::new(&c, &w, Box::new(FrFcfs::new()), 1);
+        let r = sys.run(100_000);
+        // Every serviced request contributed bank-busy time to its
+        // thread.
+        assert!(r.service.iter().sum::<u64>() > 0);
+        assert!(r.misses.iter().all(|&m| m > 0));
+        // Misses injected >= serviced (some still in flight at horizon).
+        assert!(r.misses.iter().sum::<u64>() >= r.total_serviced);
+    }
+
+    #[test]
+    fn contention_slows_threads_down() {
+        let c1 = cfg(1);
+        let alone = System::new(
+            &c1,
+            &workload_of(vec![BenchmarkProfile::random_access()]),
+            Box::new(FrFcfs::new()),
+            0,
+        )
+        .run(150_000);
+        let c24 = cfg(24);
+        let mut threads = vec![BenchmarkProfile::random_access()];
+        for _ in 0..23 {
+            threads.push(BenchmarkProfile::streaming());
+        }
+        let shared = System::new(&c24, &workload_of(threads), Box::new(FrFcfs::new()), 0)
+            .run(150_000);
+        assert!(
+            shared.ipc[0] < alone.ipc[0] * 0.8,
+            "alone {} vs shared {}",
+            alone.ipc[0],
+            shared.ipc[0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one profile per hardware thread")]
+    fn workload_size_mismatch_panics() {
+        let c = cfg(2);
+        let w = workload_of(vec![BenchmarkProfile::streaming()]);
+        System::new(&c, &w, Box::new(FrFcfs::new()), 0);
+    }
+}

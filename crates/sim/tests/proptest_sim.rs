@@ -1,0 +1,91 @@
+//! Property tests for the simulator layer: event-queue ordering against a
+//! reference model, metric identities, and whole-system robustness over
+//! random workloads.
+
+use proptest::prelude::*;
+use tcm_sim::{workload_metrics, Event, EventQueue, IpcPair, PolicyKind, System};
+use tcm_types::SystemConfig;
+use tcm_workload::{BenchmarkProfile, WorkloadSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event queue pops in (cycle, insertion) order — checked against
+    /// a sorted reference model.
+    #[test]
+    fn event_queue_matches_reference_sort(cycles in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for &c in &cycles {
+            q.push(c, Event::SchedTick);
+        }
+        let mut reference: Vec<(u64, usize)> = cycles.iter().copied().zip(0..).collect();
+        reference.sort_by_key(|&(c, i)| (c, i));
+        let mut popped = Vec::new();
+        while let Some((c, _)) = q.pop() {
+            popped.push(c);
+        }
+        let expected: Vec<u64> = reference.into_iter().map(|(c, _)| c).collect();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Metric identities hold for arbitrary IPC pairs: WS <= N,
+    /// HS <= min speedup... HS <= 1 when nothing speeds up, and
+    /// maxSD >= every individual slowdown's lower bound.
+    #[test]
+    fn metric_identities(
+        pairs in proptest::collection::vec((0.001..3.0f64, 0.001..3.0f64), 1..32),
+    ) {
+        let ipc: Vec<IpcPair> = pairs
+            .iter()
+            .map(|&(shared, alone)| IpcPair { shared: shared.min(alone), alone })
+            .collect();
+        let m = workload_metrics(&ipc);
+        prop_assert!(m.weighted_speedup <= ipc.len() as f64 + 1e-9);
+        prop_assert!(m.weighted_speedup >= 0.0);
+        prop_assert!(m.max_slowdown >= 1.0 - 1e-9, "shared <= alone => slowdown >= 1");
+        prop_assert!(m.harmonic_speedup <= 1.0 + 1e-9);
+        // HS <= WS/N <= max speedup.
+        prop_assert!(m.harmonic_speedup <= m.weighted_speedup / ipc.len() as f64 + 1e-9);
+    }
+
+    /// The full system never panics, never loses requests, and always
+    /// makes progress for arbitrary small workloads under every policy.
+    #[test]
+    fn system_robustness(
+        profiles in proptest::collection::vec(
+            (0.0..80.0f64, 0.0..1.0f64, 1.0..8.0f64),
+            1..6,
+        ),
+        policy_index in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let n = profiles.len();
+        let cfg = SystemConfig::builder().num_threads(n).build().unwrap();
+        let threads: Vec<BenchmarkProfile> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, &(mpki, rbl, blp))| BenchmarkProfile::new(format!("p{i}"), mpki, rbl, blp))
+            .collect();
+        let workload = WorkloadSpec::new("prop", threads);
+        let kinds = [
+            PolicyKind::Fcfs,
+            PolicyKind::FrFcfs,
+            PolicyKind::Stfm(Default::default()),
+            PolicyKind::ParBs(Default::default()),
+            PolicyKind::Atlas(Default::default()),
+            PolicyKind::Tcm(tcm_core::TcmParams::reproduction_default(n)),
+        ];
+        let kind = &kinds[policy_index % kinds.len()];
+        let mut sys = System::new(&cfg, &workload, kind.build(n, &cfg), seed);
+        let horizon = 120_000;
+        let r = sys.run(horizon);
+        prop_assert_eq!(r.cycles, horizon);
+        let injected: u64 = r.misses.iter().sum();
+        prop_assert!(r.total_serviced <= injected);
+        for (i, &retired) in r.retired.iter().enumerate() {
+            prop_assert!(retired > 0, "thread {i} made no progress");
+            prop_assert!(retired <= horizon * cfg.issue_width as u64);
+        }
+        prop_assert!((0.0..=1.0).contains(&r.row_hit_rate));
+    }
+}

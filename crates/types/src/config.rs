@@ -1,0 +1,361 @@
+//! Static machine description: DRAM timing and system topology.
+//!
+//! [`SystemConfig::paper_baseline`] reproduces Table 3 of the paper:
+//! 24 cores, 4 independent DRAM controllers, DDR2-800-like bank timing
+//! with 4 banks and 2 KB rows per bank, 128-entry instruction windows and
+//! 3-wide issue with at most one memory operation per cycle.
+
+use crate::error::ConfigError;
+use serde::{Deserialize, Serialize};
+
+/// DRAM access timing expressed in *core* cycles (5 GHz core clock).
+///
+/// The model is bank-service-time granular: a request occupies its bank
+/// for an access-phase whose length depends on the row-buffer state, then
+/// occupies the channel's shared data bus for `bus_burst` cycles, and the
+/// data reaches the core `fixed_overhead` cycles later. The defaults are
+/// calibrated so that *uncontended* round-trip latencies match the paper:
+///
+/// | row-buffer state | paper | this model |
+/// |------------------|-------|------------|
+/// | hit              | 200   | `cl + bus_burst + fixed_overhead` = 200 |
+/// | closed           | 300   | `rcd + cl + bus_burst + fixed_overhead` = 300 |
+/// | conflict         | 400   | `rp + rcd + cl + bus_burst + fixed_overhead` = 400 |
+///
+/// # Example
+///
+/// ```
+/// use tcm_types::{DramTiming, RowState};
+///
+/// let t = DramTiming::ddr2_800();
+/// assert_eq!(t.round_trip(RowState::Hit), 200);
+/// assert_eq!(t.round_trip(RowState::Closed), 300);
+/// assert_eq!(t.round_trip(RowState::Conflict), 400);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// Precharge latency (tRP), core cycles.
+    pub rp: u64,
+    /// Activate (row open) latency (tRCD), core cycles.
+    pub rcd: u64,
+    /// Column access latency (tCL), core cycles.
+    pub cl: u64,
+    /// Data-bus occupancy per 32-byte transfer (BL/2), core cycles.
+    pub bus_burst: u64,
+    /// Controller + on-chip interconnect overhead added to every access,
+    /// core cycles.
+    pub fixed_overhead: u64,
+}
+
+impl DramTiming {
+    /// DDR2-800-like timing calibrated to the paper's 200/300/400-cycle
+    /// uncontended round trips (Table 3).
+    pub const fn ddr2_800() -> Self {
+        Self {
+            rp: 100,
+            rcd: 100,
+            cl: 75,
+            bus_burst: 50,
+            fixed_overhead: 75,
+        }
+    }
+
+    /// Cycles the bank's access phase takes for a given row-buffer state
+    /// (excludes the data-bus transfer).
+    pub const fn access_phase(&self, state: crate::RowState) -> u64 {
+        match state {
+            crate::RowState::Hit => self.cl,
+            crate::RowState::Closed => self.rcd + self.cl,
+            crate::RowState::Conflict => self.rp + self.rcd + self.cl,
+        }
+    }
+
+    /// Uncontended round-trip latency for a given row-buffer state: the
+    /// cycles from scheduling the request at an idle bank until the data
+    /// reaches the core.
+    pub const fn round_trip(&self, state: crate::RowState) -> u64 {
+        self.access_phase(state) + self.bus_burst + self.fixed_overhead
+    }
+
+    /// Validates that the timing is usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any latency component that must be
+    /// non-zero (`cl`, `bus_burst`) is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cl == 0 {
+            return Err(ConfigError::invalid("cl", "tCL must be non-zero"));
+        }
+        if self.bus_burst == 0 {
+            return Err(ConfigError::invalid("bus_burst", "burst must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self::ddr2_800()
+    }
+}
+
+/// Complete static description of the simulated CMP + memory system.
+///
+/// Construct via [`SystemConfig::paper_baseline`] (Table 3 of the paper)
+/// or [`SystemConfig::builder`] for variations, e.g. the Table 8
+/// sensitivity sweeps over core count and controller count.
+///
+/// # Example
+///
+/// ```
+/// use tcm_types::SystemConfig;
+///
+/// let cfg = SystemConfig::builder()
+///     .num_threads(8)
+///     .num_channels(2)
+///     .build()?;
+/// assert_eq!(cfg.total_banks(), 8);
+/// # Ok::<(), tcm_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of hardware threads (= cores; one thread per core).
+    pub num_threads: usize,
+    /// Number of memory channels, each with an independent controller.
+    pub num_channels: usize,
+    /// DRAM banks per channel.
+    pub banks_per_channel: usize,
+    /// Rows per bank (16384 in the baseline: 2 KB rows, per Table 2's
+    /// `log2 Nrows = 14`).
+    pub rows_per_bank: usize,
+    /// Instruction window (ROB) entries per core.
+    pub window_size: usize,
+    /// Maximum instructions committed per core per cycle.
+    pub issue_width: usize,
+    /// Maximum outstanding misses per core (MSHRs).
+    pub mshrs_per_core: usize,
+    /// Per-controller request buffer capacity.
+    pub request_buffer: usize,
+    /// DRAM timing parameters.
+    pub timing: DramTiming,
+}
+
+impl SystemConfig {
+    /// The paper's baseline configuration (Table 3): 24 cores, 4 memory
+    /// controllers, 4 banks per controller, 128-entry windows, 3-wide
+    /// issue, 128-entry request buffers, DDR2-800 timing.
+    pub fn paper_baseline() -> Self {
+        Self {
+            num_threads: 24,
+            num_channels: 4,
+            banks_per_channel: 4,
+            rows_per_bank: 16384,
+            window_size: 128,
+            issue_width: 3,
+            mshrs_per_core: 32,
+            request_buffer: 128,
+            timing: DramTiming::ddr2_800(),
+        }
+    }
+
+    /// Starts building a configuration from the paper baseline.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder::new()
+    }
+
+    /// Total number of banks across all channels.
+    #[inline]
+    pub fn total_banks(&self) -> usize {
+        self.num_channels * self.banks_per_channel
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when any dimension is zero or the timing
+    /// parameters are invalid.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let nonzero: [(&str, usize); 8] = [
+            ("num_threads", self.num_threads),
+            ("num_channels", self.num_channels),
+            ("banks_per_channel", self.banks_per_channel),
+            ("rows_per_bank", self.rows_per_bank),
+            ("window_size", self.window_size),
+            ("issue_width", self.issue_width),
+            ("mshrs_per_core", self.mshrs_per_core),
+            ("request_buffer", self.request_buffer),
+        ];
+        for (name, value) in nonzero {
+            if value == 0 {
+                return Err(ConfigError::invalid(name, "must be non-zero"));
+            }
+        }
+        self.timing.validate()
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+/// Builder for [`SystemConfig`], seeded with the paper baseline.
+///
+/// Non-consuming builder per C-BUILDER; call [`SystemConfigBuilder::build`]
+/// to validate and obtain the config.
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Creates a builder initialized to [`SystemConfig::paper_baseline`].
+    pub fn new() -> Self {
+        Self {
+            cfg: SystemConfig::paper_baseline(),
+        }
+    }
+
+    /// Sets the number of threads/cores.
+    pub fn num_threads(&mut self, n: usize) -> &mut Self {
+        self.cfg.num_threads = n;
+        self
+    }
+
+    /// Sets the number of memory channels (controllers).
+    pub fn num_channels(&mut self, n: usize) -> &mut Self {
+        self.cfg.num_channels = n;
+        self
+    }
+
+    /// Sets the number of banks per channel.
+    pub fn banks_per_channel(&mut self, n: usize) -> &mut Self {
+        self.cfg.banks_per_channel = n;
+        self
+    }
+
+    /// Sets the number of rows per bank.
+    pub fn rows_per_bank(&mut self, n: usize) -> &mut Self {
+        self.cfg.rows_per_bank = n;
+        self
+    }
+
+    /// Sets the per-core instruction window size.
+    pub fn window_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.window_size = n;
+        self
+    }
+
+    /// Sets the per-core issue width.
+    pub fn issue_width(&mut self, n: usize) -> &mut Self {
+        self.cfg.issue_width = n;
+        self
+    }
+
+    /// Sets the number of MSHRs per core.
+    pub fn mshrs_per_core(&mut self, n: usize) -> &mut Self {
+        self.cfg.mshrs_per_core = n;
+        self
+    }
+
+    /// Sets the per-controller request buffer capacity.
+    pub fn request_buffer(&mut self, n: usize) -> &mut Self {
+        self.cfg.request_buffer = n;
+        self
+    }
+
+    /// Sets the DRAM timing parameters.
+    pub fn timing(&mut self, timing: DramTiming) -> &mut Self {
+        self.cfg.timing = timing;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is inconsistent (see
+    /// [`SystemConfig::validate`]).
+    pub fn build(&self) -> Result<SystemConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg.clone())
+    }
+}
+
+impl Default for SystemConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RowState;
+
+    #[test]
+    fn baseline_matches_table_3() {
+        let cfg = SystemConfig::paper_baseline();
+        assert_eq!(cfg.num_threads, 24);
+        assert_eq!(cfg.num_channels, 4);
+        assert_eq!(cfg.banks_per_channel, 4);
+        assert_eq!(cfg.window_size, 128);
+        assert_eq!(cfg.issue_width, 3);
+        assert_eq!(cfg.total_banks(), 16);
+        cfg.validate().expect("baseline must validate");
+    }
+
+    #[test]
+    fn round_trips_match_paper() {
+        let t = DramTiming::ddr2_800();
+        assert_eq!(t.round_trip(RowState::Hit), 200);
+        assert_eq!(t.round_trip(RowState::Closed), 300);
+        assert_eq!(t.round_trip(RowState::Conflict), 400);
+    }
+
+    #[test]
+    fn access_phase_ordering() {
+        let t = DramTiming::ddr2_800();
+        assert!(t.access_phase(RowState::Hit) < t.access_phase(RowState::Closed));
+        assert!(t.access_phase(RowState::Closed) < t.access_phase(RowState::Conflict));
+    }
+
+    #[test]
+    fn builder_overrides_and_validates() {
+        let cfg = SystemConfig::builder()
+            .num_threads(8)
+            .num_channels(2)
+            .banks_per_channel(8)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.num_threads, 8);
+        assert_eq!(cfg.total_banks(), 16);
+    }
+
+    #[test]
+    fn zero_dimensions_are_rejected() {
+        assert!(SystemConfig::builder().num_threads(0).build().is_err());
+        assert!(SystemConfig::builder().num_channels(0).build().is_err());
+        assert!(SystemConfig::builder().issue_width(0).build().is_err());
+        let bad_timing = DramTiming {
+            cl: 0,
+            ..DramTiming::ddr2_800()
+        };
+        assert!(SystemConfig::builder().timing(bad_timing).build().is_err());
+    }
+
+    #[test]
+    fn error_message_names_the_field() {
+        let err = SystemConfig::builder().window_size(0).build().unwrap_err();
+        assert!(err.to_string().contains("window_size"));
+    }
+
+    #[test]
+    fn default_is_baseline() {
+        assert_eq!(SystemConfig::default(), SystemConfig::paper_baseline());
+        assert_eq!(DramTiming::default(), DramTiming::ddr2_800());
+    }
+}

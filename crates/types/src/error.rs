@@ -1,0 +1,64 @@
+//! Error types shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid machine or algorithm configuration.
+///
+/// Produced by `validate`/`build` methods on configuration types; carries
+/// the offending field name and a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: String,
+    reason: String,
+}
+
+impl ConfigError {
+    /// Creates an error naming the invalid `field` and the `reason` it is
+    /// invalid.
+    pub fn invalid(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        Self {
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The configuration field that failed validation.
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// Why the field is invalid.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config field `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_field_and_reason() {
+        let e = ConfigError::invalid("num_threads", "must be non-zero");
+        let msg = e.to_string();
+        assert!(msg.contains("num_threads"));
+        assert!(msg.contains("must be non-zero"));
+        assert_eq!(e.field(), "num_threads");
+        assert_eq!(e.reason(), "must be non-zero");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ConfigError>();
+    }
+}

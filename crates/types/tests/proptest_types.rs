@@ -1,0 +1,64 @@
+//! Property tests for the foundational types: identifier round trips,
+//! address flattening, and timing monotonicity.
+
+use proptest::prelude::*;
+use tcm_types::{BankId, ChannelId, DramTiming, GlobalBank, Request, RequestId, RowState};
+
+proptest! {
+    /// Global bank flattening is a bijection for any bank geometry.
+    #[test]
+    fn global_bank_flattening_bijective(
+        channels in 1usize..16,
+        banks in 1usize..16,
+    ) {
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..channels {
+            for b in 0..banks {
+                let g = GlobalBank::new(ChannelId::new(c), BankId::new(b));
+                let flat = g.flat_index(banks);
+                prop_assert!(flat < channels * banks);
+                prop_assert!(seen.insert(flat));
+                prop_assert_eq!(GlobalBank::from_flat(flat, banks), g);
+            }
+        }
+    }
+
+    /// Round-trip latency is strictly ordered hit < closed < conflict for
+    /// any timing with non-zero precharge/activate components.
+    #[test]
+    fn round_trip_ordering(
+        rp in 1u64..500,
+        rcd in 1u64..500,
+        cl in 1u64..500,
+        burst in 1u64..200,
+        overhead in 0u64..200,
+    ) {
+        let t = DramTiming { rp, rcd, cl, bus_burst: burst, fixed_overhead: overhead };
+        prop_assert!(t.round_trip(RowState::Hit) < t.round_trip(RowState::Closed));
+        prop_assert!(t.round_trip(RowState::Closed) < t.round_trip(RowState::Conflict));
+        prop_assert_eq!(
+            t.round_trip(RowState::Conflict) - t.round_trip(RowState::Closed),
+            rp
+        );
+    }
+
+    /// Request age ordering is a strict total order (antisymmetric and
+    /// total) over distinct requests.
+    #[test]
+    fn request_age_is_total_order(
+        a_cycle in 0u64..1000,
+        b_cycle in 0u64..1000,
+        a_id in 0u64..1000,
+        b_id in 0u64..1000,
+    ) {
+        prop_assume!(a_id != b_id);
+        let addr = tcm_types::MemAddress::new(
+            ChannelId::new(0),
+            BankId::new(0),
+            tcm_types::Row::new(0),
+        );
+        let a = Request::new(RequestId::new(a_id), tcm_types::ThreadId::new(0), addr, a_cycle);
+        let b = Request::new(RequestId::new(b_id), tcm_types::ThreadId::new(0), addr, b_cycle);
+        prop_assert!(a.is_older_than(&b) != b.is_older_than(&a));
+    }
+}

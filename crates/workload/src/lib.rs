@@ -1,0 +1,46 @@
+//! Workload substrate: synthetic threads calibrated to the paper's
+//! benchmark characteristics.
+//!
+//! The paper drives its simulator with Pin traces of SPEC CPU2006. Those
+//! traces are proprietary, but the paper publishes — in its Table 4 — the
+//! three per-benchmark statistics that *every* evaluated scheduling
+//! policy's behavior depends on: memory intensity (MPKI), row-buffer
+//! locality (RBL) and bank-level parallelism (BLP). This crate substitutes
+//! statistical trace generators calibrated to exactly those triples:
+//!
+//! * [`BenchmarkProfile`] — a named (MPKI, RBL, BLP) triple;
+//!   [`spec2006`] returns all 25 benchmarks of Table 4, and
+//!   [`BenchmarkProfile::random_access`] / [`BenchmarkProfile::streaming`]
+//!   reproduce the two microbenchmarks of Table 1.
+//! * [`TraceGenerator`] — a deterministic, seeded generator that emits
+//!   miss *bursts*: `BLP`-sized groups of concurrent accesses to distinct
+//!   banks, separated by geometrically distributed instruction gaps that
+//!   keep long-run MPKI on target, with per-bank rows re-used with
+//!   probability `RBL`.
+//! * [`WorkloadSpec`] — a multiprogrammed mix of profiles;
+//!   [`table5_workloads`] reconstructs the paper's four representative
+//!   workloads A–D and [`random_workload`] draws the randomized mixes used
+//!   for the 96-workload studies.
+//!
+//! # Example
+//!
+//! ```
+//! use tcm_workload::{spec2006, MachineShape, TraceGenerator};
+//!
+//! let mcf = spec2006().iter().find(|p| p.name == "mcf").unwrap().clone();
+//! let shape = MachineShape { num_channels: 4, banks_per_channel: 4, rows_per_bank: 16384 };
+//! let mut generator = TraceGenerator::new(&mcf, shape, 42);
+//! let burst = generator.next_burst();
+//! assert!(!burst.accesses.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod generator;
+mod profile;
+mod workload;
+
+pub use generator::{MachineShape, TraceBurst, TraceGenerator};
+pub use profile::{spec2006, spec_by_name, BenchmarkProfile, MEMORY_INTENSIVE_MPKI};
+pub use workload::{random_workload, table5_workloads, workload_suite, WorkloadSpec};

@@ -1,0 +1,85 @@
+//! Property tests for the statistical trace generator: calibration and
+//! structural invariants over arbitrary (MPKI, RBL, BLP) profiles.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tcm_workload::{BenchmarkProfile, MachineShape, TraceGenerator};
+
+fn shape() -> MachineShape {
+    MachineShape {
+        num_channels: 4,
+        banks_per_channel: 4,
+        rows_per_bank: 16384,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bursts always contain at least one access, to distinct banks, with
+    /// valid addresses, and gaps are positive.
+    #[test]
+    fn bursts_are_structurally_valid(
+        mpki in 0.1..150.0f64,
+        rbl in 0.0..1.0f64,
+        blp in 1.0..16.0f64,
+        seed in any::<u64>(),
+    ) {
+        let profile = BenchmarkProfile::new("prop", mpki, rbl, blp);
+        let mut generator = TraceGenerator::new(&profile, shape(), seed);
+        for _ in 0..200 {
+            let burst = generator.next_burst();
+            prop_assert!(burst.gap >= 1);
+            prop_assert!(!burst.accesses.is_empty());
+            let banks: HashSet<_> = burst.accesses.iter().map(|a| a.global_bank()).collect();
+            prop_assert_eq!(banks.len(), burst.accesses.len(), "distinct banks per burst");
+            for a in &burst.accesses {
+                prop_assert!(a.channel.index() < 4);
+                prop_assert!(a.bank.index() < 4);
+                prop_assert!(a.row.index() < 16384);
+            }
+        }
+    }
+
+    /// Long-run MPKI lands within 15% of the target.
+    #[test]
+    fn mpki_calibration(
+        mpki in 1.0..120.0f64,
+        rbl in 0.0..1.0f64,
+        blp in 1.0..12.0f64,
+    ) {
+        let profile = BenchmarkProfile::new("prop", mpki, rbl, blp);
+        let mut generator = TraceGenerator::new(&profile, shape(), 42);
+        let mut misses = 0usize;
+        let mut instructions = 0u64;
+        for _ in 0..3000 {
+            let b = generator.next_burst();
+            misses += b.accesses.len();
+            instructions += b.gap;
+        }
+        let measured = misses as f64 * 1000.0 / instructions as f64;
+        let rel = (measured - mpki).abs() / mpki;
+        prop_assert!(rel < 0.15, "MPKI {measured:.2} vs target {mpki:.2}");
+    }
+
+    /// Mean burst size lands within 10% (absolute 0.3) of the BLP target.
+    #[test]
+    fn blp_calibration(blp in 1.0..14.0f64) {
+        let profile = BenchmarkProfile::new("prop", 50.0, 0.5, blp);
+        let mut generator = TraceGenerator::new(&profile, shape(), 7);
+        let total: usize = (0..3000).map(|_| generator.next_burst().accesses.len()).sum();
+        let mean = total as f64 / 3000.0;
+        prop_assert!((mean - blp).abs() < 0.3, "burst mean {mean:.2} vs BLP {blp:.2}");
+    }
+
+    /// The same seed reproduces the same trace; different seeds diverge.
+    #[test]
+    fn determinism_in_seed(seed in any::<u64>()) {
+        let profile = BenchmarkProfile::new("prop", 30.0, 0.6, 3.0);
+        let mut a = TraceGenerator::new(&profile, shape(), seed);
+        let mut b = TraceGenerator::new(&profile, shape(), seed);
+        for _ in 0..50 {
+            prop_assert_eq!(a.next_burst(), b.next_burst());
+        }
+    }
+}

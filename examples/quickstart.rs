@@ -1,0 +1,57 @@
+//! Quickstart: compare TCM against FR-FCFS on one multiprogrammed
+//! workload and print the paper's three metrics.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tcm::sim::{evaluate, AloneCache, PolicyKind, RunConfig};
+use tcm::types::SystemConfig;
+use tcm::workload::random_workload;
+use tcm_core::TcmParams;
+
+fn main() {
+    // The paper's baseline machine: 24 cores, 4 memory controllers,
+    // DDR2-800 timing (Table 3).
+    let rc = RunConfig {
+        system: SystemConfig::paper_baseline(),
+        horizon: 5_000_000,
+    };
+
+    // A random 24-thread workload, half memory-intensive — the paper's
+    // default workload category.
+    let workload = random_workload(42, 24, 0.5);
+    println!("workload: {workload}");
+    for (i, profile) in workload.threads.iter().enumerate() {
+        println!("  T{i:<2} {profile}");
+    }
+
+    // Alone-run IPCs (the slowdown denominators) are computed once and
+    // cached across policies.
+    let mut alone = AloneCache::new();
+
+    println!();
+    println!(
+        "{:>8} | {:>8} {:>8} {:>8}",
+        "policy", "WS", "maxSD", "HS"
+    );
+    for policy in [
+        PolicyKind::FrFcfs,
+        PolicyKind::Tcm(TcmParams::reproduction_default(24)),
+    ] {
+        let result = evaluate(&policy, &workload, &rc, &mut alone);
+        println!(
+            "{:>8} | {:8.2} {:8.2} {:8.3}",
+            result.policy,
+            result.metrics.weighted_speedup,
+            result.metrics.max_slowdown,
+            result.metrics.harmonic_speedup,
+        );
+    }
+    println!();
+    println!("WS = weighted speedup (throughput, higher is better)");
+    println!("maxSD = maximum slowdown (unfairness, lower is better)");
+    println!("HS = harmonic speedup (balance, higher is better)");
+}

@@ -1,0 +1,22 @@
+//! Facade crate for the TCM (Thread Cluster Memory Scheduling, MICRO 2010)
+//! reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so examples,
+//! integration tests and downstream users can write `use tcm::...`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tcm::types::SystemConfig;
+//!
+//! let cfg = SystemConfig::paper_baseline();
+//! assert_eq!(cfg.num_threads, 24);
+//! ```
+
+pub use tcm_core as core;
+pub use tcm_cpu as cpu;
+pub use tcm_dram as dram;
+pub use tcm_sched as sched;
+pub use tcm_sim as sim;
+pub use tcm_types as types;
+pub use tcm_workload as workload;

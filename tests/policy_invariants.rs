@@ -1,0 +1,109 @@
+//! Invariants every scheduling policy must uphold when driving the full
+//! system: conservation of requests, forward progress, and bounded
+//! statistics.
+
+use tcm::core::TcmParams;
+use tcm::sched::{AtlasParams, ParBsParams, StfmParams};
+use tcm::sim::{PolicyKind, System};
+use tcm::types::SystemConfig;
+use tcm::workload::random_workload;
+
+fn all_policies(n: usize) -> Vec<PolicyKind> {
+    let mut tcm = TcmParams::reproduction_default(n);
+    tcm.quantum = 100_000;
+    vec![
+        PolicyKind::Fcfs,
+        PolicyKind::FrFcfs,
+        PolicyKind::Stfm(StfmParams::paper_default()),
+        PolicyKind::ParBs(ParBsParams::paper_default()),
+        PolicyKind::Atlas(AtlasParams::with_quantum(100_000)),
+        PolicyKind::Tcm(tcm),
+    ]
+}
+
+#[test]
+fn every_policy_conserves_requests_and_makes_progress() {
+    let n = 8;
+    let cfg = SystemConfig::builder().num_threads(n).build().unwrap();
+    let workload = random_workload(7, n, 0.75);
+    for kind in all_policies(n) {
+        let mut sys = System::new(&cfg, &workload, kind.build(n, &cfg), 1);
+        let r = sys.run(600_000);
+        let injected: u64 = r.misses.iter().sum();
+        // Serviced <= injected; the difference is bounded by what can
+        // still be in flight (MSHRs per core).
+        assert!(
+            r.total_serviced <= injected,
+            "{}: serviced more than injected",
+            kind.label()
+        );
+        let in_flight_bound = (n * cfg.mshrs_per_core) as u64 + cfg.request_buffer as u64;
+        assert!(
+            injected - r.total_serviced <= in_flight_bound,
+            "{}: {} requests vanished",
+            kind.label(),
+            injected - r.total_serviced
+        );
+        // Every thread makes progress (no policy fully starves anyone at
+        // this horizon: PAR-BS batching and ATLAS thresholds guarantee it,
+        // TCM shuffles, FR-FCFS/FCFS age out).
+        for (t, &retired) in r.retired.iter().enumerate() {
+            assert!(retired > 0, "{}: thread {t} starved", kind.label());
+        }
+        assert!((0.0..=1.0).contains(&r.row_hit_rate));
+    }
+}
+
+#[test]
+fn policies_produce_different_schedules() {
+    // The policies must actually differ: identical results across all of
+    // them would mean hooks/rankings are dead code.
+    let n = 8;
+    let cfg = SystemConfig::builder().num_threads(n).build().unwrap();
+    let workload = random_workload(2, n, 1.0);
+    let mut outcomes = std::collections::HashSet::new();
+    for kind in all_policies(n) {
+        let mut sys = System::new(&cfg, &workload, kind.build(n, &cfg), 1);
+        let r = sys.run(600_000);
+        outcomes.insert(r.retired.clone());
+    }
+    assert!(
+        outcomes.len() >= 4,
+        "expected >=4 distinct schedules, got {}",
+        outcomes.len()
+    );
+}
+
+#[test]
+fn weights_are_honored_by_weight_aware_policies() {
+    let n = 6;
+    let cfg = SystemConfig::builder().num_threads(n).build().unwrap();
+    let workload = random_workload(4, n, 1.0);
+    for kind in [
+        PolicyKind::Atlas(AtlasParams::with_quantum(100_000)),
+        PolicyKind::Tcm({
+            let mut p = TcmParams::reproduction_default(n);
+            p.quantum = 100_000;
+            p
+        }),
+    ] {
+        let run = |weights: Option<&[f64]>| {
+            let mut sys = System::new(&cfg, &workload, kind.build(n, &cfg), 1);
+            if let Some(w) = weights {
+                sys.set_thread_weights(w);
+            }
+            sys.run(800_000)
+        };
+        let unweighted = run(None);
+        let mut weights = vec![1.0; n];
+        weights[0] = 32.0;
+        let weighted = run(Some(&weights));
+        assert!(
+            weighted.retired[0] > unweighted.retired[0],
+            "{}: weight-32 thread should retire more ({} vs {})",
+            kind.label(),
+            weighted.retired[0],
+            unweighted.retired[0]
+        );
+    }
+}
