@@ -2,10 +2,9 @@
 //! and shuffling mechanisms, plus the FQM extension baseline.
 
 use tcm_bench::{experiments, Scale};
-use tcm_sim::AloneCache;
 
 fn main() {
     let scale = Scale::from_env();
-    let mut alone = AloneCache::new();
-    println!("{}", experiments::ablation(&scale, &mut alone).render());
+    let session = experiments::baseline_session(&scale);
+    println!("{}", experiments::ablation(&scale, &session).render());
 }

@@ -2,10 +2,9 @@
 //! TCM_FULL=1 (see tcm-bench crate docs).
 
 use tcm_bench::{experiments, Scale};
-use tcm_sim::AloneCache;
 
 fn main() {
     let scale = Scale::from_env();
-    let mut alone = AloneCache::new();
-    println!("{}", experiments::fig5(&scale, &mut alone).render());
+    let session = experiments::baseline_session(&scale);
+    println!("{}", experiments::fig5(&scale, &session).render());
 }

@@ -2,15 +2,18 @@
 //! the combined report to `experiments_output.md` in the current
 //! directory, in the format EXPERIMENTS.md records.
 //!
+//! Experiments share one [`tcm_sim::Session`] (alone IPCs computed once)
+//! and execute their grids as sharded sweeps; the trailing engine line
+//! reports cells simulated, worker count, and sim-cycles/sec.
+//!
 //! Scale via TCM_CYCLES / TCM_WORKLOADS / TCM_FULL=1.
 
 use std::io::Write;
 use tcm_bench::{experiments, Scale};
-use tcm_sim::AloneCache;
 
 fn main() {
     let scale = Scale::from_env();
-    let mut alone = AloneCache::new();
+    let session = experiments::baseline_session(&scale);
     let mut out = String::new();
     out.push_str(&format!(
         "# TCM reproduction — experiment outputs\n\nScale: {} cycles per run, {} workloads \
@@ -19,20 +22,20 @@ fn main() {
     ));
     let t0 = std::time::Instant::now();
     let reports = [
-        experiments::fig1(&scale, &mut alone),
+        experiments::fig1(&scale, &session),
         experiments::fig2(&scale),
         experiments::fig3(),
-        experiments::fig4(&scale, &mut alone),
-        experiments::fig5(&scale, &mut alone),
-        experiments::fig6(&scale, &mut alone),
-        experiments::fig7(&scale, &mut alone),
-        experiments::fig8(&scale, &mut alone),
+        experiments::fig4(&scale, &session),
+        experiments::fig5(&scale, &session),
+        experiments::fig6(&scale, &session),
+        experiments::fig7(&scale, &session),
+        experiments::fig8(&scale, &session),
         experiments::table2(),
         experiments::table4(),
-        experiments::table6(&scale, &mut alone),
-        experiments::table7(&scale, &mut alone),
+        experiments::table6(&scale, &session),
+        experiments::table7(&scale, &session),
         experiments::table8(&scale),
-        experiments::ablation(&scale, &mut alone),
+        experiments::ablation(&scale, &session),
     ];
     for report in &reports {
         let rendered = report.render();
@@ -40,8 +43,11 @@ fn main() {
         out.push_str(&rendered);
         out.push('\n');
     }
-    out.push_str(&format!("\nTotal wall time: {:?}\n", t0.elapsed()));
+    let engine = session.stats_line();
+    println!("{engine}");
+    out.push_str(&format!("\n{engine}\nTotal wall time: {:?}\n", t0.elapsed()));
     let mut file = std::fs::File::create("experiments_output.md").expect("writable cwd");
     file.write_all(out.as_bytes()).expect("write report");
+    eprintln!("{engine}");
     eprintln!("wrote experiments_output.md in {:?}", t0.elapsed());
 }

@@ -2,18 +2,17 @@
 //!
 //! Every function renders a plain-text report (printed by the
 //! corresponding `src/bin/*` binary and collected by `reproduce` into
-//! EXPERIMENTS.md input). Functions share an [`AloneCache`] so the
-//! expensive alone-run IPCs are computed once per scale.
+//! EXPERIMENTS.md input). Functions share a [`Session`] so the expensive
+//! alone-run IPCs are computed once per scale, and run their experiment
+//! grids through the `Sweep` layer — sharded across worker threads with
+//! bit-identical results to a serial run.
 
 use crate::{Scale, StaticPriority};
 use tcm_core::storage::StorageModel;
 use tcm_core::{InsertionShuffler, InsertionVariant, RoundRobinShuffler, ShuffleMode, TcmParams};
 use tcm_sched::{AtlasParams, ParBsParams, StfmParams};
 use tcm_sim::report::{f2, f3, pct_change, Table};
-use tcm_sim::{
-    average_metrics, evaluate, evaluate_weighted, mean, variance, AloneCache, EvalResult,
-    PolicyKind, RunConfig, System, WorkloadMetrics,
-};
+use tcm_sim::{mean, variance, PolicyKind, RunConfig, Session, System, WorkloadMetrics};
 use tcm_types::{SystemConfig, ThreadId};
 use tcm_workload::{
     random_workload, spec2006, spec_by_name, table5_workloads, workload_suite, BenchmarkProfile,
@@ -43,8 +42,10 @@ impl Report {
     }
 }
 
-fn baseline_rc(scale: &Scale) -> RunConfig {
-    RunConfig::baseline(scale.horizon)
+/// The shared session every baseline-machine experiment runs in: the
+/// paper-baseline system at `scale`'s horizon.
+pub fn baseline_session(scale: &Scale) -> Session {
+    Session::new(RunConfig::builder().horizon(scale.horizon).build())
 }
 
 /// Renders the paper's WS-vs-maxSD scatter geometry for a set of
@@ -60,37 +61,35 @@ fn lineup_scatter(averages: &[(String, WorkloadMetrics)]) -> String {
     format!("{}\nlegend: {}\n", plot.render(), legend.join("  "))
 }
 
-/// Runs every policy on every workload and renders an averaged
-/// comparison table; returns the per-policy averages alongside.
+/// Runs every policy on every workload (one sharded sweep) and renders
+/// an averaged comparison table; returns the per-policy averages
+/// alongside.
 fn lineup_comparison(
     kinds: &[PolicyKind],
     workloads: &[WorkloadSpec],
-    rc: &RunConfig,
-    alone: &mut AloneCache,
+    session: &Session,
 ) -> (Table, Vec<(String, WorkloadMetrics)>) {
+    let result = session
+        .sweep()
+        .policies(kinds.iter().cloned())
+        .workloads(workloads.iter().cloned())
+        .run_auto();
+    let averages = result.averages();
     let mut table = Table::new(vec!["policy", "WS", "maxSD", "HS"]);
-    let mut averages = Vec::new();
-    for kind in kinds {
-        let results: Vec<EvalResult> = workloads
-            .iter()
-            .map(|w| evaluate(kind, w, rc, alone))
-            .collect();
-        let avg = average_metrics(&results);
+    for (label, avg) in &averages {
         table.row(vec![
-            kind.label(),
+            label.clone(),
             f2(avg.weighted_speedup),
             f2(avg.max_slowdown),
             f3(avg.harmonic_speedup),
         ]);
-        averages.push((kind.label(), avg));
     }
     (table, averages)
 }
 
 /// Figure 1: fairness vs throughput of the four baselines, averaged over
 /// the 50/75/100 %-intensity workload suite.
-pub fn fig1(scale: &Scale, alone: &mut AloneCache) -> Report {
-    let rc = baseline_rc(scale);
+pub fn fig1(scale: &Scale, session: &Session) -> Report {
     let suite = workload_suite(&[0.5, 0.75, 1.0], scale.workloads_per_category, scale.threads);
     let kinds = [
         PolicyKind::FrFcfs,
@@ -98,13 +97,13 @@ pub fn fig1(scale: &Scale, alone: &mut AloneCache) -> Report {
         PolicyKind::ParBs(ParBsParams::paper_default()),
         PolicyKind::Atlas(AtlasParams::paper_default()),
     ];
-    let (table, averages) = lineup_comparison(&kinds, &suite, &rc, alone);
+    let (table, averages) = lineup_comparison(&kinds, &suite, session);
     Report::new(
         "Figure 1 — Performance and fairness of state-of-the-art schedulers",
         format!(
             "{} workloads x {} cycles; the ideal point is high WS, low maxSD.\n\n{}\n{}",
             suite.len(),
-            rc.horizon,
+            session.run_config().horizon,
             table.render(),
             lineup_scatter(&averages),
         ),
@@ -116,15 +115,16 @@ pub fn fig1(scale: &Scale, alone: &mut AloneCache) -> Report {
 pub fn fig2(scale: &Scale) -> Report {
     let mut cfg = SystemConfig::paper_baseline();
     cfg.num_threads = 2;
-    let rc = RunConfig {
-        system: cfg.clone(),
-        horizon: scale.horizon.min(20_000_000),
-    };
+    let session = Session::new(
+        RunConfig::builder()
+            .system(cfg.clone())
+            .horizon(scale.horizon.min(20_000_000))
+            .build(),
+    );
     let random = BenchmarkProfile::random_access();
     let streaming = BenchmarkProfile::streaming();
-    let mut alone = AloneCache::new();
-    let alone_random = alone.alone_ipc(&random, &rc);
-    let alone_streaming = alone.alone_ipc(&streaming, &rc);
+    let alone_random = session.alone_ipc(&random);
+    let alone_streaming = session.alone_ipc(&streaming);
     let workload = WorkloadSpec::new("fig2", vec![random.clone(), streaming.clone()]);
 
     let mut table = Table::new(vec!["prioritized", "random-access SD", "streaming SD"]);
@@ -132,7 +132,7 @@ pub fn fig2(scale: &Scale) -> Report {
     for top in [0usize, 1] {
         let policy = StaticPriority::new(ThreadId::new(top));
         let mut sys = System::new(&cfg, &workload, Box::new(policy), 5);
-        let run = sys.run(rc.horizon);
+        let run = sys.run(session.run_config().horizon);
         let sd = (alone_random / run.ipc[0], alone_streaming / run.ipc[1]);
         slowdowns.push(sd);
         table.row(vec![
@@ -204,11 +204,10 @@ pub fn fig3() -> Report {
 
 /// Figure 4 (headline): TCM vs all four baselines over the workload
 /// suite, with the paper's percentage comparisons.
-pub fn fig4(scale: &Scale, alone: &mut AloneCache) -> Report {
-    let rc = baseline_rc(scale);
+pub fn fig4(scale: &Scale, session: &Session) -> Report {
     let suite = workload_suite(&[0.5, 0.75, 1.0], scale.workloads_per_category, scale.threads);
     let kinds = PolicyKind::paper_lineup(scale.threads);
-    let (table, averages) = lineup_comparison(&kinds, &suite, &rc, alone);
+    let (table, averages) = lineup_comparison(&kinds, &suite, session);
     let get = |label: &str| {
         averages
             .iter()
@@ -235,7 +234,7 @@ pub fn fig4(scale: &Scale, alone: &mut AloneCache) -> Report {
              \nPaper reference: TCM vs ATLAS WS +4.6% / maxSD -38.6%;\n\
              TCM vs PAR-BS WS +7.6% / maxSD -4.6%.\n",
             suite.len(),
-            rc.horizon,
+            session.run_config().horizon,
             table.render(),
             lineup_scatter(&averages),
             vs("ATLAS", atlas),
@@ -247,33 +246,33 @@ pub fn fig4(scale: &Scale, alone: &mut AloneCache) -> Report {
 }
 
 /// Figure 5: per-workload results for the paper's Table 5 workloads A–D.
-pub fn fig5(scale: &Scale, alone: &mut AloneCache) -> Report {
-    let rc = baseline_rc(scale);
+pub fn fig5(scale: &Scale, session: &Session) -> Report {
     let kinds = PolicyKind::paper_lineup(scale.threads);
+    let workloads = table5_workloads();
+    let result = session
+        .sweep()
+        .policies(kinds.iter().cloned())
+        .workloads(workloads.iter().cloned())
+        .run_auto();
     let mut ws_table = Table::new(vec!["workload", "FR-FCFS", "STFM", "PAR-BS", "ATLAS", "TCM"]);
     let mut ms_table = Table::new(vec!["workload", "FR-FCFS", "STFM", "PAR-BS", "ATLAS", "TCM"]);
-    let mut per_policy: Vec<Vec<WorkloadMetrics>> = vec![Vec::new(); kinds.len()];
-    for w in table5_workloads() {
-        let mut ws_row = vec![w.name.clone()];
-        let mut ms_row = vec![w.name.clone()];
-        for (k, kind) in kinds.iter().enumerate() {
-            let r = evaluate(kind, &w, &rc, alone);
-            ws_row.push(f2(r.metrics.weighted_speedup));
-            ms_row.push(f2(r.metrics.max_slowdown));
-            per_policy[k].push(r.metrics);
+    for (w, workload) in workloads.iter().enumerate() {
+        let mut ws_row = vec![workload.name.clone()];
+        let mut ms_row = vec![workload.name.clone()];
+        for k in 0..kinds.len() {
+            let m = result.get(k, w, 0).metrics;
+            ws_row.push(f2(m.weighted_speedup));
+            ms_row.push(f2(m.max_slowdown));
         }
         ws_table.row(ws_row);
         ms_table.row(ms_row);
     }
     let mut avg_ws = vec!["AVG".to_string()];
     let mut avg_ms = vec!["AVG".to_string()];
-    for metrics in &per_policy {
-        avg_ws.push(f2(mean(
-            &metrics.iter().map(|m| m.weighted_speedup).collect::<Vec<_>>(),
-        )));
-        avg_ms.push(f2(mean(
-            &metrics.iter().map(|m| m.max_slowdown).collect::<Vec<_>>(),
-        )));
+    for k in 0..kinds.len() {
+        let avg = result.policy_average(k);
+        avg_ws.push(f2(avg.weighted_speedup));
+        avg_ms.push(f2(avg.max_slowdown));
     }
     ws_table.row(avg_ws);
     ms_table.row(avg_ms);
@@ -289,87 +288,90 @@ pub fn fig5(scale: &Scale, alone: &mut AloneCache) -> Report {
 
 /// Figure 6: the performance–fairness trade-off as each algorithm's most
 /// salient parameter is swept (50 %-intensity workloads).
-pub fn fig6(scale: &Scale, alone: &mut AloneCache) -> Report {
-    let rc = baseline_rc(scale);
+pub fn fig6(scale: &Scale, session: &Session) -> Report {
     let suite = workload_suite(&[0.5], scale.workloads_per_category, scale.threads);
-    let mut table = Table::new(vec!["policy", "parameter", "WS", "maxSD", "HS"]);
-    let mut sweep = |label: &str, param: String, kind: PolicyKind, alone: &mut AloneCache| {
-        let results: Vec<EvalResult> =
-            suite.iter().map(|w| evaluate(&kind, w, &rc, alone)).collect();
-        let avg = average_metrics(&results);
-        table.row(vec![
-            label.into(),
-            param,
-            f2(avg.weighted_speedup),
-            f2(avg.max_slowdown),
-            f3(avg.harmonic_speedup),
-        ]);
-    };
 
+    // One row per parameter setting; all settings run as a single sweep.
+    let mut variants: Vec<(String, String, PolicyKind)> = Vec::new();
     for k in 2..=6u32 {
         let params = TcmParams::reproduction_default(scale.threads)
             .with_cluster_thresh(k as f64 / scale.threads as f64);
-        sweep(
-            "TCM",
+        variants.push((
+            "TCM".into(),
             format!("ClusterThresh {k}/{}", scale.threads),
             PolicyKind::Tcm(params),
-            alone,
-        );
+        ));
     }
     for quantum in [1_000u64, 100_000, 1_000_000, 10_000_000, 20_000_000] {
-        sweep(
-            "ATLAS",
+        variants.push((
+            "ATLAS".into(),
             format!("Quantum {quantum}"),
             PolicyKind::Atlas(AtlasParams::with_quantum(quantum)),
-            alone,
-        );
+        ));
     }
     for cap in [1usize, 2, 5, 8, 10] {
-        sweep(
-            "PAR-BS",
+        variants.push((
+            "PAR-BS".into(),
             format!("BatchCap {cap}"),
             PolicyKind::ParBs(ParBsParams { batch_cap: cap }),
-            alone,
-        );
+        ));
     }
     for thresh in [1.0f64, 1.1, 2.0, 5.0] {
-        sweep(
-            "STFM",
+        variants.push((
+            "STFM".into(),
             format!("FairnessThreshold {thresh}"),
             PolicyKind::Stfm(StfmParams {
                 fairness_threshold: thresh,
                 ..StfmParams::paper_default()
             }),
-            alone,
-        );
+        ));
     }
-    sweep("FR-FCFS", "(none)".into(), PolicyKind::FrFcfs, alone);
+    variants.push(("FR-FCFS".into(), "(none)".into(), PolicyKind::FrFcfs));
+
+    let result = session
+        .sweep()
+        .policies(variants.iter().map(|(_, _, kind)| kind.clone()))
+        .workloads(suite.iter().cloned())
+        .run_auto();
+    let mut table = Table::new(vec!["policy", "parameter", "WS", "maxSD", "HS"]);
+    for (i, (label, param, _)) in variants.iter().enumerate() {
+        let avg = result.policy_average(i);
+        table.row(vec![
+            label.clone(),
+            param.clone(),
+            f2(avg.weighted_speedup),
+            f2(avg.max_slowdown),
+            f3(avg.harmonic_speedup),
+        ]);
+    }
     Report::new(
         "Figure 6 — Performance-fairness trade-off under parameter sweeps",
         format!(
             "{} 50%-intensity workloads x {} cycles. TCM's ClusterThresh should\n\
              trace a smooth WS/maxSD frontier; the baselines should move little.\n\n{}",
             suite.len(),
-            rc.horizon,
+            session.run_config().horizon,
             table.render()
         ),
     )
 }
 
 /// Figure 7: effect of workload memory intensity (25/50/75/100 %).
-pub fn fig7(scale: &Scale, alone: &mut AloneCache) -> Report {
-    let rc = baseline_rc(scale);
+pub fn fig7(scale: &Scale, session: &Session) -> Report {
     let kinds = PolicyKind::paper_lineup(scale.threads);
     let mut ws_table = Table::new(vec!["intensity", "FR-FCFS", "STFM", "PAR-BS", "ATLAS", "TCM"]);
     let mut ms_table = Table::new(vec!["intensity", "FR-FCFS", "STFM", "PAR-BS", "ATLAS", "TCM"]);
     for intensity in [0.25, 0.5, 0.75, 1.0] {
         let suite = workload_suite(&[intensity], scale.workloads_per_category, scale.threads);
+        let result = session
+            .sweep()
+            .policies(kinds.iter().cloned())
+            .workloads(suite)
+            .run_auto();
         let mut ws_row = vec![format!("{:.0}%", intensity * 100.0)];
         let mut ms_row = ws_row.clone();
-        for kind in &kinds {
-            let results: Vec<EvalResult> =
-                suite.iter().map(|w| evaluate(kind, w, &rc, alone)).collect();
-            let avg = average_metrics(&results);
+        for k in 0..kinds.len() {
+            let avg = result.policy_average(k);
             ws_row.push(f2(avg.weighted_speedup));
             ms_row.push(f2(avg.max_slowdown));
         }
@@ -388,7 +390,7 @@ pub fn fig7(scale: &Scale, alone: &mut AloneCache) -> Report {
 
 /// Figure 8: OS thread weights, assigned worst-case (higher weight to
 /// more intensive threads); ATLAS vs TCM.
-pub fn fig8(scale: &Scale, alone: &mut AloneCache) -> Report {
+pub fn fig8(scale: &Scale, session: &Session) -> Report {
     let apps: [(&str, f64); 6] = [
         ("gcc", 1.0),
         ("wrf", 2.0),
@@ -408,15 +410,20 @@ pub fn fig8(scale: &Scale, alone: &mut AloneCache) -> Report {
         }
     }
     let workload = WorkloadSpec::new("fig8-weights", threads);
-    let rc = baseline_rc(scale);
+    let result = session
+        .sweep()
+        .policies([
+            PolicyKind::Atlas(AtlasParams::paper_default()),
+            PolicyKind::Tcm(TcmParams::reproduction_default(scale.threads)),
+        ])
+        .workloads([workload])
+        .weights(&weights)
+        .run_auto();
     let mut table = Table::new(vec!["benchmark", "weight", "ATLAS speedup", "TCM speedup"]);
     let mut summaries = Vec::new();
     let mut rows: Vec<Vec<f64>> = Vec::new();
-    for policy in [
-        PolicyKind::Atlas(AtlasParams::paper_default()),
-        PolicyKind::Tcm(TcmParams::reproduction_default(scale.threads)),
-    ] {
-        let r = evaluate_weighted(&policy, &workload, &rc, alone, Some(&weights));
+    for p in 0..2 {
+        let r = result.get(p, 0, 0);
         let per_app: Vec<f64> = (0..apps.len())
             .map(|a| (0..copies).map(|c| r.speedups[a * copies + c]).sum::<f64>() / copies as f64)
             .collect();
@@ -545,71 +552,81 @@ pub fn table4() -> Report {
 }
 
 /// Table 6: fairness of the four shuffling algorithms.
-pub fn table6(scale: &Scale, alone: &mut AloneCache) -> Report {
-    let rc = baseline_rc(scale);
+pub fn table6(scale: &Scale, session: &Session) -> Report {
     let suite = workload_suite(&[0.5], scale.workloads_per_category, scale.threads);
-    let mut table = Table::new(vec!["shuffling", "maxSD avg", "maxSD variance"]);
-    for (label, mode) in [
+    let modes = [
         ("Round-robin", ShuffleMode::RoundRobin),
         ("Random", ShuffleMode::RandomOnly),
         ("Insertion", ShuffleMode::InsertionOnly),
         ("TCM (dynamic)", ShuffleMode::Dynamic),
-    ] {
-        let params = TcmParams::paper_default(scale.threads).with_shuffle_mode(mode);
-        let kind = PolicyKind::Tcm(params);
-        let ms: Vec<f64> = suite
-            .iter()
-            .map(|w| evaluate(&kind, w, &rc, alone).metrics.max_slowdown)
+    ];
+    let result = session
+        .sweep()
+        .policies(modes.iter().map(|(_, mode)| {
+            PolicyKind::Tcm(TcmParams::paper_default(scale.threads).with_shuffle_mode(*mode))
+        }))
+        .workloads(suite.iter().cloned())
+        .run_auto();
+    let mut table = Table::new(vec!["shuffling", "maxSD avg", "maxSD variance"]);
+    for (i, (label, _)) in modes.iter().enumerate() {
+        let ms: Vec<f64> = result
+            .policy_results(i)
+            .map(|r| r.metrics.max_slowdown)
             .collect();
-        table.row(vec![label.into(), f2(mean(&ms)), f2(variance(&ms))]);
+        table.row(vec![(*label).into(), f2(mean(&ms)), f2(variance(&ms))]);
     }
     Report::new(
         "Table 6 — Shuffling algorithm fairness",
         format!(
             "{} 50%-intensity workloads x {} cycles.\n\n{}",
             suite.len(),
-            rc.horizon,
+            session.run_config().horizon,
             table.render()
         ),
     )
 }
 
 /// Table 7: sensitivity to ShuffleAlgoThresh and ShuffleInterval.
-pub fn table7(scale: &Scale, alone: &mut AloneCache) -> Report {
-    let rc = baseline_rc(scale);
+pub fn table7(scale: &Scale, session: &Session) -> Report {
     let suite = workload_suite(&[0.5], scale.workloads_per_category, scale.threads);
-    let mut table = Table::new(vec!["parameter", "value", "WS", "maxSD"]);
-    let mut run = |label: String, value: String, params: TcmParams, alone: &mut AloneCache| {
-        let kind = PolicyKind::Tcm(params);
-        let results: Vec<EvalResult> =
-            suite.iter().map(|w| evaluate(&kind, w, &rc, alone)).collect();
-        let avg = average_metrics(&results);
-        table.row(vec![label, value, f2(avg.weighted_speedup), f2(avg.max_slowdown)]);
-    };
+    let mut variants: Vec<(String, String, TcmParams)> = Vec::new();
     // 1.0 forces random shuffling (the paper's own escape hatch and this
     // reproduction's headline default; see TcmParams::reproduction_default).
     for thresh in [0.05, 0.07, 0.10, 1.0] {
-        run(
+        variants.push((
             "ShuffleAlgoThresh".into(),
             format!("{thresh}"),
             TcmParams::paper_default(scale.threads).with_shuffle_algo_thresh(thresh),
-            alone,
-        );
+        ));
     }
     for interval in [500u64, 600, 700, 800] {
-        run(
+        variants.push((
             "ShuffleInterval".into(),
             format!("{interval}"),
             TcmParams::paper_default(scale.threads).with_shuffle_interval(interval),
-            alone,
-        );
+        ));
+    }
+    let result = session
+        .sweep()
+        .policies(variants.iter().map(|(_, _, p)| PolicyKind::Tcm(*p)))
+        .workloads(suite.iter().cloned())
+        .run_auto();
+    let mut table = Table::new(vec!["parameter", "value", "WS", "maxSD"]);
+    for (i, (label, value, _)) in variants.iter().enumerate() {
+        let avg = result.policy_average(i);
+        table.row(vec![
+            label.clone(),
+            value.clone(),
+            f2(avg.weighted_speedup),
+            f2(avg.max_slowdown),
+        ]);
     }
     Report::new(
         "Table 7 — Sensitivity to TCM's algorithmic parameters",
         format!(
             "{} 50%-intensity workloads x {} cycles.\n\n{}",
             suite.len(),
-            rc.horizon,
+            session.run_config().horizon,
             table.render()
         ),
     )
@@ -621,22 +638,23 @@ pub fn table8(scale: &Scale) -> Report {
     let mut table = Table::new(vec!["configuration", "value", "WS delta", "maxSD delta"]);
     let mut compare = |label: String, value: String, system: SystemConfig, mpki_scale: f64| {
         let threads = system.num_threads;
-        let rc = RunConfig {
-            system,
-            horizon: scale.horizon,
-        };
-        // A fresh cache per configuration: alone IPCs depend on it.
-        let mut alone = AloneCache::new();
+        // A fresh session per configuration: alone IPCs depend on it.
+        let session = Session::new(
+            RunConfig::builder().system(system).horizon(scale.horizon).build(),
+        );
         let workloads: Vec<WorkloadSpec> = (0..scale.workloads_per_category.min(4))
             .map(|s| random_workload(s as u64 + 100, threads, 0.5).with_mpki_scaled(mpki_scale))
             .collect();
-        let run = |kind: &PolicyKind, alone: &mut AloneCache| {
-            let results: Vec<EvalResult> =
-                workloads.iter().map(|w| evaluate(kind, w, &rc, alone)).collect();
-            average_metrics(&results)
-        };
-        let atlas = run(&PolicyKind::Atlas(AtlasParams::paper_default()), &mut alone);
-        let tcm = run(&PolicyKind::Tcm(TcmParams::paper_default(threads)), &mut alone);
+        let result = session
+            .sweep()
+            .policies([
+                PolicyKind::Atlas(AtlasParams::paper_default()),
+                PolicyKind::Tcm(TcmParams::paper_default(threads)),
+            ])
+            .workloads(workloads)
+            .run_auto();
+        let atlas = result.policy_average(0);
+        let tcm = result.policy_average(1);
         table.row(vec![
             label,
             value,
@@ -673,41 +691,43 @@ pub fn table8(scale: &Scale) -> Report {
 
 /// Ablation study (beyond the paper): isolates the contribution of each
 /// of TCM's mechanisms, plus the FQM extension baseline.
-pub fn ablation(scale: &Scale, alone: &mut AloneCache) -> Report {
-    let rc = baseline_rc(scale);
+pub fn ablation(scale: &Scale, session: &Session) -> Report {
     let suite = workload_suite(&[0.5, 1.0], scale.workloads_per_category, scale.threads);
+    let n = scale.threads;
+    let configs: [(&str, PolicyKind); 5] = [
+        ("TCM (full)", PolicyKind::Tcm(TcmParams::reproduction_default(n))),
+        // No latency cluster: a vanishing ClusterThresh puts everyone in
+        // the bandwidth cluster -> pure shuffling.
+        (
+            "TCM, no latency cluster",
+            PolicyKind::Tcm(TcmParams::reproduction_default(n).with_cluster_thresh(1e-9)),
+        ),
+        // No shuffling: static ascending-niceness ranking per quantum.
+        (
+            "TCM, no shuffling (static rank)",
+            PolicyKind::Tcm(
+                TcmParams::reproduction_default(n).with_shuffle_mode(ShuffleMode::Static),
+            ),
+        ),
+        // Reference points.
+        ("FR-FCFS (no thread awareness)", PolicyKind::FrFcfs),
+        ("FQM (fair queueing, extension)", PolicyKind::FairQueueing),
+    ];
+    let result = session
+        .sweep()
+        .policies(configs.iter().map(|(_, kind)| kind.clone()))
+        .workloads(suite.iter().cloned())
+        .run_auto();
     let mut table = Table::new(vec!["configuration", "WS", "maxSD", "HS"]);
-    let mut run = |label: &str, kind: PolicyKind, alone: &mut AloneCache| {
-        let results: Vec<EvalResult> =
-            suite.iter().map(|w| evaluate(&kind, w, &rc, alone)).collect();
-        let avg = average_metrics(&results);
+    for (i, (label, _)) in configs.iter().enumerate() {
+        let avg = result.policy_average(i);
         table.row(vec![
-            label.into(),
+            (*label).into(),
             f2(avg.weighted_speedup),
             f2(avg.max_slowdown),
             f3(avg.harmonic_speedup),
         ]);
-    };
-    let n = scale.threads;
-    run("TCM (full)", PolicyKind::Tcm(TcmParams::reproduction_default(n)), alone);
-    // No latency cluster: a vanishing ClusterThresh puts everyone in the
-    // bandwidth cluster -> pure shuffling.
-    run(
-        "TCM, no latency cluster",
-        PolicyKind::Tcm(TcmParams::reproduction_default(n).with_cluster_thresh(1e-9)),
-        alone,
-    );
-    // No shuffling: static ascending-niceness ranking per quantum.
-    run(
-        "TCM, no shuffling (static rank)",
-        PolicyKind::Tcm(
-            TcmParams::reproduction_default(n).with_shuffle_mode(ShuffleMode::Static),
-        ),
-        alone,
-    );
-    // Reference points.
-    run("FR-FCFS (no thread awareness)", PolicyKind::FrFcfs, alone);
-    run("FQM (fair queueing, extension)", PolicyKind::FairQueueing, alone);
+    }
     Report::new(
         "Ablation — which of TCM's mechanisms earns what",
         format!(
@@ -715,7 +735,7 @@ pub fn ablation(scale: &Scale, alone: &mut AloneCache) -> Report {
              Expected: removing the latency cluster costs throughput;\n\
              removing shuffling costs fairness; FQM is fair but slow.\n",
             suite.len(),
-            rc.horizon,
+            session.run_config().horizon,
             table.render()
         ),
     )
@@ -759,5 +779,19 @@ mod tests {
         let r = table4();
         assert!(r.body.contains("mcf"));
         assert!(r.body.contains("povray"));
+    }
+
+    #[test]
+    fn lineup_comparison_uses_multiple_workers() {
+        let session = Session::new(
+            RunConfig::builder()
+                .system(SystemConfig::builder().num_threads(4).build().unwrap())
+                .horizon(100_000)
+                .build(),
+        );
+        let suite = workload_suite(&[0.5], 1, 4);
+        let kinds = [PolicyKind::Fcfs, PolicyKind::FrFcfs];
+        let _ = lineup_comparison(&kinds, &suite, &session);
+        assert!(session.stats().max_workers > 1, "sweeps shard across workers");
     }
 }

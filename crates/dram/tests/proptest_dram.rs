@@ -1,5 +1,6 @@
 //! Property tests for the DRAM substrate: timing legality and queue
 //! bookkeeping under arbitrary request streams.
+#![allow(clippy::explicit_counter_loop, clippy::needless_range_loop)]
 
 use proptest::prelude::*;
 use tcm_dram::Channel;

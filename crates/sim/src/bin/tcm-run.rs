@@ -5,7 +5,7 @@
 //! ```text
 //! tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]
 //!         [--policies fr-fcfs,stfm,par-bs,atlas,fqm,tcm] [--json]
-//!         [--workload A|B|C|D]
+//!         [--workload A|B|C|D] [--workers W]
 //! ```
 //!
 //! Examples:
@@ -15,14 +15,13 @@
 //! cargo run --release -p tcm-sim --bin tcm-run -- --workload B --json
 //! ```
 
-use serde::Serialize;
+use std::fmt::Write as _;
 use tcm_core::TcmParams;
 use tcm_sched::{AtlasParams, ParBsParams, StfmParams};
-use tcm_sim::{evaluate, AloneCache, PolicyKind, RunConfig};
+use tcm_sim::{PolicyKind, RunConfig, Session};
 use tcm_types::SystemConfig;
 use tcm_workload::{random_workload, table5_workloads, WorkloadSpec};
 
-#[derive(Debug, Serialize)]
 struct PolicyOutput {
     policy: String,
     weighted_speedup: f64,
@@ -31,13 +30,84 @@ struct PolicyOutput {
     slowdowns: Vec<f64>,
 }
 
-#[derive(Debug, Serialize)]
 struct Output {
     workload: String,
     threads: usize,
     cycles: u64,
     benchmarks: Vec<String>,
     results: Vec<PolicyOutput>,
+}
+
+/// Minimal JSON emission (the build environment is offline, so the
+/// workspace carries no serializer dependency).
+mod json {
+    use std::fmt::Write as _;
+
+    pub fn string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    pub fn number(out: &mut String, v: f64) {
+        if v.is_finite() {
+            let _ = write!(out, "{v}");
+        } else {
+            out.push_str("null"); // matches serde_json's treatment of non-finite floats
+        }
+    }
+}
+
+impl Output {
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"workload\": ");
+        json::string(&mut s, &self.workload);
+        let _ = write!(s, ",\n  \"threads\": {},\n  \"cycles\": {}", self.threads, self.cycles);
+        s.push_str(",\n  \"benchmarks\": [");
+        for (i, b) in self.benchmarks.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            json::string(&mut s, b);
+        }
+        s.push_str("],\n  \"results\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\n      \"policy\": ");
+            json::string(&mut s, &r.policy);
+            s.push_str(",\n      \"weighted_speedup\": ");
+            json::number(&mut s, r.weighted_speedup);
+            s.push_str(",\n      \"harmonic_speedup\": ");
+            json::number(&mut s, r.harmonic_speedup);
+            s.push_str(",\n      \"max_slowdown\": ");
+            json::number(&mut s, r.max_slowdown);
+            s.push_str(",\n      \"slowdowns\": [");
+            for (j, sd) in r.slowdowns.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                json::number(&mut s, *sd);
+            }
+            s.push_str("]\n    }");
+        }
+        s.push_str("\n  ]\n}");
+        s
+    }
 }
 
 fn parse_policy(name: &str, n: usize) -> Result<PolicyKind, String> {
@@ -56,7 +126,7 @@ fn parse_policy(name: &str, n: usize) -> Result<PolicyKind, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]\n\
-         \x20              [--policies p1,p2,...] [--workload A|B|C|D] [--json]\n\
+         \x20              [--policies p1,p2,...] [--workload A|B|C|D] [--workers W] [--json]\n\
          policies: fcfs fr-fcfs stfm par-bs atlas fqm tcm (default: all but fcfs/fqm)"
     );
     std::process::exit(2)
@@ -69,6 +139,7 @@ fn main() {
     let mut cycles = 5_000_000u64;
     let mut policies: Option<Vec<String>> = None;
     let mut named_workload: Option<String> = None;
+    let mut workers: Option<usize> = None;
     let mut json = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +162,7 @@ fn main() {
                 policies = Some(value("--policies").split(',').map(String::from).collect())
             }
             "--workload" => named_workload = Some(value("--workload")),
+            "--workers" => workers = Some(value("--workers").parse().unwrap_or_else(|_| usage())),
             "--json" => json = true,
             "--help" | "-h" => usage(),
             other => {
@@ -125,11 +197,12 @@ fn main() {
 
     let mut cfg = SystemConfig::paper_baseline();
     cfg.num_threads = threads;
-    let rc = RunConfig {
-        system: cfg,
-        horizon: cycles,
+    let session = Session::new(RunConfig::builder().system(cfg).horizon(cycles).build());
+    let sweep = session.sweep().policies(kinds).workloads([workload.clone()]);
+    let result = match workers {
+        Some(w) => sweep.run_parallel(w),
+        None => sweep.run_auto(),
     };
-    let mut alone = AloneCache::new();
 
     let mut output = Output {
         workload: workload.name.clone(),
@@ -142,8 +215,8 @@ fn main() {
         println!("{workload}");
         println!("{:>8} | {:>8} {:>8} {:>8}", "policy", "WS", "maxSD", "HS");
     }
-    for kind in kinds {
-        let r = evaluate(&kind, &workload, &rc, &mut alone);
+    for cell in result.cells() {
+        let r = &cell.result;
         if !json {
             println!(
                 "{:>8} | {:8.2} {:8.2} {:8.3}",
@@ -154,17 +227,16 @@ fn main() {
             );
         }
         output.results.push(PolicyOutput {
-            policy: r.policy,
+            policy: r.policy.clone(),
             weighted_speedup: r.metrics.weighted_speedup,
             harmonic_speedup: r.metrics.harmonic_speedup,
             max_slowdown: r.metrics.max_slowdown,
-            slowdowns: r.slowdowns,
+            slowdowns: r.slowdowns.clone(),
         });
     }
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&output).expect("serializable output")
-        );
+        println!("{}", output.to_json());
+    } else {
+        println!("{}", result.stats().throughput_line());
     }
 }

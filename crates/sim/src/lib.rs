@@ -2,25 +2,35 @@
 //!
 //! Binds the substrates together: [`System`] couples `tcm-cpu` cores,
 //! `tcm-dram` channels and a `tcm-sched` policy behind a deterministic
-//! event queue; the runner helpers ([`evaluate`], [`AloneCache`],
-//! [`PolicyKind`]) run whole experiments and compute the paper's
-//! metrics (weighted speedup, harmonic speedup, maximum slowdown).
+//! event queue. Experiments run through the [`Session`] / [`Sweep`]
+//! layer: a session fixes the machine configuration and caches alone-run
+//! IPCs, a sweep names a policies × workloads (× seeds) grid and
+//! executes it serially or sharded across threads — with bit-identical
+//! results either way — computing the paper's metrics (weighted speedup,
+//! harmonic speedup, maximum slowdown) per cell.
 //!
-//! # Example: compare TCM to FR-FCFS on one workload
+//! # Example: compare the paper's lineup on two workloads
 //!
 //! ```
-//! use tcm_sim::{evaluate, AloneCache, PolicyKind, RunConfig};
+//! use tcm_sim::{PolicyKind, RunConfig, Session};
 //! use tcm_types::SystemConfig;
 //! use tcm_workload::random_workload;
 //!
-//! let rc = RunConfig {
-//!     system: SystemConfig::builder().num_threads(4).build()?,
-//!     horizon: 50_000,
-//! };
-//! let workload = random_workload(0, 4, 0.75);
-//! let mut alone = AloneCache::new();
-//! let frfcfs = evaluate(&PolicyKind::FrFcfs, &workload, &rc, &mut alone);
-//! assert!(frfcfs.metrics.weighted_speedup > 0.0);
+//! let session = Session::new(
+//!     RunConfig::builder()
+//!         .system(SystemConfig::builder().num_threads(4).build()?)
+//!         .horizon(50_000)
+//!         .build(),
+//! );
+//! let result = session
+//!     .sweep()
+//!     .policies(PolicyKind::paper_lineup(4))
+//!     .workloads((0..2).map(|s| random_workload(s, 4, 0.75)))
+//!     .run_parallel(2);
+//! for (policy, avg) in result.averages() {
+//!     println!("{policy}: WS {:.2}, maxSD {:.2}", avg.weighted_speedup, avg.max_slowdown);
+//! }
+//! println!("{}", result.stats().throughput_line());
 //! # Ok::<(), tcm_types::ConfigError>(())
 //! ```
 
@@ -32,11 +42,18 @@ mod metrics;
 pub mod report;
 mod runner;
 pub mod scatter;
+pub mod sweep;
 mod system;
 
 pub use event::{Event, EventQueue};
 pub use metrics::{mean, variance, workload_metrics, IpcPair, WorkloadMetrics};
+#[allow(deprecated)]
+pub use runner::{evaluate, evaluate_weighted, AloneCache};
 pub use runner::{
-    average_metrics, evaluate, evaluate_weighted, AloneCache, EvalResult, PolicyKind, RunConfig,
+    average_metrics, EvalResult, PolicyKind, RunConfig, RunConfigBuilder, PAPER_LINEUP_LABELS,
+};
+pub use sweep::{
+    AloneIpcCache, ProfileFingerprint, Session, SessionStats, Sweep, SweepCell, SweepResult,
+    SweepStats,
 };
 pub use system::{RunResult, System};

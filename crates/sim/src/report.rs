@@ -121,8 +121,8 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(f2(3.14159), "3.14");
-        assert_eq!(f3(3.14159), "3.142");
+        assert_eq!(f2(3.21987), "3.22");
+        assert_eq!(f3(3.21987), "3.220");
         assert_eq!(pct_change(110.0, 100.0), "+10.0%");
         assert_eq!(pct_change(90.0, 100.0), "-10.0%");
         assert_eq!(pct_change(1.0, 0.0), "n/a");

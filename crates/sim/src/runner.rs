@@ -1,8 +1,15 @@
-//! Experiment runner: policy factories, alone-run caching, and
-//! per-workload evaluation.
+//! Experiment vocabulary: policy factories, run configuration, and the
+//! legacy single-cell evaluation helpers.
+//!
+//! The preferred way to run experiments is the [`Session`] /
+//! [`Sweep`](crate::Sweep) layer in [`crate::sweep`]; the free-standing
+//! [`evaluate`] / [`evaluate_weighted`] / [`AloneCache`] trio is kept as
+//! deprecated shims over that layer.
+//!
+//! [`Session`]: crate::Session
 
-use crate::metrics::{workload_metrics, IpcPair, WorkloadMetrics};
-use crate::system::{RunResult, System};
+use crate::metrics::WorkloadMetrics;
+use crate::system::RunResult;
 use std::collections::HashMap;
 use tcm_core::{Tcm, TcmParams};
 use tcm_sched::{
@@ -11,6 +18,10 @@ use tcm_sched::{
 };
 use tcm_types::{Cycle, SystemConfig};
 use tcm_workload::{BenchmarkProfile, WorkloadSpec};
+
+/// Labels of [`PolicyKind::paper_lineup`], in the same order — handy for
+/// building report headers without instantiating the policies.
+pub const PAPER_LINEUP_LABELS: [&str; 5] = ["FR-FCFS", "STFM", "PAR-BS", "ATLAS", "TCM"];
 
 /// A scheduling policy to instantiate, with its parameters.
 ///
@@ -36,8 +47,8 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// The paper's five headline policies for an `n`-thread system, in
-    /// the order Figures 1/4 list them (FR-FCFS, STFM, PAR-BS, ATLAS,
-    /// TCM). TCM uses [`TcmParams::reproduction_default`] (random
+    /// the order Figures 1/4 list them (see [`PAPER_LINEUP_LABELS`]).
+    /// TCM uses [`TcmParams::reproduction_default`] (random
     /// shuffling via `ShuffleAlgoThresh = 1`; see that method's docs).
     pub fn paper_lineup(n: usize) -> Vec<PolicyKind> {
         vec![
@@ -92,27 +103,67 @@ pub struct RunConfig {
 }
 
 impl RunConfig {
+    /// Starts building a run configuration (paper-baseline machine and a
+    /// one-million-cycle horizon unless overridden).
+    pub fn builder() -> RunConfigBuilder {
+        RunConfigBuilder::default()
+    }
+
     /// Paper baseline machine with the given horizon.
+    #[deprecated(note = "use `RunConfig::builder().horizon(h).build()`")]
     pub fn baseline(horizon: Cycle) -> Self {
+        Self::builder().horizon(horizon).build()
+    }
+}
+
+/// Builder for [`RunConfig`] (see [`RunConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct RunConfigBuilder {
+    system: SystemConfig,
+    horizon: Cycle,
+}
+
+impl Default for RunConfigBuilder {
+    fn default() -> Self {
         Self {
             system: SystemConfig::paper_baseline(),
-            horizon,
+            horizon: 1_000_000,
+        }
+    }
+}
+
+impl RunConfigBuilder {
+    /// Sets the machine description (default: the paper baseline).
+    pub fn system(mut self, system: SystemConfig) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Sets the simulation horizon in cycles (default: 1,000,000).
+    pub fn horizon(mut self, horizon: Cycle) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> RunConfig {
+        RunConfig {
+            system: self.system,
+            horizon: self.horizon,
         }
     }
 }
 
 /// Cache of alone-run IPCs, keyed by benchmark characteristics and
 /// machine configuration.
-///
-/// A thread's slowdown compares its shared-run IPC against its IPC when
-/// running *alone on the same machine*; alone runs depend only on the
-/// benchmark profile and machine, so they are shared across workloads
-/// (25 profiles instead of `96 × 24` runs).
+#[deprecated(note = "use `Session` (`tcm_sim::Session`), whose alone-IPC \
+                     cache is thread-safe and shared across experiments")]
 #[derive(Debug, Default)]
 pub struct AloneCache {
     cache: HashMap<String, f64>,
 }
 
+#[allow(deprecated)]
 impl AloneCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
@@ -140,16 +191,7 @@ impl AloneCache {
         if let Some(&ipc) = self.cache.get(&key) {
             return ipc;
         }
-        let ipc = if profile.mpki <= 0.0 {
-            rc.system.issue_width as f64
-        } else {
-            let mut cfg = rc.system.clone();
-            cfg.num_threads = 1;
-            let workload = WorkloadSpec::new(profile.name.clone(), vec![profile.clone()]);
-            // The policy is irrelevant with a single thread.
-            let mut sys = System::new(&cfg, &workload, Box::new(FrFcfs::new()), 0);
-            sys.run(rc.horizon).ipc[0]
-        };
+        let ipc = crate::sweep::compute_alone_ipc(profile, rc);
         self.cache.insert(key, ipc);
         ipc
     }
@@ -184,6 +226,8 @@ pub struct EvalResult {
 
 /// Runs `workload` under `policy` and computes the paper's metrics,
 /// using (and filling) `alone` for the denominator IPCs.
+#[deprecated(note = "use `Session::eval` (`tcm_sim::Session`)")]
+#[allow(deprecated)]
 pub fn evaluate(
     policy: &PolicyKind,
     workload: &WorkloadSpec,
@@ -195,6 +239,8 @@ pub fn evaluate(
 
 /// Like [`evaluate`], with optional OS thread weights installed on the
 /// policy before the run.
+#[deprecated(note = "use `Session::eval_weighted` (`tcm_sim::Session`)")]
+#[allow(deprecated)]
 pub fn evaluate_weighted(
     policy: &PolicyKind,
     workload: &WorkloadSpec,
@@ -202,36 +248,12 @@ pub fn evaluate_weighted(
     alone: &mut AloneCache,
     weights: Option<&[f64]>,
 ) -> EvalResult {
-    let n = workload.threads.len();
-    let scheduler = policy.build(n, &rc.system);
-    let mut sys = System::new(&rc.system, workload, scheduler, workload_seed(workload));
-    if let Some(w) = weights {
-        sys.set_thread_weights(w);
-    }
-    let run = sys.run(rc.horizon);
-    let pairs: Vec<IpcPair> = workload
-        .threads
-        .iter()
-        .enumerate()
-        .map(|(i, profile)| IpcPair {
-            shared: run.ipc[i],
-            alone: alone.alone_ipc(profile, rc),
-        })
-        .collect();
-    let metrics = workload_metrics(&pairs);
-    EvalResult {
-        policy: policy.label(),
-        workload: workload.name.clone(),
-        metrics,
-        slowdowns: pairs.iter().map(|p| p.slowdown()).collect(),
-        speedups: pairs.iter().map(|p| p.speedup()).collect(),
-        run,
-    }
+    crate::sweep::eval_cell(policy, workload, rc, weights, 0, |p| alone.alone_ipc(p, rc))
 }
 
 /// Deterministic per-workload seed so every policy sees the identical
 /// trace for a given workload.
-fn workload_seed(workload: &WorkloadSpec) -> u64 {
+pub(crate) fn workload_seed(workload: &WorkloadSpec) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in workload.name.bytes() {
         h ^= b as u64;
@@ -252,15 +274,31 @@ pub fn average_metrics(results: &[EvalResult]) -> WorkloadMetrics {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use tcm_workload::random_workload;
 
     fn small_rc() -> RunConfig {
-        RunConfig {
-            system: SystemConfig::builder().num_threads(4).build().unwrap(),
-            horizon: 60_000,
-        }
+        RunConfig::builder()
+            .system(SystemConfig::builder().num_threads(4).build().unwrap())
+            .horizon(60_000)
+            .build()
+    }
+
+    #[test]
+    fn builder_defaults_to_paper_baseline() {
+        let rc = RunConfig::builder().horizon(5_000).build();
+        assert_eq!(rc.system, SystemConfig::paper_baseline());
+        assert_eq!(rc.horizon, 5_000);
+        assert_eq!(rc, RunConfig::baseline(5_000));
+    }
+
+    #[test]
+    fn lineup_labels_match_lineup() {
+        let lineup = PolicyKind::paper_lineup(24);
+        let labels: Vec<String> = lineup.iter().map(PolicyKind::label).collect();
+        assert_eq!(labels, PAPER_LINEUP_LABELS);
     }
 
     #[test]
@@ -322,6 +360,17 @@ mod tests {
         let a = evaluate(&PolicyKind::FrFcfs, &w, &rc, &mut cache);
         let b = evaluate(&PolicyKind::FrFcfs, &w, &rc, &mut cache);
         assert_eq!(a.run, b.run);
+    }
+
+    #[test]
+    fn deprecated_evaluate_matches_session_eval() {
+        let rc = small_rc();
+        let mut cache = AloneCache::new();
+        let w = random_workload(6, 4, 0.75);
+        let old = evaluate(&PolicyKind::FairQueueing, &w, &rc, &mut cache);
+        let session = crate::Session::new(small_rc());
+        let new = session.eval(&PolicyKind::FairQueueing, &w);
+        assert_eq!(old, new);
     }
 
     #[test]

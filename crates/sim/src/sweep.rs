@@ -1,0 +1,784 @@
+//! The experiment layer: [`Session`] + [`Sweep`] — the single public
+//! entry point for running policy-comparison experiments.
+//!
+//! Every figure and table of the paper is a *sweep*: N policies × M
+//! workloads (× K simulator seeds), each cell an independent,
+//! deterministic simulation. This module makes that structure explicit:
+//!
+//! * a [`Session`] owns the immutable machine/run configuration
+//!   ([`RunConfig`]) and a thread-safe cache of alone-run IPCs (the
+//!   slowdown denominators), keyed by benchmark-profile fingerprint;
+//! * a [`Sweep`] builder names the grid declaratively
+//!   (`.policies(..).workloads(..).seeds(..)`) and executes it either
+//!   serially ([`Sweep::run`]) or sharded across `std::thread::scope`
+//!   workers ([`Sweep::run_parallel`]) — with **bit-identical** results,
+//!   because every cell is an isolated simulation and the alone-IPC
+//!   cache is pre-populated before the parallel phase;
+//! * a [`SweepResult`] holds the full result grid plus aggregate
+//!   metrics and a [`SweepStats`] throughput record (cells simulated,
+//!   sim-cycles/sec, worker count).
+//!
+//! # Example
+//!
+//! ```
+//! use tcm_sim::{PolicyKind, RunConfig, Session};
+//! use tcm_types::SystemConfig;
+//! use tcm_workload::random_workload;
+//!
+//! let rc = RunConfig::builder()
+//!     .system(SystemConfig::builder().num_threads(4).build()?)
+//!     .horizon(50_000)
+//!     .build();
+//! let session = Session::new(rc);
+//! let result = session
+//!     .sweep()
+//!     .policies(PolicyKind::paper_lineup(4))
+//!     .workloads((0..2).map(|s| random_workload(s, 4, 0.75)))
+//!     .run_parallel(2);
+//! assert_eq!(result.cells().len(), 5 * 2);
+//! for (label, avg) in result.averages() {
+//!     assert!(avg.weighted_speedup > 0.0, "{label}");
+//! }
+//! # Ok::<(), tcm_types::ConfigError>(())
+//! ```
+
+use crate::metrics::{workload_metrics, IpcPair, WorkloadMetrics};
+use crate::runner::{workload_seed, EvalResult, PolicyKind, RunConfig};
+use crate::system::System;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tcm_sched::FrFcfs;
+use tcm_workload::{BenchmarkProfile, WorkloadSpec};
+
+/// Exact identity of a benchmark profile for alone-IPC caching.
+///
+/// Within one [`Session`] the machine configuration and horizon are
+/// fixed, so an alone run is determined entirely by the profile's name
+/// and its three characteristics. The fingerprint stores the exact
+/// field values (float bit patterns included), so distinct profiles can
+/// never collide.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProfileFingerprint {
+    name: String,
+    mpki_bits: u64,
+    rbl_bits: u64,
+    blp_bits: u64,
+}
+
+impl ProfileFingerprint {
+    /// Fingerprint of `profile`.
+    pub fn of(profile: &BenchmarkProfile) -> Self {
+        Self {
+            name: profile.name.clone(),
+            mpki_bits: profile.mpki.to_bits(),
+            rbl_bits: profile.rbl.to_bits(),
+            blp_bits: profile.blp.to_bits(),
+        }
+    }
+}
+
+/// Thread-safe cache of alone-run IPCs with hit/miss accounting.
+///
+/// Lives inside a [`Session`]; exposed for its counters, which make
+/// cache behavior observable (and testable): a repeated profile must
+/// miss exactly once and hit on every later lookup.
+#[derive(Debug, Default)]
+pub struct AloneIpcCache {
+    map: Mutex<HashMap<ProfileFingerprint, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AloneIpcCache {
+    /// Number of cached alone-run IPCs.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("alone cache poisoned").len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the alone simulation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn get_or_compute(&self, profile: &BenchmarkProfile, rc: &RunConfig) -> f64 {
+        let key = ProfileFingerprint::of(profile);
+        if let Some(&ipc) = self.map.lock().expect("alone cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return ipc;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let ipc = compute_alone_ipc(profile, rc);
+        self.map
+            .lock()
+            .expect("alone cache poisoned")
+            .insert(key, ipc);
+        ipc
+    }
+}
+
+/// IPC of `profile` running alone on `rc`'s machine (uncached).
+///
+/// A thread's slowdown compares its shared-run IPC against its IPC when
+/// running alone on the same machine. The policy is irrelevant with a
+/// single thread, so FR-FCFS is used; compute-only profiles retire at
+/// the issue width by construction.
+pub(crate) fn compute_alone_ipc(profile: &BenchmarkProfile, rc: &RunConfig) -> f64 {
+    if profile.mpki <= 0.0 {
+        return rc.system.issue_width as f64;
+    }
+    let mut cfg = rc.system.clone();
+    cfg.num_threads = 1;
+    let workload = WorkloadSpec::new(profile.name.clone(), vec![profile.clone()]);
+    let mut sys = System::new(&cfg, &workload, Box::new(FrFcfs::new()), 0);
+    sys.run(rc.horizon).ipc[0]
+}
+
+/// Runs one (policy, workload) cell and computes the paper's metrics.
+///
+/// `alone_ipc` supplies the slowdown denominators (typically from a
+/// [`Session`]'s cache); `seed_xor` perturbs the canonical per-workload
+/// simulator seed (0 = the canonical seed).
+pub(crate) fn eval_cell(
+    policy: &PolicyKind,
+    workload: &WorkloadSpec,
+    rc: &RunConfig,
+    weights: Option<&[f64]>,
+    seed_xor: u64,
+    mut alone_ipc: impl FnMut(&BenchmarkProfile) -> f64,
+) -> EvalResult {
+    let n = workload.threads.len();
+    let scheduler = policy.build(n, &rc.system);
+    let mut sys = System::new(
+        &rc.system,
+        workload,
+        scheduler,
+        workload_seed(workload) ^ seed_xor,
+    );
+    if let Some(w) = weights {
+        sys.set_thread_weights(w);
+    }
+    let run = sys.run(rc.horizon);
+    let pairs: Vec<IpcPair> = workload
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(i, profile)| IpcPair {
+            shared: run.ipc[i],
+            alone: alone_ipc(profile),
+        })
+        .collect();
+    let metrics = workload_metrics(&pairs);
+    EvalResult {
+        policy: policy.label(),
+        workload: workload.name.clone(),
+        metrics,
+        slowdowns: pairs.iter().map(|p| p.slowdown()).collect(),
+        speedups: pairs.iter().map(|p| p.speedup()).collect(),
+        run,
+    }
+}
+
+/// Cumulative execution accounting across every sweep and single-cell
+/// evaluation a [`Session`] has run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionStats {
+    /// Grid cells simulated (shared runs).
+    pub cells: u64,
+    /// Alone-run simulations executed (cache misses).
+    pub alone_runs: u64,
+    /// Total simulated cycles across shared and alone runs.
+    pub sim_cycles: u64,
+    /// Wall-clock time spent executing sweeps.
+    pub wall: Duration,
+    /// Largest worker count any sweep used.
+    pub max_workers: usize,
+}
+
+/// An experiment session: one immutable machine/run configuration plus
+/// a shared, thread-safe alone-IPC cache.
+///
+/// Create one per machine configuration, then run any number of
+/// [`Sweep`]s or single-cell evaluations against it; alone-run IPCs are
+/// computed once per unique benchmark profile and shared by every
+/// experiment in the session.
+#[derive(Debug)]
+pub struct Session {
+    rc: RunConfig,
+    cache: AloneIpcCache,
+    stats: Mutex<SessionStats>,
+}
+
+impl Session {
+    /// A session on the given run configuration.
+    pub fn new(rc: RunConfig) -> Self {
+        Self {
+            rc,
+            cache: AloneIpcCache::default(),
+            stats: Mutex::new(SessionStats::default()),
+        }
+    }
+
+    /// A session on the paper's baseline machine with the given horizon.
+    pub fn baseline(horizon: tcm_types::Cycle) -> Self {
+        Self::new(RunConfig::builder().horizon(horizon).build())
+    }
+
+    /// The session's run configuration.
+    pub fn run_config(&self) -> &RunConfig {
+        &self.rc
+    }
+
+    /// The session's alone-IPC cache (for inspection; filled lazily).
+    pub fn alone_cache(&self) -> &AloneIpcCache {
+        &self.cache
+    }
+
+    /// IPC of `profile` running alone on this session's machine
+    /// (cached across the whole session).
+    pub fn alone_ipc(&self, profile: &BenchmarkProfile) -> f64 {
+        self.cache.get_or_compute(profile, &self.rc)
+    }
+
+    /// Starts building a sweep over this session.
+    pub fn sweep(&self) -> Sweep<'_> {
+        Sweep {
+            session: self,
+            policies: Vec::new(),
+            workloads: Vec::new(),
+            seeds: vec![0],
+            weights: None,
+        }
+    }
+
+    /// Runs one policy on one workload (a 1×1 sweep cell).
+    pub fn eval(&self, policy: &PolicyKind, workload: &WorkloadSpec) -> EvalResult {
+        self.eval_weighted(policy, workload, None)
+    }
+
+    /// Like [`Session::eval`], with optional OS thread weights installed
+    /// on the policy before the run.
+    pub fn eval_weighted(
+        &self,
+        policy: &PolicyKind,
+        workload: &WorkloadSpec,
+        weights: Option<&[f64]>,
+    ) -> EvalResult {
+        let t0 = Instant::now();
+        let alone_before = self.cache.misses();
+        let result = eval_cell(policy, workload, &self.rc, weights, 0, |p| self.alone_ipc(p));
+        self.record(1, self.cache.misses() - alone_before, t0.elapsed(), 1);
+        result
+    }
+
+    /// Warms the alone-IPC cache for every profile in `workloads`.
+    ///
+    /// Called automatically before a sweep's parallel phase so workers
+    /// only ever *read* alone IPCs, which keeps parallel results
+    /// bit-identical to serial ones and each unique profile simulated
+    /// exactly once.
+    pub fn prepopulate_alone<'w>(&self, workloads: impl IntoIterator<Item = &'w WorkloadSpec>) {
+        for workload in workloads {
+            for profile in &workload.threads {
+                let _ = self.alone_ipc(profile);
+            }
+        }
+    }
+
+    /// Cumulative execution statistics for this session.
+    pub fn stats(&self) -> SessionStats {
+        *self.stats.lock().expect("session stats poisoned")
+    }
+
+    /// One-line summary of the session's cumulative execution, suitable
+    /// for experiment reports.
+    pub fn stats_line(&self) -> String {
+        let s = self.stats();
+        let secs = s.wall.as_secs_f64();
+        let rate = if secs > 0.0 {
+            s.sim_cycles as f64 / secs
+        } else {
+            0.0
+        };
+        format!(
+            "sweep engine: {} cells + {} alone runs, {} workers max, \
+             {:.2e} sim-cycles/sec over {:.1}s",
+            s.cells, s.alone_runs, s.max_workers, rate, secs,
+        )
+    }
+
+    fn record(&self, cells: u64, alone_runs: u64, wall: Duration, workers: usize) {
+        let mut stats = self.stats.lock().expect("session stats poisoned");
+        stats.cells += cells;
+        stats.alone_runs += alone_runs;
+        stats.sim_cycles += (cells + alone_runs) * self.rc.horizon;
+        stats.wall += wall;
+        stats.max_workers = stats.max_workers.max(workers);
+    }
+}
+
+/// Declarative description of an experiment grid: policies × workloads
+/// × seeds, built from [`Session::sweep`] and executed with
+/// [`Sweep::run`] / [`Sweep::run_parallel`].
+#[derive(Debug)]
+pub struct Sweep<'s> {
+    session: &'s Session,
+    policies: Vec<PolicyKind>,
+    workloads: Vec<WorkloadSpec>,
+    seeds: Vec<u64>,
+    weights: Option<Vec<f64>>,
+}
+
+impl Sweep<'_> {
+    /// Adds policies to the grid.
+    pub fn policies(mut self, policies: impl IntoIterator<Item = PolicyKind>) -> Self {
+        self.policies.extend(policies);
+        self
+    }
+
+    /// Adds workloads to the grid.
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = WorkloadSpec>) -> Self {
+        self.workloads.extend(workloads);
+        self
+    }
+
+    /// Replaces the simulator-seed axis (default: the single canonical
+    /// seed, `[0]`). Seed 0 reproduces the per-workload canonical seed;
+    /// other values perturb it deterministically.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        if self.seeds.is_empty() {
+            self.seeds.push(0);
+        }
+        self
+    }
+
+    /// Installs OS thread weights on every cell's policy (the paper's
+    /// Section 7.4 experiment).
+    pub fn weights(mut self, weights: &[f64]) -> Self {
+        self.weights = Some(weights.to_vec());
+        self
+    }
+
+    /// Executes every cell serially on the calling thread.
+    pub fn run(self) -> SweepResult {
+        self.execute(1)
+    }
+
+    /// Executes the grid sharded across `workers` scoped threads.
+    ///
+    /// Results are **bit-identical** to [`Sweep::run`]: each cell is an
+    /// isolated deterministic simulation, and the session's alone-IPC
+    /// cache is pre-populated serially before the parallel phase.
+    pub fn run_parallel(self, workers: usize) -> SweepResult {
+        self.execute(workers.max(1))
+    }
+
+    /// Executes with a worker per available core (at least two, so
+    /// sharding stays exercised even on single-core CI machines).
+    pub fn run_auto(self) -> SweepResult {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2);
+        self.execute(workers)
+    }
+
+    fn execute(self, workers: usize) -> SweepResult {
+        assert!(
+            !self.policies.is_empty() && !self.workloads.is_empty(),
+            "a sweep needs at least one policy and one workload"
+        );
+        let t0 = Instant::now();
+        let alone_before = self.session.alone_cache().misses();
+        self.session.prepopulate_alone(&self.workloads);
+
+        let (np, nw, ns) = (self.policies.len(), self.workloads.len(), self.seeds.len());
+        let total = np * nw * ns;
+        let workers = workers.min(total).max(1);
+        // Grid order: policy-major, then workload, then seed.
+        let indices: Vec<(usize, usize, usize)> = (0..np)
+            .flat_map(|p| (0..nw).flat_map(move |w| (0..ns).map(move |s| (p, w, s))))
+            .collect();
+
+        let eval_one = |&(p, w, s): &(usize, usize, usize)| -> SweepCell {
+            let result = eval_cell(
+                &self.policies[p],
+                &self.workloads[w],
+                &self.session.rc,
+                self.weights.as_deref(),
+                self.seeds[s],
+                |profile| self.session.alone_ipc(profile),
+            );
+            SweepCell {
+                policy: p,
+                workload: w,
+                seed: s,
+                result,
+            }
+        };
+
+        let cells: Vec<SweepCell> = if workers == 1 {
+            indices.iter().map(eval_one).collect()
+        } else {
+            // Contiguous shards, joined in spawn order: the concatenated
+            // output is in grid order regardless of scheduling.
+            let shard = total.div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = indices
+                    .chunks(shard)
+                    .map(|chunk| scope.spawn(|| chunk.iter().map(eval_one).collect::<Vec<_>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            })
+        };
+
+        let wall = t0.elapsed();
+        let alone_runs = self.session.alone_cache().misses() - alone_before;
+        self.session
+            .record(total as u64, alone_runs, wall, workers);
+        let stats = SweepStats {
+            cells: total,
+            workers,
+            alone_runs,
+            sim_cycles: (total as u64 + alone_runs) * self.session.rc.horizon,
+            wall,
+        };
+        SweepResult {
+            policy_labels: self.policies.iter().map(PolicyKind::label).collect(),
+            workload_names: self.workloads.iter().map(|w| w.name.clone()).collect(),
+            seeds: self.seeds,
+            cells,
+            stats,
+        }
+    }
+}
+
+/// One evaluated grid cell: the (policy, workload, seed) coordinates
+/// plus the full [`EvalResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Index into the sweep's policy axis.
+    pub policy: usize,
+    /// Index into the sweep's workload axis.
+    pub workload: usize,
+    /// Index into the sweep's seed axis.
+    pub seed: usize,
+    /// The cell's evaluation result.
+    pub result: EvalResult,
+}
+
+/// Execution accounting for one sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepStats {
+    /// Grid cells simulated.
+    pub cells: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Alone-run simulations triggered (cache misses during the sweep).
+    pub alone_runs: u64,
+    /// Total simulated cycles (shared + alone runs).
+    pub sim_cycles: u64,
+    /// Wall-clock duration of the sweep.
+    pub wall: Duration,
+}
+
+impl SweepStats {
+    /// Simulated cycles per wall-clock second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.sim_cycles as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line throughput summary (opt-in for experiment reports).
+    pub fn throughput_line(&self) -> String {
+        format!(
+            "sweep: {} cells (+{} alone runs) on {} workers in {:.2}s \
+             ({:.2e} sim-cycles/sec)",
+            self.cells,
+            self.alone_runs,
+            self.workers,
+            self.wall.as_secs_f64(),
+            self.sim_cycles_per_sec(),
+        )
+    }
+}
+
+/// The evaluated grid returned by [`Sweep::run`] /
+/// [`Sweep::run_parallel`]: every cell in policy-major order plus
+/// aggregate views.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    policy_labels: Vec<String>,
+    workload_names: Vec<String>,
+    seeds: Vec<u64>,
+    cells: Vec<SweepCell>,
+    stats: SweepStats,
+}
+
+impl SweepResult {
+    /// Every cell, in (policy, workload, seed) grid order.
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// Labels of the policy axis, in sweep order.
+    pub fn policy_labels(&self) -> &[String] {
+        &self.policy_labels
+    }
+
+    /// Names of the workload axis, in sweep order.
+    pub fn workload_names(&self) -> &[String] {
+        &self.workload_names
+    }
+
+    /// The seed axis.
+    pub fn seeds(&self) -> &[u64] {
+        &self.seeds
+    }
+
+    /// Execution accounting for this sweep.
+    pub fn stats(&self) -> &SweepStats {
+        &self.stats
+    }
+
+    /// The cell at the given grid coordinates.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of range.
+    pub fn get(&self, policy: usize, workload: usize, seed: usize) -> &EvalResult {
+        let (nw, ns) = (self.workload_names.len(), self.seeds.len());
+        assert!(policy < self.policy_labels.len(), "policy index {policy}");
+        assert!(workload < nw, "workload index {workload}");
+        assert!(seed < ns, "seed index {seed}");
+        &self.cells[(policy * nw + workload) * ns + seed].result
+    }
+
+    /// All of one policy's results across workloads and seeds.
+    pub fn policy_results(&self, policy: usize) -> impl Iterator<Item = &EvalResult> {
+        self.cells
+            .iter()
+            .filter(move |c| c.policy == policy)
+            .map(|c| &c.result)
+    }
+
+    /// One policy's metrics averaged over every workload and seed.
+    pub fn policy_average(&self, policy: usize) -> WorkloadMetrics {
+        average(self.policy_results(policy))
+    }
+
+    /// One (policy, workload) pair's metrics averaged over seeds.
+    pub fn policy_workload_metrics(&self, policy: usize, workload: usize) -> WorkloadMetrics {
+        average(
+            self.cells
+                .iter()
+                .filter(|c| c.policy == policy && c.workload == workload)
+                .map(|c| &c.result),
+        )
+    }
+
+    /// Per-policy `(label, average metrics)` pairs in sweep order — the
+    /// shape most experiment tables render.
+    pub fn averages(&self) -> Vec<(String, WorkloadMetrics)> {
+        (0..self.policy_labels.len())
+            .map(|p| (self.policy_labels[p].clone(), self.policy_average(p)))
+            .collect()
+    }
+}
+
+fn average<'r>(results: impl Iterator<Item = &'r EvalResult>) -> WorkloadMetrics {
+    let mut n = 0u64;
+    let (mut ws, mut hs, mut ms) = (0.0, 0.0, 0.0);
+    for r in results {
+        n += 1;
+        ws += r.metrics.weighted_speedup;
+        hs += r.metrics.harmonic_speedup;
+        ms += r.metrics.max_slowdown;
+    }
+    assert!(n > 0, "cannot average an empty result set");
+    WorkloadMetrics {
+        weighted_speedup: ws / n as f64,
+        harmonic_speedup: hs / n as f64,
+        max_slowdown: ms / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcm_types::SystemConfig;
+    use tcm_workload::random_workload;
+
+    fn small_session() -> Session {
+        Session::new(
+            RunConfig::builder()
+                .system(SystemConfig::builder().num_threads(4).build().unwrap())
+                .horizon(60_000)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn distinct_profiles_never_collide_in_fingerprint() {
+        let a = BenchmarkProfile::new("alpha", 10.0, 0.5, 2.0);
+        let b = BenchmarkProfile::new("alpha", 10.0, 0.5, 2.5); // same name, different BLP
+        let c = BenchmarkProfile::new("beta", 10.0, 0.5, 2.0);
+        assert_ne!(ProfileFingerprint::of(&a), ProfileFingerprint::of(&b));
+        assert_ne!(ProfileFingerprint::of(&a), ProfileFingerprint::of(&c));
+        assert_eq!(ProfileFingerprint::of(&a), ProfileFingerprint::of(&a.clone()));
+
+        let session = small_session();
+        let ipc_a = session.alone_ipc(&a);
+        let ipc_b = session.alone_ipc(&b);
+        let _ = (ipc_a, ipc_b);
+        assert_eq!(session.alone_cache().len(), 2, "no collision: two entries");
+        assert_eq!(session.alone_cache().misses(), 2);
+    }
+
+    #[test]
+    fn repeated_profile_misses_exactly_once_then_hits() {
+        let session = small_session();
+        let p = tcm_workload::spec_by_name("mcf").unwrap();
+        let first = session.alone_ipc(&p);
+        assert_eq!(session.alone_cache().misses(), 1);
+        assert_eq!(session.alone_cache().hits(), 0);
+        for _ in 0..3 {
+            assert_eq!(session.alone_ipc(&p), first);
+        }
+        assert_eq!(session.alone_cache().misses(), 1, "exactly one miss");
+        assert_eq!(session.alone_cache().hits(), 3);
+    }
+
+    #[test]
+    fn session_eval_matches_sweep_cell() {
+        let session = small_session();
+        let w = random_workload(1, 4, 0.5);
+        let direct = session.eval(&PolicyKind::FrFcfs, &w);
+        let sweep = session
+            .sweep()
+            .policies([PolicyKind::FrFcfs])
+            .workloads([w])
+            .run();
+        assert_eq!(&direct, sweep.get(0, 0, 0));
+    }
+
+    #[test]
+    fn parallel_equals_serial_bit_for_bit() {
+        let policies = || {
+            [
+                PolicyKind::Fcfs,
+                PolicyKind::FrFcfs,
+                PolicyKind::FairQueueing,
+            ]
+        };
+        let workloads = || (0..3).map(|s| random_workload(s, 4, 0.75));
+        let serial = small_session()
+            .sweep()
+            .policies(policies())
+            .workloads(workloads())
+            .run();
+        let parallel = small_session()
+            .sweep()
+            .policies(policies())
+            .workloads(workloads())
+            .run_parallel(3);
+        assert_eq!(serial.cells(), parallel.cells());
+        assert_eq!(parallel.stats().workers, 3);
+    }
+
+    #[test]
+    fn grid_order_and_accessors_agree() {
+        let session = small_session();
+        let result = session
+            .sweep()
+            .policies([PolicyKind::Fcfs, PolicyKind::FrFcfs])
+            .workloads((0..2).map(|s| random_workload(s, 4, 0.5)))
+            .seeds([0, 7])
+            .run_parallel(4);
+        assert_eq!(result.cells().len(), 2 * 2 * 2);
+        for (i, cell) in result.cells().iter().enumerate() {
+            let (p, w, s) = (cell.policy, cell.workload, cell.seed);
+            assert_eq!(i, (p * 2 + w) * 2 + s, "grid order");
+            assert_eq!(result.get(p, w, s), &cell.result);
+        }
+        // Seed 0 is canonical; a different seed axis value changes the run.
+        assert_ne!(result.get(0, 0, 0).run, result.get(0, 0, 1).run);
+        let avg = result.policy_average(1);
+        assert!(avg.weighted_speedup > 0.0);
+        assert_eq!(result.averages().len(), 2);
+    }
+
+    #[test]
+    fn prepopulation_makes_parallel_phase_read_only() {
+        let session = small_session();
+        let workloads: Vec<_> = (0..2).map(|s| random_workload(s, 4, 1.0)).collect();
+        session.prepopulate_alone(&workloads);
+        let misses_before = session.alone_cache().misses();
+        let _ = session
+            .sweep()
+            .policies([PolicyKind::FrFcfs, PolicyKind::Fcfs])
+            .workloads(workloads)
+            .run_parallel(2);
+        assert_eq!(
+            session.alone_cache().misses(),
+            misses_before,
+            "no alone run inside the parallel phase"
+        );
+    }
+
+    #[test]
+    fn weighted_sweep_applies_weights() {
+        let session = small_session();
+        let w = random_workload(3, 4, 1.0);
+        let atlas = || PolicyKind::Atlas(tcm_sched::AtlasParams::paper_default());
+        let flat = session
+            .sweep()
+            .policies([atlas()])
+            .workloads([w.clone()])
+            .run();
+        let skewed = session
+            .sweep()
+            .policies([atlas()])
+            .workloads([w])
+            .weights(&[16.0, 1.0, 1.0, 1.0])
+            .run();
+        assert_ne!(flat.get(0, 0, 0).run, skewed.get(0, 0, 0).run);
+    }
+
+    #[test]
+    fn stats_account_cells_and_workers() {
+        let session = small_session();
+        let result = session
+            .sweep()
+            .policies([PolicyKind::Fcfs])
+            .workloads((0..2).map(|s| random_workload(s, 4, 0.5)))
+            .run_parallel(8);
+        // 2 cells cap the worker count.
+        assert_eq!(result.stats().workers, 2);
+        assert_eq!(result.stats().cells, 2);
+        assert!(result.stats().sim_cycles >= 2 * 60_000);
+        let agg = session.stats();
+        assert_eq!(agg.cells, 2);
+        assert_eq!(agg.max_workers, 2);
+        assert!(session.stats_line().contains("2 cells"));
+        assert!(!result.stats().throughput_line().is_empty());
+    }
+}

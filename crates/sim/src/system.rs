@@ -255,14 +255,9 @@ impl System {
     /// Admits a request into its controller's buffer, spilling if full.
     fn admit(&mut self, request: Request) {
         let c = request.addr.channel.index();
-        if self.spill[c].is_empty() {
-            match self.channels[c].enqueue(request) {
-                Ok(()) => {
-                    self.scheduler.on_enqueue(&request, self.now);
-                    return;
-                }
-                Err(_) => {}
-            }
+        if self.spill[c].is_empty() && self.channels[c].enqueue(request).is_ok() {
+            self.scheduler.on_enqueue(&request, self.now);
+            return;
         }
         self.spilled += 1;
         self.spill[c].push_back(request);

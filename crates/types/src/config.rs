@@ -6,7 +6,6 @@
 //! 3-wide issue with at most one memory operation per cycle.
 
 use crate::error::ConfigError;
-use serde::{Deserialize, Serialize};
 
 /// DRAM access timing expressed in *core* cycles (5 GHz core clock).
 ///
@@ -32,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.round_trip(RowState::Closed), 300);
 /// assert_eq!(t.round_trip(RowState::Conflict), 400);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramTiming {
     /// Precharge latency (tRP), core cycles.
     pub rp: u64,
@@ -118,7 +117,7 @@ impl Default for DramTiming {
 /// assert_eq!(cfg.total_banks(), 8);
 /// # Ok::<(), tcm_types::ConfigError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SystemConfig {
     /// Number of hardware threads (= cores; one thread per core).
     pub num_threads: usize,

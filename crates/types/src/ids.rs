@@ -4,7 +4,6 @@
 //! numbers from being accidentally mixed (C-NEWTYPE). All identifiers are
 //! dense `usize` indices so they can be used directly to index `Vec`s.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! index_newtype {
@@ -12,7 +11,7 @@ macro_rules! index_newtype {
         $(#[$meta])*
         #[derive(
             Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-            Serialize, Deserialize,
+           
         )]
         pub struct $name(usize);
 
@@ -95,7 +94,7 @@ index_newtype!(
 /// assert_eq!(g.flat_index(4), 6); // channel 1 * 4 banks + bank 2
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct GlobalBank {
     /// Channel holding the bank.

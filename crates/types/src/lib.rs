@@ -10,7 +10,7 @@
 //!   the paper's baseline configuration (Table 3 of the paper), and
 //! * shared error types.
 //!
-//! Everything here is plain data: `Copy` where cheap, `serde`-serializable,
+//! Everything here is plain data: `Copy` where cheap, free of I/O concerns,
 //! and free of simulation logic. Higher-level crates (`tcm-dram`,
 //! `tcm-cpu`, `tcm-sched`, `tcm-core`, `tcm-sim`) build on these types.
 //!

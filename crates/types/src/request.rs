@@ -1,7 +1,6 @@
 //! Memory requests: the unit of work flowing from cores to DRAM banks.
 
 use crate::{BankId, ChannelId, Cycle, GlobalBank, Row, ThreadId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Globally unique, monotonically increasing request identifier.
@@ -10,7 +9,7 @@ use std::fmt;
 /// tie-breaking (older request = smaller id) and for correlating
 /// completion events with their originating core.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct RequestId(u64);
 
@@ -41,7 +40,7 @@ impl fmt::Display for RequestId {
 /// accesses touch the *same row*, so row granularity captures everything
 /// the evaluated scheduling policies can observe.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct MemAddress {
     /// Memory channel (one independent controller per channel).
@@ -79,7 +78,7 @@ impl fmt::Display for MemAddress {
 /// a *hit* needs only a column access, *closed* needs an activate first,
 /// and a *conflict* additionally needs a precharge of the currently open
 /// (different) row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RowState {
     /// The addressed row is already open in the row-buffer.
     Hit,
@@ -106,7 +105,7 @@ impl fmt::Display for RowState {
 /// Requests are read requests for a 32-byte cache block (the paper's
 /// request buffer prioritizes reads over writes; like most scheduling
 /// studies we model the read path, which is what stalls cores).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Request {
     /// Unique id; smaller = older (injection order).
     pub id: RequestId,

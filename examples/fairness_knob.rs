@@ -5,29 +5,39 @@
 //! Run with: `cargo run --release --example fairness_knob`
 
 use tcm::core::TcmParams;
-use tcm::sim::{evaluate, AloneCache, PolicyKind, RunConfig};
+use tcm::sim::{PolicyKind, RunConfig, Session};
 use tcm::types::SystemConfig;
 use tcm::workload::random_workload;
 
 fn main() {
     let n = 24;
-    let rc = RunConfig {
-        system: SystemConfig::paper_baseline(),
-        horizon: 10_000_000,
-    };
+    let session = Session::new(
+        RunConfig::builder()
+            .system(SystemConfig::paper_baseline())
+            .horizon(10_000_000)
+            .build(),
+    );
     let workload = random_workload(7, n, 0.5);
-    let mut alone = AloneCache::new();
 
     println!("workload: {workload}");
+
+    // All five knob settings run as one sharded sweep.
+    let grid = session
+        .sweep()
+        .policies((2..=6).map(|k| {
+            let thresh = k as f64 / n as f64;
+            PolicyKind::Tcm(TcmParams::reproduction_default(n).with_cluster_thresh(thresh))
+        }))
+        .workloads([workload])
+        .run_auto();
+
     println!();
     println!("{:>13} | {:>8} {:>8}", "ClusterThresh", "WS", "maxSD");
-    for k in 2..=6 {
-        let thresh = k as f64 / n as f64;
-        let params = TcmParams::reproduction_default(n).with_cluster_thresh(thresh);
-        let r = evaluate(&PolicyKind::Tcm(params), &workload, &rc, &mut alone);
+    for (i, k) in (2..=6).enumerate() {
+        let m = grid.get(i, 0, 0).metrics;
         println!(
             "{:>11}/{} | {:8.2} {:8.2}",
-            k, n, r.metrics.weighted_speedup, r.metrics.max_slowdown
+            k, n, m.weighted_speedup, m.max_slowdown
         );
     }
     println!();

@@ -7,18 +7,21 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tcm::sim::{evaluate, AloneCache, PolicyKind, RunConfig};
+use tcm::sim::{PolicyKind, RunConfig, Session};
 use tcm::types::SystemConfig;
 use tcm::workload::random_workload;
 use tcm_core::TcmParams;
 
 fn main() {
     // The paper's baseline machine: 24 cores, 4 memory controllers,
-    // DDR2-800 timing (Table 3).
-    let rc = RunConfig {
-        system: SystemConfig::paper_baseline(),
-        horizon: 5_000_000,
-    };
+    // DDR2-800 timing (Table 3). A Session fixes the machine and caches
+    // the alone-run IPCs (the slowdown denominators) across policies.
+    let session = Session::new(
+        RunConfig::builder()
+            .system(SystemConfig::paper_baseline())
+            .horizon(5_000_000)
+            .build(),
+    );
 
     // A random 24-thread workload, half memory-intensive — the paper's
     // default workload category.
@@ -28,20 +31,24 @@ fn main() {
         println!("  T{i:<2} {profile}");
     }
 
-    // Alone-run IPCs (the slowdown denominators) are computed once and
-    // cached across policies.
-    let mut alone = AloneCache::new();
+    // Both policies run as one sweep, sharded across worker threads;
+    // parallel execution is bit-identical to serial.
+    let grid = session
+        .sweep()
+        .policies([
+            PolicyKind::FrFcfs,
+            PolicyKind::Tcm(TcmParams::reproduction_default(24)),
+        ])
+        .workloads([workload])
+        .run_auto();
 
     println!();
     println!(
         "{:>8} | {:>8} {:>8} {:>8}",
         "policy", "WS", "maxSD", "HS"
     );
-    for policy in [
-        PolicyKind::FrFcfs,
-        PolicyKind::Tcm(TcmParams::reproduction_default(24)),
-    ] {
-        let result = evaluate(&policy, &workload, &rc, &mut alone);
+    for cell in grid.cells() {
+        let result = &cell.result;
         println!(
             "{:>8} | {:8.2} {:8.2} {:8.3}",
             result.policy,
@@ -51,6 +58,7 @@ fn main() {
         );
     }
     println!();
+    println!("{}", grid.stats().throughput_line());
     println!("WS = weighted speedup (throughput, higher is better)");
     println!("maxSD = maximum slowdown (unfairness, lower is better)");
     println!("HS = harmonic speedup (balance, higher is better)");

@@ -18,7 +18,7 @@
 
 use tcm::sched::select::{age_key, pick_max_by_key, row_hit};
 use tcm::sched::{PickContext, Scheduler};
-use tcm::sim::{RunConfig, System};
+use tcm::sim::{RunConfig, Session, System};
 use tcm::types::{Request, SystemConfig, ThreadId};
 use tcm::workload::{BenchmarkProfile, WorkloadSpec};
 
@@ -44,10 +44,7 @@ fn main() {
     let horizon = 10_000_000;
     let mut system_cfg = SystemConfig::paper_baseline();
     system_cfg.num_threads = 2;
-    let rc = RunConfig {
-        system: system_cfg.clone(),
-        horizon,
-    };
+
 
     let random = BenchmarkProfile::random_access();
     let streaming = BenchmarkProfile::streaming();
@@ -55,10 +52,16 @@ fn main() {
     println!("  {random}");
     println!("  {streaming}");
 
-    // Alone IPCs for the slowdown denominators.
-    let mut alone = tcm::sim::AloneCache::new();
-    let alone_random = alone.alone_ipc(&random, &rc);
-    let alone_streaming = alone.alone_ipc(&streaming, &rc);
+    // Alone IPCs for the slowdown denominators, via a Session on the
+    // same two-thread machine.
+    let session = Session::new(
+        RunConfig::builder()
+            .system(system_cfg.clone())
+            .horizon(horizon)
+            .build(),
+    );
+    let alone_random = session.alone_ipc(&random);
+    let alone_streaming = session.alone_ipc(&streaming);
 
     let workload = WorkloadSpec::new("fig2", vec![random, streaming]);
     println!();

@@ -8,7 +8,7 @@
 
 use tcm::core::TcmParams;
 use tcm::sched::AtlasParams;
-use tcm::sim::{evaluate_weighted, AloneCache, PolicyKind, RunConfig};
+use tcm::sim::{PolicyKind, RunConfig, Session};
 use tcm::types::SystemConfig;
 use tcm::workload::{spec_by_name, WorkloadSpec};
 
@@ -35,17 +35,24 @@ fn main() {
     }
     let workload = WorkloadSpec::new("weights", threads);
 
-    let rc = RunConfig {
-        system: SystemConfig::paper_baseline(),
-        horizon: 10_000_000,
-    };
-    let mut alone = AloneCache::new();
+    let session = Session::new(
+        RunConfig::builder()
+            .system(SystemConfig::paper_baseline())
+            .horizon(10_000_000)
+            .build(),
+    );
 
-    for policy in [
-        PolicyKind::Atlas(AtlasParams::paper_default()),
-        PolicyKind::Tcm(TcmParams::reproduction_default(24)),
-    ] {
-        let r = evaluate_weighted(&policy, &workload, &rc, &mut alone, Some(&weights));
+    let grid = session
+        .sweep()
+        .policies([
+            PolicyKind::Atlas(AtlasParams::paper_default()),
+            PolicyKind::Tcm(TcmParams::reproduction_default(24)),
+        ])
+        .workloads([workload])
+        .weights(&weights)
+        .run_auto();
+    for cell in grid.cells() {
+        let r = &cell.result;
         println!("{} (weights favor intensive threads):", r.policy);
         for (a, (name, weight)) in apps.iter().enumerate() {
             let avg: f64 = (0..copies)

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint — exactly what the tier-1 check runs,
+# plus clippy with warnings denied and the opt-in bench harness compile.
+#
+# Everything here works without network access: the workspace vendors its
+# few external dependencies under vendor/ (see the workspace Cargo.toml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q (workspace)"
+cargo test --workspace -q --offline
+
+echo "==> cargo clippy -D warnings (all targets)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> bench harness compiles (feature-gated)"
+cargo build --benches -p tcm-bench --features bench-harness --offline
+
+echo "All checks passed."

@@ -1,12 +1,22 @@
-//! End-to-end determinism: the simulator must be bit-reproducible, and
-//! every policy must see the identical workload trace.
+//! End-to-end determinism: the simulator must be bit-reproducible, every
+//! policy must see the identical workload trace, and parallel sweep
+//! execution must be bit-identical to serial execution.
 
-use tcm::sim::{evaluate, AloneCache, PolicyKind, RunConfig, System};
+use tcm::sim::{PolicyKind, RunConfig, Session, System};
 use tcm::types::SystemConfig;
 use tcm::workload::random_workload;
 
 fn small_system(threads: usize) -> SystemConfig {
     SystemConfig::builder().num_threads(threads).build().unwrap()
+}
+
+fn session(threads: usize, horizon: u64) -> Session {
+    Session::new(
+        RunConfig::builder()
+            .system(small_system(threads))
+            .horizon(horizon)
+            .build(),
+    )
 }
 
 #[test]
@@ -32,17 +42,16 @@ fn different_seeds_differ() {
 }
 
 #[test]
-fn evaluate_is_reproducible_across_calls() {
-    let rc = RunConfig {
-        system: small_system(6),
-        horizon: 300_000,
-    };
+fn eval_is_reproducible_across_calls_and_sessions() {
     let workload = random_workload(5, 6, 0.5);
-    let mut alone = AloneCache::new();
-    let a = evaluate(&PolicyKind::FrFcfs, &workload, &rc, &mut alone);
-    let b = evaluate(&PolicyKind::FrFcfs, &workload, &rc, &mut alone);
+    let s1 = session(6, 300_000);
+    let a = s1.eval(&PolicyKind::FrFcfs, &workload);
+    let b = s1.eval(&PolicyKind::FrFcfs, &workload);
     assert_eq!(a.metrics.weighted_speedup, b.metrics.weighted_speedup);
     assert_eq!(a.run, b.run);
+    // A fresh session (empty cache) reproduces the same result.
+    let c = session(6, 300_000).eval(&PolicyKind::FrFcfs, &workload);
+    assert_eq!(a, c);
 }
 
 #[test]
@@ -51,14 +60,10 @@ fn policies_see_identical_traces() {
     // workload: trace generation is independent of scheduling until
     // backpressure, and at this horizon backpressure differences only
     // affect in-flight tails.
-    let rc = RunConfig {
-        system: small_system(4),
-        horizon: 200_000,
-    };
+    let s = session(4, 200_000);
     let workload = random_workload(9, 4, 0.25);
-    let mut alone = AloneCache::new();
-    let a = evaluate(&PolicyKind::FrFcfs, &workload, &rc, &mut alone);
-    let b = evaluate(&PolicyKind::Fcfs, &workload, &rc, &mut alone);
+    let a = s.eval(&PolicyKind::FrFcfs, &workload);
+    let b = s.eval(&PolicyKind::Fcfs, &workload);
     // Light workload: neither policy should starve anything badly, and
     // the per-thread miss totals should be near-identical.
     for (ma, mb) in a.run.misses.iter().zip(&b.run.misses) {
@@ -66,4 +71,42 @@ fn policies_see_identical_traces() {
         let lo = (*ma).min(*mb) as f64;
         assert!(lo / hi > 0.9, "trace divergence: {ma} vs {mb}");
     }
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    // 3 policies x 4 workloads; the same grid run serially and sharded
+    // across 4 workers must agree on every metric of every cell.
+    let policies = || {
+        vec![
+            PolicyKind::Fcfs,
+            PolicyKind::FrFcfs,
+            PolicyKind::FairQueueing,
+        ]
+    };
+    let workloads = || (0..4).map(|s| random_workload(s, 6, 0.75));
+
+    let serial = session(6, 250_000)
+        .sweep()
+        .policies(policies())
+        .workloads(workloads())
+        .run();
+    let parallel = session(6, 250_000)
+        .sweep()
+        .policies(policies())
+        .workloads(workloads())
+        .run_parallel(4);
+
+    assert_eq!(serial.stats().cells, 12);
+    assert_eq!(parallel.stats().workers, 4);
+    for p in 0..3 {
+        for w in 0..4 {
+            let a = serial.get(p, w, 0);
+            let b = parallel.get(p, w, 0);
+            assert_eq!(a.metrics, b.metrics, "metrics differ at ({p},{w})");
+            assert_eq!(a, b, "full cell differs at ({p},{w})");
+        }
+        assert_eq!(serial.policy_average(p), parallel.policy_average(p));
+    }
+    assert_eq!(serial.cells(), parallel.cells());
 }

@@ -1,0 +1,242 @@
+//! Offline stand-in for the subset of the [`criterion`] benchmarking API
+//! this workspace's benches use.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a miniature timing harness with the same surface:
+//! [`Criterion::bench_function`], benchmark groups,
+//! [`BenchmarkId`], `b.iter(...)`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark is warmed up briefly, then
+//! timed over a fixed number of batches; the median per-iteration time
+//! is printed. There is no statistical analysis, HTML report, or
+//! command-line filtering — this harness exists so `cargo bench
+//! --features bench-harness` runs offline and surfaces gross
+//! regressions.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness uses a fixed batch
+    /// count regardless.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op here; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An identifier with a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { text: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { text: s }
+    }
+}
+
+/// Per-benchmark timing driver: call [`Bencher::iter`] with the
+/// operation under test.
+#[derive(Debug)]
+pub struct Bencher {
+    batches: Vec<Duration>,
+    iters_per_batch: u64,
+}
+
+impl Bencher {
+    /// Times `op`, recording a handful of fixed-size batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut op: F) {
+        // Warm-up, and a rough calibration so a batch is neither
+        // instantaneous nor unbounded.
+        let warm = Instant::now();
+        std::hint::black_box(op());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(20);
+        self.iters_per_batch = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..NUM_BATCHES {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                std::hint::black_box(op());
+            }
+            self.batches.push(t0.elapsed());
+        }
+    }
+}
+
+const NUM_BATCHES: usize = 7;
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut bencher = Bencher {
+        batches: Vec::new(),
+        iters_per_batch: 1,
+    };
+    f(&mut bencher);
+    if bencher.batches.is_empty() {
+        println!("{name:<48} (no measurement)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = bencher
+        .batches
+        .iter()
+        .map(|d| d.as_secs_f64() / bencher.iters_per_batch as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    println!("{name:<48} median {:>12}/iter", format_seconds(median));
+}
+
+fn format_seconds(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export of [`std::hint::black_box`] for API compatibility.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| ()));
+        group.finish();
+    }
+}

@@ -1,0 +1,151 @@
+//! Deterministic case execution: configuration, RNG, and the loop behind
+//! the [`proptest!`](crate::proptest) macro.
+
+/// How many cases to run, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's inputs violated a `prop_assume!`; draw a replacement.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// A rejection (assumption violated).
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// The deterministic per-case RNG handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for the given case index; equal indices give equal
+    /// streams, so failures reproduce run-to-run.
+    pub fn for_case(case: u64) -> Self {
+        let mut rng = TestRng {
+            state: case
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(0x5851_F42D_4C95_7F2D),
+        };
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// The next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs `config.cases` cases of `case`, which returns the formatted
+/// inputs alongside the case outcome. Returns a message describing the
+/// first failure, if any.
+pub fn run_cases<F>(config: ProptestConfig, mut case: F) -> Result<(), String>
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let mut passed: u32 = 0;
+    let mut attempt: u64 = 0;
+    // Bound rejection loops: a test whose assumption almost never holds
+    // should fail loudly rather than spin.
+    let max_attempts = (config.cases as u64).saturating_mul(16).max(64);
+    while passed < config.cases {
+        if attempt >= max_attempts {
+            return Err(format!(
+                "gave up after {attempt} attempts: only {passed}/{} cases \
+                 survived prop_assume! rejection",
+                config.cases
+            ));
+        }
+        let mut rng = TestRng::for_case(attempt);
+        attempt += 1;
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                return Err(format!(
+                    "property failed at case #{attempt}: {msg}\n  inputs: {inputs}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_counts_only_accepted_cases() {
+        let mut calls = 0u32;
+        let result = run_cases(ProptestConfig::with_cases(10), |rng| {
+            calls += 1;
+            let v = rng.next_u64();
+            if v % 2 == 0 {
+                (format!("{v}"), Err(TestCaseError::Reject))
+            } else {
+                (format!("{v}"), Ok(()))
+            }
+        });
+        assert!(result.is_ok());
+        assert!(calls >= 10);
+    }
+
+    #[test]
+    fn runner_reports_failure_with_inputs() {
+        let result = run_cases(ProptestConfig::with_cases(5), |_| {
+            ("42".to_string(), Err(TestCaseError::fail("boom".into())))
+        });
+        let msg = result.unwrap_err();
+        assert!(msg.contains("boom") && msg.contains("42"), "{msg}");
+    }
+
+    #[test]
+    fn same_case_index_reproduces_stream() {
+        let mut a = TestRng::for_case(9);
+        let mut b = TestRng::for_case(9);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.next_f64(), b.next_f64());
+    }
+}

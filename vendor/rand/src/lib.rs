@@ -1,0 +1,192 @@
+//! Offline stand-in for the subset of the [`rand` 0.8] API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice of `rand` it actually needs: a seedable
+//! deterministic generator ([`rngs::StdRng`]), the [`SeedableRng`] and
+//! [`Rng`] traits, and uniform range / Bernoulli sampling. The generator
+//! is a SplitMix64 — statistically solid for simulation workloads,
+//! bit-stable across platforms and releases (an explicit goal here:
+//! experiment outputs must be reproducible), and dependency-free.
+//!
+//! This is **not** a cryptographic generator and does not aim for
+//! stream-compatibility with the real `rand` crate; seeds produce
+//! different sequences than upstream `StdRng`.
+//!
+//! [`rand` 0.8]: https://docs.rs/rand/0.8
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generators.
+pub mod rngs {
+    /// A seedable, portable pseudo-random generator (SplitMix64).
+    ///
+    /// Mirrors the role of `rand::rngs::StdRng`: the workspace's default
+    /// source of reproducible randomness.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix the seed once so small seeds (0, 1, 2...) do not
+            // start in nearly identical states.
+            let mut rng = StdRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 };
+            let _ = crate::Rng::next_u64(&mut rng);
+            rng
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. Equal seeds produce equal
+    /// streams; unequal seeds produce (with overwhelming probability)
+    /// unrelated streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random value generation: the subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// The raw 64-bit output stream every other method derives from.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value in `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        gen_f64(self) < p
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` using the top 53 bits of one output word.
+fn gen_f64<R: Rng>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that can be sampled uniformly; implemented for the integer
+/// and float ranges the workspace draws from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = gen_f64(rng);
+        let v = self.start + unit * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(0u64..=5);
+            assert!(w <= 5);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&heads), "heads={heads}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn integer_sampling_covers_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
