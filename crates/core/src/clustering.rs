@@ -111,6 +111,7 @@ pub fn cluster_threads(mpki: &[f64], bw_usage: &[u64], cluster_thresh: f64) -> C
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

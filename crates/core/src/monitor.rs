@@ -182,6 +182,7 @@ impl TcmMonitor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcm_types::ChannelId;

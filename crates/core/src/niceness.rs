@@ -66,6 +66,7 @@ pub fn niceness_scores(blp: &[f64], rbl: &[f64]) -> Vec<i64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -146,6 +146,7 @@ impl TcmParams {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

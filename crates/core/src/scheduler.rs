@@ -340,6 +340,7 @@ impl Scheduler for Tcm {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcm_types::{BankId, ChannelId, MemAddress, RequestId, Row};

@@ -252,6 +252,7 @@ pub fn weighted_random_permutation(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::collections::HashSet;

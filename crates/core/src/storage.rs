@@ -152,6 +152,7 @@ impl Default for StorageModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::unwrap_used)]
 
 use tcm_types::{Cycle, RequestId, ThreadId};
 
@@ -268,6 +269,7 @@ impl Core {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -118,6 +118,7 @@ impl Default for Bank {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcm_types::DramTiming;

@@ -1,7 +1,8 @@
 //! One memory channel: banks + data bus + request buffer + accounting.
 
+use crate::verify::ProtocolChecker;
 use crate::{Bank, ChannelStats, DataBus, QueueFullError, RequestQueue};
-use tcm_types::{BankId, ChannelId, Cycle, DramTiming, Request, RowState};
+use tcm_types::{BankId, ChannelId, Cycle, DramTiming, InvariantViolation, Request, RowState};
 
 /// The full timing result of issuing one request to its bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +46,9 @@ pub struct Channel {
     bus: DataBus,
     queue: RequestQueue,
     stats: ChannelStats,
+    /// Observation-only runtime protocol checker (always on in debug
+    /// builds; opt-in in release via [`Channel::enable_verification`]).
+    checker: Option<Box<ProtocolChecker>>,
 }
 
 impl Channel {
@@ -62,12 +66,67 @@ impl Channel {
         buffer_capacity: usize,
         num_threads: usize,
     ) -> Self {
-        Self {
+        let mut channel = Self {
             id,
             banks: (0..num_banks).map(|_| Bank::new()).collect(),
             bus: DataBus::new(),
             queue: RequestQueue::new(buffer_capacity),
             stats: ChannelStats::new(num_banks, num_threads),
+            checker: None,
+        };
+        // Keep the timing model honest wherever tests run: the checker is
+        // observation-only, so results are unaffected.
+        if cfg!(debug_assertions) {
+            channel.enable_verification();
+        }
+        channel
+    }
+
+    /// Turns on the runtime protocol checker (idempotent). The checker
+    /// is pure observation: enabling it never changes simulation
+    /// results, only whether violations are detected and reported.
+    pub fn enable_verification(&mut self) {
+        if self.checker.is_none() {
+            self.checker = Some(Box::new(ProtocolChecker::new(self.id, self.banks.len())));
+        }
+    }
+
+    /// Turns the runtime protocol checker off, discarding its state.
+    pub fn disable_verification(&mut self) {
+        self.checker = None;
+    }
+
+    /// Whether the runtime protocol checker is active.
+    pub fn verification_enabled(&self) -> bool {
+        self.checker.is_some()
+    }
+
+    /// The protocol checker's state, when verification is enabled.
+    pub fn checker(&self) -> Option<&ProtocolChecker> {
+        self.checker.as_deref()
+    }
+
+    /// The first protocol violation observed on this channel, if any.
+    pub fn violation(&self) -> Option<&InvariantViolation> {
+        self.checker.as_ref().and_then(|c| c.violation())
+    }
+
+    /// End-of-run conservation check: verifies every admitted request
+    /// was serviced exactly once or is still queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] observed during the run
+    /// (including any conservation mismatch found by this call). A
+    /// no-op returning `Ok(())` when verification is disabled.
+    pub fn finish_verification(&mut self, now: Cycle) -> Result<(), InvariantViolation> {
+        let Some(checker) = self.checker.as_mut() else {
+            return Ok(());
+        };
+        checker.on_finish(self.queue.iter(), now);
+        match checker.violation() {
+            Some(v) => Err(v.clone()),
+            None => Ok(()),
         }
     }
 
@@ -116,7 +175,11 @@ impl Channel {
     /// channel.
     pub fn enqueue(&mut self, request: Request) -> Result<(), QueueFullError> {
         debug_assert_eq!(request.addr.channel, self.id, "request routed to wrong channel");
-        self.queue.push(request)
+        self.queue.push(request)?;
+        if let Some(checker) = self.checker.as_mut() {
+            checker.on_admit(&request, request.issued_at);
+        }
+        Ok(())
     }
 
     /// Requests currently pending for `bank`, in arrival order; positions
@@ -199,11 +262,15 @@ impl Channel {
             timing.bus_burst,
             completes_at,
         );
+        if let Some(checker) = self.checker.as_mut() {
+            checker.on_issue(&outcome, timing, now);
+        }
         outcome
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcm_types::{MemAddress, RequestId, Row, ThreadId};

@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::unwrap_used)]
 
 mod bank;
 mod bus;
@@ -52,6 +53,7 @@ mod channel;
 mod queue;
 mod shadow;
 mod stats;
+mod verify;
 
 pub use bank::{Bank, BankService};
 pub use bus::DataBus;
@@ -59,3 +61,4 @@ pub use channel::{Channel, ServiceOutcome};
 pub use queue::{QueueFullError, RequestQueue};
 pub use shadow::ShadowRowBuffer;
 pub use stats::{BankStats, ChannelStats};
+pub use verify::ProtocolChecker;

@@ -152,6 +152,7 @@ impl RequestQueue {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcm_types::{ChannelId, MemAddress, Row};

@@ -91,6 +91,7 @@ impl ShadowRowBuffer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -93,6 +93,76 @@ proptest! {
         }
     }
 
+    /// The protocol checker is pure observation and silent on legal
+    /// streams: any random request stream, serviced oldest-first at each
+    /// bank's earliest legal cycle, never trips an invariant, and the
+    /// end-of-run conservation check accounts for every request.
+    #[test]
+    fn checker_is_silent_on_legal_streams(specs in proptest::collection::vec(req_spec(), 1..80)) {
+        let timing = DramTiming::ddr2_800();
+        let mut ch = Channel::with_threads(ChannelId::new(0), 4, 128, 8);
+        ch.enable_verification();
+        let mut bank_free = [0u64; 4];
+        let mut now = 0u64;
+        for (i, spec) in specs.iter().enumerate() {
+            let request = Request::new(
+                RequestId::new(i as u64),
+                ThreadId::new(spec.thread),
+                MemAddress::new(ChannelId::new(0), BankId::new(spec.bank), Row::new(spec.row)),
+                now,
+            );
+            ch.enqueue(request).expect("capacity is ample");
+            let start = now.max(bank_free[spec.bank]);
+            let outcome = ch.issue_at(spec.bank, 0, start, &timing);
+            bank_free[spec.bank] = outcome.bank_free;
+            prop_assert!(ch.violation().is_none(), "violation: {:?}", ch.violation());
+            now += 1;
+        }
+        let end = bank_free.iter().copied().max().unwrap_or(0);
+        prop_assert!(ch.finish_verification(end).is_ok());
+        let checker = ch.checker().expect("verification is enabled");
+        prop_assert_eq!(checker.admitted(), specs.len());
+        prop_assert_eq!(checker.serviced(), specs.len());
+    }
+
+    /// Conservation also holds on partial drains: requests left in the
+    /// queue at end of run are accounted for, not reported lost.
+    #[test]
+    fn checker_accounts_for_queued_requests(
+        specs in proptest::collection::vec(req_spec(), 2..60),
+        serve_pct in 0usize..101,
+    ) {
+        let timing = DramTiming::ddr2_800();
+        let mut ch = Channel::with_threads(ChannelId::new(0), 4, 256, 8);
+        ch.enable_verification();
+        for (i, spec) in specs.iter().enumerate() {
+            let request = Request::new(
+                RequestId::new(i as u64),
+                ThreadId::new(spec.thread),
+                MemAddress::new(ChannelId::new(0), BankId::new(spec.bank), Row::new(spec.row)),
+                i as u64,
+            );
+            ch.enqueue(request).expect("capacity is ample");
+        }
+        let to_serve = specs.len() * serve_pct / 100;
+        let mut now = specs.len() as u64;
+        let mut served = 0usize;
+        // Strictly sequential service: one bank busy at a time, so every
+        // issue is trivially legal.
+        while served < to_serve {
+            let banks = ch.schedulable_banks(now);
+            let Some(&bank) = banks.first() else { break };
+            let outcome = ch.issue_at(bank.index(), 0, now, &timing);
+            now = outcome.bank_free;
+            served += 1;
+            prop_assert!(ch.violation().is_none(), "violation: {:?}", ch.violation());
+        }
+        prop_assert!(ch.finish_verification(now).is_ok());
+        let checker = ch.checker().expect("verification is enabled");
+        prop_assert_eq!(checker.admitted(), specs.len());
+        prop_assert_eq!(checker.serviced(), served);
+    }
+
     /// Queue take/pending bookkeeping: pending positions always index
     /// correctly regardless of interleaving.
     #[test]

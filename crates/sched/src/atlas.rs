@@ -155,6 +155,7 @@ impl Scheduler for Atlas {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::testutil::{ctx, req};

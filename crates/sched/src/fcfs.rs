@@ -31,6 +31,7 @@ impl Scheduler for Fcfs {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::testutil::{ctx, req};

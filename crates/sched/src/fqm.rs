@@ -84,6 +84,7 @@ impl Scheduler for FairQueueing {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::testutil::{ctx, req};

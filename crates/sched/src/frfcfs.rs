@@ -34,6 +34,7 @@ impl Scheduler for FrFcfs {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::testutil::{ctx, req};

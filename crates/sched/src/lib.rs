@@ -53,6 +53,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::unwrap_used)]
 
 mod atlas;
 mod fcfs;
@@ -158,6 +159,7 @@ pub trait Scheduler: std::fmt::Debug + Send {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 pub(crate) mod testutil {
     //! Shared helpers for scheduler unit tests.
 

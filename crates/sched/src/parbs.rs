@@ -157,6 +157,7 @@ impl Scheduler for ParBs {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::testutil::{ctx, req, req_at_bank};

@@ -48,6 +48,7 @@ pub fn row_hit(r: &Request, open_row: Option<Row>) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::testutil::req;

@@ -170,6 +170,7 @@ impl Scheduler for Stfm {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::testutil::{ctx, req};

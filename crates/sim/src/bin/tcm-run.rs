@@ -5,8 +5,12 @@
 //! ```text
 //! tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]
 //!         [--policies fr-fcfs,stfm,par-bs,atlas,fqm,tcm] [--json]
-//!         [--workload A|B|C|D] [--workers W]
+//!         [--workload A|B|C|D] [--workers W] [--verify]
 //! ```
+//!
+//! Exit codes: 0 on success, 1 if any sweep cell failed (the failures
+//! are reported on stderr; successful cells are still printed), 2 on
+//! usage errors.
 //!
 //! Examples:
 //!
@@ -127,7 +131,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]\n\
          \x20              [--policies p1,p2,...] [--workload A|B|C|D] [--workers W] [--json]\n\
-         policies: fcfs fr-fcfs stfm par-bs atlas fqm tcm (default: all but fcfs/fqm)"
+         \x20              [--verify]\n\
+         policies: fcfs fr-fcfs stfm par-bs atlas fqm tcm (default: all but fcfs/fqm)\n\
+         --verify enables the DRAM protocol invariant checker (observation-only)"
     );
     std::process::exit(2)
 }
@@ -141,6 +147,7 @@ fn main() {
     let mut named_workload: Option<String> = None;
     let mut workers: Option<usize> = None;
     let mut json = false;
+    let mut verify = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -164,6 +171,7 @@ fn main() {
             "--workload" => named_workload = Some(value("--workload")),
             "--workers" => workers = Some(value("--workers").parse().unwrap_or_else(|_| usage())),
             "--json" => json = true,
+            "--verify" => verify = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -197,7 +205,13 @@ fn main() {
 
     let mut cfg = SystemConfig::paper_baseline();
     cfg.num_threads = threads;
-    let session = Session::new(RunConfig::builder().system(cfg).horizon(cycles).build());
+    let session = Session::new(
+        RunConfig::builder()
+            .system(cfg)
+            .horizon(cycles)
+            .verify(verify)
+            .build(),
+    );
     let sweep = session.sweep().policies(kinds).workloads([workload.clone()]);
     let result = match workers {
         Some(w) => sweep.run_parallel(w),
@@ -238,5 +252,12 @@ fn main() {
         println!("{}", output.to_json());
     } else {
         println!("{}", result.stats().throughput_line());
+    }
+    if !result.is_complete() {
+        eprintln!("{} cell(s) FAILED:", result.failures().len());
+        for failure in result.failures() {
+            eprintln!("  {failure}");
+        }
+        std::process::exit(1);
     }
 }

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::unwrap_used)]
 
 mod event;
 mod metrics;
@@ -53,7 +54,7 @@ pub use runner::{
     average_metrics, EvalResult, PolicyKind, RunConfig, RunConfigBuilder, PAPER_LINEUP_LABELS,
 };
 pub use sweep::{
-    AloneIpcCache, ProfileFingerprint, Session, SessionStats, Sweep, SweepCell, SweepResult,
-    SweepStats,
+    AloneIpcCache, CellError, CellFailureKind, ProfileFingerprint, Session, SessionStats, Sweep,
+    SweepCell, SweepResult, SweepStats,
 };
-pub use system::{RunResult, System};
+pub use system::{RunResult, System, DEFAULT_STALL_LIMIT};

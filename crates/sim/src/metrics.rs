@@ -88,6 +88,7 @@ pub fn variance(values: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

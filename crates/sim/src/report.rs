@@ -97,6 +97,7 @@ pub fn pct_change(new: f64, baseline: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

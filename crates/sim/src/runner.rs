@@ -100,6 +100,17 @@ pub struct RunConfig {
     pub system: SystemConfig,
     /// Cycles to simulate per run.
     pub horizon: Cycle,
+    /// Force-enable the DRAM protocol invariant checker on every run.
+    ///
+    /// The checker is observation-only: results are bit-identical with it
+    /// on or off. Debug builds enable it regardless; this flag opts
+    /// release builds in (see also the `TCM_VERIFY` environment
+    /// variable).
+    pub verify: bool,
+    /// Forward-progress watchdog limit in cycles (`None` disables).
+    ///
+    /// Default: [`DEFAULT_STALL_LIMIT`](crate::DEFAULT_STALL_LIMIT).
+    pub watchdog: Option<Cycle>,
 }
 
 impl RunConfig {
@@ -121,6 +132,8 @@ impl RunConfig {
 pub struct RunConfigBuilder {
     system: SystemConfig,
     horizon: Cycle,
+    verify: bool,
+    watchdog: Option<Cycle>,
 }
 
 impl Default for RunConfigBuilder {
@@ -128,6 +141,8 @@ impl Default for RunConfigBuilder {
         Self {
             system: SystemConfig::paper_baseline(),
             horizon: 1_000_000,
+            verify: false,
+            watchdog: Some(crate::system::DEFAULT_STALL_LIMIT),
         }
     }
 }
@@ -145,11 +160,27 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Force-enables the DRAM protocol checker (default: off in release
+    /// builds, always on in debug builds).
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Sets the forward-progress watchdog limit; `None` disables it
+    /// (default: [`DEFAULT_STALL_LIMIT`](crate::DEFAULT_STALL_LIMIT)).
+    pub fn watchdog(mut self, watchdog: Option<Cycle>) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> RunConfig {
         RunConfig {
             system: self.system,
             horizon: self.horizon,
+            verify: self.verify,
+            watchdog: self.watchdog,
         }
     }
 }
@@ -274,7 +305,7 @@ pub fn average_metrics(results: &[EvalResult]) -> WorkloadMetrics {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
+#[allow(deprecated, clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcm_workload::random_workload;

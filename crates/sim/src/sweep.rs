@@ -46,10 +46,12 @@ use crate::metrics::{workload_metrics, IpcPair, WorkloadMetrics};
 use crate::runner::{workload_seed, EvalResult, PolicyKind, RunConfig};
 use crate::system::System;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tcm_sched::FrFcfs;
+use tcm_types::SimError;
 use tcm_workload::{BenchmarkProfile, WorkloadSpec};
 
 /// Exact identity of a benchmark profile for alone-IPC caching.
@@ -145,19 +147,39 @@ pub(crate) fn compute_alone_ipc(profile: &BenchmarkProfile, rc: &RunConfig) -> f
     sys.run(rc.horizon).ipc[0]
 }
 
-/// Runs one (policy, workload) cell and computes the paper's metrics.
+/// Runs one (policy, workload) cell and computes the paper's metrics,
+/// treating any simulator fault as fatal.
 ///
-/// `alone_ipc` supplies the slowdown denominators (typically from a
-/// [`Session`]'s cache); `seed_xor` perturbs the canonical per-workload
-/// simulator seed (0 = the canonical seed).
+/// Thin wrapper over [`try_eval_cell`] for the deprecated single-cell
+/// entry points, which predate typed errors.
 pub(crate) fn eval_cell(
     policy: &PolicyKind,
     workload: &WorkloadSpec,
     rc: &RunConfig,
     weights: Option<&[f64]>,
     seed_xor: u64,
-    mut alone_ipc: impl FnMut(&BenchmarkProfile) -> f64,
+    alone_ipc: impl FnMut(&BenchmarkProfile) -> f64,
 ) -> EvalResult {
+    match try_eval_cell(policy, workload, rc, weights, seed_xor, alone_ipc) {
+        Ok(result) => result,
+        Err(err) => panic!("cell evaluation failed: {err}"),
+    }
+}
+
+/// Runs one (policy, workload) cell and computes the paper's metrics.
+///
+/// `alone_ipc` supplies the slowdown denominators (typically from a
+/// [`Session`]'s cache); `seed_xor` perturbs the canonical per-workload
+/// simulator seed (0 = the canonical seed). The run honors the
+/// configuration's `verify` and `watchdog` hardening knobs.
+pub(crate) fn try_eval_cell(
+    policy: &PolicyKind,
+    workload: &WorkloadSpec,
+    rc: &RunConfig,
+    weights: Option<&[f64]>,
+    seed_xor: u64,
+    mut alone_ipc: impl FnMut(&BenchmarkProfile) -> f64,
+) -> Result<EvalResult, SimError> {
     let n = workload.threads.len();
     let scheduler = policy.build(n, &rc.system);
     let mut sys = System::new(
@@ -166,10 +188,14 @@ pub(crate) fn eval_cell(
         scheduler,
         workload_seed(workload) ^ seed_xor,
     );
+    if rc.verify {
+        sys.enable_verification();
+    }
+    sys.set_watchdog(rc.watchdog);
     if let Some(w) = weights {
         sys.set_thread_weights(w);
     }
-    let run = sys.run(rc.horizon);
+    let run = sys.try_run(rc.horizon)?;
     let pairs: Vec<IpcPair> = workload
         .threads
         .iter()
@@ -180,13 +206,82 @@ pub(crate) fn eval_cell(
         })
         .collect();
     let metrics = workload_metrics(&pairs);
-    EvalResult {
+    Ok(EvalResult {
         policy: policy.label(),
         workload: workload.name.clone(),
         metrics,
         slowdowns: pairs.iter().map(|p| p.slowdown()).collect(),
         speedups: pairs.iter().map(|p| p.speedup()).collect(),
         run,
+    })
+}
+
+/// Why a sweep cell failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellFailureKind {
+    /// The cell's simulation panicked; the payload message is captured.
+    Panic(String),
+    /// The simulation surfaced a typed error (stall, invariant
+    /// violation, bad configuration).
+    Sim(SimError),
+}
+
+impl std::fmt::Display for CellFailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellFailureKind::Panic(msg) => write!(f, "panicked: {msg}"),
+            CellFailureKind::Sim(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+/// One failed sweep cell: grid coordinates, display names, and the
+/// failure after the sweep's retry-once policy was exhausted.
+///
+/// A failed cell never aborts the sweep — every other cell's result is
+/// still produced (and is bit-identical to a sweep without the failing
+/// cell's policy/workload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellError {
+    /// Index into the sweep's policy axis.
+    pub policy: usize,
+    /// Index into the sweep's workload axis.
+    pub workload: usize,
+    /// Index into the sweep's seed axis.
+    pub seed: usize,
+    /// Label of the failing policy.
+    pub policy_label: String,
+    /// Name of the failing workload.
+    pub workload_name: String,
+    /// Evaluation attempts made (2 = failed, retried, failed again).
+    pub attempts: u32,
+    /// The final failure.
+    pub kind: CellFailureKind,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} x {} (seed index {}, {} attempt{}): {}",
+            self.policy_label,
+            self.workload_name,
+            self.seed,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.kind,
+        )
+    }
+}
+
+/// Text of a panic payload, for [`CellFailureKind::Panic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -412,24 +507,52 @@ impl Sweep<'_> {
             .flat_map(|p| (0..nw).flat_map(move |w| (0..ns).map(move |s| (p, w, s))))
             .collect();
 
-        let eval_one = |&(p, w, s): &(usize, usize, usize)| -> SweepCell {
-            let result = eval_cell(
-                &self.policies[p],
-                &self.workloads[w],
-                &self.session.rc,
-                self.weights.as_deref(),
-                self.seeds[s],
-                |profile| self.session.alone_ipc(profile),
-            );
-            SweepCell {
-                policy: p,
-                workload: w,
-                seed: s,
-                result,
+        // Each cell runs under `catch_unwind` with one retry, so a
+        // panicking or faulting cell is recorded as a `CellError` while
+        // every other cell still produces its (bit-identical) result. The
+        // closure only *reads* session state across the unwind boundary
+        // (the alone-IPC cache takes its lock inside `alone_ipc`, never
+        // across a cell run), so a mid-cell panic cannot poison it.
+        let attempt_one = |p: usize, w: usize, s: usize| -> Result<EvalResult, CellFailureKind> {
+            catch_unwind(AssertUnwindSafe(|| {
+                try_eval_cell(
+                    &self.policies[p],
+                    &self.workloads[w],
+                    &self.session.rc,
+                    self.weights.as_deref(),
+                    self.seeds[s],
+                    |profile| self.session.alone_ipc(profile),
+                )
+            }))
+            .map_err(|payload| CellFailureKind::Panic(panic_message(payload)))?
+            .map_err(CellFailureKind::Sim)
+        };
+        let eval_one = |&(p, w, s): &(usize, usize, usize)| -> Result<SweepCell, Box<CellError>> {
+            let mut attempts = 1;
+            let outcome = attempt_one(p, w, s).or_else(|_| {
+                attempts = 2;
+                attempt_one(p, w, s)
+            });
+            match outcome {
+                Ok(result) => Ok(SweepCell {
+                    policy: p,
+                    workload: w,
+                    seed: s,
+                    result,
+                }),
+                Err(kind) => Err(Box::new(CellError {
+                    policy: p,
+                    workload: w,
+                    seed: s,
+                    policy_label: self.policies[p].label(),
+                    workload_name: self.workloads[w].name.clone(),
+                    attempts,
+                    kind,
+                })),
             }
         };
 
-        let cells: Vec<SweepCell> = if workers == 1 {
+        let outcomes: Vec<Result<SweepCell, Box<CellError>>> = if workers == 1 {
             indices.iter().map(eval_one).collect()
         } else {
             // Contiguous shards, joined in spawn order: the concatenated
@@ -446,16 +569,25 @@ impl Sweep<'_> {
                     .collect()
             })
         };
+        let mut cells = Vec::with_capacity(outcomes.len());
+        let mut failures = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Ok(cell) => cells.push(cell),
+                Err(err) => failures.push(*err),
+            }
+        }
 
         let wall = t0.elapsed();
         let alone_runs = self.session.alone_cache().misses() - alone_before;
         self.session
-            .record(total as u64, alone_runs, wall, workers);
+            .record(cells.len() as u64, alone_runs, wall, workers);
         let stats = SweepStats {
             cells: total,
+            failed: failures.len(),
             workers,
             alone_runs,
-            sim_cycles: (total as u64 + alone_runs) * self.session.rc.horizon,
+            sim_cycles: (cells.len() as u64 + alone_runs) * self.session.rc.horizon,
             wall,
         };
         SweepResult {
@@ -463,6 +595,7 @@ impl Sweep<'_> {
             workload_names: self.workloads.iter().map(|w| w.name.clone()).collect(),
             seeds: self.seeds,
             cells,
+            failures,
             stats,
         }
     }
@@ -485,8 +618,11 @@ pub struct SweepCell {
 /// Execution accounting for one sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepStats {
-    /// Grid cells simulated.
+    /// Grid cells attempted (successful + failed).
     pub cells: usize,
+    /// Cells that failed after the retry-once policy (see
+    /// [`SweepResult::failures`]).
+    pub failed: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Alone-run simulations triggered (cache misses during the sweep).
@@ -510,11 +646,17 @@ impl SweepStats {
 
     /// One-line throughput summary (opt-in for experiment reports).
     pub fn throughput_line(&self) -> String {
+        let failed = if self.failed > 0 {
+            format!(", {} FAILED", self.failed)
+        } else {
+            String::new()
+        };
         format!(
-            "sweep: {} cells (+{} alone runs) on {} workers in {:.2}s \
+            "sweep: {} cells (+{} alone runs{}) on {} workers in {:.2}s \
              ({:.2e} sim-cycles/sec)",
             self.cells,
             self.alone_runs,
+            failed,
             self.workers,
             self.wall.as_secs_f64(),
             self.sim_cycles_per_sec(),
@@ -531,13 +673,25 @@ pub struct SweepResult {
     workload_names: Vec<String>,
     seeds: Vec<u64>,
     cells: Vec<SweepCell>,
+    failures: Vec<CellError>,
     stats: SweepStats,
 }
 
 impl SweepResult {
-    /// Every cell, in (policy, workload, seed) grid order.
+    /// Every *successful* cell, in (policy, workload, seed) grid order.
     pub fn cells(&self) -> &[SweepCell] {
         &self.cells
+    }
+
+    /// Every failed cell (empty for a fully successful sweep), in grid
+    /// order.
+    pub fn failures(&self) -> &[CellError] {
+        &self.failures
+    }
+
+    /// Whether every cell of the grid produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
     }
 
     /// Labels of the policy axis, in sweep order.
@@ -563,13 +717,41 @@ impl SweepResult {
     /// The cell at the given grid coordinates.
     ///
     /// # Panics
-    /// Panics if any coordinate is out of range.
+    /// Panics if any coordinate is out of range, or if that cell failed
+    /// (see [`SweepResult::try_get`] / [`SweepResult::failures`]).
     pub fn get(&self, policy: usize, workload: usize, seed: usize) -> &EvalResult {
+        match self.try_get(policy, workload, seed) {
+            Some(result) => result,
+            None => {
+                let failure = self
+                    .failures
+                    .iter()
+                    .find(|f| f.policy == policy && f.workload == workload && f.seed == seed);
+                match failure {
+                    Some(f) => panic!("cell ({policy}, {workload}, {seed}) failed: {f}"),
+                    None => panic!("cell ({policy}, {workload}, {seed}) missing"),
+                }
+            }
+        }
+    }
+
+    /// The cell at the given grid coordinates, or `None` if it failed.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of range.
+    pub fn try_get(&self, policy: usize, workload: usize, seed: usize) -> Option<&EvalResult> {
         let (nw, ns) = (self.workload_names.len(), self.seeds.len());
         assert!(policy < self.policy_labels.len(), "policy index {policy}");
         assert!(workload < nw, "workload index {workload}");
         assert!(seed < ns, "seed index {seed}");
-        &self.cells[(policy * nw + workload) * ns + seed].result
+        if self.failures.is_empty() {
+            // Complete grid: cells sit at their dense grid offset.
+            return Some(&self.cells[(policy * nw + workload) * ns + seed].result);
+        }
+        self.cells
+            .iter()
+            .find(|c| c.policy == policy && c.workload == workload && c.seed == seed)
+            .map(|c| &c.result)
     }
 
     /// All of one policy's results across workloads and seeds.
@@ -622,6 +804,7 @@ fn average<'r>(results: impl Iterator<Item = &'r EvalResult>) -> WorkloadMetrics
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcm_types::SystemConfig;

@@ -7,9 +7,19 @@ use tcm_cpu::{Core, CoreStatus};
 use tcm_dram::Channel;
 use tcm_sched::{PickContext, Scheduler, SystemView};
 use tcm_types::{
-    BankId, ChannelId, Cycle, MemAddress, Request, RequestId, SystemConfig, ThreadId,
+    BankId, ChannelId, Cycle, Invariant, InvariantViolation, MemAddress, Request, RequestId,
+    SimError, StallReport, SystemConfig, ThreadId,
 };
 use tcm_workload::{MachineShape, TraceGenerator, WorkloadSpec};
+
+/// Default forward-progress watchdog limit: if memory requests are
+/// outstanding but none retires for this many cycles, the run is
+/// declared [`SimError::Stalled`].
+///
+/// Generously above any legitimate retirement gap: even a single fully
+/// backed-up controller (128-entry buffer, 400-cycle conflicts) drains a
+/// request every ≲ 52 k cycles.
+pub const DEFAULT_STALL_LIMIT: Cycle = 1_000_000;
 
 /// Result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +85,29 @@ pub struct System {
     spill: Vec<VecDeque<Request>>,
     spilled: u64,
     sched_tick_pending: bool,
+    /// Misses injected into the memory system (watchdog bookkeeping).
+    injected: u64,
+    /// Misses whose data returned to a core.
+    completed: u64,
+    /// Cycle at which the most recent request retired.
+    last_retire: Cycle,
+    /// Events processed since the most recent retirement.
+    events_since_retire: u64,
+    /// Events processed at the current cycle (livelock guard).
+    events_at_now: u64,
+    /// Ceiling on `events_at_now`; exceeding it means the event loop is
+    /// spinning without advancing time.
+    livelock_limit: u64,
+    /// Watchdog: declare the run stalled when requests are outstanding
+    /// but none retires for this many cycles. `None` disables.
+    stall_limit: Option<Cycle>,
+    /// Hard cap on any spill queue. The MSHR caps bound total outstanding
+    /// misses at `num_threads * mshrs_per_core`, so a spill queue deeper
+    /// than that proves requests are leaking somewhere.
+    spill_bound: usize,
+    /// Typed error raised deep in the call graph (e.g. during `admit`),
+    /// surfaced by the event loop at the next opportunity.
+    pending_error: Option<SimError>,
 }
 
 impl System {
@@ -151,9 +184,59 @@ impl System {
             spill: (0..cfg.num_channels).map(|_| VecDeque::new()).collect(),
             spilled: 0,
             sched_tick_pending: false,
+            injected: 0,
+            completed: 0,
+            last_retire: 0,
+            events_since_retire: 0,
+            events_at_now: 0,
+            // Per cycle the loop legitimately processes at most one event
+            // per thread, a couple per bank, and one scheduler tick; 1024x
+            // that is unreachable without a same-cycle spin.
+            livelock_limit: 1024 * (cfg.num_threads + cfg.total_banks() + 4) as u64,
+            stall_limit: Some(DEFAULT_STALL_LIMIT),
+            spill_bound: cfg.num_threads * cfg.mshrs_per_core,
+            pending_error: None,
         };
+        if std::env::var_os("TCM_VERIFY").is_some_and(|v| v != "0") {
+            sys.enable_verification();
+        }
         sys.bootstrap();
         sys
+    }
+
+    /// Turns on the DRAM protocol invariant checker on every channel
+    /// (observation-only; results are bit-identical with it on or off).
+    ///
+    /// Debug builds enable it automatically; release builds can opt in
+    /// here, via `RunConfig`, or with the `TCM_VERIFY` environment
+    /// variable.
+    pub fn enable_verification(&mut self) {
+        for ch in &mut self.channels {
+            ch.enable_verification();
+        }
+    }
+
+    /// Enables or disables protocol verification on every channel.
+    pub fn set_verification(&mut self, enabled: bool) {
+        for ch in &mut self.channels {
+            if enabled {
+                ch.enable_verification();
+            } else {
+                ch.disable_verification();
+            }
+        }
+    }
+
+    /// Whether protocol verification is active on any channel.
+    pub fn verification_enabled(&self) -> bool {
+        self.channels.iter().any(Channel::verification_enabled)
+    }
+
+    /// Sets the forward-progress watchdog limit (cycles without a
+    /// retirement while requests are outstanding). `None` disables the
+    /// watchdog, including the same-cycle livelock guard.
+    pub fn set_watchdog(&mut self, stall_limit: Option<Cycle>) {
+        self.stall_limit = stall_limit;
     }
 
     /// The scheduling policy's display name.
@@ -241,6 +324,7 @@ impl System {
             self.admit(request);
         }
         self.cores[t].issue_burst(&ids);
+        self.injected += ids.len() as u64;
         // Newly arrived requests may wake idle banks.
         let mut touched: Vec<ChannelId> = accesses.iter().map(|a| a.channel).collect();
         touched.sort_unstable();
@@ -260,6 +344,21 @@ impl System {
             return;
         }
         self.spilled += 1;
+        if self.spill[c].len() >= self.spill_bound && self.pending_error.is_none() {
+            self.pending_error = Some(SimError::InvariantViolation(InvariantViolation {
+                invariant: Invariant::ResourceBound,
+                cycle: self.now,
+                channel: request.addr.channel,
+                bank: Some(request.addr.bank),
+                request: Some(request.id),
+                detail: format!(
+                    "spill queue for channel {} grew past the MSHR-implied \
+                     outstanding-miss bound ({} threads x {} MSHRs = {}); \
+                     requests are not draining",
+                    c, self.cfg.num_threads, self.cfg.mshrs_per_core, self.spill_bound
+                ),
+            }));
+        }
         self.spill[c].push_back(request);
     }
 
@@ -318,14 +417,60 @@ impl System {
 
     /// Processes events until `horizon`, then settles all cores at the
     /// horizon and reports the run's results.
+    ///
+    /// Convenience wrapper over [`System::try_run`] for callers that treat
+    /// any simulator fault as fatal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run stalls (watchdog) or trips a protocol invariant;
+    /// see [`System::try_run`] for the non-panicking form.
     pub fn run(&mut self, horizon: Cycle) -> RunResult {
+        match self.try_run(horizon) {
+            Ok(result) => result,
+            Err(err) => panic!("simulation failed: {err}"),
+        }
+    }
+
+    /// Processes events until `horizon`, then settles all cores at the
+    /// horizon and reports the run's results — or a typed error if the
+    /// simulation cannot finish soundly.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Stalled`] — requests were outstanding but none
+    ///   retired for [`DEFAULT_STALL_LIMIT`] cycles (tune or disable via
+    ///   [`System::set_watchdog`]), the event loop spun at a frozen cycle
+    ///   (e.g. a policy whose `next_tick` never advances), or the event
+    ///   queue drained with requests still in flight. The report carries a
+    ///   snapshot of queue depths, bank states, and per-thread outstanding
+    ///   counts.
+    /// * [`SimError::InvariantViolation`] — the DRAM protocol checker (if
+    ///   enabled) observed an illegal command sequence, or a spill queue
+    ///   outgrew the MSHR-implied bound on outstanding misses.
+    ///
+    /// After an error the system is left at the faulting cycle; resuming
+    /// is not supported.
+    pub fn try_run(&mut self, horizon: Cycle) -> Result<RunResult, SimError> {
         while let Some(at) = self.events.peek_cycle() {
             if at > horizon {
                 break;
             }
             let (cycle, event) = self.events.pop().expect("peeked event vanished");
             debug_assert!(cycle >= self.now, "event queue went backwards");
+            if cycle > self.now {
+                self.events_at_now = 0;
+            }
             self.now = cycle;
+            self.events_at_now += 1;
+            self.events_since_retire += 1;
+            if let Some(limit) = self.stall_limit {
+                let stalled = self.injected > self.completed
+                    && self.now.saturating_sub(self.last_retire) > limit;
+                if stalled || self.events_at_now > self.livelock_limit {
+                    return Err(SimError::Stalled(self.stall_report()));
+                }
+            }
             match event {
                 Event::CoreBurst { thread, epoch } => {
                     let t = thread.index();
@@ -356,6 +501,9 @@ impl System {
                 Event::Completion { request } => {
                     let t = request.thread.index();
                     self.cores[t].complete(request.id);
+                    self.completed += 1;
+                    self.last_retire = self.now;
+                    self.events_since_retire = 0;
                     self.scheduler.on_complete(&request, self.now);
                     self.poll_core(t);
                 }
@@ -371,12 +519,56 @@ impl System {
                     self.schedule_next_tick();
                 }
             }
+            self.poll_faults()?;
+        }
+        if self.stall_limit.is_some() && self.injected > self.completed && self.events.is_empty() {
+            // Nothing left to process but requests are still in flight:
+            // whatever event should have completed them was never pushed.
+            return Err(SimError::Stalled(self.stall_report()));
         }
         self.now = horizon;
         for t in 0..self.cfg.num_threads {
             self.cores[t].poll(horizon);
         }
-        self.collect(horizon)
+        for ch in &mut self.channels {
+            ch.finish_verification(horizon)?;
+        }
+        Ok(self.collect(horizon))
+    }
+
+    /// Surfaces any fault recorded during event processing: a pending
+    /// typed error or a protocol-checker violation on some channel.
+    fn poll_faults(&mut self) -> Result<(), SimError> {
+        if let Some(err) = self.pending_error.take() {
+            return Err(err);
+        }
+        for ch in &self.channels {
+            if let Some(violation) = ch.violation() {
+                return Err(SimError::InvariantViolation(violation.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of simulator state for a [`SimError::Stalled`] report.
+    fn stall_report(&self) -> StallReport {
+        StallReport {
+            now: self.now,
+            last_retire: self.last_retire,
+            events_since_retire: self.events_since_retire,
+            outstanding: self.cores.iter().map(Core::outstanding).collect(),
+            queue_depths: self.channels.iter().map(|ch| ch.queue().len()).collect(),
+            spill_depths: self.spill.iter().map(VecDeque::len).collect(),
+            busy_banks: self
+                .channels
+                .iter()
+                .map(|ch| {
+                    (0..self.cfg.banks_per_channel)
+                        .filter(|&b| ch.bank(BankId::new(b)).is_busy())
+                        .count()
+                })
+                .collect(),
+        }
     }
 
     fn collect(&self, horizon: Cycle) -> RunResult {
@@ -405,6 +597,7 @@ impl System {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcm_sched::FrFcfs;
@@ -516,5 +709,45 @@ mod tests {
         let c = cfg(2);
         let w = workload_of(vec![BenchmarkProfile::streaming()]);
         System::new(&c, &w, Box::new(FrFcfs::new()), 0);
+    }
+
+    #[test]
+    fn try_run_agrees_with_run_on_healthy_workload() {
+        let c = cfg(4);
+        let w = random_workload_4();
+        let via_run = System::new(&c, &w, Box::new(FrFcfs::new()), 7).run(100_000);
+        let via_try = System::new(&c, &w, Box::new(FrFcfs::new()), 7)
+            .try_run(100_000)
+            .expect("healthy workload must not fault");
+        assert_eq!(via_run, via_try);
+    }
+
+    #[test]
+    fn spill_overflow_surfaces_typed_error() {
+        let c = cfg(1);
+        let w = workload_of(vec![BenchmarkProfile::streaming()]);
+        let mut sys = System::new(&c, &w, Box::new(FrFcfs::new()), 0);
+        // Shrink the bound so the overflow is reachable without injecting
+        // thousands of requests, then stuff one channel well past its
+        // 128-entry buffer.
+        sys.spill_bound = 4;
+        let addr = MemAddress::new(ChannelId::new(0), BankId::new(0), tcm_types::Row::new(0));
+        for i in 0..200 {
+            let req = Request::new(
+                RequestId::new(1_000_000 + i),
+                ThreadId::new(0),
+                addr,
+                0,
+            );
+            sys.admit(req);
+        }
+        let err = sys.pending_error.take().expect("overflow must raise an error");
+        match err {
+            SimError::InvariantViolation(v) => {
+                assert_eq!(v.invariant, Invariant::ResourceBound);
+                assert!(v.detail.contains("spill queue"), "detail: {}", v.detail);
+            }
+            other => panic!("expected an invariant violation, got {other}"),
+        }
     }
 }

@@ -291,6 +291,7 @@ impl Default for SystemConfigBuilder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::RowState;

@@ -133,6 +133,7 @@ impl fmt::Display for GlobalBank {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

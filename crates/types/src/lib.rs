@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::unwrap_used)]
 
 mod config;
 mod error;
@@ -35,7 +36,7 @@ mod ids;
 mod request;
 
 pub use config::{DramTiming, SystemConfig, SystemConfigBuilder};
-pub use error::ConfigError;
+pub use error::{ConfigError, Invariant, InvariantViolation, SimError, StallReport};
 pub use ids::{BankId, ChannelId, GlobalBank, Row, ThreadId};
 pub use request::{MemAddress, Request, RequestId, RowState};
 

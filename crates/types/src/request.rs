@@ -144,6 +144,7 @@ impl fmt::Display for Request {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

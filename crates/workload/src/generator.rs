@@ -206,6 +206,7 @@ impl From<&tcm_types::SystemConfig> for MachineShape {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::spec_by_name;

@@ -154,6 +154,7 @@ pub fn spec_by_name(name: &str) -> Option<BenchmarkProfile> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

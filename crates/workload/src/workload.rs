@@ -237,6 +237,7 @@ pub fn workload_suite(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

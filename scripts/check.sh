@@ -16,6 +16,12 @@ cargo test --workspace -q --offline
 echo "==> cargo clippy -D warnings (all targets)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Debug builds always run the DRAM protocol checker; this release-mode
+# pass force-enables it via TCM_VERIFY so the optimized build is also
+# checked (the checker is observation-only, results are bit-identical).
+echo "==> cargo test --release with the protocol checker forced on"
+TCM_VERIFY=1 cargo test -q --release --offline -p tcm-sim -p tcm-dram
+
 echo "==> bench harness compiles (feature-gated)"
 cargo build --benches -p tcm-bench --features bench-harness --offline
 
