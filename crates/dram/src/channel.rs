@@ -70,7 +70,7 @@ impl Channel {
             id,
             banks: (0..num_banks).map(|_| Bank::new()).collect(),
             bus: DataBus::new(),
-            queue: RequestQueue::new(buffer_capacity),
+            queue: RequestQueue::new(buffer_capacity, num_banks),
             stats: ChannelStats::new(num_banks, num_threads),
             checker: None,
         };
@@ -176,29 +176,30 @@ impl Channel {
     pub fn enqueue(&mut self, request: Request) -> Result<(), QueueFullError> {
         debug_assert_eq!(request.addr.channel, self.id, "request routed to wrong channel");
         self.queue.push(request)?;
+        self.stats.observe_queue_depth(self.queue.len());
         if let Some(checker) = self.checker.as_mut() {
             checker.on_admit(&request, request.issued_at);
         }
         Ok(())
     }
 
-    /// Requests currently pending for `bank`, in arrival order; positions
-    /// index into [`Channel::issue`].
-    pub fn pending_for_bank(&self, bank: BankId) -> Vec<Request> {
+    /// Requests currently pending for `bank`, in arrival order, as a
+    /// borrowed slice; positions index into [`Channel::issue`]. Takes
+    /// `&mut self` for parity with the flat reference queue (see
+    /// [`RequestQueue::pending_for_bank`]); no state a caller can see is
+    /// modified.
+    pub fn pending_for_bank(&mut self, bank: BankId) -> &[Request] {
         self.queue.pending_for_bank(bank)
     }
 
     /// Banks that are idle *and* have at least one pending request at
     /// cycle `now` — the banks for which a scheduling decision is due.
-    pub fn schedulable_banks(&self, now: Cycle) -> Vec<BankId> {
-        self.queue
-            .banks_with_pending()
-            .into_iter()
-            .filter(|b| {
-                let bank = &self.banks[b.index()];
-                !bank.is_busy() && bank.ready_at() <= now
-            })
-            .collect()
+    /// Yields ascending bank ids; allocation-free.
+    pub fn schedulable_banks(&self, now: Cycle) -> impl Iterator<Item = BankId> + '_ {
+        self.queue.banks_with_pending().into_iter().filter(move |b| {
+            let bank = &self.banks[b.index()];
+            !bank.is_busy() && bank.ready_at() <= now
+        })
     }
 
     /// Issues the `pos`-th pending request of its bank (position as
@@ -338,18 +339,24 @@ mod tests {
         ch.enqueue(req(0, 0, 0, 1, 0)).unwrap();
         ch.enqueue(req(1, 0, 2, 1, 0)).unwrap();
         assert_eq!(
-            ch.schedulable_banks(0),
+            ch.schedulable_banks(0).collect::<Vec<_>>(),
             vec![BankId::new(0), BankId::new(2)]
         );
         let out = ch.issue_at(0, 0, 0, &t);
         // Bank 0 has no pending request now; bank 2 still does.
-        assert_eq!(ch.schedulable_banks(0), vec![BankId::new(2)]);
+        assert_eq!(
+            ch.schedulable_banks(0).collect::<Vec<_>>(),
+            vec![BankId::new(2)]
+        );
         // A new request for bank 0 only becomes schedulable once the bank
         // frees up.
         ch.enqueue(req(2, 0, 0, 1, 0)).unwrap();
-        assert_eq!(ch.schedulable_banks(0), vec![BankId::new(2)]);
         assert_eq!(
-            ch.schedulable_banks(out.bank_free),
+            ch.schedulable_banks(0).collect::<Vec<_>>(),
+            vec![BankId::new(2)]
+        );
+        assert_eq!(
+            ch.schedulable_banks(out.bank_free).collect::<Vec<_>>(),
             vec![BankId::new(0), BankId::new(2)]
         );
     }

@@ -58,7 +58,7 @@ mod verify;
 pub use bank::{Bank, BankService};
 pub use bus::DataBus;
 pub use channel::{Channel, ServiceOutcome};
-pub use queue::{QueueFullError, RequestQueue};
+pub use queue::{BankSet, BankSetIter, QueueFullError, RequestQueue, QUEUE_IMPL};
 pub use shadow::ShadowRowBuffer;
 pub use stats::{BankStats, ChannelStats};
 pub use verify::ProtocolChecker;

@@ -1,8 +1,39 @@
 //! The controller's bounded request buffer.
+//!
+//! Two implementations sit behind one API:
+//!
+//! * **indexed** (default) — requests are stored in per-bank *lanes*
+//!   with incrementally maintained per-thread occupancy counters and a
+//!   bank-occupancy bitmask ([`BankSet`]). Every scheduler-facing query
+//!   is allocation-free: [`RequestQueue::pending_for_bank`] returns a
+//!   borrowed slice, [`RequestQueue::banks_with_pending`] is a bitmask
+//!   read, [`RequestQueue::has_pending_for_bank`] and
+//!   [`RequestQueue::count_for_thread`] are O(1) counter reads, and
+//!   [`RequestQueue::take_for_bank`] is a direct position lookup within
+//!   one bank's lane. This mirrors the paper's Table 2 argument that
+//!   scheduler state must be cheap incremental hardware counters, not
+//!   full-queue scans.
+//! * **flat** (`flat-queue` feature) — the pre-refactor reference: one
+//!   arrival-ordered `Vec<Request>` scanned (and, for
+//!   `pending_for_bank`, re-collected) on every query. Kept only so the
+//!   wall-clock benchmark harness (`scripts/bench.sh`) can measure the
+//!   indexed hot path against its predecessor; results are
+//!   bit-identical between the two.
 
 use std::error::Error;
 use std::fmt;
 use tcm_types::{BankId, Request, RequestId, ThreadId};
+
+/// Which request-queue implementation this build uses (`"indexed"` by
+/// default, `"flat"` under the `flat-queue` feature). Surfaced in the
+/// benchmark harness's JSON output.
+#[cfg(not(feature = "flat-queue"))]
+pub const QUEUE_IMPL: &str = "indexed";
+/// Which request-queue implementation this build uses (`"indexed"` by
+/// default, `"flat"` under the `flat-queue` feature). Surfaced in the
+/// benchmark harness's JSON output.
+#[cfg(feature = "flat-queue")]
+pub const QUEUE_IMPL: &str = "flat";
 
 /// Error returned when the controller's request buffer is full.
 ///
@@ -29,23 +60,331 @@ impl fmt::Display for QueueFullError {
 
 impl Error for QueueFullError {}
 
+/// A set of per-channel bank ids backed by a `u128` bitmask.
+///
+/// The scheduler's "which banks have pending work" question is answered
+/// by handing out one of these: membership tests are single bit
+/// operations and [`BankSet::iter`] walks the set bits in ascending
+/// bank order with no allocation or sorting (the same ascending order
+/// the flat queue produced via sort + dedup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BankSet(u128);
+
+impl BankSet {
+    /// Most banks per channel the bitmask can track. The paper baseline
+    /// uses 4 and the Table 8 sensitivity sweeps stay far below this.
+    pub const MAX_BANKS: usize = 128;
+
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        Self(0)
+    }
+
+    /// Whether no bank is in the set.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of banks in the set.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `bank` is in the set.
+    #[inline]
+    pub fn contains(&self, bank: BankId) -> bool {
+        bank.index() < Self::MAX_BANKS && self.0 & (1u128 << bank.index()) != 0
+    }
+
+    /// Adds `bank` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is beyond [`BankSet::MAX_BANKS`].
+    #[inline]
+    pub fn insert(&mut self, bank: BankId) {
+        assert!(
+            bank.index() < Self::MAX_BANKS,
+            "bank {} exceeds BankSet capacity {}",
+            bank.index(),
+            Self::MAX_BANKS
+        );
+        self.0 |= 1u128 << bank.index();
+    }
+
+    /// Removes `bank` from the set.
+    #[inline]
+    pub fn remove(&mut self, bank: BankId) {
+        if bank.index() < Self::MAX_BANKS {
+            self.0 &= !(1u128 << bank.index());
+        }
+    }
+
+    /// Iterates the set banks in ascending id order.
+    #[inline]
+    pub fn iter(&self) -> BankSetIter {
+        BankSetIter(self.0)
+    }
+}
+
+impl IntoIterator for BankSet {
+    type Item = BankId;
+    type IntoIter = BankSetIter;
+
+    fn into_iter(self) -> BankSetIter {
+        self.iter()
+    }
+}
+
+/// Ascending-order iterator over a [`BankSet`] (see [`BankSet::iter`]).
+#[derive(Debug, Clone)]
+pub struct BankSetIter(u128);
+
+impl Iterator for BankSetIter {
+    type Item = BankId;
+
+    #[inline]
+    fn next(&mut self) -> Option<BankId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let bit = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1; // clear lowest set bit
+        Some(BankId::new(bit))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BankSetIter {}
+
 /// A bounded buffer of requests waiting at one memory controller.
 ///
 /// Requests stay in the buffer until a scheduling policy picks them for
 /// service; lookups are by *position within a bank's pending set*, which
-/// is how scheduling decisions are phrased.
+/// is how scheduling decisions are phrased. See the [module docs](self)
+/// for the indexed/flat implementation split.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg(not(feature = "flat-queue"))]
 pub struct RequestQueue {
-    requests: Vec<Request>,
+    /// Per-bank lanes, each in arrival order. A request lives in exactly
+    /// one lane, so `pending_for_bank` *is* the lane.
+    lanes: Vec<Vec<Request>>,
+    /// Buffered requests per thread, maintained on push/take/remove;
+    /// grows on demand for out-of-range thread ids.
+    thread_counts: Vec<u32>,
+    /// Banks whose lane is non-empty.
+    occupied: BankSet,
+    /// Total buffered requests across all lanes.
+    len: usize,
     capacity: usize,
 }
 
+#[cfg(not(feature = "flat-queue"))]
 impl RequestQueue {
-    /// Creates an empty buffer with the given capacity.
-    pub fn new(capacity: usize) -> Self {
+    /// Creates an empty buffer with room for `capacity` requests spread
+    /// over `num_banks` per-bank lanes.
+    ///
+    /// Each lane pre-allocates `capacity / num_banks` (rounded up)
+    /// entries — the expected occupancy under an even spread — so total
+    /// pre-allocation is bounded by `capacity + num_banks` entries
+    /// rather than the pathological `num_banks * capacity` a
+    /// full-capacity lane reservation would cost. Skewed traffic (e.g.
+    /// a streaming thread parked on one bank) grows its lane amortized
+    /// up to `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_banks` exceeds [`BankSet::MAX_BANKS`].
+    pub fn new(capacity: usize, num_banks: usize) -> Self {
+        assert!(
+            num_banks <= BankSet::MAX_BANKS,
+            "num_banks {num_banks} exceeds BankSet capacity {}",
+            BankSet::MAX_BANKS
+        );
+        let per_lane = capacity.div_ceil(num_banks.max(1)).min(capacity);
+        Self {
+            lanes: (0..num_banks).map(|_| Vec::with_capacity(per_lane)).collect(),
+            thread_counts: Vec::new(),
+            occupied: BankSet::empty(),
+            len: 0,
+            capacity,
+        }
+    }
+
+    /// Number of buffered requests.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the buffer is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len >= self.capacity
+    }
+
+    /// Buffer capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a request to its bank's lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFullError`] if the buffer is at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's bank exceeds [`BankSet::MAX_BANKS`].
+    pub fn push(&mut self, request: Request) -> Result<(), QueueFullError> {
+        if self.is_full() {
+            return Err(QueueFullError {
+                capacity: self.capacity,
+            });
+        }
+        let bank = request.addr.bank;
+        if bank.index() >= self.lanes.len() {
+            // Standalone uses may push banks the constructor did not
+            // announce; grow (bounded by the BankSet insert below).
+            self.lanes.resize_with(bank.index() + 1, Vec::new);
+        }
+        self.occupied.insert(bank);
+        self.bump_thread(request.thread, 1);
+        self.lanes[bank.index()].push(request);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Iterates over all buffered requests, bank-major (each bank's
+    /// requests in arrival order; order *across* banks is not the
+    /// global arrival order).
+    pub fn iter(&self) -> impl Iterator<Item = &Request> {
+        self.lanes.iter().flatten()
+    }
+
+    /// The requests pending for `bank`, in arrival order, as a borrowed
+    /// slice of the bank's lane — no copy, no allocation.
+    ///
+    /// The slice's positions are the indices expected by
+    /// [`RequestQueue::take_for_bank`]. Takes `&mut self` only for
+    /// signature parity with the flat reference implementation (which
+    /// materializes the answer into internal scratch).
+    #[inline]
+    pub fn pending_for_bank(&mut self, bank: BankId) -> &[Request] {
+        self.lanes.get(bank.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether any request is pending for `bank` (one bit test).
+    #[inline]
+    pub fn has_pending_for_bank(&self, bank: BankId) -> bool {
+        self.occupied.contains(bank)
+    }
+
+    /// Removes and returns the `pos`-th pending request for `bank`
+    /// (position as in [`RequestQueue::pending_for_bank`]).
+    ///
+    /// Returns `None` if fewer than `pos + 1` requests are pending for
+    /// the bank. The position lookup is O(1); the removal shifts only
+    /// the tail of that one bank's lane.
+    pub fn take_for_bank(&mut self, bank: BankId, pos: usize) -> Option<Request> {
+        let lane = self.lanes.get_mut(bank.index())?;
+        if pos >= lane.len() {
+            return None;
+        }
+        let request = lane.remove(pos);
+        if lane.is_empty() {
+            self.occupied.remove(bank);
+        }
+        self.bump_thread(request.thread, -1);
+        self.len -= 1;
+        Some(request)
+    }
+
+    /// Removes a request by id, returning it if present.
+    pub fn remove(&mut self, id: RequestId) -> Option<Request> {
+        for (bank, lane) in self.lanes.iter_mut().enumerate() {
+            if let Some(pos) = lane.iter().position(|r| r.id == id) {
+                let request = lane.remove(pos);
+                if lane.is_empty() {
+                    self.occupied.remove(BankId::new(bank));
+                }
+                self.bump_thread(request.thread, -1);
+                self.len -= 1;
+                return Some(request);
+            }
+        }
+        None
+    }
+
+    /// Number of buffered requests belonging to `thread` (a counter
+    /// read, maintained incrementally on push/take/remove).
+    #[inline]
+    pub fn count_for_thread(&self, thread: ThreadId) -> usize {
+        self.thread_counts
+            .get(thread.index())
+            .map_or(0, |&c| c as usize)
+    }
+
+    /// The set of banks with at least one pending request; iterating it
+    /// yields ascending bank ids with no sort or allocation.
+    #[inline]
+    pub fn banks_with_pending(&self) -> BankSet {
+        self.occupied
+    }
+
+    fn bump_thread(&mut self, thread: ThreadId, delta: i32) {
+        let idx = thread.index();
+        if idx >= self.thread_counts.len() {
+            self.thread_counts.resize(idx + 1, 0);
+        }
+        let c = &mut self.thread_counts[idx];
+        *c = c
+            .checked_add_signed(delta)
+            .expect("per-thread occupancy counter underflow");
+    }
+}
+
+/// A bounded buffer of requests waiting at one memory controller —
+/// the pre-refactor flat reference implementation (`flat-queue`
+/// feature), kept for A/B wall-clock benchmarking. See the
+/// [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg(feature = "flat-queue")]
+pub struct RequestQueue {
+    requests: Vec<Request>,
+    capacity: usize,
+    /// Holder for the freshly collected `pending_for_bank` answer, so
+    /// the flat queue can expose the same borrowed-slice signature as
+    /// the indexed one while keeping its original collect-per-call
+    /// cost profile.
+    scratch: Vec<Request>,
+}
+
+#[cfg(feature = "flat-queue")]
+impl RequestQueue {
+    /// Creates an empty buffer with the given capacity (`num_banks` is
+    /// accepted for signature parity with the indexed queue; the flat
+    /// layout has no per-bank structure to size).
+    pub fn new(capacity: usize, _num_banks: usize) -> Self {
         Self {
             requests: Vec::with_capacity(capacity.min(1024)),
             capacity,
+            scratch: Vec::new(),
         }
     }
 
@@ -93,19 +432,19 @@ impl RequestQueue {
         self.requests.iter()
     }
 
-    /// Collects the requests pending for `bank`, in arrival order.
-    ///
-    /// The returned vector's positions are the indices expected by
-    /// [`RequestQueue::take_for_bank`].
-    pub fn pending_for_bank(&self, bank: BankId) -> Vec<Request> {
-        self.requests
+    /// The requests pending for `bank`, in arrival order, collected by
+    /// a fresh full-queue scan (the pre-refactor cost profile).
+    pub fn pending_for_bank(&mut self, bank: BankId) -> &[Request] {
+        self.scratch = self
+            .requests
             .iter()
             .filter(|r| r.addr.bank == bank)
             .copied()
-            .collect()
+            .collect();
+        &self.scratch
     }
 
-    /// Whether any request is pending for `bank`.
+    /// Whether any request is pending for `bank` (full scan).
     pub fn has_pending_for_bank(&self, bank: BankId) -> bool {
         self.requests.iter().any(|r| r.addr.bank == bank)
     }
@@ -113,8 +452,8 @@ impl RequestQueue {
     /// Removes and returns the `pos`-th pending request for `bank`
     /// (position as in [`RequestQueue::pending_for_bank`]).
     ///
-    /// Returns `None` if fewer than `pos + 1` requests are pending for the
-    /// bank.
+    /// Returns `None` if fewer than `pos + 1` requests are pending for
+    /// the bank.
     pub fn take_for_bank(&mut self, bank: BankId, pos: usize) -> Option<Request> {
         let mut seen = 0usize;
         let mut idx = None;
@@ -136,18 +475,19 @@ impl RequestQueue {
         Some(self.requests.remove(idx))
     }
 
-    /// Number of buffered requests belonging to `thread`.
+    /// Number of buffered requests belonging to `thread` (full scan).
     pub fn count_for_thread(&self, thread: ThreadId) -> usize {
         self.requests.iter().filter(|r| r.thread == thread).count()
     }
 
-    /// Set of banks (per-channel ids) with at least one pending request,
-    /// deduplicated, in ascending order.
-    pub fn banks_with_pending(&self) -> Vec<BankId> {
-        let mut banks: Vec<BankId> = self.requests.iter().map(|r| r.addr.bank).collect();
-        banks.sort_unstable();
-        banks.dedup();
-        banks
+    /// The set of banks with at least one pending request, built by a
+    /// full scan (the pre-refactor cost profile, minus its sort).
+    pub fn banks_with_pending(&self) -> BankSet {
+        let mut set = BankSet::empty();
+        for r in &self.requests {
+            set.insert(r.addr.bank);
+        }
+        set
     }
 }
 
@@ -168,7 +508,7 @@ mod tests {
 
     #[test]
     fn push_respects_capacity() {
-        let mut q = RequestQueue::new(2);
+        let mut q = RequestQueue::new(2, 4);
         q.push(req(0, 0, 0, 0)).unwrap();
         q.push(req(1, 0, 0, 0)).unwrap();
         let err = q.push(req(2, 0, 0, 0)).unwrap_err();
@@ -179,7 +519,7 @@ mod tests {
 
     #[test]
     fn pending_for_bank_filters_and_preserves_order() {
-        let mut q = RequestQueue::new(16);
+        let mut q = RequestQueue::new(16, 4);
         q.push(req(0, 0, 1, 10)).unwrap();
         q.push(req(1, 1, 0, 20)).unwrap();
         q.push(req(2, 2, 1, 30)).unwrap();
@@ -193,7 +533,7 @@ mod tests {
 
     #[test]
     fn take_for_bank_removes_selected_position() {
-        let mut q = RequestQueue::new(16);
+        let mut q = RequestQueue::new(16, 4);
         q.push(req(0, 0, 1, 10)).unwrap();
         q.push(req(1, 1, 0, 20)).unwrap();
         q.push(req(2, 2, 1, 30)).unwrap();
@@ -207,23 +547,76 @@ mod tests {
 
     #[test]
     fn remove_by_id() {
-        let mut q = RequestQueue::new(16);
+        let mut q = RequestQueue::new(16, 4);
         q.push(req(0, 0, 1, 10)).unwrap();
         q.push(req(1, 0, 1, 10)).unwrap();
         assert_eq!(q.remove(RequestId::new(0)).unwrap().id, RequestId::new(0));
         assert!(q.remove(RequestId::new(0)).is_none());
         assert_eq!(q.len(), 1);
+        assert_eq!(q.count_for_thread(ThreadId::new(0)), 1);
     }
 
     #[test]
     fn per_thread_counts_and_bank_sets() {
-        let mut q = RequestQueue::new(16);
+        let mut q = RequestQueue::new(16, 4);
         q.push(req(0, 0, 1, 1)).unwrap();
         q.push(req(1, 0, 2, 1)).unwrap();
         q.push(req(2, 1, 2, 1)).unwrap();
         assert_eq!(q.count_for_thread(ThreadId::new(0)), 2);
         assert_eq!(q.count_for_thread(ThreadId::new(1)), 1);
         assert_eq!(q.count_for_thread(ThreadId::new(9)), 0);
-        assert_eq!(q.banks_with_pending(), vec![BankId::new(1), BankId::new(2)]);
+        assert_eq!(
+            q.banks_with_pending().iter().collect::<Vec<_>>(),
+            vec![BankId::new(1), BankId::new(2)]
+        );
+        assert_eq!(q.banks_with_pending().len(), 2);
+        assert!(q.banks_with_pending().contains(BankId::new(2)));
+        assert!(!q.banks_with_pending().contains(BankId::new(0)));
+    }
+
+    #[test]
+    fn counts_track_takes_and_removes() {
+        let mut q = RequestQueue::new(16, 4);
+        for i in 0..6u64 {
+            q.push(req(i, (i % 2) as usize, (i % 3) as usize, i)).unwrap();
+        }
+        assert_eq!(q.count_for_thread(ThreadId::new(0)), 3);
+        let taken = q.take_for_bank(BankId::new(0), 0).unwrap();
+        assert_eq!(q.count_for_thread(ThreadId::new(taken.thread.index())), 2);
+        q.remove(RequestId::new(1)).unwrap();
+        assert_eq!(q.count_for_thread(ThreadId::new(1)), 2);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.iter().count(), 4);
+    }
+
+    #[test]
+    fn bank_set_iterates_ascending_and_supports_edits() {
+        let mut set = BankSet::empty();
+        assert!(set.is_empty());
+        for b in [5usize, 0, 127, 63] {
+            set.insert(BankId::new(b));
+        }
+        assert_eq!(
+            set.iter().map(|b| b.index()).collect::<Vec<_>>(),
+            vec![0, 5, 63, 127]
+        );
+        assert_eq!(set.iter().len(), 4);
+        set.remove(BankId::new(5));
+        assert!(!set.contains(BankId::new(5)));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn draining_every_bank_empties_the_set() {
+        let mut q = RequestQueue::new(32, 8);
+        for i in 0..12u64 {
+            q.push(req(i, 0, (i % 5) as usize, i)).unwrap();
+        }
+        for bank in q.banks_with_pending() {
+            while q.take_for_bank(bank, 0).is_some() {}
+        }
+        assert!(q.banks_with_pending().is_empty());
+        assert!(q.is_empty());
+        assert_eq!(q.count_for_thread(ThreadId::new(0)), 0);
     }
 }

@@ -55,6 +55,8 @@ pub struct ChannelStats {
     pub bus_busy_cycles: u64,
     /// Cycle of the last serviced request (coverage indicator).
     pub last_service_at: Cycle,
+    /// Deepest the request buffer ever got (benchmark/report metric).
+    pub peak_queue_depth: usize,
 }
 
 impl ChannelStats {
@@ -66,6 +68,15 @@ impl ChannelStats {
             thread_service: vec![0; num_threads],
             bus_busy_cycles: 0,
             last_service_at: 0,
+            peak_queue_depth: 0,
+        }
+    }
+
+    /// Folds a queue-depth observation into the peak.
+    #[inline]
+    pub fn observe_queue_depth(&mut self, depth: usize) {
+        if depth > self.peak_queue_depth {
+            self.peak_queue_depth = depth;
         }
     }
 

@@ -150,8 +150,7 @@ proptest! {
         // Strictly sequential service: one bank busy at a time, so every
         // issue is trivially legal.
         while served < to_serve {
-            let banks = ch.schedulable_banks(now);
-            let Some(&bank) = banks.first() else { break };
+            let Some(bank) = ch.schedulable_banks(now).next() else { break };
             let outcome = ch.issue_at(bank.index(), 0, now, &timing);
             now = outcome.bank_free;
             served += 1;
@@ -185,8 +184,7 @@ proptest! {
         let mut now = 0u64;
         for &p in &picks {
             // Find any bank with pending work that is ready.
-            let banks = ch.schedulable_banks(now);
-            let Some(&bank) = banks.first() else { break };
+            let Some(bank) = ch.schedulable_banks(now).next() else { break };
             let pending = ch.pending_for_bank(bank);
             prop_assert!(!pending.is_empty());
             let pos = p % pending.len();

@@ -6,7 +6,18 @@
 //! tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]
 //!         [--policies fr-fcfs,stfm,par-bs,atlas,fqm,tcm] [--json]
 //!         [--workload A|B|C|D] [--workers W] [--verify]
+//!         [--bench-json FILE]
 //! ```
+//!
+//! `--bench-json FILE` switches to benchmark mode: time a *fixed*
+//! paper-lineup sweep (5 policies × the 4 Table 5 workload categories on
+//! the paper-baseline machine) and write a wall-clock throughput record
+//! to FILE — simulated cycles/sec, cells/sec, peak queue depth — tagged
+//! with which `RequestQueue` implementation the binary was built with
+//! (`indexed` by default, `flat` under the `flat-queue` feature).
+//! `scripts/bench.sh` runs both builds and merges the two records into
+//! `BENCH_hotpath.json`. Only `--cycles` and `--workers` modify the
+//! fixed sweep (workers default to 1 in this mode for stable timing).
 //!
 //! Exit codes: 0 on success, 1 if any sweep cell failed (the failures
 //! are reported on stderr; successful cells are still printed), 2 on
@@ -114,6 +125,97 @@ impl Output {
     }
 }
 
+/// Benchmark mode: time the fixed paper-lineup sweep and write the
+/// throughput record to `path`. Returns the process exit code.
+fn run_bench(path: &str, cycles: u64, workers: usize) -> i32 {
+    let threads = 24usize;
+    let policies = PolicyKind::paper_lineup(threads);
+    let workloads = table5_workloads();
+    let policy_labels: Vec<String> = policies.iter().map(PolicyKind::label).collect();
+    let workload_names: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
+
+    let session = Session::new(
+        RunConfig::builder()
+            .system(SystemConfig::paper_baseline())
+            .horizon(cycles)
+            .build(),
+    );
+    let sweep = session
+        .sweep()
+        .policies(policies)
+        .workloads(workloads);
+    let result = sweep.run_parallel(workers);
+    if !result.is_complete() {
+        eprintln!("bench sweep had {} failed cell(s):", result.failures().len());
+        for failure in result.failures() {
+            eprintln!("  {failure}");
+        }
+        return 1;
+    }
+
+    let stats = result.stats();
+    let wall_secs = stats.wall.as_secs_f64();
+    let cells_per_sec = if wall_secs > 0.0 {
+        stats.cells as f64 / wall_secs
+    } else {
+        0.0
+    };
+    let peak_queue_depth = result
+        .cells()
+        .iter()
+        .map(|c| c.result.run.peak_queue)
+        .max()
+        .unwrap_or(0);
+
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"tcm-bench-hotpath-v1\",\n  \"queue_impl\": ");
+    json::string(&mut s, tcm_dram::QUEUE_IMPL);
+    let _ = write!(s, ",\n  \"threads\": {threads},\n  \"horizon\": {cycles}");
+    s.push_str(",\n  \"policies\": [");
+    for (i, p) in policy_labels.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        json::string(&mut s, p);
+    }
+    s.push_str("],\n  \"workloads\": [");
+    for (i, w) in workload_names.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        json::string(&mut s, w);
+    }
+    let _ = write!(
+        s,
+        "],\n  \"cells\": {},\n  \"alone_runs\": {},\n  \"workers\": {},\n  \"sim_cycles\": {}",
+        stats.cells, stats.alone_runs, stats.workers, stats.sim_cycles
+    );
+    s.push_str(",\n  \"wall_secs\": ");
+    json::number(&mut s, wall_secs);
+    s.push_str(",\n  \"sim_cycles_per_sec\": ");
+    json::number(&mut s, stats.sim_cycles_per_sec());
+    s.push_str(",\n  \"cells_per_sec\": ");
+    json::number(&mut s, cells_per_sec);
+    let _ = write!(s, ",\n  \"peak_queue_depth\": {peak_queue_depth}\n}}");
+
+    if let Err(err) = std::fs::write(path, format!("{s}\n")) {
+        eprintln!("cannot write {path}: {err}");
+        return 1;
+    }
+    eprintln!(
+        "bench [{} queue]: {} cells @ {} cycles in {:.2}s ({:.2e} sim-cycles/sec, \
+         peak queue {}) -> {}",
+        tcm_dram::QUEUE_IMPL,
+        stats.cells,
+        cycles,
+        wall_secs,
+        stats.sim_cycles_per_sec(),
+        peak_queue_depth,
+        path,
+    );
+    0
+}
+
 fn parse_policy(name: &str, n: usize) -> Result<PolicyKind, String> {
     Ok(match name {
         "fcfs" => PolicyKind::Fcfs,
@@ -131,9 +233,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]\n\
          \x20              [--policies p1,p2,...] [--workload A|B|C|D] [--workers W] [--json]\n\
-         \x20              [--verify]\n\
+         \x20              [--verify] [--bench-json FILE]\n\
          policies: fcfs fr-fcfs stfm par-bs atlas fqm tcm (default: all but fcfs/fqm)\n\
-         --verify enables the DRAM protocol invariant checker (observation-only)"
+         --verify enables the DRAM protocol invariant checker (observation-only)\n\
+         --bench-json times the fixed paper-lineup sweep and writes the record to FILE"
     );
     std::process::exit(2)
 }
@@ -148,6 +251,8 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut json = false;
     let mut verify = false;
+    let mut bench_json: Option<String> = None;
+    let mut cycles_given = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -164,7 +269,10 @@ fn main() {
             "--threads" => threads = value("--threads").parse().unwrap_or_else(|_| usage()),
             "--intensity" => intensity = value("--intensity").parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
-            "--cycles" => cycles = value("--cycles").parse().unwrap_or_else(|_| usage()),
+            "--cycles" => {
+                cycles = value("--cycles").parse().unwrap_or_else(|_| usage());
+                cycles_given = true;
+            }
             "--policies" => {
                 policies = Some(value("--policies").split(',').map(String::from).collect())
             }
@@ -172,12 +280,20 @@ fn main() {
             "--workers" => workers = Some(value("--workers").parse().unwrap_or_else(|_| usage())),
             "--json" => json = true,
             "--verify" => verify = true,
+            "--bench-json" => bench_json = Some(value("--bench-json")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
                 usage()
             }
         }
+    }
+
+    if let Some(path) = bench_json {
+        // Benchmark mode uses a fixed sweep; default to a shorter horizon
+        // than the exploratory default unless --cycles was given.
+        let bench_cycles = if cycles_given { cycles } else { 2_000_000 };
+        std::process::exit(run_bench(&path, bench_cycles, workers.unwrap_or(1)));
     }
 
     let workload: WorkloadSpec = match named_workload.as_deref() {

@@ -41,6 +41,9 @@ pub struct RunResult {
     /// Number of requests that had to wait for controller-buffer space
     /// before admission (diagnostic; rare at realistic intensities).
     pub spilled: u64,
+    /// Deepest any controller's request buffer got during the run
+    /// (benchmark/report metric; deterministic like everything else).
+    pub peak_queue: usize,
 }
 
 /// One simulated CMP + memory system executing one workload under one
@@ -108,6 +111,15 @@ pub struct System {
     /// Typed error raised deep in the call graph (e.g. during `admit`),
     /// surfaced by the event loop at the next opportunity.
     pending_error: Option<SimError>,
+    /// Scratch: schedulable banks of the channel currently being worked
+    /// (reused across `schedule_idle_banks` calls, never allocated per
+    /// decision).
+    scratch_banks: Vec<BankId>,
+    /// Scratch: request ids of the burst currently being injected.
+    scratch_ids: Vec<RequestId>,
+    /// Scratch: per-channel "this burst touched it" flags (reused, reset
+    /// after each injection).
+    touched_channels: Vec<bool>,
 }
 
 impl System {
@@ -196,6 +208,9 @@ impl System {
             stall_limit: Some(DEFAULT_STALL_LIMIT),
             spill_bound: cfg.num_threads * cfg.mshrs_per_core,
             pending_error: None,
+            scratch_banks: Vec::with_capacity(cfg.banks_per_channel),
+            scratch_ids: Vec::new(),
+            touched_channels: vec![false; cfg.num_channels],
         };
         if std::env::var_os("TCM_VERIFY").is_some_and(|v| v != "0") {
             sys.enable_verification();
@@ -257,14 +272,15 @@ impl System {
         self.schedule_next_tick();
     }
 
-    /// Pulls the next burst from thread `t`'s generator into its core.
+    /// Pulls the next burst from thread `t`'s generator into its core,
+    /// refilling the thread's pending-access buffer in place (its
+    /// capacity is reused run-long; no per-burst allocation).
     fn arm_next_burst(&mut self, t: usize) {
         let Some(generator) = self.generators[t].as_mut() else {
             return;
         };
-        let burst = generator.next_burst();
-        self.cores[t].schedule_burst(burst.gap, burst.accesses.len());
-        self.pending_accesses[t] = burst.accesses;
+        let gap = generator.next_burst_into(&mut self.pending_accesses[t]);
+        self.cores[t].schedule_burst(gap, self.pending_accesses[t].len());
     }
 
     /// Polls core `t` at the current cycle and (re)schedules its burst
@@ -312,25 +328,35 @@ impl System {
         (retired, misses, service)
     }
 
-    /// Injects thread `t`'s pending burst into the memory system.
+    /// Injects thread `t`'s pending burst into the memory system. The
+    /// burst buffer and the id staging both live on `self` and are
+    /// reused; the only allocation left on this path is the event-queue
+    /// push.
     fn inject_burst(&mut self, t: usize) {
         let accesses = std::mem::take(&mut self.pending_accesses[t]);
-        let mut ids = Vec::with_capacity(accesses.len());
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
         for addr in &accesses {
             let id = RequestId::new(self.next_request_id);
             self.next_request_id += 1;
             ids.push(id);
             let request = Request::new(id, ThreadId::new(t), *addr, self.now);
             self.admit(request);
+            self.touched_channels[addr.channel.index()] = true;
         }
         self.cores[t].issue_burst(&ids);
         self.injected += ids.len() as u64;
-        // Newly arrived requests may wake idle banks.
-        let mut touched: Vec<ChannelId> = accesses.iter().map(|a| a.channel).collect();
-        touched.sort_unstable();
-        touched.dedup();
-        for ch in touched {
-            self.schedule_idle_banks(ch);
+        self.scratch_ids = ids;
+        // Hand the (drained) buffer back so arm_next_burst refills it in
+        // place.
+        self.pending_accesses[t] = accesses;
+        // Newly arrived requests may wake idle banks. Scanning the flag
+        // array visits channels in ascending id order — the same order
+        // the old sort+dedup of touched channel ids produced.
+        for c in 0..self.touched_channels.len() {
+            if std::mem::take(&mut self.touched_channels[c]) {
+                self.schedule_idle_banks(ChannelId::new(c));
+            }
         }
         self.arm_next_burst(t);
         self.poll_core(t);
@@ -381,27 +407,38 @@ impl System {
     /// Runs a scheduling decision for every idle bank with pending work.
     fn schedule_idle_banks(&mut self, channel: ChannelId) {
         let c = channel.index();
-        for bank in self.channels[c].schedulable_banks(self.now) {
+        // Snapshot the decision list into the reused scratch (decide()
+        // needs &mut self, so the borrow can't stay live); the old code
+        // collected the same snapshot into a fresh Vec.
+        let mut banks = std::mem::take(&mut self.scratch_banks);
+        banks.clear();
+        banks.extend(self.channels[c].schedulable_banks(self.now));
+        for &bank in &banks {
             self.decide(c, bank);
         }
+        self.scratch_banks = banks;
     }
 
     /// Consults the policy and issues one request at `(channel, bank)`.
+    ///
+    /// Allocation-free: the policy sees the bank's pending lane as a
+    /// borrowed slice (disjoint field borrows let `self.scheduler` be
+    /// consulted while the slice borrows `self.channels`).
     fn decide(&mut self, channel: usize, bank: BankId) {
-        let pending = self.channels[channel].pending_for_bank(bank);
-        debug_assert!(!pending.is_empty());
         let ctx = PickContext {
             now: self.now,
             channel: ChannelId::new(channel),
             bank,
             open_row: self.channels[channel].bank(bank).open_row(),
         };
-        let idx = self.scheduler.pick(&pending, &ctx);
+        let pending = self.channels[channel].pending_for_bank(bank);
+        debug_assert!(!pending.is_empty());
+        let idx = self.scheduler.pick(pending, &ctx);
         assert!(idx < pending.len(), "policy returned an invalid index");
         let outcome =
             self.channels[channel].issue_at(bank.index(), idx, self.now, &self.cfg.timing);
         let remaining = self.channels[channel].pending_for_bank(bank);
-        self.scheduler.on_service(&outcome, &remaining, self.now);
+        self.scheduler.on_service(&outcome, remaining, self.now);
         self.events
             .push(outcome.completes_at, Event::Completion { request: outcome.request });
         self.events.push(
@@ -592,6 +629,12 @@ impl System {
                 total_hits as f64 / total_serviced as f64
             },
             spilled: self.spilled,
+            peak_queue: self
+                .channels
+                .iter()
+                .map(|c| c.stats().peak_queue_depth)
+                .max()
+                .unwrap_or(0),
         }
     }
 }

@@ -83,6 +83,9 @@ pub struct TraceGenerator {
     extra_prob: f64,
     /// Mean instruction gap per single miss (1000 / MPKI).
     instrs_per_miss: f64,
+    /// Scratch index list for bank selection, reused across bursts so
+    /// the per-burst Fisher–Yates allocates nothing.
+    bank_scratch: Vec<usize>,
 }
 
 impl TraceGenerator {
@@ -118,6 +121,7 @@ impl TraceGenerator {
             base_burst,
             extra_prob,
             instrs_per_miss: 1000.0 / profile.mpki,
+            bank_scratch: Vec::with_capacity(total_banks),
         }
     }
 
@@ -133,14 +137,28 @@ impl TraceGenerator {
 
     /// Generates the next miss burst.
     pub fn next_burst(&mut self) -> TraceBurst {
+        let mut accesses = Vec::new();
+        let gap = self.next_burst_into(&mut accesses);
+        TraceBurst { gap, accesses }
+    }
+
+    /// Like [`TraceGenerator::next_burst`] but writes the burst's
+    /// accesses into `out` (cleared first), reusing its capacity, and
+    /// returns the instruction gap. This is `next_burst` — the owned
+    /// variant is a wrapper — so the RNG draw order, and therefore the
+    /// generated trace, is identical bit-for-bit.
+    pub fn next_burst_into(&mut self, out: &mut Vec<MemAddress>) -> u64 {
         let size = self.sample_burst_size();
         let gap = self.sample_gap(size);
-        let banks = self.choose_banks(size);
-        let accesses = banks
-            .into_iter()
-            .map(|flat| self.access_bank(flat))
-            .collect();
-        TraceBurst { gap, accesses }
+        let mut banks = std::mem::take(&mut self.bank_scratch);
+        self.choose_banks_into(size, &mut banks);
+        out.clear();
+        out.reserve(banks.len());
+        for &flat in &banks {
+            out.push(self.access_bank(flat));
+        }
+        self.bank_scratch = banks;
+        gap
     }
 
     fn sample_burst_size(&mut self) -> usize {
@@ -154,22 +172,23 @@ impl TraceGenerator {
         ((-mean * u.ln()).round() as u64).max(1)
     }
 
-    /// Picks `size` distinct banks. Streaming-like threads (base burst of
-    /// 1, no fractional extra worth spreading) sit on their home bank;
-    /// others sample without replacement.
-    fn choose_banks(&mut self, size: usize) -> Vec<usize> {
-        let total = self.shape.total_banks();
+    /// Picks `size` distinct banks into `out`. Streaming-like threads
+    /// (base burst of 1, no fractional extra worth spreading) sit on
+    /// their home bank; others sample without replacement.
+    fn choose_banks_into(&mut self, size: usize, out: &mut Vec<usize>) {
+        out.clear();
         if size == 1 {
-            return vec![self.home_bank];
+            out.push(self.home_bank);
+            return;
         }
-        // Partial Fisher–Yates over a scratch index list.
-        let mut indices: Vec<usize> = (0..total).collect();
+        // Partial Fisher–Yates over the reused scratch index list.
+        let total = self.shape.total_banks();
+        out.extend(0..total);
         for i in 0..size {
             let j = self.rng.gen_range(i..total);
-            indices.swap(i, j);
+            out.swap(i, j);
         }
-        indices.truncate(size);
-        indices
+        out.truncate(size);
     }
 
     /// Produces the address for one access to the flat bank index,
@@ -322,6 +341,26 @@ mod tests {
         // changes.
         assert!(row_changes < 60, "row changes {row_changes}");
         assert!(bank_changes <= row_changes);
+    }
+
+    #[test]
+    fn next_burst_into_is_interchangeable_with_next_burst() {
+        let p = spec_by_name("mcf").unwrap();
+        let mut owned = TraceGenerator::new(&p, shape(), 42);
+        let mut into = TraceGenerator::new(&p, shape(), 42);
+        let mut buf = Vec::new();
+        for i in 0..500 {
+            let burst = owned.next_burst();
+            // Alternate which variant the "into" generator uses, proving
+            // they draw from the RNG identically and can interleave.
+            if i % 2 == 0 {
+                let gap = into.next_burst_into(&mut buf);
+                assert_eq!(gap, burst.gap);
+                assert_eq!(buf, burst.accesses);
+            } else {
+                assert_eq!(into.next_burst(), burst);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Wall-clock benchmark of the controller hot path: times the fixed
+# paper-lineup sweep (tcm-run --bench-json) twice — once with the default
+# indexed request queue and once with the pre-refactor flat queue
+# (--features tcm-dram/flat-queue) — and merges the two records into
+# BENCH_hotpath.json with the measured speedup. Results are bit-identical
+# between the builds; only the wall clock differs.
+#
+# Usage:
+#   scripts/bench.sh            full run (2M-cycle horizon per cell)
+#   scripts/bench.sh --smoke    quick schema-validating run (CI gate)
+#
+# Everything works offline; JSON merging uses python3 (stdlib only).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CYCLES=2000000
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+    SMOKE=1
+    CYCLES=100000
+elif [[ -n "${1:-}" ]]; then
+    echo "usage: scripts/bench.sh [--smoke]" >&2
+    exit 2
+fi
+
+TMPDIR_BENCH=$(mktemp -d)
+trap 'rm -rf "$TMPDIR_BENCH"' EXIT
+# Smoke mode must not clobber the committed full-run record with tiny
+# numbers: it writes to a scratch path and, after validating that, also
+# schema-checks the committed BENCH_hotpath.json if present.
+OUT=BENCH_hotpath.json
+if [[ "$SMOKE" == 1 ]]; then
+    OUT="$TMPDIR_BENCH/BENCH_hotpath.json"
+fi
+
+run_variant() {
+    local impl="$1"; shift
+    echo "==> build + run: $impl queue"
+    # Both variants build the same binary path, so build and run in
+    # sequence rather than in parallel.
+    cargo build --release --offline -p tcm-sim --bin tcm-run "$@"
+    ./target/release/tcm-run --bench-json "$TMPDIR_BENCH/$impl.json" --cycles "$CYCLES"
+}
+
+run_variant indexed
+run_variant flat --features tcm-dram/flat-queue
+# Leave the default build in place for whoever runs next.
+cargo build --release --offline -p tcm-sim --bin tcm-run >/dev/null 2>&1 || true
+
+python3 - "$TMPDIR_BENCH/indexed.json" "$TMPDIR_BENCH/flat.json" "$OUT" "$SMOKE" <<'PY'
+import json
+import sys
+
+indexed_path, flat_path, out_path, smoke = sys.argv[1:5]
+
+REQUIRED = {
+    "schema": str, "queue_impl": str, "threads": int, "horizon": int,
+    "policies": list, "workloads": list, "cells": int, "alone_runs": int,
+    "workers": int, "sim_cycles": int, "wall_secs": float,
+    "sim_cycles_per_sec": float, "cells_per_sec": float,
+    "peak_queue_depth": int,
+}
+
+def load(path, expect_impl):
+    with open(path) as f:
+        record = json.load(f)
+    for key, kind in REQUIRED.items():
+        if key not in record:
+            sys.exit(f"{path}: missing key {key!r}")
+        if not isinstance(record[key], kind):
+            sys.exit(f"{path}: key {key!r} is {type(record[key]).__name__}, "
+                     f"expected {kind.__name__}")
+    if record["schema"] != "tcm-bench-hotpath-v1":
+        sys.exit(f"{path}: unexpected schema {record['schema']!r}")
+    if record["queue_impl"] != expect_impl:
+        sys.exit(f"{path}: queue_impl {record['queue_impl']!r}, "
+                 f"expected {expect_impl!r}")
+    if record["sim_cycles_per_sec"] <= 0:
+        sys.exit(f"{path}: non-positive sim_cycles_per_sec")
+    return record
+
+indexed = load(indexed_path, "indexed")
+flat = load(flat_path, "flat")
+for key in ("threads", "horizon", "cells", "policies", "workloads"):
+    if indexed[key] != flat[key]:
+        sys.exit(f"variant mismatch on {key!r}: "
+                 f"{indexed[key]!r} vs {flat[key]!r}")
+# Same simulation either way: the peak depth is a behavioral quantity and
+# must agree bit-for-bit between the builds.
+if indexed["peak_queue_depth"] != flat["peak_queue_depth"]:
+    sys.exit("peak_queue_depth differs between builds — the refactor is "
+             "supposed to be bit-identical")
+
+speedup = indexed["sim_cycles_per_sec"] / flat["sim_cycles_per_sec"]
+merged = {
+    "schema": "tcm-bench-hotpath-v1",
+    "generated_by": "scripts/bench.sh" + (" --smoke" if smoke == "1" else ""),
+    "indexed": indexed,
+    "flat": flat,
+    "speedup_indexed_over_flat": speedup,
+}
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+
+print(f"indexed: {indexed['sim_cycles_per_sec']:.3e} sim-cycles/sec "
+      f"({indexed['wall_secs']:.2f}s)")
+print(f"flat:    {flat['sim_cycles_per_sec']:.3e} sim-cycles/sec "
+      f"({flat['wall_secs']:.2f}s)")
+print(f"speedup (indexed over flat): {speedup:.2f}x -> {out_path}")
+if smoke == "1":
+    print("smoke mode: schema validated; absolute numbers not gated")
+    # Also schema-check the committed record, if one exists.
+    import os
+    if os.path.exists("BENCH_hotpath.json"):
+        with open("BENCH_hotpath.json") as f:
+            committed = json.load(f)
+        for key in ("schema", "indexed", "flat", "speedup_indexed_over_flat"):
+            if key not in committed:
+                sys.exit(f"committed BENCH_hotpath.json: missing key {key!r}")
+        if committed["schema"] != "tcm-bench-hotpath-v1":
+            sys.exit("committed BENCH_hotpath.json: unexpected schema")
+        for impl in ("indexed", "flat"):
+            for key in REQUIRED:
+                if key not in committed[impl]:
+                    sys.exit(f"committed BENCH_hotpath.json [{impl}]: "
+                             f"missing key {key!r}")
+        print("committed BENCH_hotpath.json: schema ok")
+PY

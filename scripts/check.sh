@@ -25,4 +25,10 @@ TCM_VERIFY=1 cargo test -q --release --offline -p tcm-sim -p tcm-dram
 echo "==> bench harness compiles (feature-gated)"
 cargo build --benches -p tcm-bench --features bench-harness --offline
 
+# Times the fixed paper-lineup sweep on both request-queue builds and
+# validates the JSON schema of BENCH_hotpath.json. Absolute numbers are
+# NOT gated — machines differ — only the record's shape and consistency.
+echo "==> bench smoke run (schema validation)"
+scripts/bench.sh --smoke
+
 echo "All checks passed."

@@ -1,0 +1,124 @@
+//! Golden `RunResult` fingerprints for the paper-lineup sweep.
+//!
+//! These constants were captured from the flat-`Vec` request queue that
+//! predates the indexed (per-bank lane) hot path; the refactor is
+//! required to be *bit-identical*, so every field of every `RunResult`
+//! in this fixed grid must still hash to the same value. If a change is
+//! *meant* to alter simulation results, re-capture with:
+//!
+//! ```text
+//! cargo test --test golden_fingerprints -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed table over `GOLDEN`.
+
+use tcm::sim::{PolicyKind, RunConfig, RunResult, Session};
+use tcm::types::SystemConfig;
+use tcm::workload::{random_workload, table5_workloads, WorkloadSpec};
+
+/// FNV-1a over a structured encoding of every behavioral field of a
+/// [`RunResult`]. Floats are hashed by bit pattern, so any numeric
+/// drift — however small — changes the fingerprint.
+fn fingerprint(run: &RunResult) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(run.cycles);
+    eat(run.retired.len() as u64);
+    for &r in &run.retired {
+        eat(r);
+    }
+    for &i in &run.ipc {
+        eat(i.to_bits());
+    }
+    for &m in &run.misses {
+        eat(m);
+    }
+    for &s in &run.service {
+        eat(s);
+    }
+    eat(run.total_serviced);
+    eat(run.row_hit_rate.to_bits());
+    eat(run.spilled);
+    h
+}
+
+/// The fixed grid: the paper's five-policy lineup on the paper-baseline
+/// machine (24 threads, 4 channels x 4 banks), over one of the paper's
+/// Table 5 workload categories and one random mixed workload. The
+/// horizon exceeds TCM's 1M-cycle quantum so clustering and shuffling
+/// engage (ATLAS's 10M-cycle quantum never elapses here, so its cells
+/// legitimately coincide with FR-FCFS).
+fn grid() -> (Session, Vec<WorkloadSpec>) {
+    let session = Session::new(
+        RunConfig::builder()
+            .system(SystemConfig::paper_baseline())
+            .horizon(1_200_000)
+            .build(),
+    );
+    let mut workloads = vec![table5_workloads().remove(0)];
+    workloads.push(random_workload(1, 24, 0.75));
+    (session, workloads)
+}
+
+fn compute_fingerprints() -> Vec<(String, String, u64)> {
+    let (session, workloads) = grid();
+    let result = session
+        .sweep()
+        .policies(PolicyKind::paper_lineup(24))
+        .workloads(workloads)
+        .run();
+    assert!(result.is_complete(), "golden grid must not have failures");
+    result
+        .cells()
+        .iter()
+        .map(|cell| {
+            (
+                result.policy_labels()[cell.policy].clone(),
+                result.workload_names()[cell.workload].clone(),
+                fingerprint(&cell.result.run),
+            )
+        })
+        .collect()
+}
+
+/// Captured on the pre-refactor flat request queue; see module docs.
+const GOLDEN: [(&str, &str, u64); 10] = [
+    ("FR-FCFS", "A", 0x0b09adb91565ca44),
+    ("FR-FCFS", "rand-75%-01", 0xd7d753b8d72caf62),
+    ("STFM", "A", 0xf383ca8860938f1d),
+    ("STFM", "rand-75%-01", 0xaed779db9dcf9809),
+    ("PAR-BS", "A", 0x36fdcf9b31895792),
+    ("PAR-BS", "rand-75%-01", 0xdfe3c021f3f81e89),
+    ("ATLAS", "A", 0x0b09adb91565ca44),
+    ("ATLAS", "rand-75%-01", 0xd7d753b8d72caf62),
+    ("TCM", "A", 0x51b615860c7aaa86),
+    ("TCM", "rand-75%-01", 0xd52d5b902bc8a075),
+];
+
+#[test]
+fn paper_lineup_matches_golden_fingerprints() {
+    let got = compute_fingerprints();
+    assert_eq!(got.len(), GOLDEN.len(), "grid shape changed");
+    for ((policy, workload, fp), (gp, gw, gfp)) in got.iter().zip(GOLDEN) {
+        assert_eq!(policy, gp, "policy axis changed");
+        assert_eq!(workload, gw, "workload axis changed");
+        assert_eq!(
+            *fp, gfp,
+            "RunResult drifted for {policy} x {workload}: \
+             {fp:#018x} != golden {gfp:#018x}"
+        );
+    }
+}
+
+#[test]
+#[ignore = "re-capture helper: prints the GOLDEN table"]
+fn print_fingerprints() {
+    for (policy, workload, fp) in compute_fingerprints() {
+        println!("    (\"{policy}\", \"{workload}\", {fp:#018x}),");
+    }
+}
