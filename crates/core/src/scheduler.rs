@@ -2,7 +2,7 @@
 //! machinery, implementing [`tcm_sched::Scheduler`].
 
 use crate::clustering::{cluster_threads, Clustering};
-use crate::monitor::TcmMonitor;
+use crate::monitor::{QuantumSnapshot, TcmMonitor};
 use crate::niceness::niceness_scores;
 use crate::params::{ShuffleMode, TcmParams};
 use crate::shuffle::{
@@ -10,6 +10,7 @@ use crate::shuffle::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tcm_chaos::{FaultKind, FaultSpec};
 use tcm_dram::ServiceOutcome;
 use tcm_sched::select::{age_key, pick_max_by_key, row_hit};
 use tcm_sched::{PickContext, Scheduler, SystemView};
@@ -60,6 +61,14 @@ pub struct Tcm {
     quanta_elapsed: u64,
     insertion_quanta: u64,
     random_quanta: u64,
+    /// Armed monitor-state bit-flip faults (from `tcm-chaos`), applied
+    /// to the quantum snapshot once their scheduled cycle passes.
+    pending_monitor_faults: Vec<FaultSpec>,
+    /// Whether the last quantum's monitor data was implausible and TCM
+    /// fell back to FR-FCFS ordering for the quantum.
+    degraded: bool,
+    /// Log of every monitor anomaly observed, in order.
+    anomalies: Vec<String>,
 }
 
 impl Tcm {
@@ -102,6 +111,9 @@ impl Tcm {
             quanta_elapsed: 0,
             insertion_quanta: 0,
             random_quanta: 0,
+            pending_monitor_faults: Vec::new(),
+            degraded: false,
+            anomalies: Vec::new(),
         }
     }
 
@@ -125,6 +137,73 @@ impl Tcm {
     /// Table 6/7 experiments).
     pub fn shuffle_algo_counts(&self) -> (u64, u64) {
         (self.insertion_quanta, self.random_quanta)
+    }
+
+    /// Whether TCM is currently degraded to FR-FCFS ordering because the
+    /// last quantum's monitor data was implausible. Clears at the next
+    /// quantum boundary whose data passes the plausibility check.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Every monitor anomaly observed so far, in order (empty in healthy
+    /// runs). Each entry names the cycle, the offending counter and the
+    /// implausible value.
+    pub fn anomalies(&self) -> &[String] {
+        &self.anomalies
+    }
+
+    /// Applies any armed monitor faults whose cycle has passed: flips the
+    /// sign/exponent bits of the target thread's MPKI, RBL and BLP
+    /// counters, modeling bit flips in the monitoring hardware.
+    fn apply_monitor_faults(&mut self, snap: &mut QuantumSnapshot, now: Cycle) {
+        fn flip(v: f64) -> f64 {
+            f64::from_bits(v.to_bits() ^ 0xFFF0_0000_0000_0000)
+        }
+        let mut i = 0;
+        while i < self.pending_monitor_faults.len() {
+            if self.pending_monitor_faults[i].at > now {
+                i += 1;
+                continue;
+            }
+            let fault = self.pending_monitor_faults.swap_remove(i);
+            let t = fault.thread;
+            if let Some(v) = snap.mpki.get_mut(t) {
+                *v = flip(*v);
+            }
+            if let Some(v) = snap.rbl.get_mut(t) {
+                *v = flip(*v);
+            }
+            if let Some(v) = snap.blp.get_mut(t) {
+                *v = flip(*v);
+            }
+        }
+    }
+
+    /// Checks the snapshot against what the monitoring hardware can
+    /// physically produce; returns a description of the first implausible
+    /// counter, or `None` when all data is credible.
+    ///
+    /// The bounds are deliberately loose — MPKI of `+inf` is *legal* (a
+    /// thread that missed without retiring an instruction) — so a healthy
+    /// run can never trip this check.
+    fn implausible_monitor(&self, snap: &QuantumSnapshot) -> Option<String> {
+        let banks = self.monitor.total_banks() as f64;
+        for t in 0..self.num_threads {
+            let mpki = snap.mpki.get(t).copied().unwrap_or(0.0);
+            if mpki.is_nan() || mpki < 0.0 {
+                return Some(format!("thread {t} MPKI {mpki} (must be >= 0)"));
+            }
+            let rbl = snap.rbl.get(t).copied().unwrap_or(0.0);
+            if !(0.0..=1.0).contains(&rbl) {
+                return Some(format!("thread {t} RBL {rbl} (must be in [0, 1])"));
+            }
+            let blp = snap.blp.get(t).copied().unwrap_or(0.0);
+            if blp.is_nan() || blp < 0.0 || blp > banks {
+                return Some(format!("thread {t} BLP {blp} (must be in [0, {banks}])"));
+            }
+        }
+        None
     }
 
     /// Whether any OS thread weight differs from the default.
@@ -159,9 +238,29 @@ impl Tcm {
     /// Quantum boundary: harvest monitors, re-cluster, re-seed the
     /// shuffler.
     fn quantum_boundary(&mut self, now: Cycle, view: &SystemView<'_>) {
-        let snap = self
+        let mut snap = self
             .monitor
             .quantum_snapshot(now, view.retired, view.misses, view.service);
+        if !self.pending_monitor_faults.is_empty() {
+            self.apply_monitor_faults(&mut snap, now);
+        }
+        if let Some(reason) = self.implausible_monitor(&snap) {
+            // Graceful degradation: implausible monitor data means the
+            // clustering inputs cannot be trusted. Log the anomaly and
+            // fall back to FR-FCFS ordering (all ranks tied at 0 — the
+            // same degenerate state as before the first quantum) for the
+            // remainder of this quantum, recovering at the next boundary.
+            self.anomalies.push(format!(
+                "cycle {now}: implausible monitor data ({reason}); \
+                 falling back to FR-FCFS for this quantum"
+            ));
+            self.degraded = true;
+            self.priority = vec![0; self.num_threads];
+            self.shuffler = None;
+            self.quanta_elapsed += 1;
+            return;
+        }
+        self.degraded = false;
         // Thread weights scale MPKI down (paper Section 3.6), affecting
         // both clustering admission order and latency-cluster ranking.
         let scaled_mpki: Vec<f64> = snap
@@ -255,6 +354,11 @@ impl Tcm {
 
     /// Shuffle boundary: advance the bandwidth cluster's permutation.
     fn shuffle_boundary(&mut self) {
+        if self.degraded {
+            // FR-FCFS fallback: ranks stay tied until the next quantum's
+            // monitor data proves plausible again.
+            return;
+        }
         if self.has_weights() {
             // Weighted shuffling redraws a weighted permutation every
             // interval instead of following a fixed pattern.
@@ -336,6 +440,16 @@ impl Scheduler for Tcm {
         for (w, &v) in self.weights.iter_mut().zip(weights) {
             *w = v.max(f64::MIN_POSITIVE);
         }
+    }
+
+    fn inject_monitor_fault(&mut self, fault: &FaultSpec) {
+        if fault.kind == FaultKind::MonitorCorruption {
+            self.pending_monitor_faults.push(*fault);
+        }
+    }
+
+    fn degradation_anomalies(&self) -> &[String] {
+        self.anomalies()
     }
 }
 
@@ -551,6 +665,97 @@ mod tests {
         let t2 = tcm_after_one_quantum();
         // Right after a quantum at 1M, the next event is a shuffle.
         assert_eq!(t2.next_tick(1_000_000), Some(1_000_800));
+    }
+
+    #[test]
+    fn monitor_corruption_degrades_to_frfcfs_and_recovers() {
+        let cfg = small_config();
+        let mut tcm =
+            Tcm::with_params(TcmParams::paper_default(4).with_cluster_thresh(0.25), 4, &cfg);
+        tcm.inject_monitor_fault(&FaultSpec::new(FaultKind::MonitorCorruption, 500_000).on_thread(1));
+        let retired = [3_000_000u64, 200_000, 200_000, 200_000];
+        let misses = [30u64, 20_000, 20_000, 20_000];
+        let service = [2_000u64, 300_000, 300_000, 300_000];
+        let view = SystemView {
+            retired: &retired,
+            misses: &misses,
+            service: &service,
+        };
+        tcm.tick(1_000_000, &view);
+        assert!(tcm.degraded(), "corrupted counters must trip the guard");
+        assert!(
+            tcm.priorities().iter().all(|&p| p == 0),
+            "degraded ranks must all tie at 0 (FR-FCFS)"
+        );
+        assert_eq!(tcm.anomalies().len(), 1);
+        assert!(
+            tcm.anomalies()[0].contains("implausible monitor data"),
+            "anomaly: {}",
+            tcm.anomalies()[0]
+        );
+        // While degraded, pick degenerates to FR-FCFS: row hit wins even
+        // for a heavy thread, and shuffle boundaries change nothing.
+        let pending = vec![req(0, 1, 9, 0), req(1, 0, 1, 500)];
+        assert_eq!(tcm.pick(&pending, &ctx(1_000_600, Some(9))), 0);
+        tcm.tick(1_000_800, &view);
+        assert!(tcm.priorities().iter().all(|&p| p == 0));
+        // The fault fired once; the next quantum's data is plausible
+        // again and full TCM behavior resumes.
+        tcm.tick(2_000_000, &view);
+        assert!(!tcm.degraded(), "must recover at the next clean quantum");
+        assert!(tcm.priorities().iter().any(|&p| p > 0));
+        assert_eq!(tcm.anomalies().len(), 1, "no new anomaly after recovery");
+    }
+
+    #[test]
+    fn monitor_fault_is_inert_until_its_cycle() {
+        let cfg = small_config();
+        let mut tcm =
+            Tcm::with_params(TcmParams::paper_default(4).with_cluster_thresh(0.25), 4, &cfg);
+        // Armed far in the future: the first quantum must be unaffected.
+        tcm.inject_monitor_fault(&FaultSpec::new(FaultKind::MonitorCorruption, 5_000_000));
+        let retired = [3_000_000u64, 200_000, 200_000, 200_000];
+        let misses = [30u64, 20_000, 20_000, 20_000];
+        let service = [2_000u64, 300_000, 300_000, 300_000];
+        let view = SystemView {
+            retired: &retired,
+            misses: &misses,
+            service: &service,
+        };
+        tcm.tick(1_000_000, &view);
+        assert!(!tcm.degraded());
+        assert!(tcm.anomalies().is_empty());
+        let clean = tcm_after_one_quantum();
+        assert_eq!(tcm.priorities(), clean.priorities(), "armed-but-idle fault is a no-op");
+    }
+
+    #[test]
+    fn non_monitor_faults_are_ignored_by_tcm() {
+        let cfg = small_config();
+        let mut tcm =
+            Tcm::with_params(TcmParams::paper_default(4).with_cluster_thresh(0.25), 4, &cfg);
+        tcm.inject_monitor_fault(&FaultSpec::new(FaultKind::TimingViolation, 0));
+        assert!(tcm.pending_monitor_faults.is_empty());
+    }
+
+    #[test]
+    fn infinite_mpki_is_plausible() {
+        // A thread that missed without retiring reports MPKI = +inf;
+        // the guard must not flag healthy-but-extreme data.
+        let cfg = small_config();
+        let mut tcm =
+            Tcm::with_params(TcmParams::paper_default(4).with_cluster_thresh(0.25), 4, &cfg);
+        let retired = [0u64, 200_000, 200_000, 200_000];
+        let misses = [500u64, 20_000, 20_000, 20_000];
+        let service = [2_000u64, 300_000, 300_000, 300_000];
+        let view = SystemView {
+            retired: &retired,
+            misses: &misses,
+            service: &service,
+        };
+        tcm.tick(1_000_000, &view);
+        assert!(!tcm.degraded());
+        assert!(tcm.anomalies().is_empty());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::verify::ProtocolChecker;
 use crate::{Bank, ChannelStats, DataBus, QueueFullError, RequestQueue};
+use tcm_chaos::{ChannelChaos, FaultKind};
 use tcm_types::{BankId, ChannelId, Cycle, DramTiming, InvariantViolation, Request, RowState};
 
 /// The full timing result of issuing one request to its bank.
@@ -49,6 +50,9 @@ pub struct Channel {
     /// Observation-only runtime protocol checker (always on in debug
     /// builds; opt-in in release via [`Channel::enable_verification`]).
     checker: Option<Box<ProtocolChecker>>,
+    /// Injected-fault execution state (`None` in normal operation; see
+    /// [`Channel::set_chaos`] and the `tcm-chaos` crate).
+    chaos: Option<Box<ChannelChaos>>,
 }
 
 impl Channel {
@@ -73,6 +77,7 @@ impl Channel {
             queue: RequestQueue::new(buffer_capacity, num_banks),
             stats: ChannelStats::new(num_banks, num_threads),
             checker: None,
+            chaos: None,
         };
         // Keep the timing model honest wherever tests run: the checker is
         // observation-only, so results are unaffected.
@@ -94,6 +99,21 @@ impl Channel {
     /// Turns the runtime protocol checker off, discarding its state.
     pub fn disable_verification(&mut self) {
         self.checker = None;
+    }
+
+    /// Installs (or clears, with `None`) this channel's fault-injection
+    /// state. An empty [`ChannelChaos`] is a strict no-op: the hooks
+    /// run but never mutate anything, so results stay bit-identical.
+    ///
+    /// Detecting the injected faults is the checker's job — callers
+    /// that want detections must also enable verification.
+    pub fn set_chaos(&mut self, chaos: Option<ChannelChaos>) {
+        self.chaos = chaos.map(Box::new);
+    }
+
+    /// Whether a fault-injection state is installed (possibly empty).
+    pub fn chaos_installed(&self) -> bool {
+        self.chaos.is_some()
     }
 
     /// Whether the runtime protocol checker is active.
@@ -180,7 +200,34 @@ impl Channel {
         if let Some(checker) = self.checker.as_mut() {
             checker.on_admit(&request, request.issued_at);
         }
+        if self.chaos.is_some() {
+            self.inject_admission_faults(&request);
+        }
         Ok(())
+    }
+
+    /// Chaos hooks on the admission path: duplicate or silently drop
+    /// the request that was just admitted. Each fault fires at most
+    /// once; without an armed fault this never mutates anything.
+    fn inject_admission_faults(&mut self, request: &Request) {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return;
+        };
+        let now = request.issued_at;
+        if chaos.due(FaultKind::DuplicateRequest, now) {
+            // Admit the same request a second time: the conservation
+            // checker sees the id admitted twice.
+            if self.queue.push(*request).is_ok() {
+                chaos.fire(FaultKind::DuplicateRequest, now);
+                if let Some(checker) = self.checker.as_mut() {
+                    checker.on_admit(request, now);
+                }
+            }
+        } else if chaos.fire(FaultKind::DropRequest, now) {
+            // Lose the request after admission: its data never returns,
+            // and end-of-run conservation accounting comes up short.
+            let _ = self.queue.remove(request.id);
+        }
     }
 
     /// Requests currently pending for `bank`, in arrival order, as a
@@ -247,7 +294,7 @@ impl Channel {
         let bank_ready = bus_end;
         self.banks[bank_index].finish_service(bank_ready);
         let completes_at = bus_end + timing.fixed_overhead;
-        let outcome = ServiceOutcome {
+        let mut outcome = ServiceOutcome {
             request,
             row_state: service.row_state,
             bank_start: service.start,
@@ -255,18 +302,61 @@ impl Channel {
             completes_at,
             service_cycles: timing.access_phase(service.row_state) + timing.bus_burst,
         };
+        if self.chaos.is_some() {
+            self.inject_service_faults(&mut outcome, timing, now);
+        }
         self.stats.record(
             bank_index,
             request.thread,
-            service.row_state,
+            outcome.row_state,
             outcome.bank_busy(),
             timing.bus_burst,
-            completes_at,
+            outcome.completes_at,
         );
         if let Some(checker) = self.checker.as_mut() {
             checker.on_issue(&outcome, timing, now);
         }
         outcome
+    }
+
+    /// Chaos hooks on the service path, applied between computing the
+    /// legal [`ServiceOutcome`] and reporting it to stats/checker. Each
+    /// fault corrupts the outcome in a way its matching invariant
+    /// detector observes; without armed faults the outcome is untouched.
+    fn inject_service_faults(&mut self, outcome: &mut ServiceOutcome, timing: &DramTiming, now: Cycle) {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return;
+        };
+        if chaos.fire(FaultKind::TimingViolation, now) {
+            // Report a service shorter than the row state allows — as if
+            // the column access skipped the tRCD activation wait.
+            outcome.service_cycles = outcome.service_cycles.saturating_sub(timing.rcd.max(1));
+        }
+        if chaos.fire(FaultKind::RowCorruption, now) {
+            // Misreport the row-buffer state; the checker's shadow row
+            // buffer disagrees.
+            outcome.row_state = match outcome.row_state {
+                RowState::Hit => RowState::Conflict,
+                RowState::Closed | RowState::Conflict => RowState::Hit,
+            };
+        }
+        if chaos.due(FaultKind::BusOverlap, now) {
+            // Re-time the transfer so it starts one cycle before the
+            // previous transfer released the bus. Only sound once the
+            // bank's access phase is done before that point — otherwise
+            // the access-phase check would fire first and misclassify
+            // the fault — so stay armed until an eligible issue arrives.
+            let access_done = outcome.bank_start + timing.access_phase(outcome.row_state);
+            let prev_end = chaos.last_bus_end();
+            if prev_end > access_done {
+                chaos.fire(FaultKind::BusOverlap, now);
+                let bus_start = prev_end - 1;
+                outcome.completes_at = bus_start + timing.bus_burst + timing.fixed_overhead;
+            }
+        }
+        // Track bus occupancy exactly as the checker reconstructs it, so
+        // the overlap fault above knows when the bus is genuinely busy.
+        chaos.observe_bus(outcome.completes_at.saturating_sub(timing.fixed_overhead));
     }
 }
 

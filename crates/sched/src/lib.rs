@@ -56,6 +56,7 @@
 #![warn(clippy::unwrap_used)]
 
 mod atlas;
+pub mod chaos;
 mod fcfs;
 mod fqm;
 mod frfcfs;
@@ -64,12 +65,14 @@ pub mod select;
 mod stfm;
 
 pub use atlas::{Atlas, AtlasParams};
+pub use chaos::ChaosScheduler;
 pub use fcfs::Fcfs;
 pub use fqm::FairQueueing;
 pub use frfcfs::FrFcfs;
 pub use parbs::{ParBs, ParBsParams};
 pub use stfm::{Stfm, StfmParams};
 
+use tcm_chaos::FaultSpec;
 use tcm_dram::ServiceOutcome;
 use tcm_types::{BankId, ChannelId, Cycle, Request, Row};
 
@@ -156,6 +159,20 @@ pub trait Scheduler: std::fmt::Debug + Send {
     /// Installs OS-assigned thread weights (1.0 = default). Policies that
     /// do not support weights ignore this.
     fn set_thread_weights(&mut self, _weights: &[f64]) {}
+
+    /// Arms a monitor-state fault (from the `tcm-chaos` fault-injection
+    /// layer) to corrupt this policy's internal hardware-counter state at
+    /// the fault's scheduled time. Policies without internal monitors
+    /// ignore it — the default is a no-op.
+    fn inject_monitor_fault(&mut self, _fault: &FaultSpec) {}
+
+    /// Anomaly log of the policy's plausibility guard: one entry per
+    /// quantum in which implausible monitor data forced the policy to
+    /// degrade to a fallback ordering. Policies without a guard return
+    /// the empty slice.
+    fn degradation_anomalies(&self) -> &[String] {
+        &[]
+    }
 }
 
 #[cfg(test)]

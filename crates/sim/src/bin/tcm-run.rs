@@ -6,7 +6,8 @@
 //! tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]
 //!         [--policies fr-fcfs,stfm,par-bs,atlas,fqm,tcm] [--json]
 //!         [--workload A|B|C|D] [--workers W] [--verify]
-//!         [--bench-json FILE]
+//!         [--checkpoint FILE] [--resume FILE] [--cell-deadline SECS]
+//!         [--bench-json FILE] [--chaos-smoke]
 //! ```
 //!
 //! `--bench-json FILE` switches to benchmark mode: time a *fixed*
@@ -19,9 +20,28 @@
 //! `BENCH_hotpath.json`. Only `--cycles` and `--workers` modify the
 //! fixed sweep (workers default to 1 in this mode for stable timing).
 //!
-//! Exit codes: 0 on success, 1 if any sweep cell failed (the failures
-//! are reported on stderr; successful cells are still printed), 2 on
-//! usage errors.
+//! `--checkpoint FILE` records every completed sweep cell to FILE
+//! (JSONL, atomically republished after each cell), and `--resume FILE`
+//! restores completed cells from FILE before running the rest — the
+//! merged result is bit-identical to an uninterrupted run. The two
+//! flags name the same mechanism: `--resume` both reads and continues
+//! updating FILE. `--cell-deadline SECS` bounds each cell's wall-clock
+//! time; a cell that exceeds it is cancelled cooperatively, retried
+//! once with a fresh deadline, and reported as a timeout — other cells
+//! are unaffected.
+//!
+//! `--chaos-smoke` runs the fault-injection smoke campaign instead of a
+//! sweep: every `tcm-chaos` fault class is injected into a fixed-seed
+//! simulation and must be caught by exactly its mapped detector, and a
+//! zero-fault control run must finish clean and bit-identical to a run
+//! without the chaos layer.
+//!
+//! Exit codes: 0 on success, 1 if any sweep cell failed for a
+//! deterministic reason (panic, invariant violation, stall — the
+//! failures are reported on stderr with their (policy, workload, seed)
+//! coordinates; successful cells are still printed), 2 on usage errors,
+//! 3 if cells failed but *only* by exceeding `--cell-deadline` (retry
+//! with a longer deadline and `--resume` to finish the grid).
 //!
 //! Examples:
 //!
@@ -31,10 +51,12 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::time::Duration;
+use tcm_chaos::{Detector, FaultKind, FaultPlan, FaultSpec};
 use tcm_core::TcmParams;
 use tcm_sched::{AtlasParams, ParBsParams, StfmParams};
-use tcm_sim::{PolicyKind, RunConfig, Session};
-use tcm_types::SystemConfig;
+use tcm_sim::{CellFailureKind, PolicyKind, RunConfig, Session, System};
+use tcm_types::{SimError, SystemConfig};
 use tcm_workload::{random_workload, table5_workloads, WorkloadSpec};
 
 struct PolicyOutput {
@@ -216,6 +238,103 @@ fn run_bench(path: &str, cycles: u64, workers: usize) -> i32 {
     0
 }
 
+/// Chaos smoke campaign: inject every fault class at a fixed seed and
+/// check each is caught by exactly its mapped detector, then prove the
+/// clean control has zero detections and is bit-identical to a run
+/// without the chaos layer. Returns the process exit code.
+fn run_chaos_smoke() -> i32 {
+    const HORIZON: u64 = 200_000;
+    const FAULT_AT: u64 = 20_000;
+    let threads = 4;
+    // Single channel: all traffic fights over one data bus, so every
+    // channel-level fault finds an eligible operation soon after arming.
+    let cfg = SystemConfig::builder()
+        .num_threads(threads)
+        .num_channels(1)
+        .build()
+        .expect("smoke config is valid");
+    let workload = random_workload(1, threads, 1.0);
+    // Short quantum so TCM's plausibility guard runs within the horizon.
+    let tcm = PolicyKind::Tcm(TcmParams {
+        quantum: 50_000,
+        ..TcmParams::paper_default(threads)
+    });
+
+    let mut failures = 0usize;
+    let mut report = |name: &str, ok: bool, detail: String| {
+        eprintln!("  {name:<20} {} {detail}", if ok { "ok  " } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    eprintln!("chaos smoke: every fault class vs its detector");
+    for kind in FaultKind::ALL {
+        let policy = match kind.detector() {
+            Detector::Degradation => &tcm,
+            _ => &PolicyKind::FrFcfs,
+        };
+        let mut sys = System::new(&cfg, &workload, policy.build(threads, &cfg), 0);
+        sys.install_chaos(
+            &FaultPlan::none().with_fault(FaultSpec::new(kind, FAULT_AT).on_thread(1)),
+        );
+        let outcome = sys.try_run(HORIZON);
+        match (kind.detector(), outcome) {
+            (Detector::Invariant(expected), Err(SimError::InvariantViolation(v))) => {
+                let ok = v.invariant == expected;
+                report(kind.name(), ok, format!("caught: {v}"));
+            }
+            (Detector::Stall, Err(SimError::Stalled(r))) => {
+                report(kind.name(), true, format!("caught: {}", r.summary()));
+            }
+            (Detector::Degradation, Ok(_)) => {
+                let anomalies = sys.degradation_anomalies();
+                let ok = !anomalies.is_empty();
+                let detail = anomalies
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| "no anomaly logged".to_string());
+                report(kind.name(), ok, format!("degraded: {detail}"));
+            }
+            (_, Err(err)) => report(kind.name(), false, format!("wrong detector: {err}")),
+            (_, Ok(_)) => report(kind.name(), false, "escaped undetected".to_string()),
+        }
+    }
+
+    // Clean control: detectors armed, zero faults — and the empty plan
+    // must be a strict no-op, bit for bit.
+    let mut bare = System::new(&cfg, &workload, PolicyKind::FrFcfs.build(threads, &cfg), 0);
+    bare.enable_verification();
+    let mut control = System::new(&cfg, &workload, PolicyKind::FrFcfs.build(threads, &cfg), 0);
+    control.install_chaos(&FaultPlan::none());
+    match (bare.try_run(HORIZON), control.try_run(HORIZON)) {
+        (Ok(a), Ok(b)) => {
+            report(
+                "clean-control",
+                a == b,
+                if a == b {
+                    "zero detections, bit-identical to no chaos layer".to_string()
+                } else {
+                    "results diverge from the chaos-free run".to_string()
+                },
+            );
+        }
+        (a, b) => report(
+            "clean-control",
+            false,
+            format!("false positive: {:?} / {:?}", a.err(), b.err()),
+        ),
+    }
+
+    if failures == 0 {
+        eprintln!("chaos smoke: all {} fault classes detected, control clean", FaultKind::ALL.len());
+        0
+    } else {
+        eprintln!("chaos smoke: {failures} check(s) FAILED");
+        1
+    }
+}
+
 fn parse_policy(name: &str, n: usize) -> Result<PolicyKind, String> {
     Ok(match name {
         "fcfs" => PolicyKind::Fcfs,
@@ -233,10 +352,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]\n\
          \x20              [--policies p1,p2,...] [--workload A|B|C|D] [--workers W] [--json]\n\
-         \x20              [--verify] [--bench-json FILE]\n\
+         \x20              [--verify] [--checkpoint FILE] [--resume FILE]\n\
+         \x20              [--cell-deadline SECS] [--bench-json FILE] [--chaos-smoke]\n\
          policies: fcfs fr-fcfs stfm par-bs atlas fqm tcm (default: all but fcfs/fqm)\n\
          --verify enables the DRAM protocol invariant checker (observation-only)\n\
-         --bench-json times the fixed paper-lineup sweep and writes the record to FILE"
+         --checkpoint records completed sweep cells to FILE (JSONL, atomic updates)\n\
+         --resume restores completed cells from FILE, runs the rest, keeps FILE updated\n\
+         --cell-deadline cancels (and retries once) any cell exceeding SECS wall-clock\n\
+         --bench-json times the fixed paper-lineup sweep and writes the record to FILE\n\
+         --chaos-smoke runs the fault-injection smoke campaign and exits"
     );
     std::process::exit(2)
 }
@@ -253,6 +377,9 @@ fn main() {
     let mut verify = false;
     let mut bench_json: Option<String> = None;
     let mut cycles_given = false;
+    let mut checkpoint: Option<String> = None;
+    let mut cell_deadline: Option<Duration> = None;
+    let mut chaos_smoke = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -281,12 +408,27 @@ fn main() {
             "--json" => json = true,
             "--verify" => verify = true,
             "--bench-json" => bench_json = Some(value("--bench-json")),
+            "--checkpoint" => checkpoint = Some(value("--checkpoint")),
+            "--resume" => checkpoint = Some(value("--resume")),
+            "--cell-deadline" => {
+                let secs: f64 = value("--cell-deadline").parse().unwrap_or_else(|_| usage());
+                if !secs.is_finite() || secs < 0.0 {
+                    eprintln!("--cell-deadline must be a non-negative number of seconds");
+                    usage()
+                }
+                cell_deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--chaos-smoke" => chaos_smoke = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
                 usage()
             }
         }
+    }
+
+    if chaos_smoke {
+        std::process::exit(run_chaos_smoke());
     }
 
     if let Some(path) = bench_json {
@@ -326,9 +468,13 @@ fn main() {
             .system(cfg)
             .horizon(cycles)
             .verify(verify)
+            .cell_deadline(cell_deadline)
             .build(),
     );
-    let sweep = session.sweep().policies(kinds).workloads([workload.clone()]);
+    let mut sweep = session.sweep().policies(kinds).workloads([workload.clone()]);
+    if let Some(path) = checkpoint {
+        sweep = sweep.checkpoint(path);
+    }
     let result = match workers {
         Some(w) => sweep.run_parallel(w),
         None => sweep.run_auto(),
@@ -369,11 +515,24 @@ fn main() {
     } else {
         println!("{}", result.stats().throughput_line());
     }
+    if result.stats().resumed > 0 {
+        eprintln!(
+            "resumed {} completed cell(s) from the checkpoint",
+            result.stats().resumed
+        );
+    }
     if !result.is_complete() {
         eprintln!("{} cell(s) FAILED:", result.failures().len());
         for failure in result.failures() {
             eprintln!("  {failure}");
         }
-        std::process::exit(1);
+        // All-timeout failures are transient by construction: exit 3 so
+        // callers know `--resume` with a longer deadline finishes the
+        // grid. Any deterministic failure keeps the hard exit 1.
+        let only_timeouts = result
+            .failures()
+            .iter()
+            .all(|f| matches!(f.kind, CellFailureKind::Timeout(_)));
+        std::process::exit(if only_timeouts { 3 } else { 1 });
     }
 }

@@ -1,0 +1,606 @@
+//! Incremental sweep checkpointing (see [`Sweep::checkpoint`]).
+//!
+//! A checkpoint is a JSONL file: one header line naming the grid
+//! (policy labels, workload names, seed values, horizon) followed by one
+//! line per *completed* cell. Every `f64` is stored as the decimal
+//! rendering of its IEEE-754 bit pattern, so a resumed sweep reproduces
+//! results **bit-identically** — no decimal round-trip error, NaN and
+//! infinity included.
+//!
+//! Durability: every append rewrites the full buffer to `<path>.tmp` and
+//! atomically renames it over `<path>`, so the file on disk is always a
+//! complete prefix of the sweep — a killed process never leaves a torn
+//! line behind. Loading is tolerant: a missing file or a mismatched
+//! header starts fresh, and a trailing partial line (from a pre-rename
+//! crash of some other writer) is ignored.
+//!
+//! The format is an internal detail of [`Sweep::checkpoint`] /
+//! `tcm-run --resume`; the grid identity check means a checkpoint can
+//! never silently graft results from a different experiment.
+//!
+//! [`Sweep::checkpoint`]: crate::Sweep::checkpoint
+
+use crate::metrics::WorkloadMetrics;
+use crate::runner::EvalResult;
+use crate::sweep::SweepCell;
+use crate::system::RunResult;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of the only supported checkpoint version.
+const SCHEMA: &str = "tcm-sweep-checkpoint-v1";
+
+/// The grid a checkpoint belongs to. Two sweeps may share a checkpoint
+/// file only if their headers are identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CheckpointHeader {
+    /// Policy labels, in sweep order.
+    pub policies: Vec<String>,
+    /// Workload names, in sweep order.
+    pub workloads: Vec<String>,
+    /// Seed axis values.
+    pub seeds: Vec<u64>,
+    /// Simulation horizon in cycles.
+    pub horizon: u64,
+}
+
+/// A loaded checkpoint: the grid header plus every completed cell.
+#[derive(Debug)]
+pub(crate) struct Checkpoint {
+    pub header: CheckpointHeader,
+    pub cells: Vec<SweepCell>,
+}
+
+/// Loads the checkpoint at `path`. Returns `Ok(None)` if the file does
+/// not exist; unparsable *trailing* cell lines are ignored (a torn
+/// write), but a bad header is an error so grid mismatches are loud.
+pub(crate) fn load(path: &Path) -> io::Result<Option<Checkpoint>> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut lines = text.lines();
+    let Some(first) = lines.next() else {
+        return Ok(None);
+    };
+    let header = parse_header(first)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint header"))?;
+    let mut cells = Vec::new();
+    for line in lines {
+        match parse_cell(line) {
+            Some(cell) => cells.push(cell),
+            None => break, // torn tail: keep the cells before it
+        }
+    }
+    Ok(Some(Checkpoint { header, cells }))
+}
+
+/// Append-only checkpoint writer. Keeps the full serialized file in
+/// memory (header first) and atomically republishes it on every append.
+#[derive(Debug)]
+pub(crate) struct CheckpointWriter {
+    path: PathBuf,
+    lines: Vec<String>,
+}
+
+impl CheckpointWriter {
+    /// A writer for `path` starting from `header` and the already-known
+    /// `cells` (the resumed prefix). Publishes the initial state
+    /// immediately so a fresh sweep leaves a valid header-only file even
+    /// if it is killed before the first cell completes.
+    pub fn create(
+        path: PathBuf,
+        header: &CheckpointHeader,
+        cells: &[SweepCell],
+    ) -> io::Result<Self> {
+        let mut lines = Vec::with_capacity(cells.len() + 1);
+        lines.push(write_header(header));
+        lines.extend(cells.iter().map(write_cell));
+        let writer = Self { path, lines };
+        writer.publish()?;
+        Ok(writer)
+    }
+
+    /// Records one completed cell and republishes the file atomically.
+    pub fn append(&mut self, cell: &SweepCell) -> io::Result<()> {
+        self.lines.push(write_cell(cell));
+        self.publish()
+    }
+
+    fn publish(&self) -> io::Result<()> {
+        let mut tmp = self.path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let mut buffer = self.lines.join("\n");
+        buffer.push('\n');
+        fs::write(&tmp, buffer)?;
+        fs::rename(&tmp, &self.path)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization. The writer emits exactly the subset of JSON the parser
+// below accepts: objects, arrays, strings, and unsigned integers. All
+// floats travel as `f64::to_bits` integers.
+// ---------------------------------------------------------------------
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_u64_array(out: &mut String, values: impl IntoIterator<Item = u64>) {
+    out.push('[');
+    for (i, v) in values.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+fn write_f64_array(out: &mut String, values: &[f64]) {
+    write_u64_array(out, values.iter().map(|v| v.to_bits()));
+}
+
+fn write_header(header: &CheckpointHeader) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    write_str(&mut out, SCHEMA);
+    out.push_str(",\"policies\":[");
+    for (i, p) in header.policies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(&mut out, p);
+    }
+    out.push_str("],\"workloads\":[");
+    for (i, w) in header.workloads.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(&mut out, w);
+    }
+    out.push_str("],\"seeds\":");
+    write_u64_array(&mut out, header.seeds.iter().copied());
+    out.push_str(&format!(",\"horizon\":{}}}", header.horizon));
+    out
+}
+
+fn write_cell(cell: &SweepCell) -> String {
+    let r = &cell.result;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"policy\":{},\"workload\":{},\"seed\":{},\"result\":{{\"policy\":",
+        cell.policy, cell.workload, cell.seed
+    ));
+    write_str(&mut out, &r.policy);
+    out.push_str(",\"workload\":");
+    write_str(&mut out, &r.workload);
+    out.push_str(",\"metrics\":");
+    write_f64_array(
+        &mut out,
+        &[
+            r.metrics.weighted_speedup,
+            r.metrics.harmonic_speedup,
+            r.metrics.max_slowdown,
+        ],
+    );
+    out.push_str(",\"slowdowns\":");
+    write_f64_array(&mut out, &r.slowdowns);
+    out.push_str(",\"speedups\":");
+    write_f64_array(&mut out, &r.speedups);
+    let run = &r.run;
+    out.push_str(&format!(",\"run\":{{\"cycles\":{},\"retired\":", run.cycles));
+    write_u64_array(&mut out, run.retired.iter().copied());
+    out.push_str(",\"ipc\":");
+    write_f64_array(&mut out, &run.ipc);
+    out.push_str(",\"misses\":");
+    write_u64_array(&mut out, run.misses.iter().copied());
+    out.push_str(",\"service\":");
+    write_u64_array(&mut out, run.service.iter().copied());
+    out.push_str(&format!(
+        ",\"total_serviced\":{},\"row_hit_rate\":{},\"spilled\":{},\"peak_queue\":{}}}}}}}",
+        run.total_serviced,
+        run.row_hit_rate.to_bits(),
+        run.spilled,
+        run.peak_queue
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Parsing: a minimal recursive-descent reader for the subset above.
+// Returns `None` on any malformed input; callers decide whether that is
+// a torn tail (ignore) or a bad header (error).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    UInt(u64),
+}
+
+impl Json {
+    fn field<'a>(&'a self, name: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn u64_array(&self) -> Option<Vec<u64>> {
+        match self {
+            Json::Arr(items) => items.iter().map(Json::as_u64).collect(),
+            _ => None,
+        }
+    }
+
+    fn f64_array(&self) -> Option<Vec<f64>> {
+        Some(self.u64_array()?.into_iter().map(f64::from_bits).collect())
+    }
+
+    fn str_array(&self) -> Option<Vec<String>> {
+        match self {
+            Json::Arr(items) => items
+                .iter()
+                .map(|v| v.as_str().map(str::to_string))
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Some(Json::Str(self.string()?)),
+            b'0'..=b'9' => self.uint(),
+            _ => None,
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Json::Obj(fields));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let hex = std::str::from_utf8(hex).ok()?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn uint(&mut self) -> Option<Json> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(u8::is_ascii_digit)
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        text.parse().ok().map(Json::UInt)
+    }
+
+    fn finish(mut self, value: Json) -> Option<Json> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Some(value)
+        } else {
+            None
+        }
+    }
+}
+
+fn parse(text: &str) -> Option<Json> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.finish(value)
+}
+
+fn parse_header(line: &str) -> Option<CheckpointHeader> {
+    let json = parse(line)?;
+    if json.field("schema")?.as_str()? != SCHEMA {
+        return None;
+    }
+    Some(CheckpointHeader {
+        policies: json.field("policies")?.str_array()?,
+        workloads: json.field("workloads")?.str_array()?,
+        seeds: json.field("seeds")?.u64_array()?,
+        horizon: json.field("horizon")?.as_u64()?,
+    })
+}
+
+fn parse_cell(line: &str) -> Option<SweepCell> {
+    let json = parse(line)?;
+    let result = json.field("result")?;
+    let metrics = result.field("metrics")?.f64_array()?;
+    if metrics.len() != 3 {
+        return None;
+    }
+    let run = result.field("run")?;
+    Some(SweepCell {
+        policy: json.field("policy")?.as_u64()? as usize,
+        workload: json.field("workload")?.as_u64()? as usize,
+        seed: json.field("seed")?.as_u64()? as usize,
+        result: EvalResult {
+            policy: result.field("policy")?.as_str()?.to_string(),
+            workload: result.field("workload")?.as_str()?.to_string(),
+            metrics: WorkloadMetrics {
+                weighted_speedup: metrics[0],
+                harmonic_speedup: metrics[1],
+                max_slowdown: metrics[2],
+            },
+            slowdowns: result.field("slowdowns")?.f64_array()?,
+            speedups: result.field("speedups")?.f64_array()?,
+            run: RunResult {
+                cycles: run.field("cycles")?.as_u64()?,
+                retired: run.field("retired")?.u64_array()?,
+                ipc: run.field("ipc")?.f64_array()?,
+                misses: run.field("misses")?.u64_array()?,
+                service: run.field("service")?.u64_array()?,
+                total_serviced: run.field("total_serviced")?.as_u64()?,
+                row_hit_rate: f64::from_bits(run.field("row_hit_rate")?.as_u64()?),
+                spilled: run.field("spilled")?.as_u64()?,
+                peak_queue: run.field("peak_queue")?.as_u64()? as usize,
+            },
+        },
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn sample_cell() -> SweepCell {
+        SweepCell {
+            policy: 1,
+            workload: 2,
+            seed: 0,
+            result: EvalResult {
+                policy: "TCM".into(),
+                workload: "w \"quoted\" \\slash\u{7}".into(),
+                metrics: WorkloadMetrics {
+                    weighted_speedup: 3.25,
+                    harmonic_speedup: f64::NAN,
+                    max_slowdown: f64::INFINITY,
+                },
+                slowdowns: vec![1.5, 2.5, -0.0],
+                speedups: vec![0.1, 0.9],
+                run: RunResult {
+                    cycles: 60_000,
+                    retired: vec![1, 2, u64::MAX],
+                    ipc: vec![0.25, 3.0],
+                    misses: vec![10, 20],
+                    service: vec![100, 200],
+                    total_serviced: 42,
+                    row_hit_rate: 0.123_456_789_012_345_67,
+                    spilled: 7,
+                    peak_queue: 99,
+                },
+            },
+        }
+    }
+
+    fn sample_header() -> CheckpointHeader {
+        CheckpointHeader {
+            policies: vec!["FR-FCFS".into(), "TCM".into()],
+            workloads: vec!["w0".into(), "w1".into(), "w2".into()],
+            seeds: vec![0, 7],
+            horizon: 60_000,
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let header = sample_header();
+        assert_eq!(parse_header(&write_header(&header)).unwrap(), header);
+    }
+
+    #[test]
+    fn cell_round_trips_bit_exactly_including_nan_and_infinity() {
+        let cell = sample_cell();
+        let parsed = parse_cell(&write_cell(&cell)).unwrap();
+        // PartialEq fails on NaN by design; compare bit patterns.
+        assert_eq!(
+            parsed.result.metrics.harmonic_speedup.to_bits(),
+            cell.result.metrics.harmonic_speedup.to_bits()
+        );
+        assert_eq!(parsed.result.metrics.max_slowdown, f64::INFINITY);
+        assert_eq!(parsed.result.slowdowns[2].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(
+            parsed.result.run.row_hit_rate.to_bits(),
+            cell.result.run.row_hit_rate.to_bits()
+        );
+        assert_eq!(parsed.result.workload, cell.result.workload);
+        assert_eq!(parsed.result.run.retired, cell.result.run.retired);
+        assert_eq!((parsed.policy, parsed.workload, parsed.seed), (1, 2, 0));
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_but_header_errors_are_loud() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tcm-ckpt-test-{}.jsonl", std::process::id()));
+        let header = sample_header();
+        let mut text = write_header(&header);
+        text.push('\n');
+        text.push_str(&write_cell(&sample_cell()));
+        text.push('\n');
+        text.push_str("{\"policy\":1,\"work"); // torn mid-write
+        fs::write(&path, &text).unwrap();
+        let loaded = load(&path).unwrap().unwrap();
+        assert_eq!(loaded.header, header);
+        assert_eq!(loaded.cells.len(), 1, "torn tail dropped");
+
+        fs::write(&path, "{\"schema\":\"something-else\"}\n").unwrap();
+        assert!(load(&path).is_err(), "wrong schema must not load silently");
+        fs::remove_file(&path).unwrap();
+        assert!(load(&path).unwrap().is_none(), "missing file starts fresh");
+    }
+
+    #[test]
+    fn writer_publishes_atomically_and_appends() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tcm-ckpt-writer-{}.jsonl", std::process::id()));
+        let header = sample_header();
+        let mut writer = CheckpointWriter::create(path.clone(), &header, &[]).unwrap();
+        let after_create = load(&path).unwrap().unwrap();
+        assert!(after_create.cells.is_empty(), "header-only file is valid");
+        writer.append(&sample_cell()).unwrap();
+        writer.append(&sample_cell()).unwrap();
+        let loaded = load(&path).unwrap().unwrap();
+        assert_eq!(loaded.cells.len(), 2);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_non_subset_json() {
+        assert!(parse("{\"a\":1} extra").is_none());
+        assert!(parse("-5").is_none(), "negative ints are outside the subset");
+        assert!(parse("1.5").is_none(), "floats travel as bit patterns only");
+        assert!(parse("true").is_none(), "booleans are outside the subset");
+    }
+}

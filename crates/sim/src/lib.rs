@@ -38,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 #![warn(clippy::unwrap_used)]
 
+mod checkpoint;
 mod event;
 mod metrics;
 pub mod report;

@@ -11,6 +11,8 @@
 use crate::metrics::WorkloadMetrics;
 use crate::system::RunResult;
 use std::collections::HashMap;
+use std::time::Duration;
+use tcm_chaos::FaultPlan;
 use tcm_core::{Tcm, TcmParams};
 use tcm_sched::{
     Atlas, AtlasParams, FairQueueing, Fcfs, FrFcfs, ParBs, ParBsParams, Scheduler, Stfm,
@@ -111,6 +113,17 @@ pub struct RunConfig {
     ///
     /// Default: [`DEFAULT_STALL_LIMIT`](crate::DEFAULT_STALL_LIMIT).
     pub watchdog: Option<Cycle>,
+    /// Fault-injection plan installed on every run (see `tcm-chaos`).
+    ///
+    /// `None` (the default) runs without the chaos layer. Installing a
+    /// plan also force-enables protocol verification, since injected
+    /// faults are only useful if the detectors are armed.
+    pub chaos: Option<FaultPlan>,
+    /// Per-run wall-clock deadline. When set, each run carries a
+    /// cancellation token with this deadline; a run exceeding it
+    /// surfaces `SimError::Cancelled`, which sweeps record as a
+    /// retryable timeout instead of poisoning other cells.
+    pub cell_deadline: Option<Duration>,
 }
 
 impl RunConfig {
@@ -134,6 +147,8 @@ pub struct RunConfigBuilder {
     horizon: Cycle,
     verify: bool,
     watchdog: Option<Cycle>,
+    chaos: Option<FaultPlan>,
+    cell_deadline: Option<Duration>,
 }
 
 impl Default for RunConfigBuilder {
@@ -143,6 +158,8 @@ impl Default for RunConfigBuilder {
             horizon: 1_000_000,
             verify: false,
             watchdog: Some(crate::system::DEFAULT_STALL_LIMIT),
+            chaos: None,
+            cell_deadline: None,
         }
     }
 }
@@ -174,6 +191,20 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Installs a fault-injection plan on every run (default: none).
+    /// See [`RunConfig::chaos`].
+    pub fn chaos(mut self, chaos: Option<FaultPlan>) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Sets a per-run wall-clock deadline (default: none). See
+    /// [`RunConfig::cell_deadline`].
+    pub fn cell_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.cell_deadline = deadline;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> RunConfig {
         RunConfig {
@@ -181,6 +212,8 @@ impl RunConfigBuilder {
             horizon: self.horizon,
             verify: self.verify,
             watchdog: self.watchdog,
+            chaos: self.chaos,
+            cell_deadline: self.cell_deadline,
         }
     }
 }

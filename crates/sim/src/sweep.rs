@@ -42,16 +42,18 @@
 //! # Ok::<(), tcm_types::ConfigError>(())
 //! ```
 
+use crate::checkpoint::{self, CheckpointHeader, CheckpointWriter};
 use crate::metrics::{workload_metrics, IpcPair, WorkloadMetrics};
 use crate::runner::{workload_seed, EvalResult, PolicyKind, RunConfig};
 use crate::system::System;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tcm_sched::FrFcfs;
-use tcm_types::SimError;
+use tcm_types::{CancelToken, Cycle, SimError};
 use tcm_workload::{BenchmarkProfile, WorkloadSpec};
 
 /// Exact identity of a benchmark profile for alone-IPC caching.
@@ -192,6 +194,14 @@ pub(crate) fn try_eval_cell(
         sys.enable_verification();
     }
     sys.set_watchdog(rc.watchdog);
+    if let Some(plan) = &rc.chaos {
+        sys.install_chaos(plan);
+    }
+    if let Some(deadline) = rc.cell_deadline {
+        // Fresh token per attempt: a retried timeout gets a full
+        // deadline again instead of inheriting an already-expired one.
+        sys.set_cancel_token(Some(CancelToken::with_deadline(deadline)));
+    }
     if let Some(w) = weights {
         sys.set_thread_weights(w);
     }
@@ -224,6 +234,22 @@ pub enum CellFailureKind {
     /// The simulation surfaced a typed error (stall, invariant
     /// violation, bad configuration).
     Sim(SimError),
+    /// The cell's wall-clock deadline expired (see
+    /// [`RunConfig::cell_deadline`]); carries the simulated cycle
+    /// reached. Unlike the deterministic failures above, a timeout
+    /// depends on machine load, so it is the one retryable kind.
+    Timeout(Cycle),
+}
+
+impl CellFailureKind {
+    /// Whether retrying the identical cell could plausibly succeed.
+    ///
+    /// Panics and typed simulator errors are deterministic — the retry
+    /// would replay the identical failure — so only wall-clock timeouts
+    /// are retryable.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CellFailureKind::Timeout(_))
+    }
 }
 
 impl std::fmt::Display for CellFailureKind {
@@ -231,12 +257,16 @@ impl std::fmt::Display for CellFailureKind {
         match self {
             CellFailureKind::Panic(msg) => write!(f, "panicked: {msg}"),
             CellFailureKind::Sim(err) => write!(f, "{err}"),
+            CellFailureKind::Timeout(cycle) => {
+                write!(f, "cell deadline expired at simulated cycle {cycle}")
+            }
         }
     }
 }
 
 /// One failed sweep cell: grid coordinates, display names, and the
-/// failure after the sweep's retry-once policy was exhausted.
+/// failure after the sweep's retry policy (timeouts retried once,
+/// deterministic failures never) was exhausted.
 ///
 /// A failed cell never aborts the sweep — every other cell's result is
 /// still produced (and is bit-identical to a sweep without the failing
@@ -253,7 +283,10 @@ pub struct CellError {
     pub policy_label: String,
     /// Name of the failing workload.
     pub workload_name: String,
-    /// Evaluation attempts made (2 = failed, retried, failed again).
+    /// The failing cell's seed axis *value* (the seed index only names a
+    /// position; this is the number to paste into a reproduction).
+    pub seed_value: u64,
+    /// Evaluation attempts made (2 = timed out, retried, failed again).
     pub attempts: u32,
     /// The final failure.
     pub kind: CellFailureKind,
@@ -263,10 +296,10 @@ impl std::fmt::Display for CellError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} x {} (seed index {}, {} attempt{}): {}",
+            "policy {} x workload {} (seed {}, {} attempt{}): {}",
             self.policy_label,
             self.workload_name,
-            self.seed,
+            self.seed_value,
             self.attempts,
             if self.attempts == 1 { "" } else { "s" },
             self.kind,
@@ -354,6 +387,7 @@ impl Session {
             workloads: Vec::new(),
             seeds: vec![0],
             weights: None,
+            checkpoint: None,
         }
     }
 
@@ -433,6 +467,7 @@ pub struct Sweep<'s> {
     workloads: Vec<WorkloadSpec>,
     seeds: Vec<u64>,
     weights: Option<Vec<f64>>,
+    checkpoint: Option<PathBuf>,
 }
 
 impl Sweep<'_> {
@@ -463,6 +498,23 @@ impl Sweep<'_> {
     /// Section 7.4 experiment).
     pub fn weights(mut self, weights: &[f64]) -> Self {
         self.weights = Some(weights.to_vec());
+        self
+    }
+
+    /// Checkpoints the sweep to (and resumes it from) a JSONL file.
+    ///
+    /// Every completed cell is appended durably (full rewrite to a
+    /// `.tmp` sibling, then an atomic rename), so a killed sweep loses
+    /// at most the cells in flight. Re-running the identical sweep with
+    /// the same checkpoint path skips the recorded cells and merges
+    /// their stored results **bit-identically** — floats are stored as
+    /// IEEE-754 bit patterns, not decimal.
+    ///
+    /// A checkpoint from a *different* grid (policies, workloads, seeds
+    /// or horizon changed) is ignored with a warning and overwritten;
+    /// failed cells are never recorded, so a resume retries them.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
         self
     }
 
@@ -501,14 +553,64 @@ impl Sweep<'_> {
 
         let (np, nw, ns) = (self.policies.len(), self.workloads.len(), self.seeds.len());
         let total = np * nw * ns;
-        let workers = workers.min(total).max(1);
         // Grid order: policy-major, then workload, then seed.
         let indices: Vec<(usize, usize, usize)> = (0..np)
             .flat_map(|p| (0..nw).flat_map(move |w| (0..ns).map(move |s| (p, w, s))))
             .collect();
 
-        // Each cell runs under `catch_unwind` with one retry, so a
-        // panicking or faulting cell is recorded as a `CellError` while
+        // Checkpoint/resume: recorded cells of an identical grid are
+        // reused verbatim (bit-identical — see `checkpoint.rs`); a
+        // mismatched header means a different experiment, so start over.
+        let header = CheckpointHeader {
+            policies: self.policies.iter().map(PolicyKind::label).collect(),
+            workloads: self.workloads.iter().map(|w| w.name.clone()).collect(),
+            seeds: self.seeds.clone(),
+            horizon: self.session.rc.horizon,
+        };
+        let mut cached: HashMap<(usize, usize, usize), SweepCell> = HashMap::new();
+        if let Some(path) = &self.checkpoint {
+            match checkpoint::load(path) {
+                Ok(Some(loaded)) if loaded.header == header => {
+                    for cell in loaded.cells {
+                        let key = (cell.policy, cell.workload, cell.seed);
+                        if indices.contains(&key) {
+                            cached.insert(key, cell);
+                        }
+                    }
+                }
+                Ok(Some(_)) => eprintln!(
+                    "warning: checkpoint {} belongs to a different sweep grid; starting fresh",
+                    path.display()
+                ),
+                Ok(None) => {}
+                Err(err) => eprintln!(
+                    "warning: could not read checkpoint {}: {err}; starting fresh",
+                    path.display()
+                ),
+            }
+        }
+        let resumed = cached.len();
+        let writer: Option<Mutex<CheckpointWriter>> = self.checkpoint.as_ref().map(|path| {
+            let prefix: Vec<SweepCell> = indices
+                .iter()
+                .filter_map(|key| cached.get(key).cloned())
+                .collect();
+            Mutex::new(
+                CheckpointWriter::create(path.clone(), &header, &prefix)
+                    .expect("cannot create sweep checkpoint file"),
+            )
+        });
+        let to_run: Vec<(usize, usize, usize)> = indices
+            .iter()
+            .copied()
+            .filter(|key| !cached.contains_key(key))
+            .collect();
+        let workers = workers.min(to_run.len()).max(1);
+
+        // Each cell runs under `catch_unwind`; a wall-clock timeout is
+        // retried once (a fresh attempt gets a fresh deadline), while
+        // panics and typed simulator errors are deterministic and fail
+        // immediately. A failed cell is recorded as a `CellError` while
         // every other cell still produces its (bit-identical) result. The
         // closure only *reads* session state across the unwind boundary
         // (the alone-IPC cache takes its lock inside `alone_ipc`, never
@@ -525,27 +627,45 @@ impl Sweep<'_> {
                 )
             }))
             .map_err(|payload| CellFailureKind::Panic(panic_message(payload)))?
-            .map_err(CellFailureKind::Sim)
+            .map_err(|err| match err {
+                SimError::Cancelled(cycle) => CellFailureKind::Timeout(cycle),
+                other => CellFailureKind::Sim(other),
+            })
         };
         let eval_one = |&(p, w, s): &(usize, usize, usize)| -> Result<SweepCell, Box<CellError>> {
             let mut attempts = 1;
-            let outcome = attempt_one(p, w, s).or_else(|_| {
-                attempts = 2;
-                attempt_one(p, w, s)
+            let outcome = attempt_one(p, w, s).or_else(|kind| {
+                if kind.is_retryable() {
+                    attempts = 2;
+                    attempt_one(p, w, s)
+                } else {
+                    Err(kind)
+                }
             });
             match outcome {
-                Ok(result) => Ok(SweepCell {
-                    policy: p,
-                    workload: w,
-                    seed: s,
-                    result,
-                }),
+                Ok(result) => {
+                    let cell = SweepCell {
+                        policy: p,
+                        workload: w,
+                        seed: s,
+                        result,
+                    };
+                    if let Some(writer) = &writer {
+                        writer
+                            .lock()
+                            .expect("checkpoint writer poisoned")
+                            .append(&cell)
+                            .expect("cannot append to sweep checkpoint file");
+                    }
+                    Ok(cell)
+                }
                 Err(kind) => Err(Box::new(CellError {
                     policy: p,
                     workload: w,
                     seed: s,
                     policy_label: self.policies[p].label(),
                     workload_name: self.workloads[w].name.clone(),
+                    seed_value: self.seeds[s],
                     attempts,
                     kind,
                 })),
@@ -553,13 +673,13 @@ impl Sweep<'_> {
         };
 
         let outcomes: Vec<Result<SweepCell, Box<CellError>>> = if workers == 1 {
-            indices.iter().map(eval_one).collect()
+            to_run.iter().map(eval_one).collect()
         } else {
             // Contiguous shards, joined in spawn order: the concatenated
             // output is in grid order regardless of scheduling.
-            let shard = total.div_ceil(workers);
+            let shard = to_run.len().div_ceil(workers);
             std::thread::scope(|scope| {
-                let handles: Vec<_> = indices
+                let handles: Vec<_> = to_run
                     .chunks(shard)
                     .map(|chunk| scope.spawn(|| chunk.iter().map(eval_one).collect::<Vec<_>>()))
                     .collect();
@@ -569,30 +689,41 @@ impl Sweep<'_> {
                     .collect()
             })
         };
-        let mut cells = Vec::with_capacity(outcomes.len());
+        // Merge fresh outcomes with resumed cells, restoring grid order.
+        let mut fresh: HashMap<(usize, usize, usize), SweepCell> = HashMap::new();
         let mut failures = Vec::new();
         for outcome in outcomes {
             match outcome {
-                Ok(cell) => cells.push(cell),
+                Ok(cell) => {
+                    fresh.insert((cell.policy, cell.workload, cell.seed), cell);
+                }
                 Err(err) => failures.push(*err),
+            }
+        }
+        let executed = fresh.len();
+        let mut cells = Vec::with_capacity(resumed + executed);
+        for key in &indices {
+            if let Some(cell) = cached.remove(key).or_else(|| fresh.remove(key)) {
+                cells.push(cell);
             }
         }
 
         let wall = t0.elapsed();
         let alone_runs = self.session.alone_cache().misses() - alone_before;
         self.session
-            .record(cells.len() as u64, alone_runs, wall, workers);
+            .record(executed as u64, alone_runs, wall, workers);
         let stats = SweepStats {
             cells: total,
             failed: failures.len(),
+            resumed,
             workers,
             alone_runs,
-            sim_cycles: (cells.len() as u64 + alone_runs) * self.session.rc.horizon,
+            sim_cycles: (executed as u64 + alone_runs) * self.session.rc.horizon,
             wall,
         };
         SweepResult {
-            policy_labels: self.policies.iter().map(PolicyKind::label).collect(),
-            workload_names: self.workloads.iter().map(|w| w.name.clone()).collect(),
+            policy_labels: header.policies,
+            workload_names: header.workloads,
             seeds: self.seeds,
             cells,
             failures,
@@ -620,9 +751,11 @@ pub struct SweepCell {
 pub struct SweepStats {
     /// Grid cells attempted (successful + failed).
     pub cells: usize,
-    /// Cells that failed after the retry-once policy (see
+    /// Cells that failed after the retry policy (see
     /// [`SweepResult::failures`]).
     pub failed: usize,
+    /// Cells restored from a checkpoint instead of being simulated.
+    pub resumed: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Alone-run simulations triggered (cache misses during the sweep).

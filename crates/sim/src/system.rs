@@ -3,12 +3,13 @@
 
 use crate::event::{Event, EventQueue};
 use std::collections::VecDeque;
+use tcm_chaos::{FaultPlan, FaultSpec};
 use tcm_cpu::{Core, CoreStatus};
 use tcm_dram::Channel;
-use tcm_sched::{PickContext, Scheduler, SystemView};
+use tcm_sched::{ChaosScheduler, PickContext, Scheduler, SystemView};
 use tcm_types::{
-    BankId, ChannelId, Cycle, Invariant, InvariantViolation, MemAddress, Request, RequestId,
-    SimError, StallReport, SystemConfig, ThreadId,
+    BankId, CancelToken, ChannelId, Cycle, Invariant, InvariantViolation, MemAddress, Request,
+    RequestId, SimError, StallReport, SystemConfig, ThreadId,
 };
 use tcm_workload::{MachineShape, TraceGenerator, WorkloadSpec};
 
@@ -20,6 +21,11 @@ use tcm_workload::{MachineShape, TraceGenerator, WorkloadSpec};
 /// backed-up controller (128-entry buffer, 400-cycle conflicts) drains a
 /// request every ≲ 52 k cycles.
 pub const DEFAULT_STALL_LIMIT: Cycle = 1_000_000;
+
+/// How many events the loop processes between cooperative-cancellation
+/// checks (see [`System::set_cancel_token`]). Checking involves a
+/// wall-clock read, so it is strided; the first event always checks.
+pub const CANCEL_CHECK_STRIDE: u64 = 4096;
 
 /// Result of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +117,14 @@ pub struct System {
     /// Typed error raised deep in the call graph (e.g. during `admit`),
     /// surfaced by the event loop at the next opportunity.
     pending_error: Option<SimError>,
+    /// Cooperative cancellation: checked every [`CANCEL_CHECK_STRIDE`]
+    /// events; `None` means the run cannot be cancelled.
+    cancel: Option<CancelToken>,
+    /// Events processed over the run (cancellation-check bookkeeping).
+    events_processed: u64,
+    /// Armed spill-flood fault: at its cycle, phantom requests are
+    /// admitted until the spill queue outgrows its resource bound.
+    chaos_flood: Option<FaultSpec>,
     /// Scratch: schedulable banks of the channel currently being worked
     /// (reused across `schedule_idle_banks` calls, never allocated per
     /// decision).
@@ -208,6 +222,9 @@ impl System {
             stall_limit: Some(DEFAULT_STALL_LIMIT),
             spill_bound: cfg.num_threads * cfg.mshrs_per_core,
             pending_error: None,
+            cancel: None,
+            events_processed: 0,
+            chaos_flood: None,
             scratch_banks: Vec::with_capacity(cfg.banks_per_channel),
             scratch_ids: Vec::new(),
             touched_channels: vec![false; cfg.num_channels],
@@ -254,9 +271,83 @@ impl System {
         self.stall_limit = stall_limit;
     }
 
+    /// Installs a cooperative cancellation token. The event loop polls it
+    /// every [`CANCEL_CHECK_STRIDE`] events and surfaces
+    /// [`SimError::Cancelled`] once it fires; `None` (the default) makes
+    /// the run uncancellable.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// Installs a fault-injection plan (see the `tcm-chaos` crate).
+    ///
+    /// Routes each fault to its execution site: channel faults to their
+    /// target [`Channel`], monitor faults to the policy, the spill flood
+    /// to the admission path, and — when a scheduler-spin fault is armed —
+    /// wraps the policy in a [`ChaosScheduler`].
+    ///
+    /// Also enables protocol verification on every channel: injecting
+    /// faults without the detectors armed would be undetectable by
+    /// design. Installing an *empty* plan still installs the (inert)
+    /// chaos state everywhere, so tests can prove the zero-fault plan is
+    /// bit-identical to no plan at all.
+    pub fn install_chaos(&mut self, plan: &FaultPlan) {
+        self.enable_verification();
+        for c in 0..self.channels.len() {
+            self.channels[c].set_chaos(Some(plan.channel_chaos(c)));
+        }
+        for fault in plan.monitor_faults() {
+            self.scheduler.inject_monitor_fault(&fault);
+        }
+        self.chaos_flood = plan.flood();
+        if let Some(spin_at) = plan.spin_at() {
+            // Placeholder swap: Box<dyn Scheduler> has no cheap default,
+            // and the wrapper needs ownership of the inner policy.
+            let inner = std::mem::replace(
+                &mut self.scheduler,
+                Box::new(tcm_sched::Fcfs::new()),
+            );
+            self.scheduler = Box::new(ChaosScheduler::new(inner, spin_at));
+            // Policies without timers never got a tick scheduled at
+            // bootstrap; the wrapper needs one for the spin to engage.
+            self.schedule_next_tick();
+        }
+    }
+
+    /// Executes an armed spill-flood fault: admits phantom requests to
+    /// the target channel until its buffer and spill queue both overflow,
+    /// tripping the resource-bound detector in [`System::admit`].
+    fn trigger_flood(&mut self, fault: FaultSpec) {
+        let channel = fault.channel.min(self.cfg.num_channels - 1);
+        let addr = MemAddress::new(
+            ChannelId::new(channel),
+            BankId::new(0),
+            tcm_types::Row::new(0),
+        );
+        let phantoms = self.cfg.request_buffer + self.spill_bound + 1;
+        for _ in 0..phantoms {
+            let id = RequestId::new(self.next_request_id);
+            self.next_request_id += 1;
+            let thread = ThreadId::new(fault.thread.min(self.cfg.num_threads - 1));
+            self.admit(Request::new(id, thread, addr, self.now));
+            if self.pending_error.is_some() {
+                // The bound tripped; no need to keep flooding. The
+                // phantoms already admitted stay queued — poll_faults
+                // surfaces the error before any of them is serviced.
+                break;
+            }
+        }
+    }
+
     /// The scheduling policy's display name.
     pub fn scheduler_name(&self) -> &'static str {
         self.scheduler.name()
+    }
+
+    /// The policy's plausibility-guard anomaly log (empty for policies
+    /// without a guard; see `Scheduler::degradation_anomalies`).
+    pub fn degradation_anomalies(&self) -> &[String] {
+        self.scheduler.degradation_anomalies()
     }
 
     /// Installs OS thread weights on the policy.
@@ -501,6 +592,20 @@ impl System {
             self.now = cycle;
             self.events_at_now += 1;
             self.events_since_retire += 1;
+            if self.events_processed.is_multiple_of(CANCEL_CHECK_STRIDE) {
+                if let Some(token) = &self.cancel {
+                    if token.is_cancelled() {
+                        return Err(SimError::Cancelled(self.now));
+                    }
+                }
+            }
+            self.events_processed += 1;
+            if let Some(fault) = self.chaos_flood {
+                if self.now >= fault.at {
+                    self.chaos_flood = None;
+                    self.trigger_flood(fault);
+                }
+            }
             if let Some(limit) = self.stall_limit {
                 let stalled = self.injected > self.completed
                     && self.now.saturating_sub(self.last_retire) > limit;

@@ -1,0 +1,151 @@
+//! Durable-sweep integration tests: incremental checkpointing, resume
+//! after an interrupted run, and per-cell wall-clock deadlines.
+//!
+//! The kill-mid-flight scenario is emulated by truncating the
+//! checkpoint file to the header plus a prefix of completed cells —
+//! exactly what a process killed between two atomic publishes leaves
+//! behind — then resuming into a fresh `Session`.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use tcm_sim::{CellFailureKind, PolicyKind, RunConfig, Session, SweepResult};
+use tcm_types::SystemConfig;
+use tcm_workload::random_workload;
+
+fn cfg(threads: usize) -> SystemConfig {
+    SystemConfig::builder()
+        .num_threads(threads)
+        .build()
+        .expect("config is valid")
+}
+
+fn run_config() -> RunConfig {
+    RunConfig::builder().system(cfg(4)).horizon(60_000).build()
+}
+
+fn policies() -> [PolicyKind; 3] {
+    [PolicyKind::Fcfs, PolicyKind::FrFcfs, PolicyKind::FairQueueing]
+}
+
+fn sweep_with(session: &Session, checkpoint: Option<&PathBuf>) -> SweepResult {
+    let mut sweep = session
+        .sweep()
+        .policies(policies())
+        .workloads((0..2).map(|s| random_workload(s, 4, 0.75)))
+        .seeds([0, 17]);
+    if let Some(path) = checkpoint {
+        sweep = sweep.checkpoint(path.clone());
+    }
+    sweep.run_parallel(2)
+}
+
+/// Unique scratch path per test (the suite runs tests concurrently).
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("tcm-ckpt-{}-{name}.jsonl", std::process::id()))
+}
+
+#[test]
+fn interrupted_sweep_resumes_bit_identically() {
+    let path = scratch("resume");
+    let _ = std::fs::remove_file(&path);
+
+    // Reference: the uninterrupted run, no checkpointing involved.
+    let reference = sweep_with(&Session::new(run_config()), None);
+    assert!(reference.is_complete());
+
+    // First attempt, checkpointed. Then emulate a kill between two
+    // atomic publishes: keep the header plus the first three cells.
+    let first = sweep_with(&Session::new(run_config()), Some(&path));
+    assert!(first.is_complete());
+    let full = std::fs::read_to_string(&path).expect("checkpoint exists");
+    let lines: Vec<&str> = full.lines().collect();
+    assert_eq!(
+        lines.len(),
+        1 + reference.cells().len(),
+        "header + one line per completed cell"
+    );
+    let kept = 1 + 3;
+    std::fs::write(&path, format!("{}\n", lines[..kept].join("\n")))
+        .expect("truncate checkpoint");
+
+    // Resume into a fresh session: three cells restore, nine re-run.
+    let resumed = sweep_with(&Session::new(run_config()), Some(&path));
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.stats().resumed, 3, "restored the surviving prefix");
+    assert_eq!(
+        resumed.cells(),
+        reference.cells(),
+        "merged result is bit-identical to the uninterrupted run"
+    );
+    assert_eq!(resumed.stats().cells, reference.stats().cells);
+
+    // The republished checkpoint is whole again: a second resume
+    // restores everything and simulates nothing.
+    let replayed = sweep_with(&Session::new(run_config()), Some(&path));
+    assert_eq!(replayed.stats().resumed, reference.cells().len());
+    assert_eq!(replayed.cells(), reference.cells());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_from_a_different_grid_is_refused() {
+    let path = scratch("mismatch");
+    let _ = std::fs::remove_file(&path);
+
+    // Checkpoint a *different* sweep (other policy axis) to the path.
+    let session = Session::new(run_config());
+    let other = session
+        .sweep()
+        .policies([PolicyKind::Fcfs])
+        .workloads([random_workload(0, 4, 0.75)])
+        .checkpoint(path.clone())
+        .run();
+    assert!(other.is_complete());
+
+    // The real sweep must not adopt the foreign cells: everything
+    // re-runs and the result matches a checkpoint-free reference.
+    let resumed = sweep_with(&Session::new(run_config()), Some(&path));
+    assert_eq!(resumed.stats().resumed, 0, "foreign grid: start fresh");
+    let reference = sweep_with(&Session::new(run_config()), None);
+    assert_eq!(resumed.cells(), reference.cells());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn expired_deadline_surfaces_as_timeout_without_poisoning_the_sweep() {
+    // A zero deadline cancels every cell at its first stride check; the
+    // failure is typed `Timeout`, labeled, and retried exactly once.
+    let rc = RunConfig::builder()
+        .system(cfg(4))
+        .horizon(60_000)
+        .cell_deadline(Some(Duration::ZERO))
+        .build();
+    let result = Session::new(rc)
+        .sweep()
+        .policies([PolicyKind::FrFcfs])
+        .workloads([random_workload(0, 4, 0.75)])
+        .run();
+    assert!(!result.is_complete());
+    assert_eq!(result.failures().len(), 1);
+    let failure = &result.failures()[0];
+    assert!(matches!(failure.kind, CellFailureKind::Timeout(_)));
+    assert_eq!(failure.attempts, 2, "timeouts are retried once");
+    let text = failure.to_string();
+    assert!(text.contains("fr-fcfs") || text.contains("FR-FCFS"), "{text}");
+    assert!(text.contains("seed"), "{text}");
+    assert!(text.contains("deadline"), "{text}");
+
+    // A generous deadline changes nothing: the sweep completes and is
+    // bit-identical to one with no deadline at all.
+    let timed = RunConfig::builder()
+        .system(cfg(4))
+        .horizon(60_000)
+        .cell_deadline(Some(Duration::from_secs(3600)))
+        .build();
+    let with_deadline = sweep_with(&Session::new(timed), None);
+    let without = sweep_with(&Session::new(run_config()), None);
+    assert!(with_deadline.is_complete());
+    assert_eq!(with_deadline.cells(), without.cells());
+}

@@ -1,0 +1,102 @@
+//! Cooperative cancellation for long-running simulations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cloneable cancellation handle checked cooperatively by the
+/// simulator's event loop.
+///
+/// Two trigger sources, OR-ed together:
+///
+/// * an explicit [`CancelToken::cancel`] call (from any thread — the
+///   flag is atomic and all clones share it);
+/// * an optional wall-clock deadline fixed at construction
+///   ([`CancelToken::with_deadline`]), the mechanism behind per-cell
+///   sweep deadlines (`--cell-deadline`).
+///
+/// The token never interrupts anything by itself: the simulation polls
+/// [`CancelToken::is_cancelled`] at a coarse granularity and surfaces
+/// `SimError::Cancelled` when it observes the trigger, so results
+/// remain deterministic up to the cancellation cycle.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only on [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that also fires once `deadline` of wall-clock time has
+    /// elapsed from this call.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(deadline),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested or the deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert!(clone.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_cancels_immediately() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_cancel() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled(), "explicit cancel still works");
+    }
+}

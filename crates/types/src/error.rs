@@ -202,6 +202,11 @@ pub enum SimError {
     Stalled(StallReport),
     /// The runtime DRAM protocol checker observed a violation.
     InvariantViolation(InvariantViolation),
+    /// The run's cooperative cancellation token fired (a per-cell
+    /// deadline expired or the run was cancelled externally); carries
+    /// the cycle at which the event loop noticed. The simulation is
+    /// sound up to that cycle but incomplete.
+    Cancelled(Cycle),
 }
 
 impl fmt::Display for SimError {
@@ -210,6 +215,9 @@ impl fmt::Display for SimError {
             SimError::Config(e) => write!(f, "{e}"),
             SimError::Stalled(r) => write!(f, "simulation stalled: {}", r.summary()),
             SimError::InvariantViolation(v) => write!(f, "{v}"),
+            SimError::Cancelled(cycle) => {
+                write!(f, "simulation cancelled at cycle {cycle} (deadline or external cancel)")
+            }
         }
     }
 }
@@ -219,7 +227,7 @@ impl Error for SimError {
         match self {
             SimError::Config(e) => Some(e),
             SimError::InvariantViolation(v) => Some(v),
-            SimError::Stalled(_) => None,
+            SimError::Stalled(_) | SimError::Cancelled(_) => None,
         }
     }
 }
@@ -295,6 +303,15 @@ mod tests {
         let sim = SimError::Stalled(r);
         assert!(sim.to_string().contains("stalled"));
         assert!(sim.source().is_none());
+    }
+
+    #[test]
+    fn cancelled_names_the_cycle_and_has_no_source() {
+        let sim = SimError::Cancelled(4321);
+        assert!(sim.to_string().contains("cancelled at cycle 4321"));
+        assert!(sim.source().is_none());
+        assert_eq!(sim, SimError::Cancelled(4321));
+        assert_ne!(sim, SimError::Cancelled(4322));
     }
 
     #[test]

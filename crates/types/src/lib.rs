@@ -30,11 +30,13 @@
 #![warn(missing_debug_implementations)]
 #![warn(clippy::unwrap_used)]
 
+mod cancel;
 mod config;
 mod error;
 mod ids;
 mod request;
 
+pub use cancel::CancelToken;
 pub use config::{DramTiming, SystemConfig, SystemConfigBuilder};
 pub use error::{ConfigError, Invariant, InvariantViolation, SimError, StallReport};
 pub use ids::{BankId, ChannelId, GlobalBank, Row, ThreadId};

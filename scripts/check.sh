@@ -22,6 +22,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test --release with the protocol checker forced on"
 TCM_VERIFY=1 cargo test -q --release --offline -p tcm-sim -p tcm-dram
 
+# Fault-injection smoke: every chaos fault class at a fixed seed must be
+# caught by exactly its mapped detector, and the zero-fault control must
+# finish clean and bit-identical to a run without the chaos layer.
+echo "==> chaos smoke campaign"
+cargo run --release -q -p tcm-sim --bin tcm-run --offline -- --chaos-smoke
+
 echo "==> bench harness compiles (feature-gated)"
 cargo build --benches -p tcm-bench --features bench-harness --offline
 

@@ -13,6 +13,7 @@
 //! assert_eq!(cfg.num_threads, 24);
 //! ```
 
+pub use tcm_chaos as chaos;
 pub use tcm_core as core;
 pub use tcm_cpu as cpu;
 pub use tcm_dram as dram;
