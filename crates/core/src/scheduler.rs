@@ -14,6 +14,9 @@ use tcm_chaos::{FaultKind, FaultSpec};
 use tcm_dram::ServiceOutcome;
 use tcm_sched::select::{age_key, pick_max_by_key, row_hit};
 use tcm_sched::{PickContext, Scheduler, SystemView};
+use tcm_telemetry::{
+    labeled, ClusterKind, DegradationAnomaly, MonitorCounter, ShuffleAlgo, Telemetry, TraceEvent,
+};
 use tcm_types::{Cycle, Request, SystemConfig, ThreadId};
 
 /// Which shuffling algorithm the current quantum ended up using.
@@ -25,6 +28,19 @@ enum ActiveShuffle {
     WeightedRandom,
     /// Ablation: fixed ascending-niceness ranking, never advanced.
     Static,
+}
+
+impl ActiveShuffle {
+    /// The telemetry-taxonomy name of this shuffle algorithm.
+    fn algo(self) -> ShuffleAlgo {
+        match self {
+            ActiveShuffle::Insertion => ShuffleAlgo::Insertion,
+            ActiveShuffle::Random => ShuffleAlgo::Random,
+            ActiveShuffle::RoundRobin => ShuffleAlgo::RoundRobin,
+            ActiveShuffle::WeightedRandom => ShuffleAlgo::WeightedRandom,
+            ActiveShuffle::Static => ShuffleAlgo::Static,
+        }
+    }
 }
 
 /// Thread Cluster Memory scheduling.
@@ -67,8 +83,12 @@ pub struct Tcm {
     /// Whether the last quantum's monitor data was implausible and TCM
     /// fell back to FR-FCFS ordering for the quantum.
     degraded: bool,
-    /// Log of every monitor anomaly observed, in order.
-    anomalies: Vec<String>,
+    /// Log of every monitor anomaly observed, in order (typed; see
+    /// [`DegradationAnomaly`]).
+    anomalies: Vec<DegradationAnomaly>,
+    /// Structured-event sink; disabled (free) unless the host attaches
+    /// one via [`Scheduler::attach_telemetry`].
+    telemetry: Telemetry,
 }
 
 impl Tcm {
@@ -114,6 +134,7 @@ impl Tcm {
             pending_monitor_faults: Vec::new(),
             degraded: false,
             anomalies: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -146,10 +167,16 @@ impl Tcm {
         self.degraded
     }
 
-    /// Every monitor anomaly observed so far, in order (empty in healthy
-    /// runs). Each entry names the cycle, the offending counter and the
-    /// implausible value.
-    pub fn anomalies(&self) -> &[String] {
+    /// Every monitor anomaly observed so far, rendered as human-readable
+    /// strings (empty in healthy runs). Each entry names the cycle, the
+    /// offending counter and the implausible value. A formatting shim
+    /// over [`Tcm::anomaly_events`].
+    pub fn anomalies(&self) -> Vec<String> {
+        self.anomalies.iter().map(|a| a.to_string()).collect()
+    }
+
+    /// Every monitor anomaly observed so far, in order, as typed events.
+    pub fn anomaly_events(&self) -> &[DegradationAnomaly] {
         &self.anomalies
     }
 
@@ -177,30 +204,41 @@ impl Tcm {
             if let Some(v) = snap.blp.get_mut(t) {
                 *v = flip(*v);
             }
+            self.telemetry.emit(|| TraceEvent::ChaosInjected {
+                cycle: now,
+                kind: FaultKind::MonitorCorruption,
+            });
         }
     }
 
     /// Checks the snapshot against what the monitoring hardware can
-    /// physically produce; returns a description of the first implausible
-    /// counter, or `None` when all data is credible.
+    /// physically produce; returns a typed description of the first
+    /// implausible counter, or `None` when all data is credible.
     ///
     /// The bounds are deliberately loose — MPKI of `+inf` is *legal* (a
     /// thread that missed without retiring an instruction) — so a healthy
     /// run can never trip this check.
-    fn implausible_monitor(&self, snap: &QuantumSnapshot) -> Option<String> {
+    fn implausible_monitor(&self, snap: &QuantumSnapshot, now: Cycle) -> Option<DegradationAnomaly> {
         let banks = self.monitor.total_banks() as f64;
+        let anomaly = |thread, counter, value, upper| DegradationAnomaly {
+            cycle: now,
+            thread,
+            counter,
+            value,
+            upper,
+        };
         for t in 0..self.num_threads {
             let mpki = snap.mpki.get(t).copied().unwrap_or(0.0);
             if mpki.is_nan() || mpki < 0.0 {
-                return Some(format!("thread {t} MPKI {mpki} (must be >= 0)"));
+                return Some(anomaly(t, MonitorCounter::Mpki, mpki, f64::INFINITY));
             }
             let rbl = snap.rbl.get(t).copied().unwrap_or(0.0);
             if !(0.0..=1.0).contains(&rbl) {
-                return Some(format!("thread {t} RBL {rbl} (must be in [0, 1])"));
+                return Some(anomaly(t, MonitorCounter::Rbl, rbl, 1.0));
             }
             let blp = snap.blp.get(t).copied().unwrap_or(0.0);
             if blp.is_nan() || blp < 0.0 || blp > banks {
-                return Some(format!("thread {t} BLP {blp} (must be in [0, {banks}])"));
+                return Some(anomaly(t, MonitorCounter::Blp, blp, banks));
             }
         }
         None
@@ -244,16 +282,20 @@ impl Tcm {
         if !self.pending_monitor_faults.is_empty() {
             self.apply_monitor_faults(&mut snap, now);
         }
-        if let Some(reason) = self.implausible_monitor(&snap) {
+        if let Some(anomaly) = self.implausible_monitor(&snap, now) {
             // Graceful degradation: implausible monitor data means the
             // clustering inputs cannot be trusted. Log the anomaly and
             // fall back to FR-FCFS ordering (all ranks tied at 0 — the
             // same degenerate state as before the first quantum) for the
             // remainder of this quantum, recovering at the next boundary.
-            self.anomalies.push(format!(
-                "cycle {now}: implausible monitor data ({reason}); \
-                 falling back to FR-FCFS for this quantum"
-            ));
+            self.telemetry.emit(|| TraceEvent::QuantumBoundary {
+                cycle: now,
+                index: self.quanta_elapsed,
+                degraded: true,
+            });
+            self.telemetry
+                .emit(|| TraceEvent::DegradationFallback(anomaly.clone()));
+            self.anomalies.push(anomaly);
             self.degraded = true;
             self.priority = vec![0; self.num_threads];
             self.shuffler = None;
@@ -261,6 +303,11 @@ impl Tcm {
             return;
         }
         self.degraded = false;
+        self.telemetry.emit(|| TraceEvent::QuantumBoundary {
+            cycle: now,
+            index: self.quanta_elapsed,
+            degraded: false,
+        });
         // Thread weights scale MPKI down (paper Section 3.6), affecting
         // both clustering admission order and latency-cluster ranking.
         let scaled_mpki: Vec<f64> = snap
@@ -308,6 +355,58 @@ impl Tcm {
         };
         self.quanta_elapsed += 1;
         self.rebuild_priorities();
+        if self.telemetry.is_enabled() {
+            self.trace_quantum(now, &snap, &scaled_mpki);
+        }
+    }
+
+    /// Emits the per-thread cluster-assignment events and the per-cluster
+    /// bandwidth-share series for a clean quantum boundary. Only called
+    /// when telemetry is enabled; observation-only.
+    fn trace_quantum(&self, now: Cycle, snap: &QuantumSnapshot, scaled_mpki: &[f64]) {
+        for (cluster, threads) in [
+            (ClusterKind::Latency, &self.clustering.latency),
+            (ClusterKind::Bandwidth, &self.clustering.bandwidth),
+        ] {
+            for t in threads {
+                let i = t.index();
+                if i >= self.num_threads {
+                    continue;
+                }
+                self.telemetry.emit(|| TraceEvent::ClusterAssignment {
+                    cycle: now,
+                    thread: i,
+                    cluster,
+                    rank: self.priority.get(i).copied().unwrap_or(0),
+                    mpki: scaled_mpki.get(i).copied().unwrap_or(0.0),
+                    rbl: snap.rbl.get(i).copied().unwrap_or(0.0),
+                    blp: snap.blp.get(i).copied().unwrap_or(0.0),
+                });
+            }
+        }
+        // Per-cluster share of attained bandwidth this quantum — the
+        // paper's Figure 9-style breakdown. Skipped when the quantum saw
+        // no traffic at all (0/0 has no meaningful share).
+        let total: u64 = snap.bw_usage.iter().sum();
+        if total > 0 {
+            let share = |threads: &[ThreadId]| {
+                let used: u64 = threads
+                    .iter()
+                    .map(|t| snap.bw_usage.get(t.index()).copied().unwrap_or(0))
+                    .sum();
+                used as f64 / total as f64
+            };
+            let latency = share(&self.clustering.latency);
+            let bandwidth = share(&self.clustering.bandwidth);
+            self.telemetry.with_metrics(|m| {
+                m.push_series(&labeled("bw_share", &[("cluster", "latency")]), now, latency);
+                m.push_series(
+                    &labeled("bw_share", &[("cluster", "bandwidth")]),
+                    now,
+                    bandwidth,
+                );
+            });
+        }
     }
 
     /// Selects the shuffle algorithm for this quantum.
@@ -353,7 +452,7 @@ impl Tcm {
     }
 
     /// Shuffle boundary: advance the bandwidth cluster's permutation.
-    fn shuffle_boundary(&mut self) {
+    fn shuffle_boundary(&mut self, now: Cycle) {
         if self.degraded {
             // FR-FCFS fallback: ranks stay tied until the next quantum's
             // monitor data proves plausible again.
@@ -373,6 +472,10 @@ impl Tcm {
             s.advance();
         }
         self.rebuild_priorities();
+        self.telemetry.emit(|| TraceEvent::ShuffleApplied {
+            cycle: now,
+            algo: self.active_shuffle.algo(),
+        });
     }
 }
 
@@ -429,7 +532,7 @@ impl Scheduler for Tcm {
             // A fresh quantum restarts the shuffle cadence.
             self.next_shuffle = now + self.params.shuffle_interval;
         } else if now >= self.next_shuffle {
-            self.shuffle_boundary();
+            self.shuffle_boundary(now);
             while self.next_shuffle <= now {
                 self.next_shuffle += self.params.shuffle_interval;
             }
@@ -448,8 +551,12 @@ impl Scheduler for Tcm {
         }
     }
 
-    fn degradation_anomalies(&self) -> &[String] {
-        self.anomalies()
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+    }
+
+    fn degradation_events(&self) -> &[DegradationAnomaly] {
+        &self.anomalies
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::verify::ProtocolChecker;
 use crate::{Bank, ChannelStats, DataBus, QueueFullError, RequestQueue};
 use tcm_chaos::{ChannelChaos, FaultKind};
+use tcm_telemetry::{RowOutcome, Telemetry, TraceEvent};
 use tcm_types::{BankId, ChannelId, Cycle, DramTiming, InvariantViolation, Request, RowState};
 
 /// The full timing result of issuing one request to its bank.
@@ -53,6 +54,9 @@ pub struct Channel {
     /// Injected-fault execution state (`None` in normal operation; see
     /// [`Channel::set_chaos`] and the `tcm-chaos` crate).
     chaos: Option<Box<ChannelChaos>>,
+    /// Telemetry sink (disabled by default — one pointer test per hook;
+    /// see [`Channel::set_telemetry`]).
+    telemetry: Telemetry,
 }
 
 impl Channel {
@@ -78,6 +82,7 @@ impl Channel {
             stats: ChannelStats::new(num_banks, num_threads),
             checker: None,
             chaos: None,
+            telemetry: Telemetry::disabled(),
         };
         // Keep the timing model honest wherever tests run: the checker is
         // observation-only, so results are unaffected.
@@ -114,6 +119,13 @@ impl Channel {
     /// Whether a fault-injection state is installed (possibly empty).
     pub fn chaos_installed(&self) -> bool {
         self.chaos.is_some()
+    }
+
+    /// Attaches a telemetry sink (a clone of the run's shared handle).
+    /// Telemetry is observation-only: results are bit-identical with a
+    /// sink attached or not.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 
     /// Whether the runtime protocol checker is active.
@@ -222,11 +234,19 @@ impl Channel {
                 if let Some(checker) = self.checker.as_mut() {
                     checker.on_admit(request, now);
                 }
+                self.telemetry.emit(|| TraceEvent::ChaosInjected {
+                    cycle: now,
+                    kind: FaultKind::DuplicateRequest,
+                });
             }
         } else if chaos.fire(FaultKind::DropRequest, now) {
             // Lose the request after admission: its data never returns,
             // and end-of-run conservation accounting comes up short.
             let _ = self.queue.remove(request.id);
+            self.telemetry.emit(|| TraceEvent::ChaosInjected {
+                cycle: now,
+                kind: FaultKind::DropRequest,
+            });
         }
     }
 
@@ -316,7 +336,42 @@ impl Channel {
         if let Some(checker) = self.checker.as_mut() {
             checker.on_issue(&outcome, timing, now);
         }
+        if self.telemetry.is_enabled() {
+            self.trace_service(&outcome, bank_index);
+        }
         outcome
+    }
+
+    /// Emits the trace events for one serviced request: the implied
+    /// bank commands (precharge on a conflict, activate whenever the
+    /// needed row was not open) and the service itself.
+    fn trace_service(&self, outcome: &ServiceOutcome, bank: usize) {
+        let channel = self.id.index();
+        let row_outcome = match outcome.row_state {
+            RowState::Hit => RowOutcome::Hit,
+            RowState::Closed => RowOutcome::Closed,
+            RowState::Conflict => RowOutcome::Conflict,
+        };
+        let cycle = outcome.bank_start;
+        if row_outcome == RowOutcome::Conflict {
+            self.telemetry
+                .emit(|| TraceEvent::BankPrecharge { cycle, channel, bank });
+        }
+        if row_outcome != RowOutcome::Hit {
+            self.telemetry.emit(|| TraceEvent::BankActivate {
+                cycle,
+                channel,
+                bank,
+                row: outcome.request.addr.row.index(),
+            });
+        }
+        self.telemetry.emit(|| TraceEvent::RequestServiced {
+            cycle,
+            thread: outcome.request.thread.index(),
+            channel,
+            bank,
+            outcome: row_outcome,
+        });
     }
 
     /// Chaos hooks on the service path, applied between computing the
@@ -331,6 +386,10 @@ impl Channel {
             // Report a service shorter than the row state allows — as if
             // the column access skipped the tRCD activation wait.
             outcome.service_cycles = outcome.service_cycles.saturating_sub(timing.rcd.max(1));
+            self.telemetry.emit(|| TraceEvent::ChaosInjected {
+                cycle: now,
+                kind: FaultKind::TimingViolation,
+            });
         }
         if chaos.fire(FaultKind::RowCorruption, now) {
             // Misreport the row-buffer state; the checker's shadow row
@@ -339,6 +398,10 @@ impl Channel {
                 RowState::Hit => RowState::Conflict,
                 RowState::Closed | RowState::Conflict => RowState::Hit,
             };
+            self.telemetry.emit(|| TraceEvent::ChaosInjected {
+                cycle: now,
+                kind: FaultKind::RowCorruption,
+            });
         }
         if chaos.due(FaultKind::BusOverlap, now) {
             // Re-time the transfer so it starts one cycle before the
@@ -352,6 +415,10 @@ impl Channel {
                 chaos.fire(FaultKind::BusOverlap, now);
                 let bus_start = prev_end - 1;
                 outcome.completes_at = bus_start + timing.bus_burst + timing.fixed_overhead;
+                self.telemetry.emit(|| TraceEvent::ChaosInjected {
+                    cycle: now,
+                    kind: FaultKind::BusOverlap,
+                });
             }
         }
         // Track bus occupancy exactly as the checker reconstructs it, so

@@ -57,6 +57,13 @@ pub struct ChannelStats {
     pub last_service_at: Cycle,
     /// Deepest the request buffer ever got (benchmark/report metric).
     pub peak_queue_depth: usize,
+    /// Log2-bucketed queue-depth distribution: slot = bit length of the
+    /// observed depth (0, 1, 2–3, 4–7, …), clamped into the final slot
+    /// (depths ≥ 1024). One admission = one observation. Always on —
+    /// a single array increment per enqueue — and absorbed into the
+    /// telemetry metrics registry at end of run when telemetry is
+    /// enabled.
+    depth_histogram: [u64; 12],
 }
 
 impl ChannelStats {
@@ -69,15 +76,25 @@ impl ChannelStats {
             bus_busy_cycles: 0,
             last_service_at: 0,
             peak_queue_depth: 0,
+            depth_histogram: [0; 12],
         }
     }
 
-    /// Folds a queue-depth observation into the peak.
+    /// Folds a queue-depth observation into the peak and the depth
+    /// distribution.
     #[inline]
     pub fn observe_queue_depth(&mut self, depth: usize) {
         if depth > self.peak_queue_depth {
             self.peak_queue_depth = depth;
         }
+        let slot = (usize::BITS - depth.leading_zeros()).min(11) as usize;
+        self.depth_histogram[slot] += 1;
+    }
+
+    /// The log2-bucketed queue-depth distribution (slot = bit length of
+    /// the depth; final slot collects depths ≥ 1024).
+    pub fn depth_histogram(&self) -> &[u64; 12] {
+        &self.depth_histogram
     }
 
     /// Records a serviced request.
@@ -165,6 +182,23 @@ mod tests {
         assert_eq!(s.bus_busy_cycles, 150);
         assert_eq!(s.last_service_at, 500);
         assert_eq!(s.banks()[0].serviced, 2);
+    }
+
+    #[test]
+    fn queue_depth_histogram_buckets_by_bit_length() {
+        let mut s = ChannelStats::new(1, 1);
+        for depth in [0usize, 1, 2, 3, 8, 1023, 5000] {
+            s.observe_queue_depth(depth);
+        }
+        let h = s.depth_histogram();
+        assert_eq!(h[0], 1, "depth 0");
+        assert_eq!(h[1], 1, "depth 1");
+        assert_eq!(h[2], 2, "depths 2 and 3");
+        assert_eq!(h[4], 1, "depth 8");
+        assert_eq!(h[10], 1, "depth 1023");
+        assert_eq!(h[11], 1, "depth 5000 clamps into the overflow slot");
+        assert_eq!(h.iter().sum::<u64>(), 7);
+        assert_eq!(s.peak_queue_depth, 5000);
     }
 
     #[test]

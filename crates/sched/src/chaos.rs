@@ -11,8 +11,9 @@
 //! the spin engages on time even for policies that never tick.
 
 use crate::{PickContext, Scheduler, SystemView};
-use tcm_chaos::FaultSpec;
+use tcm_chaos::{FaultKind, FaultSpec};
 use tcm_dram::ServiceOutcome;
+use tcm_telemetry::{DegradationAnomaly, Telemetry, TraceEvent};
 use tcm_types::{Cycle, Request};
 
 /// A [`Scheduler`] decorator that spins (stops advancing time) from a
@@ -21,12 +22,19 @@ use tcm_types::{Cycle, Request};
 pub struct ChaosScheduler {
     inner: Box<dyn Scheduler>,
     spin_at: Cycle,
+    telemetry: Telemetry,
+    spin_reported: bool,
 }
 
 impl ChaosScheduler {
     /// Wraps `inner`, arming the spin to engage at cycle `spin_at`.
     pub fn new(inner: Box<dyn Scheduler>, spin_at: Cycle) -> Self {
-        Self { inner, spin_at }
+        Self {
+            inner,
+            spin_at,
+            telemetry: Telemetry::disabled(),
+            spin_reported: false,
+        }
     }
 
     /// The cycle at which the spin engages.
@@ -76,6 +84,13 @@ impl Scheduler for ChaosScheduler {
     }
 
     fn tick(&mut self, now: Cycle, view: &SystemView<'_>) {
+        if now >= self.spin_at && !self.spin_reported {
+            self.spin_reported = true;
+            self.telemetry.emit(|| TraceEvent::ChaosInjected {
+                cycle: now,
+                kind: FaultKind::SchedulerSpin,
+            });
+        }
         self.inner.tick(now, view);
     }
 
@@ -87,7 +102,16 @@ impl Scheduler for ChaosScheduler {
         self.inner.inject_monitor_fault(fault);
     }
 
-    fn degradation_anomalies(&self) -> &[String] {
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+        self.inner.attach_telemetry(telemetry);
+    }
+
+    fn degradation_events(&self) -> &[DegradationAnomaly] {
+        self.inner.degradation_events()
+    }
+
+    fn degradation_anomalies(&self) -> Vec<String> {
         self.inner.degradation_anomalies()
     }
 }

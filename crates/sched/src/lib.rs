@@ -74,6 +74,7 @@ pub use stfm::{Stfm, StfmParams};
 
 use tcm_chaos::FaultSpec;
 use tcm_dram::ServiceOutcome;
+use tcm_telemetry::{DegradationAnomaly, Telemetry};
 use tcm_types::{BankId, ChannelId, Cycle, Request, Row};
 
 /// Everything a policy may inspect when choosing the next request for a
@@ -166,12 +167,28 @@ pub trait Scheduler: std::fmt::Debug + Send {
     /// ignore it — the default is a no-op.
     fn inject_monitor_fault(&mut self, _fault: &FaultSpec) {}
 
-    /// Anomaly log of the policy's plausibility guard: one entry per
-    /// quantum in which implausible monitor data forced the policy to
+    /// Hands the policy a telemetry handle for structured event tracing.
+    /// Policies that emit no events ignore it — the default is a no-op.
+    /// Emitting is observation-only: attaching telemetry must not change
+    /// any scheduling decision.
+    fn attach_telemetry(&mut self, _telemetry: &Telemetry) {}
+
+    /// Typed anomaly log of the policy's plausibility guard: one entry
+    /// per quantum in which implausible monitor data forced the policy to
     /// degrade to a fallback ordering. Policies without a guard return
     /// the empty slice.
-    fn degradation_anomalies(&self) -> &[String] {
+    fn degradation_events(&self) -> &[DegradationAnomaly] {
         &[]
+    }
+
+    /// The anomaly log rendered as human-readable strings — a formatting
+    /// shim over [`Scheduler::degradation_events`] kept for report and
+    /// test compatibility.
+    fn degradation_anomalies(&self) -> Vec<String> {
+        self.degradation_events()
+            .iter()
+            .map(|a| a.to_string())
+            .collect()
     }
 }
 

@@ -8,7 +8,19 @@
 //!         [--workload A|B|C|D] [--workers W] [--verify]
 //!         [--checkpoint FILE] [--resume FILE] [--cell-deadline SECS]
 //!         [--bench-json FILE] [--chaos-smoke]
+//!         [--trace FILE] [--trace-format jsonl|chrome] [--metrics-json FILE]
 //! ```
+//!
+//! `--trace FILE` enables telemetry and writes the captured event log:
+//! as JSONL (one event per line, `cell_begin` marker lines between
+//! cells, floats as `*_bits` integers) or, with `--trace-format
+//! chrome`, as a Chrome-trace JSON array loadable in Perfetto
+//! (<https://ui.perfetto.dev>) — one process per sweep cell, one track
+//! per simulated thread, counter tracks for the sampled series.
+//! `--metrics-json FILE` enables telemetry and writes every cell's
+//! final metrics registry (counters, gauges, histograms, series) as
+//! one JSON document. Telemetry is observation-only: results are
+//! bit-identical with and without it.
 //!
 //! `--bench-json FILE` switches to benchmark mode: time a *fixed*
 //! paper-lineup sweep (5 policies × the 4 Table 5 workload categories on
@@ -55,7 +67,10 @@ use std::time::Duration;
 use tcm_chaos::{Detector, FaultKind, FaultPlan, FaultSpec};
 use tcm_core::TcmParams;
 use tcm_sched::{AtlasParams, ParBsParams, StfmParams};
-use tcm_sim::{CellFailureKind, PolicyKind, RunConfig, Session, System};
+use tcm_sim::{CellFailureKind, PolicyKind, RunConfig, Session, SweepCell, System};
+use tcm_telemetry::{
+    chrome_counter, chrome_event, chrome_process_name, event_to_jsonl, labeled, TelemetryConfig,
+};
 use tcm_types::{SimError, SystemConfig};
 use tcm_workload::{random_workload, table5_workloads, WorkloadSpec};
 
@@ -192,6 +207,8 @@ fn run_bench(path: &str, cycles: u64, workers: usize) -> i32 {
     let mut s = String::new();
     s.push_str("{\n  \"schema\": \"tcm-bench-hotpath-v1\",\n  \"queue_impl\": ");
     json::string(&mut s, tcm_dram::QUEUE_IMPL);
+    s.push_str(",\n  \"telemetry_impl\": ");
+    json::string(&mut s, tcm_telemetry::TELEMETRY_IMPL);
     let _ = write!(s, ",\n  \"threads\": {threads},\n  \"horizon\": {cycles}");
     s.push_str(",\n  \"policies\": [");
     for (i, p) in policy_labels.iter().enumerate() {
@@ -335,6 +352,182 @@ fn run_chaos_smoke() -> i32 {
     }
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
+
+/// Serializes the captured event logs of every completed cell. JSONL
+/// interleaves `cell_begin` marker lines (skipped by the parser) so one
+/// file can hold a whole sweep; the Chrome format emits one trace
+/// "process" per cell, named `POLICY × WORKLOAD`, with the metric
+/// series as counter tracks.
+fn render_trace(format: TraceFormat, cells: &[SweepCell]) -> String {
+    match format {
+        TraceFormat::Jsonl => {
+            let mut out = String::new();
+            for cell in cells {
+                let Some(snapshot) = &cell.result.telemetry else {
+                    continue;
+                };
+                out.push_str("{\"event\":\"cell_begin\",\"policy\":");
+                json::string(&mut out, &cell.result.policy);
+                out.push_str(",\"workload\":");
+                json::string(&mut out, &cell.result.workload);
+                let _ = write!(
+                    out,
+                    ",\"seed\":{},\"events\":{},\"dropped\":{}}}",
+                    cell.seed,
+                    snapshot.events.len(),
+                    snapshot.dropped
+                );
+                out.push('\n');
+                for event in &snapshot.events {
+                    out.push_str(&event_to_jsonl(event));
+                    out.push('\n');
+                }
+            }
+            out
+        }
+        TraceFormat::Chrome => {
+            let mut entries = Vec::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let Some(snapshot) = &cell.result.telemetry else {
+                    continue;
+                };
+                let pid = i as u64 + 1;
+                entries.push(chrome_process_name(
+                    pid,
+                    &format!("{} × {}", cell.result.policy, cell.result.workload),
+                ));
+                for event in &snapshot.events {
+                    entries.push(chrome_event(event, pid));
+                }
+                for (name, points) in snapshot.metrics.all_series() {
+                    for (at, value) in points {
+                        entries.push(chrome_counter(pid, name, *at, *value));
+                    }
+                }
+            }
+            format!("[{}]\n", entries.join(",\n"))
+        }
+    }
+}
+
+/// Serializes every cell's final metrics registry as one JSON document
+/// (schema `tcm-metrics-v1`). Human-facing: floats are plain JSON
+/// numbers (`null` when non-finite); the lossless form lives in the
+/// sweep checkpoint.
+fn render_metrics(cells: &[SweepCell]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"tcm-metrics-v1\",\n  \"cells\": [");
+    let mut first = true;
+    for cell in cells {
+        let Some(snapshot) = &cell.result.telemetry else {
+            continue;
+        };
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str("\n    {\"policy\": ");
+        json::string(&mut s, &cell.result.policy);
+        s.push_str(", \"workload\": ");
+        json::string(&mut s, &cell.result.workload);
+        let _ = write!(s, ", \"seed\": {}, \"dropped_events\": {}", cell.seed, snapshot.dropped);
+        let m = &snapshot.metrics;
+        s.push_str(",\n     \"counters\": {");
+        for (i, (name, value)) in m.counters().iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            json::string(&mut s, name);
+            let _ = write!(s, ": {value}");
+        }
+        s.push_str("},\n     \"gauges\": {");
+        for (i, (name, value)) in m.gauges().iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            json::string(&mut s, name);
+            s.push_str(": ");
+            json::number(&mut s, *value);
+        }
+        s.push_str("},\n     \"histograms\": {");
+        for (i, (name, hist)) in m.histograms().iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            json::string(&mut s, name);
+            s.push_str(": {\"bounds\": [");
+            for (j, b) in hist.bounds().iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{b}");
+            }
+            s.push_str("], \"counts\": [");
+            for (j, c) in hist.counts().iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}");
+            }
+            s.push_str("]}");
+        }
+        s.push_str("},\n     \"series\": {");
+        for (i, (name, points)) in m.all_series().iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            json::string(&mut s, name);
+            s.push_str(": [");
+            for (j, (at, value)) in points.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[{at},");
+                json::number(&mut s, *value);
+                s.push(']');
+            }
+            s.push(']');
+        }
+        s.push_str("}}");
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// The paper's Figure 9 in one line per TCM cell: the average fraction
+/// of DRAM bandwidth each cluster consumed, over the run's quanta.
+fn print_cluster_summary(cells: &[SweepCell]) {
+    for cell in cells {
+        let Some(snapshot) = &cell.result.telemetry else {
+            continue;
+        };
+        let latency = snapshot
+            .metrics
+            .series(&labeled("bw_share", &[("cluster", "latency")]));
+        let bandwidth = snapshot
+            .metrics
+            .series(&labeled("bw_share", &[("cluster", "bandwidth")]));
+        let (Some(latency), Some(bandwidth)) = (latency, bandwidth) else {
+            continue;
+        };
+        let avg = |points: &[(u64, f64)]| {
+            points.iter().map(|(_, v)| v).sum::<f64>() / points.len().max(1) as f64
+        };
+        println!(
+            "{:>8} | bw share (Fig. 9): latency-cluster {:.1}%, bandwidth-cluster {:.1}% \
+             over {} quanta",
+            cell.result.policy,
+            avg(latency) * 100.0,
+            avg(bandwidth) * 100.0,
+            latency.len(),
+        );
+    }
+}
+
 fn parse_policy(name: &str, n: usize) -> Result<PolicyKind, String> {
     Ok(match name {
         "fcfs" => PolicyKind::Fcfs,
@@ -354,13 +547,17 @@ fn usage() -> ! {
          \x20              [--policies p1,p2,...] [--workload A|B|C|D] [--workers W] [--json]\n\
          \x20              [--verify] [--checkpoint FILE] [--resume FILE]\n\
          \x20              [--cell-deadline SECS] [--bench-json FILE] [--chaos-smoke]\n\
+         \x20              [--trace FILE] [--trace-format jsonl|chrome] [--metrics-json FILE]\n\
          policies: fcfs fr-fcfs stfm par-bs atlas fqm tcm (default: all but fcfs/fqm)\n\
          --verify enables the DRAM protocol invariant checker (observation-only)\n\
          --checkpoint records completed sweep cells to FILE (JSONL, atomic updates)\n\
          --resume restores completed cells from FILE, runs the rest, keeps FILE updated\n\
          --cell-deadline cancels (and retries once) any cell exceeding SECS wall-clock\n\
          --bench-json times the fixed paper-lineup sweep and writes the record to FILE\n\
-         --chaos-smoke runs the fault-injection smoke campaign and exits"
+         --chaos-smoke runs the fault-injection smoke campaign and exits\n\
+         --trace writes the telemetry event log to FILE (jsonl by default; chrome is\n\
+         \x20       a Chrome-trace array loadable at https://ui.perfetto.dev)\n\
+         --metrics-json writes every cell's final metrics registry to FILE"
     );
     std::process::exit(2)
 }
@@ -380,6 +577,9 @@ fn main() {
     let mut checkpoint: Option<String> = None;
     let mut cell_deadline: Option<Duration> = None;
     let mut chaos_smoke = false;
+    let mut trace: Option<String> = None;
+    let mut trace_format = TraceFormat::Jsonl;
+    let mut metrics_json: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -419,6 +619,18 @@ fn main() {
                 cell_deadline = Some(Duration::from_secs_f64(secs));
             }
             "--chaos-smoke" => chaos_smoke = true,
+            "--trace" => trace = Some(value("--trace")),
+            "--trace-format" => {
+                trace_format = match value("--trace-format").as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "chrome" => TraceFormat::Chrome,
+                    other => {
+                        eprintln!("unknown trace format `{other}` (expected jsonl or chrome)");
+                        usage()
+                    }
+                }
+            }
+            "--metrics-json" => metrics_json = Some(value("--metrics-json")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -469,6 +681,9 @@ fn main() {
             .horizon(cycles)
             .verify(verify)
             .cell_deadline(cell_deadline)
+            .telemetry(
+                (trace.is_some() || metrics_json.is_some()).then(TelemetryConfig::default),
+            )
             .build(),
     );
     let mut sweep = session.sweep().policies(kinds).workloads([workload.clone()]);
@@ -513,7 +728,27 @@ fn main() {
     if json {
         println!("{}", output.to_json());
     } else {
+        print_cluster_summary(result.cells());
         println!("{}", result.stats().throughput_line());
+    }
+    if let Some(path) = &trace {
+        let body = render_trace(trace_format, result.cells());
+        if let Err(err) = std::fs::write(path, body) {
+            eprintln!("cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+        let label = match trace_format {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Chrome => "chrome (open at https://ui.perfetto.dev)",
+        };
+        eprintln!("trace [{label}] -> {path}");
+    }
+    if let Some(path) = &metrics_json {
+        if let Err(err) = std::fs::write(path, render_metrics(result.cells())) {
+            eprintln!("cannot write {path}: {err}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics -> {path}");
     }
     if result.stats().resumed > 0 {
         eprintln!(

@@ -27,6 +27,7 @@ use crate::system::RunResult;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use tcm_telemetry::{MetricsRegistry, TelemetrySnapshot};
 
 /// Schema tag of the only supported checkpoint version.
 const SCHEMA: &str = "tcm-sweep-checkpoint-v1";
@@ -213,12 +214,37 @@ fn write_cell(cell: &SweepCell) -> String {
     out.push_str(",\"service\":");
     write_u64_array(&mut out, run.service.iter().copied());
     out.push_str(&format!(
-        ",\"total_serviced\":{},\"row_hit_rate\":{},\"spilled\":{},\"peak_queue\":{}}}}}}}",
+        ",\"total_serviced\":{},\"row_hit_rate\":{},\"spilled\":{},\"peak_queue\":{}}}",
         run.total_serviced,
         run.row_hit_rate.to_bits(),
         run.spilled,
         run.peak_queue
     ));
+    // Only the metric *summary* (counters + gauges) of a telemetry
+    // snapshot is checkpointed; the event log and histogram/series data
+    // are run artifacts, not resumable state. A resumed cell therefore
+    // carries an empty event log — documented on `RunConfig::telemetry`.
+    if let Some(snapshot) = &r.telemetry {
+        let metrics = &snapshot.metrics;
+        out.push_str(",\"telemetry\":{\"counters\":{");
+        for (i, (name, value)) in metrics.counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            out.push_str(&format!(":{value}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in metrics.gauges().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            out.push_str(&format!(":{}", value.to_bits()));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("}}");
     out
 }
 
@@ -486,7 +512,35 @@ fn parse_cell(line: &str) -> Option<SweepCell> {
                 spilled: run.field("spilled")?.as_u64()?,
                 peak_queue: run.field("peak_queue")?.as_u64()? as usize,
             },
+            telemetry: match result.field("telemetry") {
+                Some(json) => Some(Box::new(parse_telemetry(json)?)),
+                None => None,
+            },
         },
+    })
+}
+
+/// Rebuilds the checkpointed metric summary of a telemetry snapshot.
+/// Only counters and gauges are persisted (see [`write_cell`]); the
+/// event log comes back empty.
+fn parse_telemetry(json: &Json) -> Option<TelemetrySnapshot> {
+    let mut metrics = MetricsRegistry::default();
+    let Json::Obj(counters) = json.field("counters")? else {
+        return None;
+    };
+    for (name, value) in counters {
+        metrics.set_counter(name, value.as_u64()?);
+    }
+    let Json::Obj(gauges) = json.field("gauges")? else {
+        return None;
+    };
+    for (name, value) in gauges {
+        metrics.set_gauge(name, f64::from_bits(value.as_u64()?));
+    }
+    Some(TelemetrySnapshot {
+        events: Vec::new(),
+        dropped: 0,
+        metrics,
     })
 }
 
@@ -521,6 +575,14 @@ mod tests {
                     spilled: 7,
                     peak_queue: 99,
                 },
+                telemetry: Some(Box::new({
+                    let mut snapshot = TelemetrySnapshot::default();
+                    snapshot.metrics.set_counter("requests_serviced", 42);
+                    snapshot
+                        .metrics
+                        .set_gauge("row_hit_rate", 0.123_456_789_012_345_67);
+                    snapshot
+                })),
             },
         }
     }
@@ -558,6 +620,21 @@ mod tests {
         assert_eq!(parsed.result.workload, cell.result.workload);
         assert_eq!(parsed.result.run.retired, cell.result.run.retired);
         assert_eq!((parsed.policy, parsed.workload, parsed.seed), (1, 2, 0));
+        let telemetry = parsed.result.telemetry.as_ref().unwrap();
+        assert_eq!(
+            telemetry.metrics.counters().get("requests_serviced"),
+            Some(&42)
+        );
+        assert_eq!(
+            telemetry
+                .metrics
+                .gauges()
+                .get("row_hit_rate")
+                .map(|v| v.to_bits()),
+            Some(0.123_456_789_012_345_67f64.to_bits()),
+            "gauges round-trip bit-exactly"
+        );
+        assert!(telemetry.events.is_empty(), "event logs are not persisted");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use tcm_sched::{
     Atlas, AtlasParams, FairQueueing, Fcfs, FrFcfs, ParBs, ParBsParams, Scheduler, Stfm,
     StfmParams,
 };
+use tcm_telemetry::{TelemetryConfig, TelemetrySnapshot};
 use tcm_types::{Cycle, SystemConfig};
 use tcm_workload::{BenchmarkProfile, WorkloadSpec};
 
@@ -124,6 +125,15 @@ pub struct RunConfig {
     /// surfaces `SimError::Cancelled`, which sweeps record as a
     /// retryable timeout instead of poisoning other cells.
     pub cell_deadline: Option<Duration>,
+    /// Telemetry configuration for every evaluated cell. `None` (the
+    /// default) runs with telemetry fully disabled — the hot-path cost is
+    /// one branch per hook. When set, each cell gets its own tracer and
+    /// metrics registry whose snapshot lands in `EvalResult::telemetry`.
+    /// Telemetry is observation-only: results are bit-identical either
+    /// way. Sweep checkpoints persist only the snapshot's counter/gauge
+    /// summary, so a cell restored by `--resume` carries an empty event
+    /// log.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl RunConfig {
@@ -149,6 +159,7 @@ pub struct RunConfigBuilder {
     watchdog: Option<Cycle>,
     chaos: Option<FaultPlan>,
     cell_deadline: Option<Duration>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for RunConfigBuilder {
@@ -160,6 +171,7 @@ impl Default for RunConfigBuilder {
             watchdog: Some(crate::system::DEFAULT_STALL_LIMIT),
             chaos: None,
             cell_deadline: None,
+            telemetry: None,
         }
     }
 }
@@ -205,6 +217,13 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Enables per-cell structured tracing and metrics (default: none —
+    /// telemetry fully disabled). See [`RunConfig::telemetry`].
+    pub fn telemetry(mut self, telemetry: Option<TelemetryConfig>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> RunConfig {
         RunConfig {
@@ -214,6 +233,7 @@ impl RunConfigBuilder {
             watchdog: self.watchdog,
             chaos: self.chaos,
             cell_deadline: self.cell_deadline,
+            telemetry: self.telemetry,
         }
     }
 }
@@ -286,6 +306,10 @@ pub struct EvalResult {
     pub speedups: Vec<f64>,
     /// Raw run result of the shared run.
     pub run: RunResult,
+    /// Telemetry snapshot of the shared run (trace events + metrics);
+    /// `None` unless [`RunConfig::telemetry`] was set. Boxed to keep the
+    /// common telemetry-off result small.
+    pub telemetry: Option<Box<TelemetrySnapshot>>,
 }
 
 /// Runs `workload` under `policy` and computes the paper's metrics,

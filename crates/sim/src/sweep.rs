@@ -53,6 +53,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tcm_sched::FrFcfs;
+use tcm_telemetry::Telemetry;
 use tcm_types::{CancelToken, Cycle, SimError};
 use tcm_workload::{BenchmarkProfile, WorkloadSpec};
 
@@ -205,6 +206,12 @@ pub(crate) fn try_eval_cell(
     if let Some(w) = weights {
         sys.set_thread_weights(w);
     }
+    // Attached last so a ChaosScheduler wrapper installed by
+    // `install_chaos` receives the handle too.
+    let telemetry = rc.telemetry.as_ref().map(Telemetry::new);
+    if let Some(t) = &telemetry {
+        sys.set_telemetry(t);
+    }
     let run = sys.try_run(rc.horizon)?;
     let pairs: Vec<IpcPair> = workload
         .threads
@@ -223,6 +230,7 @@ pub(crate) fn try_eval_cell(
         slowdowns: pairs.iter().map(|p| p.slowdown()).collect(),
         speedups: pairs.iter().map(|p| p.speedup()).collect(),
         run,
+        telemetry: telemetry.and_then(|t| t.snapshot()).map(Box::new),
     })
 }
 
@@ -290,6 +298,32 @@ pub struct CellError {
     pub attempts: u32,
     /// The final failure.
     pub kind: CellFailureKind,
+}
+
+impl CellError {
+    /// One grep-able line for CI logs, emitted to stderr by sweeps for
+    /// every failed cell. Stable shape:
+    ///
+    /// ```text
+    /// cell-failure policy="TCM" workload="mix3" seed=7 kind=timeout attempts=2 detail="..."
+    /// ```
+    ///
+    /// `kind` is one of `panic`, `sim`, `timeout`; double quotes inside
+    /// the detail are replaced with single quotes so the line stays
+    /// splittable on `"`-delimited fields.
+    pub fn structured_line(&self) -> String {
+        let kind = match &self.kind {
+            CellFailureKind::Panic(_) => "panic",
+            CellFailureKind::Sim(_) => "sim",
+            CellFailureKind::Timeout(_) => "timeout",
+        };
+        let detail = self.kind.to_string().replace('"', "'");
+        format!(
+            "cell-failure policy=\"{}\" workload=\"{}\" seed={} kind={} \
+             attempts={} detail=\"{}\"",
+            self.policy_label, self.workload_name, self.seed_value, kind, self.attempts, detail,
+        )
+    }
 }
 
 impl std::fmt::Display for CellError {
@@ -697,7 +731,12 @@ impl Sweep<'_> {
                 Ok(cell) => {
                     fresh.insert((cell.policy, cell.workload, cell.seed), cell);
                 }
-                Err(err) => failures.push(*err),
+                Err(err) => {
+                    // One stable, grep-able line per failed cell so CI
+                    // logs surface failures without parsing the report.
+                    eprintln!("{}", err.structured_line());
+                    failures.push(*err);
+                }
             }
         }
         let executed = fresh.len();

@@ -3,10 +3,11 @@
 
 use crate::event::{Event, EventQueue};
 use std::collections::VecDeque;
-use tcm_chaos::{FaultPlan, FaultSpec};
+use tcm_chaos::{FaultKind, FaultPlan, FaultSpec};
 use tcm_cpu::{Core, CoreStatus};
 use tcm_dram::Channel;
 use tcm_sched::{ChaosScheduler, PickContext, Scheduler, SystemView};
+use tcm_telemetry::{labeled, Histogram, Telemetry, TraceEvent};
 use tcm_types::{
     BankId, CancelToken, ChannelId, Cycle, Invariant, InvariantViolation, MemAddress, Request,
     RequestId, SimError, StallReport, SystemConfig, ThreadId,
@@ -134,6 +135,12 @@ pub struct System {
     /// Scratch: per-channel "this burst touched it" flags (reused, reset
     /// after each injection).
     touched_channels: Vec<bool>,
+    /// Structured-event/metric sink, shared with every channel and the
+    /// policy. Disabled by default; see [`System::set_telemetry`].
+    telemetry: Telemetry,
+    /// Next cycle at which the time-series sampler fires (`None` when
+    /// telemetry is disabled — the per-event check is one `Option` test).
+    next_sample: Option<Cycle>,
 }
 
 impl System {
@@ -228,6 +235,8 @@ impl System {
             scratch_banks: Vec::with_capacity(cfg.banks_per_channel),
             scratch_ids: Vec::new(),
             touched_channels: vec![false; cfg.num_channels],
+            telemetry: Telemetry::disabled(),
+            next_sample: None,
         };
         if std::env::var_os("TCM_VERIFY").is_some_and(|v| v != "0") {
             sys.enable_verification();
@@ -279,6 +288,18 @@ impl System {
         self.cancel = token;
     }
 
+    /// Shares a telemetry handle with every channel and the policy, and
+    /// arms the time-series sampler. Telemetry is observation-only:
+    /// results are bit-identical with it attached or not.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+        for ch in &mut self.channels {
+            ch.set_telemetry(telemetry);
+        }
+        self.scheduler.attach_telemetry(telemetry);
+        self.next_sample = telemetry.sample_interval();
+    }
+
     /// Installs a fault-injection plan (see the `tcm-chaos` crate).
     ///
     /// Routes each fault to its execution site: channel faults to their
@@ -318,6 +339,10 @@ impl System {
     /// the target channel until its buffer and spill queue both overflow,
     /// tripping the resource-bound detector in [`System::admit`].
     fn trigger_flood(&mut self, fault: FaultSpec) {
+        self.telemetry.emit(|| TraceEvent::ChaosInjected {
+            cycle: self.now,
+            kind: FaultKind::SpillFlood,
+        });
         let channel = fault.channel.min(self.cfg.num_channels - 1);
         let addr = MemAddress::new(
             ChannelId::new(channel),
@@ -346,7 +371,7 @@ impl System {
 
     /// The policy's plausibility-guard anomaly log (empty for policies
     /// without a guard; see `Scheduler::degradation_anomalies`).
-    pub fn degradation_anomalies(&self) -> &[String] {
+    pub fn degradation_anomalies(&self) -> Vec<String> {
         self.scheduler.degradation_anomalies()
     }
 
@@ -600,6 +625,11 @@ impl System {
                 }
             }
             self.events_processed += 1;
+            if let Some(at) = self.next_sample {
+                if self.now >= at {
+                    self.sample_series();
+                }
+            }
             if let Some(fault) = self.chaos_flood {
                 if self.now >= fault.at {
                     self.chaos_flood = None;
@@ -713,6 +743,77 @@ impl System {
         }
     }
 
+    /// Samples the periodic telemetry series (queue depth and bus
+    /// utilization per channel) and re-arms the sampler past `now`.
+    fn sample_series(&mut self) {
+        let Some(interval) = self.telemetry.sample_interval() else {
+            self.next_sample = None;
+            return;
+        };
+        let now = self.now;
+        let mut at = self.next_sample.unwrap_or(interval).max(interval);
+        while at <= now {
+            at += interval;
+        }
+        self.next_sample = Some(at);
+        let channels = &self.channels;
+        self.telemetry.with_metrics(|m| {
+            for (c, ch) in channels.iter().enumerate() {
+                let idx = c.to_string();
+                let label: &[(&str, &str)] = &[("channel", &idx)];
+                m.push_series(
+                    &labeled("queue_depth", label),
+                    now,
+                    ch.queue().len() as f64,
+                );
+                m.push_series(
+                    &labeled("bus_utilization", label),
+                    now,
+                    ch.stats().bus_busy_cycles as f64 / now.max(1) as f64,
+                );
+            }
+        });
+    }
+
+    /// Folds the run's final counters into the metrics registry: global
+    /// and per-bank service counts, per-thread service/miss counters, the
+    /// row-hit-rate gauge (bit-equal to [`RunResult::row_hit_rate`]),
+    /// bus utilization, and the always-on queue-depth histograms.
+    fn absorb_metrics(&self, run: &RunResult) {
+        self.telemetry.with_metrics(|m| {
+            m.set_counter("requests_serviced", run.total_serviced);
+            m.set_counter("requests_spilled", run.spilled);
+            m.set_counter("peak_queue_depth", run.peak_queue as u64);
+            m.set_gauge("row_hit_rate", run.row_hit_rate);
+            for (c, ch) in self.channels.iter().enumerate() {
+                let stats = ch.stats();
+                let cidx = c.to_string();
+                let clabel: &[(&str, &str)] = &[("channel", &cidx)];
+                m.set_counter(&labeled("bus_busy_cycles", clabel), stats.bus_busy_cycles);
+                m.set_gauge(
+                    &labeled("bus_utilization", clabel),
+                    stats.bus_busy_cycles as f64 / run.cycles.max(1) as f64,
+                );
+                let depths = Histogram::from_log2_counts(stats.depth_histogram());
+                m.merge_histogram("queue_depth", depths.clone());
+                m.merge_histogram(&labeled("queue_depth", clabel), depths);
+                for (b, bank) in stats.banks().iter().enumerate() {
+                    let bidx = b.to_string();
+                    let labels: &[(&str, &str)] = &[("channel", &cidx), ("bank", &bidx)];
+                    m.set_counter(&labeled("requests_serviced", labels), bank.serviced);
+                    m.set_counter(&labeled("row_hits", labels), bank.row_hits);
+                    m.set_counter(&labeled("row_conflicts", labels), bank.row_conflicts);
+                }
+            }
+            for (t, (&svc, &miss)) in run.service.iter().zip(&run.misses).enumerate() {
+                let tidx = t.to_string();
+                let labels: &[(&str, &str)] = &[("thread", &tidx)];
+                m.set_counter(&labeled("service_cycles", labels), svc);
+                m.set_counter(&labeled("misses", labels), miss);
+            }
+        });
+    }
+
     fn collect(&self, horizon: Cycle) -> RunResult {
         let (retired, misses, service) = self.view_arrays();
         let ipc = retired
@@ -721,7 +822,7 @@ impl System {
             .collect();
         let total_serviced: u64 = self.channels.iter().map(|c| c.stats().total_serviced()).sum();
         let total_hits: u64 = self.channels.iter().map(|c| c.stats().total_row_hits()).sum();
-        RunResult {
+        let result = RunResult {
             cycles: horizon,
             retired,
             ipc,
@@ -740,7 +841,11 @@ impl System {
                 .map(|c| c.stats().peak_queue_depth)
                 .max()
                 .unwrap_or(0),
+        };
+        if self.telemetry.is_enabled() {
+            self.absorb_metrics(&result);
         }
+        result
     }
 }
 

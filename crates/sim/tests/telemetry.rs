@@ -1,0 +1,174 @@
+//! Telemetry integration: the observation-only guarantee plus
+//! end-to-end trace and metric content from real simulations.
+//!
+//! The golden-fingerprint gate (`tests/golden_fingerprints.rs` at the
+//! workspace root) already proves the full paper lineup is bit-identical
+//! with telemetry on; these tests exercise the snapshot's *content* —
+//! events round-trip through JSONL, and the metrics registry agrees
+//! with the `RunResult` it observed.
+
+use tcm_core::TcmParams;
+use tcm_sim::{CellError, CellFailureKind, EvalResult, PolicyKind, RunConfig, Session};
+use tcm_telemetry::{
+    event_to_jsonl, events_to_jsonl, labeled, parse_jsonl, TelemetryConfig, TraceEvent,
+};
+use tcm_types::SystemConfig;
+use tcm_workload::random_workload;
+
+/// One TCM cell on an 8-thread machine, with a quantum short enough
+/// that clustering engages several times within the horizon.
+fn eval(telemetry: Option<TelemetryConfig>) -> EvalResult {
+    let cfg = SystemConfig::builder()
+        .num_threads(8)
+        .build()
+        .expect("test config is valid");
+    let session = Session::new(
+        RunConfig::builder()
+            .system(cfg)
+            .horizon(600_000)
+            .telemetry(telemetry)
+            .build(),
+    );
+    let policy = PolicyKind::Tcm(TcmParams {
+        quantum: 100_000,
+        ..TcmParams::paper_default(8)
+    });
+    let result = session
+        .sweep()
+        .policies([policy])
+        .workloads([random_workload(3, 8, 0.75)])
+        .run();
+    assert!(result.is_complete(), "telemetry cell must not fail");
+    result.cells()[0].result.clone()
+}
+
+#[test]
+fn results_are_bit_identical_with_telemetry_enabled() {
+    if tcm_telemetry::TELEMETRY_IMPL == "off" {
+        return; // hooks compiled out: no snapshots to inspect
+    }
+    let off = eval(None);
+    let on = eval(Some(TelemetryConfig::default()));
+    assert!(off.telemetry.is_none(), "disabled run carries no snapshot");
+    assert!(on.telemetry.is_some(), "enabled run returns a snapshot");
+    assert_eq!(off.run, on.run, "telemetry must be observation-only");
+    assert_eq!(off.slowdowns, on.slowdowns);
+    assert_eq!(off.speedups, on.speedups);
+}
+
+#[test]
+fn real_run_events_round_trip_through_jsonl() {
+    if tcm_telemetry::TELEMETRY_IMPL == "off" {
+        return; // hooks compiled out: no snapshots to inspect
+    }
+    let snapshot = eval(Some(TelemetryConfig::default()))
+        .telemetry
+        .expect("enabled run returns a snapshot");
+    assert!(!snapshot.events.is_empty(), "a real run emits events");
+    assert!(
+        snapshot
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::QuantumBoundary { .. })),
+        "six quanta elapsed, so boundaries must be traced"
+    );
+    let text = events_to_jsonl(&snapshot.events);
+    let parsed = parse_jsonl(&text);
+    assert_eq!(parsed.len(), snapshot.events.len(), "no event lost");
+    for (p, e) in parsed.iter().zip(&snapshot.events) {
+        // Serialized comparison is bit-exact even for NaN floats.
+        assert_eq!(event_to_jsonl(p), event_to_jsonl(e));
+    }
+}
+
+#[test]
+fn metrics_registry_agrees_with_the_run_result() {
+    if tcm_telemetry::TELEMETRY_IMPL == "off" {
+        return; // hooks compiled out: no snapshots to inspect
+    }
+    let result = eval(Some(TelemetryConfig::default()));
+    let metrics = &result.telemetry.as_ref().expect("snapshot").metrics;
+    let run = &result.run;
+
+    assert_eq!(metrics.counter("requests_serviced"), Some(run.total_serviced));
+    assert_eq!(metrics.counter("requests_spilled"), Some(run.spilled));
+    assert_eq!(
+        metrics.gauge("row_hit_rate").map(f64::to_bits),
+        Some(run.row_hit_rate.to_bits()),
+        "gauge is bit-equal to the RunResult's rate"
+    );
+    let depth = metrics.histogram("queue_depth").expect("depth histogram");
+    assert!(depth.total() > 0, "every serviced request was observed");
+
+    // Sampled series: queue depth and bus utilization per channel.
+    assert!(metrics
+        .series(&labeled("queue_depth", &[("channel", "0")]))
+        .is_some_and(|s| !s.is_empty()));
+    assert!(metrics
+        .series(&labeled("bus_utilization", &[("channel", "0")]))
+        .is_some_and(|s| !s.is_empty()));
+}
+
+#[test]
+fn tcm_cluster_bandwidth_shares_partition_the_bus() {
+    if tcm_telemetry::TELEMETRY_IMPL == "off" {
+        return; // hooks compiled out: no snapshots to inspect
+    }
+    let snapshot = eval(Some(TelemetryConfig::default()))
+        .telemetry
+        .expect("snapshot");
+    let metrics = &snapshot.metrics;
+    let latency = metrics
+        .series(&labeled("bw_share", &[("cluster", "latency")]))
+        .expect("latency-cluster share series");
+    let bandwidth = metrics
+        .series(&labeled("bw_share", &[("cluster", "bandwidth")]))
+        .expect("bandwidth-cluster share series");
+    assert!(!latency.is_empty(), "at least one quantum elapsed");
+    assert_eq!(latency.len(), bandwidth.len(), "shares sampled together");
+    for ((at_l, share_l), (at_b, share_b)) in latency.iter().zip(bandwidth) {
+        assert_eq!(at_l, at_b, "both clusters sampled at the same boundary");
+        assert!(
+            (share_l + share_b - 1.0).abs() < 1e-9,
+            "the two clusters partition total bandwidth: {share_l} + {share_b}"
+        );
+    }
+}
+
+#[test]
+fn structured_failure_line_is_stable_and_greppable() {
+    let err = CellError {
+        policy: 0,
+        workload: 1,
+        seed: 2,
+        policy_label: "TCM".into(),
+        workload_name: "mix3".into(),
+        seed_value: 7,
+        attempts: 2,
+        kind: CellFailureKind::Timeout(123_456),
+    };
+    let line = err.structured_line();
+    assert!(
+        line.starts_with(
+            "cell-failure policy=\"TCM\" workload=\"mix3\" seed=7 kind=timeout \
+             attempts=2 detail=\""
+        ),
+        "unexpected shape: {line}"
+    );
+
+    // Quotes inside the detail are flattened so the line stays
+    // splittable on `"`-delimited fields.
+    let panicked = CellError {
+        kind: CellFailureKind::Panic("boom \"inner\" quote".into()),
+        attempts: 1,
+        ..err
+    };
+    let line = panicked.structured_line();
+    assert!(line.contains("kind=panic"), "{line}");
+    assert!(line.contains("'inner'"), "{line}");
+    assert_eq!(
+        line.matches('"').count(),
+        6,
+        "exactly the three quoted fields: {line}"
+    );
+}

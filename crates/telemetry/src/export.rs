@@ -1,0 +1,576 @@
+//! Trace exporters: JSONL (lossless, machine-first) and Chrome trace
+//! format (loadable by Perfetto / `chrome://tracing`).
+//!
+//! The JSONL schema is one flat object per line with a snake_case
+//! `"event"` tag. Floats travel as `*_bits` fields holding the decimal
+//! rendering of their IEEE-754 bit pattern, so a parsed event is
+//! bit-identical to the emitted one (NaN and infinity included) — the
+//! same convention as the sweep checkpoint format. Lines whose
+//! `"event"` tag is unknown are skipped, so writers may interleave
+//! their own marker lines (e.g. `tcm-run`'s `cell_begin` separators).
+//!
+//! The Chrome export maps events to instant events (`"ph":"i"`) with
+//! the simulated cycle as the microsecond timestamp, and offers
+//! counter (`"C"`) and process-metadata (`"M"`) helpers so callers can
+//! assemble a full multi-process trace (one process per sweep cell).
+
+use crate::event::{
+    ClusterKind, DegradationAnomaly, MonitorCounter, RowOutcome, ShuffleAlgo, TraceEvent,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use tcm_chaos::FaultKind;
+
+// ---------------------------------------------------------------------
+// JSON writing helpers (the subset the parser below accepts: flat
+// objects of strings, unsigned integers and booleans).
+// ---------------------------------------------------------------------
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn field_str(out: &mut String, key: &str, value: &str) {
+    push_json_str(out, key);
+    out.push(':');
+    push_json_str(out, value);
+    out.push(',');
+}
+
+fn field_u64(out: &mut String, key: &str, value: u64) {
+    push_json_str(out, key);
+    out.push(':');
+    let _ = write!(out, "{value}");
+    out.push(',');
+}
+
+fn field_bool(out: &mut String, key: &str, value: bool) {
+    push_json_str(out, key);
+    out.push(':');
+    out.push_str(if value { "true" } else { "false" });
+    out.push(',');
+}
+
+fn field_f64_bits(out: &mut String, key: &str, value: f64) {
+    field_u64(out, key, value.to_bits());
+}
+
+fn finish_object(mut out: String) -> String {
+    if out.ends_with(',') {
+        out.pop();
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a finite `f64` as a JSON number; non-finite values (invalid
+/// JSON) become `null`. For human-facing exports only — lossless
+/// round-tripping uses `*_bits` fields instead.
+pub fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes one event as a single JSONL line (no trailing newline).
+pub fn event_to_jsonl(event: &TraceEvent) -> String {
+    let mut out = String::from("{");
+    field_str(&mut out, "event", event.kind_name());
+    match event {
+        TraceEvent::QuantumBoundary { cycle, index, degraded } => {
+            field_u64(&mut out, "cycle", *cycle);
+            field_u64(&mut out, "index", *index);
+            field_bool(&mut out, "degraded", *degraded);
+        }
+        TraceEvent::ClusterAssignment { cycle, thread, cluster, rank, mpki, rbl, blp } => {
+            field_u64(&mut out, "cycle", *cycle);
+            field_u64(&mut out, "thread", *thread as u64);
+            field_str(&mut out, "cluster", cluster.name());
+            field_u64(&mut out, "rank", *rank as u64);
+            field_f64_bits(&mut out, "mpki_bits", *mpki);
+            field_f64_bits(&mut out, "rbl_bits", *rbl);
+            field_f64_bits(&mut out, "blp_bits", *blp);
+        }
+        TraceEvent::ShuffleApplied { cycle, algo } => {
+            field_u64(&mut out, "cycle", *cycle);
+            field_str(&mut out, "algo", algo.name());
+        }
+        TraceEvent::RequestServiced { cycle, thread, channel, bank, outcome } => {
+            field_u64(&mut out, "cycle", *cycle);
+            field_u64(&mut out, "thread", *thread as u64);
+            field_u64(&mut out, "channel", *channel as u64);
+            field_u64(&mut out, "bank", *bank as u64);
+            field_str(&mut out, "row_state", outcome.name());
+        }
+        TraceEvent::BankActivate { cycle, channel, bank, row } => {
+            field_u64(&mut out, "cycle", *cycle);
+            field_u64(&mut out, "channel", *channel as u64);
+            field_u64(&mut out, "bank", *bank as u64);
+            field_u64(&mut out, "row", *row as u64);
+        }
+        TraceEvent::BankPrecharge { cycle, channel, bank } => {
+            field_u64(&mut out, "cycle", *cycle);
+            field_u64(&mut out, "channel", *channel as u64);
+            field_u64(&mut out, "bank", *bank as u64);
+        }
+        TraceEvent::DegradationFallback(a) => {
+            field_u64(&mut out, "cycle", a.cycle);
+            field_u64(&mut out, "thread", a.thread as u64);
+            field_str(&mut out, "counter", a.counter.name());
+            field_f64_bits(&mut out, "value_bits", a.value);
+            field_f64_bits(&mut out, "upper_bits", a.upper);
+        }
+        TraceEvent::ChaosInjected { cycle, kind } => {
+            field_u64(&mut out, "cycle", *cycle);
+            field_str(&mut out, "kind", kind.name());
+        }
+    }
+    finish_object(out)
+}
+
+/// Serializes a batch of events, one JSONL line each, with a trailing
+/// newline when non-empty.
+pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&event_to_jsonl(e));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// JSONL parsing: a minimal flat-object reader for the subset above.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Raw {
+    U64(u64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Raw {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Raw::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Raw::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Raw::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (string / unsigned-int / bool values
+/// only) into a field map. `None` on anything malformed or nested.
+fn parse_flat_object(line: &str) -> Option<BTreeMap<String, Raw>> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    let skip_ws = |pos: &mut usize| {
+        while bytes.get(*pos).is_some_and(u8::is_ascii_whitespace) {
+            *pos += 1;
+        }
+    };
+    let parse_string = |pos: &mut usize| -> Option<String> {
+        skip_ws(pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return None;
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos)? {
+                b'"' => {
+                    *pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match bytes.get(*pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'u' => {
+                            let hex = bytes.get(*pos + 1..*pos + 5)?;
+                            let hex = std::str::from_utf8(hex).ok()?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            *pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    *pos += 1;
+                }
+                _ => {
+                    let rest = std::str::from_utf8(&bytes[*pos..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    };
+    skip_ws(&mut pos);
+    if bytes.get(pos) != Some(&b'{') {
+        return None;
+    }
+    pos += 1;
+    let mut fields = BTreeMap::new();
+    skip_ws(&mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        pos += 1;
+        skip_ws(&mut pos);
+        return (pos == bytes.len()).then_some(fields);
+    }
+    loop {
+        let key = parse_string(&mut pos)?;
+        skip_ws(&mut pos);
+        if bytes.get(pos) != Some(&b':') {
+            return None;
+        }
+        pos += 1;
+        skip_ws(&mut pos);
+        let value = match bytes.get(pos)? {
+            b'"' => Raw::Str(parse_string(&mut pos)?),
+            b'0'..=b'9' => {
+                let start = pos;
+                while bytes.get(pos).is_some_and(u8::is_ascii_digit) {
+                    pos += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..pos]).ok()?;
+                Raw::U64(text.parse().ok()?)
+            }
+            b't' if bytes[pos..].starts_with(b"true") => {
+                pos += 4;
+                Raw::Bool(true)
+            }
+            b'f' if bytes[pos..].starts_with(b"false") => {
+                pos += 5;
+                Raw::Bool(false)
+            }
+            _ => return None,
+        };
+        fields.insert(key, value);
+        skip_ws(&mut pos);
+        match bytes.get(pos)? {
+            b',' => pos += 1,
+            b'}' => {
+                pos += 1;
+                skip_ws(&mut pos);
+                return (pos == bytes.len()).then_some(fields);
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Parses one JSONL line back into a [`TraceEvent`]. Returns `None`
+/// for malformed lines **and** for well-formed objects whose `"event"`
+/// tag is not a known kind (forward compatibility: writers may add
+/// marker lines).
+pub fn parse_event(line: &str) -> Option<TraceEvent> {
+    let fields = parse_flat_object(line)?;
+    let u = |key: &str| fields.get(key).and_then(Raw::as_u64);
+    let s = |key: &str| fields.get(key).and_then(Raw::as_str);
+    let f = |key: &str| u(key).map(f64::from_bits);
+    let kind = s("event")?;
+    Some(match kind {
+        "quantum_boundary" => TraceEvent::QuantumBoundary {
+            cycle: u("cycle")?,
+            index: u("index")?,
+            degraded: fields.get("degraded").and_then(Raw::as_bool)?,
+        },
+        "cluster_assignment" => TraceEvent::ClusterAssignment {
+            cycle: u("cycle")?,
+            thread: u("thread")? as usize,
+            cluster: ClusterKind::from_name(s("cluster")?)?,
+            rank: u("rank")? as usize,
+            mpki: f("mpki_bits")?,
+            rbl: f("rbl_bits")?,
+            blp: f("blp_bits")?,
+        },
+        "shuffle_applied" => TraceEvent::ShuffleApplied {
+            cycle: u("cycle")?,
+            algo: ShuffleAlgo::from_name(s("algo")?)?,
+        },
+        "request_serviced" => TraceEvent::RequestServiced {
+            cycle: u("cycle")?,
+            thread: u("thread")? as usize,
+            channel: u("channel")? as usize,
+            bank: u("bank")? as usize,
+            outcome: RowOutcome::from_name(s("row_state")?)?,
+        },
+        "bank_activate" => TraceEvent::BankActivate {
+            cycle: u("cycle")?,
+            channel: u("channel")? as usize,
+            bank: u("bank")? as usize,
+            row: u("row")? as usize,
+        },
+        "bank_precharge" => TraceEvent::BankPrecharge {
+            cycle: u("cycle")?,
+            channel: u("channel")? as usize,
+            bank: u("bank")? as usize,
+        },
+        "degradation_fallback" => TraceEvent::DegradationFallback(DegradationAnomaly {
+            cycle: u("cycle")?,
+            thread: u("thread")? as usize,
+            counter: MonitorCounter::from_name(s("counter")?)?,
+            value: f("value_bits")?,
+            upper: f("upper_bits")?,
+        }),
+        "chaos_injected" => {
+            let kind_name = s("kind")?;
+            TraceEvent::ChaosInjected {
+                cycle: u("cycle")?,
+                kind: FaultKind::ALL.into_iter().find(|k| k.name() == kind_name)?,
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Parses a JSONL document, keeping events in line order and skipping
+/// blank, malformed and unknown-kind lines.
+pub fn parse_jsonl(text: &str) -> Vec<TraceEvent> {
+    text.lines().filter_map(parse_event).collect()
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace format.
+// ---------------------------------------------------------------------
+
+/// One Chrome-trace *instant* event object for `event`, attributed to
+/// process `pid`. Per-thread events use the simulated thread id as the
+/// trace `tid`; machine-level events land on tid 0. The simulated
+/// cycle becomes the microsecond timestamp.
+pub fn chrome_event(event: &TraceEvent, pid: u64) -> String {
+    let mut out = String::from("{");
+    field_str(&mut out, "name", event.kind_name());
+    field_str(&mut out, "ph", "i");
+    field_str(&mut out, "s", "p");
+    field_u64(&mut out, "ts", event.cycle());
+    field_u64(&mut out, "pid", pid);
+    let tid = match event {
+        TraceEvent::ClusterAssignment { thread, .. }
+        | TraceEvent::RequestServiced { thread, .. } => *thread as u64,
+        TraceEvent::DegradationFallback(a) => a.thread as u64,
+        _ => 0,
+    };
+    field_u64(&mut out, "tid", tid);
+    push_json_str(&mut out, "args");
+    out.push(':');
+    out.push_str(&chrome_args(event));
+    out.push(',');
+    finish_object(out)
+}
+
+fn chrome_args(event: &TraceEvent) -> String {
+    let mut out = String::from("{");
+    match event {
+        TraceEvent::QuantumBoundary { index, degraded, .. } => {
+            field_u64(&mut out, "index", *index);
+            field_bool(&mut out, "degraded", *degraded);
+        }
+        TraceEvent::ClusterAssignment { cluster, rank, mpki, rbl, blp, .. } => {
+            field_str(&mut out, "cluster", cluster.name());
+            field_u64(&mut out, "rank", *rank as u64);
+            for (key, v) in [("mpki", mpki), ("rbl", rbl), ("blp", blp)] {
+                push_json_str(&mut out, key);
+                out.push(':');
+                out.push_str(&json_number(*v));
+                out.push(',');
+            }
+        }
+        TraceEvent::ShuffleApplied { algo, .. } => {
+            field_str(&mut out, "algo", algo.name());
+        }
+        TraceEvent::RequestServiced { channel, bank, outcome, .. } => {
+            field_u64(&mut out, "channel", *channel as u64);
+            field_u64(&mut out, "bank", *bank as u64);
+            field_str(&mut out, "row_state", outcome.name());
+        }
+        TraceEvent::BankActivate { channel, bank, row, .. } => {
+            field_u64(&mut out, "channel", *channel as u64);
+            field_u64(&mut out, "bank", *bank as u64);
+            field_u64(&mut out, "row", *row as u64);
+        }
+        TraceEvent::BankPrecharge { channel, bank, .. } => {
+            field_u64(&mut out, "channel", *channel as u64);
+            field_u64(&mut out, "bank", *bank as u64);
+        }
+        TraceEvent::DegradationFallback(a) => {
+            field_str(&mut out, "counter", a.counter.name());
+            push_json_str(&mut out, "value");
+            out.push(':');
+            out.push_str(&json_number(a.value));
+            out.push(',');
+        }
+        TraceEvent::ChaosInjected { kind, .. } => {
+            field_str(&mut out, "kind", kind.name());
+        }
+    }
+    finish_object(out)
+}
+
+/// A Chrome-trace process-name metadata event (`"ph":"M"`), naming the
+/// track group for process `pid` in the Perfetto UI.
+pub fn chrome_process_name(pid: u64, name: &str) -> String {
+    let mut out = String::from("{");
+    field_str(&mut out, "name", "process_name");
+    field_str(&mut out, "ph", "M");
+    field_u64(&mut out, "pid", pid);
+    push_json_str(&mut out, "args");
+    out.push_str(":{");
+    push_json_str(&mut out, "name");
+    out.push(':');
+    push_json_str(&mut out, name);
+    out.push_str("}}");
+    out
+}
+
+/// A Chrome-trace counter event (`"ph":"C"`): one sampled point of a
+/// named counter series on process `pid` at timestamp `ts` (cycles).
+pub fn chrome_counter(pid: u64, series: &str, ts: u64, value: f64) -> String {
+    let mut out = String::from("{");
+    field_str(&mut out, "name", series);
+    field_str(&mut out, "ph", "C");
+    field_u64(&mut out, "ts", ts);
+    field_u64(&mut out, "pid", pid);
+    push_json_str(&mut out, "args");
+    out.push_str(":{");
+    push_json_str(&mut out, "value");
+    out.push(':');
+    out.push_str(&json_number(value));
+    out.push('}');
+    out.push(',');
+    finish_object(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn every_variant() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::QuantumBoundary { cycle: 1_000_000, index: 0, degraded: false },
+            TraceEvent::ClusterAssignment {
+                cycle: 1_000_000,
+                thread: 3,
+                cluster: ClusterKind::Bandwidth,
+                rank: 2,
+                mpki: 37.5,
+                rbl: 0.25,
+                blp: f64::INFINITY,
+            },
+            TraceEvent::ShuffleApplied { cycle: 1_000_800, algo: ShuffleAlgo::Insertion },
+            TraceEvent::RequestServiced {
+                cycle: 1_001_000,
+                thread: 1,
+                channel: 2,
+                bank: 3,
+                outcome: RowOutcome::Conflict,
+            },
+            TraceEvent::BankActivate { cycle: 1_001_100, channel: 2, bank: 3, row: 42 },
+            TraceEvent::BankPrecharge { cycle: 1_001_050, channel: 2, bank: 3 },
+            TraceEvent::DegradationFallback(DegradationAnomaly {
+                cycle: 2_000_000,
+                thread: 0,
+                counter: MonitorCounter::Mpki,
+                value: f64::NAN,
+                upper: f64::INFINITY,
+            }),
+            TraceEvent::ChaosInjected { cycle: 3_000_000, kind: FaultKind::SpillFlood },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant_in_order() {
+        let events = every_variant();
+        let text = events_to_jsonl(&events);
+        let parsed = parse_jsonl(&text);
+        assert_eq!(parsed.len(), events.len());
+        for (p, e) in parsed.iter().zip(&events) {
+            // NaN makes PartialEq fail by design; compare via the
+            // serialized form, which is bit-exact.
+            assert_eq!(event_to_jsonl(p), event_to_jsonl(e));
+        }
+    }
+
+    #[test]
+    fn unknown_and_malformed_lines_are_skipped() {
+        let text = "\
+            {\"event\":\"cell_begin\",\"policy\":\"TCM\"}\n\
+            {\"event\":\"quantum_boundary\",\"cycle\":5,\"index\":1,\"degraded\":true}\n\
+            not json at all\n\
+            {\"event\":\"quantum_boundary\",\"cycle\":\"wrong type\"}\n\
+            \n";
+        let parsed = parse_jsonl(text);
+        assert_eq!(
+            parsed,
+            vec![TraceEvent::QuantumBoundary { cycle: 5, index: 1, degraded: true }]
+        );
+    }
+
+    #[test]
+    fn nested_objects_are_rejected_by_the_flat_parser() {
+        assert!(parse_event("{\"event\":\"quantum_boundary\",\"x\":{}}").is_none());
+        assert!(parse_event("{\"a\":1} trailing").is_none());
+    }
+
+    #[test]
+    fn chrome_events_are_flat_json_with_instant_phase() {
+        for e in every_variant() {
+            let json = chrome_event(&e, 7);
+            assert!(json.contains("\"ph\":\"i\""), "{json}");
+            assert!(json.contains("\"pid\":7"), "{json}");
+            assert!(json.contains(&format!("\"ts\":{}", e.cycle())), "{json}");
+            // NaN must never leak into the JSON (it is not valid JSON).
+            assert!(!json.contains("NaN"), "{json}");
+        }
+    }
+
+    #[test]
+    fn chrome_metadata_and_counter_shapes() {
+        let meta = chrome_process_name(3, "TCM × A");
+        assert_eq!(
+            meta,
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,\
+             \"args\":{\"name\":\"TCM × A\"}}"
+        );
+        let counter = chrome_counter(3, "queue_depth", 500, 12.0);
+        assert!(counter.contains("\"ph\":\"C\""));
+        assert!(counter.contains("\"value\":12"));
+    }
+
+    #[test]
+    fn json_number_guards_non_finite() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+}

@@ -28,6 +28,71 @@ TCM_VERIFY=1 cargo test -q --release --offline -p tcm-sim -p tcm-dram
 echo "==> chaos smoke campaign"
 cargo run --release -q -p tcm-sim --bin tcm-run --offline -- --chaos-smoke
 
+# Telemetry trace smoke: run one TCM cell with tracing and metrics
+# enabled and validate the emitted schemas — JSONL event lines, the
+# Perfetto-loadable Chrome array, and the tcm-metrics-v1 document.
+echo "==> telemetry trace smoke (jsonl + chrome + metrics schema)"
+TRACE_TMP=$(mktemp -d)
+trap 'rm -rf "$TRACE_TMP"' EXIT
+cargo run --release -q -p tcm-sim --bin tcm-run --offline -- \
+    --workload A --cycles 1200000 --policies tcm \
+    --trace "$TRACE_TMP/trace.jsonl" \
+    --metrics-json "$TRACE_TMP/metrics.json" >/dev/null
+cargo run --release -q -p tcm-sim --bin tcm-run --offline -- \
+    --workload A --cycles 1200000 --policies tcm \
+    --trace "$TRACE_TMP/trace.chrome" --trace-format chrome >/dev/null
+python3 - "$TRACE_TMP" <<'PY'
+import json
+import sys
+
+tmp = sys.argv[1]
+
+# JSONL: every line is a flat JSON object with an "event" tag; the
+# quantum horizon guarantees boundary + clustering + service events.
+kinds = set()
+with open(f"{tmp}/trace.jsonl") as f:
+    for n, line in enumerate(f, 1):
+        obj = json.loads(line)
+        if "event" not in obj:
+            sys.exit(f"trace.jsonl:{n}: missing 'event' tag")
+        if obj["event"] != "cell_begin" and "cycle" not in obj:
+            sys.exit(f"trace.jsonl:{n}: missing 'cycle'")
+        kinds.add(obj["event"])
+for required in ("cell_begin", "quantum_boundary", "cluster_assignment",
+                 "shuffle_applied", "request_serviced", "bank_activate"):
+    if required not in kinds:
+        sys.exit(f"trace.jsonl: no {required!r} events (got {sorted(kinds)})")
+
+# Chrome trace: one JSON array of instant/metadata/counter events.
+with open(f"{tmp}/trace.chrome") as f:
+    entries = json.load(f)
+phases = {e.get("ph") for e in entries}
+if not {"i", "M", "C"} <= phases:
+    sys.exit(f"trace.chrome: expected i/M/C phases, got {sorted(phases)}")
+if not any(e.get("ph") == "M" and e.get("name") == "process_name"
+           for e in entries):
+    sys.exit("trace.chrome: missing process_name metadata")
+
+# Metrics document: schema + the headline TCM observables.
+with open(f"{tmp}/metrics.json") as f:
+    doc = json.load(f)
+if doc.get("schema") != "tcm-metrics-v1":
+    sys.exit(f"metrics.json: unexpected schema {doc.get('schema')!r}")
+if not doc.get("cells"):
+    sys.exit("metrics.json: no cells")
+cell = doc["cells"][0]
+if "row_hit_rate" not in cell["gauges"]:
+    sys.exit("metrics.json: missing row_hit_rate gauge")
+if "queue_depth" not in cell["histograms"]:
+    sys.exit("metrics.json: missing queue_depth histogram")
+for cluster in ("latency", "bandwidth"):
+    if f"bw_share{{cluster={cluster}}}" not in cell["series"]:
+        sys.exit(f"metrics.json: missing bw_share series for {cluster}")
+print(f"trace smoke ok: {len(kinds)} event kinds, "
+      f"{len(entries)} chrome entries, "
+      f"{len(cell['counters'])} counters / {len(cell['series'])} series")
+PY
+
 echo "==> bench harness compiles (feature-gated)"
 cargo build --benches -p tcm-bench --features bench-harness --offline
 

@@ -19,5 +19,6 @@ pub use tcm_cpu as cpu;
 pub use tcm_dram as dram;
 pub use tcm_sched as sched;
 pub use tcm_sim as sim;
+pub use tcm_telemetry as telemetry;
 pub use tcm_types as types;
 pub use tcm_workload as workload;

@@ -13,6 +13,7 @@
 //! and paste the printed table over `GOLDEN`.
 
 use tcm::sim::{PolicyKind, RunConfig, RunResult, Session};
+use tcm::telemetry::TelemetryConfig;
 use tcm::types::SystemConfig;
 use tcm::workload::{random_workload, table5_workloads, WorkloadSpec};
 
@@ -53,11 +54,12 @@ fn fingerprint(run: &RunResult) -> u64 {
 /// horizon exceeds TCM's 1M-cycle quantum so clustering and shuffling
 /// engage (ATLAS's 10M-cycle quantum never elapses here, so its cells
 /// legitimately coincide with FR-FCFS).
-fn grid() -> (Session, Vec<WorkloadSpec>) {
+fn grid(telemetry: Option<TelemetryConfig>) -> (Session, Vec<WorkloadSpec>) {
     let session = Session::new(
         RunConfig::builder()
             .system(SystemConfig::paper_baseline())
             .horizon(1_200_000)
+            .telemetry(telemetry)
             .build(),
     );
     let mut workloads = vec![table5_workloads().remove(0)];
@@ -65,8 +67,8 @@ fn grid() -> (Session, Vec<WorkloadSpec>) {
     (session, workloads)
 }
 
-fn compute_fingerprints() -> Vec<(String, String, u64)> {
-    let (session, workloads) = grid();
+fn compute_fingerprints(telemetry: Option<TelemetryConfig>) -> Vec<(String, String, u64)> {
+    let (session, workloads) = grid(telemetry);
     let result = session
         .sweep()
         .policies(PolicyKind::paper_lineup(24))
@@ -100,25 +102,39 @@ const GOLDEN: [(&str, &str, u64); 10] = [
     ("TCM", "rand-75%-01", 0xd52d5b902bc8a075),
 ];
 
-#[test]
-fn paper_lineup_matches_golden_fingerprints() {
-    let got = compute_fingerprints();
-    assert_eq!(got.len(), GOLDEN.len(), "grid shape changed");
+fn assert_matches_golden(got: &[(String, String, u64)], context: &str) {
+    assert_eq!(got.len(), GOLDEN.len(), "grid shape changed ({context})");
     for ((policy, workload, fp), (gp, gw, gfp)) in got.iter().zip(GOLDEN) {
-        assert_eq!(policy, gp, "policy axis changed");
-        assert_eq!(workload, gw, "workload axis changed");
+        assert_eq!(policy, gp, "policy axis changed ({context})");
+        assert_eq!(workload, gw, "workload axis changed ({context})");
         assert_eq!(
             *fp, gfp,
-            "RunResult drifted for {policy} x {workload}: \
+            "RunResult drifted for {policy} x {workload} ({context}): \
              {fp:#018x} != golden {gfp:#018x}"
         );
     }
 }
 
 #[test]
+fn paper_lineup_matches_golden_fingerprints() {
+    assert_matches_golden(&compute_fingerprints(None), "telemetry disabled");
+}
+
+/// Telemetry is observation-only: with tracing, metric collection and
+/// series sampling all enabled, every cell's `RunResult` must still be
+/// bit-identical to the golden capture.
+#[test]
+fn telemetry_enabled_run_matches_golden_fingerprints() {
+    assert_matches_golden(
+        &compute_fingerprints(Some(TelemetryConfig::default())),
+        "telemetry enabled",
+    );
+}
+
+#[test]
 #[ignore = "re-capture helper: prints the GOLDEN table"]
 fn print_fingerprints() {
-    for (policy, workload, fp) in compute_fingerprints() {
+    for (policy, workload, fp) in compute_fingerprints(None) {
         println!("    (\"{policy}\", \"{workload}\", {fp:#018x}),");
     }
 }
