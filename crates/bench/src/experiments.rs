@@ -476,7 +476,7 @@ pub fn table2() -> Report {
             model.random_shuffle_only_bits(),
             model.random_shuffle_only_bits() < 512,
             cfg.num_threads,
-            cfg.num_channels,
+            cfg.num_channels(),
             cfg.banks_per_channel,
             cfg.window_size,
             cfg.issue_width,

@@ -47,6 +47,7 @@
 #![warn(clippy::unwrap_used)]
 
 mod clustering;
+mod meta;
 mod monitor;
 mod niceness;
 mod params;
@@ -55,6 +56,7 @@ mod shuffle;
 pub mod storage;
 
 pub use clustering::{cluster_threads, Cluster, Clustering};
+pub use meta::{MetaController, TcmController};
 pub use monitor::{QuantumSnapshot, TcmMonitor};
 pub use niceness::{niceness_scores, rank_ascending};
 pub use params::{ShuffleMode, TcmParams};

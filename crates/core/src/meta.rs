@@ -1,0 +1,442 @@
+//! The §5.3 meta-controller and its per-controller counterpart.
+//!
+//! In the paper's multi-controller design, each memory controller runs
+//! its own monitors and request prioritization while a central
+//! *meta-controller* periodically aggregates every controller's monitor
+//! state, computes one system-wide cluster assignment + shuffle phase,
+//! and broadcasts it back, so all controllers prioritize threads
+//! identically within a quantum.
+//!
+//! This module splits the single-instance [`Tcm`] policy along exactly
+//! that line:
+//!
+//! * [`TcmController`] is one controller's share of TCM: it feeds its
+//!   local [`TcmMonitor`] from the enqueue/service hooks, hands the raw
+//!   per-quantum accumulators up through
+//!   [`Scheduler::quantum_exchange`], and prioritizes requests with the
+//!   paper's Algorithm 3 over whatever ranking the last broadcast
+//!   installed (all-zero before the first quantum — the same FR-FCFS
+//!   degenerate state `Tcm` starts in).
+//! * [`MetaController`] implements [`MetaScheduler`]: it aggregates the
+//!   samples (summing shadow row-buffer counts and BLP integrals across
+//!   controllers), derives MPKI and bandwidth usage from the global
+//!   cumulative counters, and then reuses the *identical* clustering,
+//!   niceness, shuffling and plausibility-guard machinery as [`Tcm`] —
+//!   same thresholds, same RNG seeds — so a single-controller topology
+//!   driven through the exchange protocol ranks threads exactly as the
+//!   monolithic policy does.
+
+use crate::monitor::{QuantumSnapshot, TcmMonitor};
+use crate::params::TcmParams;
+use crate::scheduler::Tcm;
+use tcm_dram::ServiceOutcome;
+use tcm_sched::select::{age_key, pick_max_by_key, row_hit};
+use tcm_sched::{ClusterPlan, MetaScheduler, MonitorSample, PickContext, Scheduler, SystemView};
+use tcm_telemetry::{DegradationAnomaly, Telemetry};
+use tcm_types::{Cycle, Request, SystemConfig};
+
+/// One memory controller's slice of the coordinated TCM design: local
+/// monitoring + Algorithm 3 prioritization over the meta-controller's
+/// broadcast ranking. See the module docs.
+#[derive(Debug)]
+pub struct TcmController {
+    monitor: TcmMonitor,
+    /// Ranking installed by the last broadcast; all-zero (FR-FCFS
+    /// degenerate) until the first quantum boundary.
+    priority: Vec<usize>,
+}
+
+impl TcmController {
+    /// Creates one controller's policy instance for the given machine.
+    ///
+    /// The monitor is addressed by *global* bank index (the same
+    /// flattening [`Tcm`] uses), so it is sized for the whole system
+    /// even though only this controller's requests flow through it.
+    pub fn new(num_threads: usize, config: &SystemConfig) -> Self {
+        Self {
+            monitor: TcmMonitor::new(num_threads, config.num_channels(), config.banks_per_channel),
+            priority: vec![0; num_threads],
+        }
+    }
+
+    /// Current per-thread priority values (higher = scheduled first).
+    pub fn priorities(&self) -> &[usize] {
+        &self.priority
+    }
+}
+
+impl Scheduler for TcmController {
+    fn name(&self) -> &'static str {
+        "TCM"
+    }
+
+    fn pick(&mut self, pending: &[Request], ctx: &PickContext) -> usize {
+        // Algorithm 3: highest-rank first, then row-hit, then oldest.
+        pick_max_by_key(pending, |r| {
+            (
+                self.priority.get(r.thread.index()).copied().unwrap_or(0),
+                row_hit(r, ctx.open_row),
+                age_key(r),
+            )
+        })
+    }
+
+    fn on_enqueue(&mut self, req: &Request, now: Cycle) {
+        self.monitor
+            .on_enqueue(req.thread, req.addr.global_bank(), req.addr.row, now);
+    }
+
+    fn on_service(
+        &mut self,
+        outcome: &ServiceOutcome,
+        _remaining_same_bank: &[Request],
+        now: Cycle,
+    ) {
+        self.monitor.on_service(
+            outcome.request.thread,
+            outcome.request.addr.global_bank(),
+            now,
+        );
+    }
+
+    fn quantum_exchange(&mut self, now: Cycle) -> Option<MonitorSample> {
+        Some(self.monitor.harvest_sample(now))
+    }
+
+    fn apply_broadcast(&mut self, plan: &ClusterPlan, now: Cycle) {
+        let _ = now;
+        self.priority.clear();
+        self.priority.extend_from_slice(&plan.priorities);
+    }
+}
+
+/// The central TCM meta-controller (paper §5.3): aggregates every
+/// controller's [`MonitorSample`] at quantum boundaries and broadcasts
+/// the unified [`ClusterPlan`]. See the module docs.
+///
+/// Internally it drives an embedded [`Tcm`] ranking engine through the
+/// same quantum/shuffle state machine the monolithic policy uses, so
+/// clustering decisions, shuffle-algorithm selection and the RNG
+/// sequence are bit-identical to the single-instance design given the
+/// same aggregated measurements.
+#[derive(Debug)]
+pub struct MetaController {
+    /// The shared ranking engine. Its local monitor is never fed — the
+    /// aggregated samples replace it.
+    core: Tcm,
+    num_threads: usize,
+    /// Cumulative counters at the last quantum boundary, for computing
+    /// per-quantum MPKI / bandwidth deltas from the global view.
+    retired_snapshot: Vec<u64>,
+    misses_snapshot: Vec<u64>,
+    service_snapshot: Vec<u64>,
+}
+
+impl MetaController {
+    /// Creates a meta-controller with the given TCM parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation (see [`TcmParams::validate`]).
+    pub fn new(params: TcmParams, num_threads: usize, config: &SystemConfig) -> Self {
+        Self {
+            core: Tcm::with_params(params, num_threads, config),
+            num_threads,
+            retired_snapshot: vec![0; num_threads],
+            misses_snapshot: vec![0; num_threads],
+            service_snapshot: vec![0; num_threads],
+        }
+    }
+
+    /// The plan reflecting the ranking engine's current state.
+    fn plan(&self) -> ClusterPlan {
+        ClusterPlan {
+            priorities: self.core.priorities().to_vec(),
+            degraded: self.core.degraded(),
+        }
+    }
+
+    /// Assembles the quantum snapshot the ranking engine expects by
+    /// aggregating the controllers' samples (RBL, BLP) and differencing
+    /// the global cumulative counters (MPKI, bandwidth). Mirrors
+    /// `TcmMonitor::quantum_snapshot` field for field.
+    fn aggregate(
+        &mut self,
+        view: &SystemView<'_>,
+        samples: &[Option<MonitorSample>],
+    ) -> QuantumSnapshot {
+        let n = self.num_threads;
+        let mut hits = vec![0u64; n];
+        let mut accesses = vec![0u64; n];
+        let mut blp_integral = vec![0u64; n];
+        let mut busy_time = vec![0u64; n];
+        for sample in samples.iter().flatten() {
+            for t in 0..n {
+                hits[t] += sample.shadow_hits.get(t).copied().unwrap_or(0);
+                accesses[t] += sample.shadow_accesses.get(t).copied().unwrap_or(0);
+                blp_integral[t] += sample.blp_integral.get(t).copied().unwrap_or(0);
+                busy_time[t] += sample.busy_time.get(t).copied().unwrap_or(0);
+            }
+        }
+        let mut snap = QuantumSnapshot {
+            mpki: vec![0.0; n],
+            bw_usage: vec![0; n],
+            rbl: vec![0.0; n],
+            blp: vec![0.0; n],
+        };
+        for t in 0..n {
+            let instr = view.retired.get(t).copied().unwrap_or(0) - self.retired_snapshot[t];
+            let miss = view.misses.get(t).copied().unwrap_or(0) - self.misses_snapshot[t];
+            snap.mpki[t] = match (miss, instr) {
+                (0, _) => 0.0,
+                (_, 0) => f64::INFINITY,
+                (m, i) => m as f64 * 1000.0 / i as f64,
+            };
+            snap.bw_usage[t] =
+                view.service.get(t).copied().unwrap_or(0) - self.service_snapshot[t];
+            snap.rbl[t] = if accesses[t] > 0 {
+                hits[t] as f64 / accesses[t] as f64
+            } else {
+                0.0
+            };
+            snap.blp[t] = if busy_time[t] > 0 {
+                blp_integral[t] as f64 / busy_time[t] as f64
+            } else if miss > 0 {
+                1.0
+            } else {
+                0.0
+            };
+            self.retired_snapshot[t] = view.retired.get(t).copied().unwrap_or(0);
+            self.misses_snapshot[t] = view.misses.get(t).copied().unwrap_or(0);
+            self.service_snapshot[t] = view.service.get(t).copied().unwrap_or(0);
+        }
+        snap
+    }
+}
+
+impl MetaScheduler for MetaController {
+    fn next_tick(&self, now: Cycle) -> Option<Cycle> {
+        Some(self.core.next_boundary(now))
+    }
+
+    fn needs_samples(&self, now: Cycle) -> bool {
+        self.core.is_quantum_due(now)
+    }
+
+    fn set_thread_weights(&mut self, weights: &[f64]) {
+        self.core.set_thread_weights(weights);
+    }
+
+    fn exchange(
+        &mut self,
+        now: Cycle,
+        view: &SystemView<'_>,
+        samples: &[Option<MonitorSample>],
+    ) -> ClusterPlan {
+        let snap = self
+            .core
+            .is_quantum_due(now)
+            .then(|| self.aggregate(view, samples));
+        self.core.run_boundary(snap, now);
+        self.plan()
+    }
+
+    fn degradation_events(&self) -> &[DegradationAnomaly] {
+        self.core.anomaly_events()
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.core.attach_telemetry(telemetry);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use tcm_types::{
+        BankId, ChannelId, MemAddress, RequestId, Row, SystemConfig, ThreadId, Topology,
+    };
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::builder()
+            .num_threads(4)
+            .topology(Topology::uniform(2, 1))
+            .banks_per_channel(2)
+            .build()
+            .unwrap()
+    }
+
+    fn req(id: u64, thread: usize, channel: usize, bank: usize, row: usize, at: Cycle) -> Request {
+        Request::new(
+            RequestId::new(id),
+            ThreadId::new(thread),
+            MemAddress::new(ChannelId::new(channel), BankId::new(bank), Row::new(row)),
+            at,
+        )
+    }
+
+    /// A clean 4-thread quantum: thread 0 latency-sensitive (low MPKI),
+    /// the rest bandwidth-hungry.
+    fn view_arrays() -> ([u64; 4], [u64; 4], [u64; 4]) {
+        (
+            [3_000_000, 200_000, 200_000, 200_000],
+            [30, 20_000, 20_000, 20_000],
+            [2_000, 300_000, 300_000, 300_000],
+        )
+    }
+
+    /// Drives `controllers` TcmControllers + a MetaController through
+    /// one quantum boundary with the given view and returns the plan.
+    fn one_quantum(controllers: usize) -> (ClusterPlan, Vec<TcmController>, MetaController) {
+        let cfg = cfg();
+        let params = TcmParams::paper_default(4).with_cluster_thresh(0.25);
+        let mut ctls: Vec<TcmController> = (0..controllers)
+            .map(|_| TcmController::new(4, &cfg))
+            .collect();
+        let mut meta = MetaController::new(params, 4, &cfg);
+        // Spread some traffic over the controllers so RBL/BLP are fed.
+        for (c, ctl) in ctls.iter_mut().enumerate() {
+            for i in 0..4u64 {
+                let r = req(i, 1 + c % 3, c, (i % 2) as usize, 7, i * 10);
+                ctl.on_enqueue(&r, i * 10);
+            }
+        }
+        let (retired, misses, service) = view_arrays();
+        let view = SystemView {
+            retired: &retired,
+            misses: &misses,
+            service: &service,
+        };
+        let now = 1_000_000;
+        assert!(meta.needs_samples(now), "the quantum is due at 1M cycles");
+        let samples: Vec<Option<MonitorSample>> = ctls
+            .iter_mut()
+            .map(|c| c.quantum_exchange(now))
+            .collect();
+        let plan = meta.exchange(now, &view, &samples);
+        for ctl in &mut ctls {
+            ctl.apply_broadcast(&plan, now);
+        }
+        (plan, ctls, meta)
+    }
+
+    #[test]
+    fn broadcast_installs_one_shared_ranking() {
+        let (plan, ctls, meta) = one_quantum(2);
+        assert!(!plan.degraded);
+        assert!(
+            plan.priorities.iter().any(|&p| p > 0),
+            "a clean quantum must rank threads"
+        );
+        for ctl in &ctls {
+            assert_eq!(ctl.priorities(), &plan.priorities[..]);
+        }
+        assert!(meta.degradation_events().is_empty());
+    }
+
+    #[test]
+    fn aggregated_ranking_matches_the_monolithic_policy() {
+        // One controller fed through the exchange protocol must rank
+        // threads exactly as the monolithic Tcm given the same traffic
+        // and counters: the meta-controller reuses Tcm's machinery.
+        let cfg = cfg();
+        let params = TcmParams::paper_default(4).with_cluster_thresh(0.25);
+        let mut mono = Tcm::with_params(params, 4, &cfg);
+        let mut ctl = TcmController::new(4, &cfg);
+        let mut meta = MetaController::new(params, 4, &cfg);
+        for i in 0..6u64 {
+            let r = req(i, 1 + (i % 3) as usize, (i % 2) as usize, 0, 7, i * 20);
+            mono.on_enqueue(&r, i * 20);
+            ctl.on_enqueue(&r, i * 20);
+        }
+        let (retired, misses, service) = view_arrays();
+        let view = SystemView {
+            retired: &retired,
+            misses: &misses,
+            service: &service,
+        };
+        let now = 1_000_000;
+        mono.tick(now, &view);
+        let samples = vec![ctl.quantum_exchange(now)];
+        let plan = meta.exchange(now, &view, &samples);
+        assert_eq!(plan.priorities, mono.priorities());
+        assert_eq!(plan.degraded, mono.degraded());
+    }
+
+    #[test]
+    fn shuffle_boundaries_skip_the_harvest() {
+        let (_, _, mut meta) = one_quantum(2);
+        let now = 1_000_000;
+        let next = meta.next_tick(now).unwrap();
+        assert!(next > now);
+        assert!(
+            !meta.needs_samples(next),
+            "the boundary after a quantum is a shuffle, no harvest"
+        );
+        let (retired, misses, service) = view_arrays();
+        let view = SystemView {
+            retired: &retired,
+            misses: &misses,
+            service: &service,
+        };
+        let before = meta.plan();
+        let after = meta.exchange(next, &view, &[]);
+        // Same thread set, possibly rotated ranking; never degraded.
+        assert!(!after.degraded);
+        assert_eq!(
+            {
+                let mut p = before.priorities.clone();
+                p.sort_unstable();
+                p
+            },
+            {
+                let mut p = after.priorities.clone();
+                p.sort_unstable();
+                p
+            },
+            "a shuffle permutes ranks, it does not invent new ones"
+        );
+    }
+
+    #[test]
+    fn controllers_harvest_deltas_not_totals() {
+        let cfg = cfg();
+        let mut ctl = TcmController::new(4, &cfg);
+        let r = req(0, 1, 0, 0, 7, 0);
+        ctl.on_enqueue(&r, 0);
+        let first = ctl.quantum_exchange(1_000).unwrap();
+        assert_eq!(first.shadow_accesses[1], 1);
+        // Nothing new: the second harvest must be empty, not cumulative.
+        let second = ctl.quantum_exchange(2_000).unwrap();
+        assert_eq!(second.shadow_accesses[1], 0);
+        assert_eq!(second.shadow_hits[1], 0);
+    }
+
+    #[test]
+    fn pick_follows_the_broadcast_ranking() {
+        let (plan, mut ctls, _) = one_quantum(1);
+        let ctl = &mut ctls[0];
+        // Find a top-ranked and a bottom-ranked thread.
+        let top = (0..4)
+            .max_by_key(|&t| plan.priorities[t])
+            .unwrap();
+        let bottom = (0..4)
+            .min_by_key(|&t| plan.priorities[t])
+            .unwrap();
+        assert_ne!(plan.priorities[top], plan.priorities[bottom]);
+        let pending = vec![
+            req(10, bottom, 0, 0, 1, 0),
+            req(11, top, 0, 0, 2, 500),
+        ];
+        let ctx = PickContext {
+            now: 1_000_100,
+            channel: ChannelId::new(0),
+            bank: BankId::new(0),
+            // The bottom thread's request would be the row hit; rank
+            // still wins (Algorithm 3 puts rank above row-hit).
+            open_row: Some(Row::new(1)),
+        };
+        assert_eq!(ctl.pick(&pending, &ctx), 1);
+    }
+}

@@ -16,6 +16,7 @@
 //! harvested once per quantum via [`TcmMonitor::quantum_snapshot`].
 
 use tcm_dram::ShadowRowBuffer;
+use tcm_sched::MonitorSample;
 use tcm_types::{BankId, Cycle, GlobalBank, Row, ThreadId};
 
 /// Per-quantum measurement results, indexed by thread id.
@@ -178,6 +179,34 @@ impl TcmMonitor {
         }
         self.shadow.reset_counters();
         snap
+    }
+
+    /// Harvests the raw per-quantum accumulators as a [`MonitorSample`]
+    /// for meta-controller aggregation (paper §5.3), resetting the same
+    /// windows [`TcmMonitor::quantum_snapshot`] resets (shadow hit
+    /// counters, BLP integrals) but leaving the cumulative-counter
+    /// snapshots untouched — in the coordinated design those deltas are
+    /// the meta-controller's job, taken from the global system view.
+    pub fn harvest_sample(&mut self, now: Cycle) -> MonitorSample {
+        let n = self.num_threads;
+        let mut sample = MonitorSample {
+            shadow_hits: vec![0; n],
+            shadow_accesses: vec![0; n],
+            blp_integral: vec![0; n],
+            busy_time: vec![0; n],
+        };
+        for t in 0..n {
+            self.settle(t, now);
+            let (hits, accesses) = self.shadow.thread_counts(ThreadId::new(t));
+            sample.shadow_hits[t] = hits;
+            sample.shadow_accesses[t] = accesses;
+            sample.blp_integral[t] = self.blp_integral[t];
+            sample.busy_time[t] = self.busy_time[t];
+            self.blp_integral[t] = 0;
+            self.busy_time[t] = 0;
+        }
+        self.shadow.reset_counters();
+        sample
     }
 }
 

@@ -110,7 +110,7 @@ impl Tcm {
     /// Panics if `params` fail validation (see [`TcmParams::validate`]).
     pub fn with_params(params: TcmParams, num_threads: usize, config: &SystemConfig) -> Self {
         params.validate().expect("invalid TCM parameters");
-        let monitor = TcmMonitor::new(num_threads, config.num_channels, config.banks_per_channel);
+        let monitor = TcmMonitor::new(num_threads, config.num_channels(), config.banks_per_channel);
         Self {
             next_quantum: params.quantum,
             next_shuffle: params.shuffle_interval,
@@ -165,14 +165,6 @@ impl Tcm {
     /// quantum boundary whose data passes the plausibility check.
     pub fn degraded(&self) -> bool {
         self.degraded
-    }
-
-    /// Every monitor anomaly observed so far, rendered as human-readable
-    /// strings (empty in healthy runs). Each entry names the cycle, the
-    /// offending counter and the implausible value. A formatting shim
-    /// over [`Tcm::anomaly_events`].
-    pub fn anomalies(&self) -> Vec<String> {
-        self.anomalies.iter().map(|a| a.to_string()).collect()
     }
 
     /// Every monitor anomaly observed so far, in order, as typed events.
@@ -273,15 +265,12 @@ impl Tcm {
         }
     }
 
-    /// Quantum boundary: harvest monitors, re-cluster, re-seed the
-    /// shuffler.
-    fn quantum_boundary(&mut self, now: Cycle, view: &SystemView<'_>) {
-        let mut snap = self
-            .monitor
-            .quantum_snapshot(now, view.retired, view.misses, view.service);
-        if !self.pending_monitor_faults.is_empty() {
-            self.apply_monitor_faults(&mut snap, now);
-        }
+    /// Quantum boundary: re-cluster and re-seed the shuffler from an
+    /// already-harvested snapshot. Shared between the single-instance
+    /// path ([`Tcm::tick`], which harvests its own monitor) and the
+    /// meta-controller (which assembles the snapshot by aggregating
+    /// per-controller samples, paper §5.3).
+    pub(crate) fn quantum_boundary_with(&mut self, snap: QuantumSnapshot, now: Cycle) {
         if let Some(anomaly) = self.implausible_monitor(&snap, now) {
             // Graceful degradation: implausible monitor data means the
             // clustering inputs cannot be trusted. Log the anomaly and
@@ -451,6 +440,44 @@ impl Tcm {
         weighted_random_permutation(threads, &weights, &mut self.rng)
     }
 
+    /// The next boundary (quantum or shuffle) strictly after `now` —
+    /// the shared timer both [`Tcm::next_tick`] and the meta-controller
+    /// expose.
+    pub(crate) fn next_boundary(&self, now: Cycle) -> Cycle {
+        self.next_quantum.min(self.next_shuffle).max(now + 1)
+    }
+
+    /// Whether the boundary due at `now` is a quantum boundary (needs a
+    /// fresh monitor snapshot) rather than a shuffle boundary.
+    pub(crate) fn is_quantum_due(&self, now: Cycle) -> bool {
+        now >= self.next_quantum
+    }
+
+    /// Runs whichever boundary is due at `now` and advances the timers:
+    /// a quantum boundary consumes `snap` and restarts the shuffle
+    /// cadence; a shuffle boundary advances the permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a quantum boundary is due but `snap` is `None` — the
+    /// caller must harvest when [`Tcm::is_quantum_due`] says so.
+    pub(crate) fn run_boundary(&mut self, snap: Option<QuantumSnapshot>, now: Cycle) {
+        if now >= self.next_quantum {
+            let snap = snap.expect("quantum boundary needs a monitor snapshot");
+            self.quantum_boundary_with(snap, now);
+            while self.next_quantum <= now {
+                self.next_quantum += self.params.quantum;
+            }
+            // A fresh quantum restarts the shuffle cadence.
+            self.next_shuffle = now + self.params.shuffle_interval;
+        } else if now >= self.next_shuffle {
+            self.shuffle_boundary(now);
+            while self.next_shuffle <= now {
+                self.next_shuffle += self.params.shuffle_interval;
+            }
+        }
+    }
+
     /// Shuffle boundary: advance the bandwidth cluster's permutation.
     fn shuffle_boundary(&mut self, now: Cycle) {
         if self.degraded {
@@ -520,23 +547,22 @@ impl Scheduler for Tcm {
     }
 
     fn next_tick(&self, now: Cycle) -> Option<Cycle> {
-        Some(self.next_quantum.min(self.next_shuffle).max(now + 1))
+        Some(self.next_boundary(now))
     }
 
     fn tick(&mut self, now: Cycle, view: &SystemView<'_>) {
-        if now >= self.next_quantum {
-            self.quantum_boundary(now, view);
-            while self.next_quantum <= now {
-                self.next_quantum += self.params.quantum;
+        let snap = if self.is_quantum_due(now) {
+            let mut snap = self
+                .monitor
+                .quantum_snapshot(now, view.retired, view.misses, view.service);
+            if !self.pending_monitor_faults.is_empty() {
+                self.apply_monitor_faults(&mut snap, now);
             }
-            // A fresh quantum restarts the shuffle cadence.
-            self.next_shuffle = now + self.params.shuffle_interval;
-        } else if now >= self.next_shuffle {
-            self.shuffle_boundary(now);
-            while self.next_shuffle <= now {
-                self.next_shuffle += self.params.shuffle_interval;
-            }
-        }
+            Some(snap)
+        } else {
+            None
+        };
+        self.run_boundary(snap, now);
     }
 
     fn set_thread_weights(&mut self, weights: &[f64]) {
@@ -794,11 +820,13 @@ mod tests {
             tcm.priorities().iter().all(|&p| p == 0),
             "degraded ranks must all tie at 0 (FR-FCFS)"
         );
-        assert_eq!(tcm.anomalies().len(), 1);
+        assert_eq!(tcm.anomaly_events().len(), 1);
         assert!(
-            tcm.anomalies()[0].contains("implausible monitor data"),
+            tcm.anomaly_events()[0]
+                .to_string()
+                .contains("implausible monitor data"),
             "anomaly: {}",
-            tcm.anomalies()[0]
+            tcm.anomaly_events()[0]
         );
         // While degraded, pick degenerates to FR-FCFS: row hit wins even
         // for a heavy thread, and shuffle boundaries change nothing.
@@ -811,7 +839,7 @@ mod tests {
         tcm.tick(2_000_000, &view);
         assert!(!tcm.degraded(), "must recover at the next clean quantum");
         assert!(tcm.priorities().iter().any(|&p| p > 0));
-        assert_eq!(tcm.anomalies().len(), 1, "no new anomaly after recovery");
+        assert_eq!(tcm.anomaly_events().len(), 1, "no new anomaly after recovery");
     }
 
     #[test]
@@ -831,7 +859,7 @@ mod tests {
         };
         tcm.tick(1_000_000, &view);
         assert!(!tcm.degraded());
-        assert!(tcm.anomalies().is_empty());
+        assert!(tcm.anomaly_events().is_empty());
         let clean = tcm_after_one_quantum();
         assert_eq!(tcm.priorities(), clean.priorities(), "armed-but-idle fault is a no-op");
     }
@@ -862,7 +890,7 @@ mod tests {
         };
         tcm.tick(1_000_000, &view);
         assert!(!tcm.degraded());
-        assert!(tcm.anomalies().is_empty());
+        assert!(tcm.anomaly_events().is_empty());
     }
 
     #[test]

@@ -619,4 +619,11 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.count_for_thread(ThreadId::new(0)), 0);
     }
+
+    #[test]
+    fn config_bank_cap_mirrors_the_bitmask_width() {
+        // tcm-types cannot depend on this crate, so it duplicates the
+        // bitmask width as MAX_BANKS_PER_CHANNEL; the two must agree.
+        assert_eq!(tcm_types::MAX_BANKS_PER_CHANNEL, BankSet::MAX_BANKS);
+    }
 }

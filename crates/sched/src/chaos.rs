@@ -111,8 +111,12 @@ impl Scheduler for ChaosScheduler {
         self.inner.degradation_events()
     }
 
-    fn degradation_anomalies(&self) -> Vec<String> {
-        self.inner.degradation_anomalies()
+    fn quantum_exchange(&mut self, now: Cycle) -> Option<crate::MonitorSample> {
+        self.inner.quantum_exchange(now)
+    }
+
+    fn apply_broadcast(&mut self, plan: &crate::ClusterPlan, now: Cycle) {
+        self.inner.apply_broadcast(plan, now);
     }
 }
 

@@ -113,12 +113,53 @@ impl SystemView<'_> {
     }
 }
 
+/// Per-controller monitor state harvested at a quantum boundary for
+/// meta-controller aggregation (paper §5.3).
+///
+/// Each field is a *delta since the previous harvest*; the harvesting
+/// controller resets its local accumulators, so the meta-controller can
+/// sum samples across controllers without double counting. All vectors
+/// are indexed by thread id and sized to the full thread count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MonitorSample {
+    /// Shadow row-buffer hits per thread (RBL numerator).
+    pub shadow_hits: Vec<u64>,
+    /// Shadow row-buffer accesses per thread (RBL denominator).
+    pub shadow_accesses: Vec<u64>,
+    /// Integral of concurrently busy banks over memory-busy cycles per
+    /// thread (BLP numerator).
+    pub blp_integral: Vec<u64>,
+    /// Cycles each thread had at least one request outstanding (BLP
+    /// denominator).
+    pub busy_time: Vec<u64>,
+}
+
+/// The unified scheduling directive a meta-controller broadcasts to
+/// every controller after a quantum exchange (paper §5.3): one shared
+/// thread ranking, so all controllers prioritize identically until the
+/// next broadcast.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterPlan {
+    /// Per-thread priority; larger wins, ties broken row-hit-first then
+    /// oldest-first at each controller.
+    pub priorities: Vec<usize>,
+    /// Whether the meta-controller's plausibility guard rejected the
+    /// aggregated monitor data and degraded to FR-FCFS for this quantum
+    /// (all priorities equal).
+    pub degraded: bool,
+}
+
 /// A memory-request scheduling policy.
 ///
-/// One policy instance arbitrates *all* channels (mirroring the paper's
-/// synchronized, meta-controller-coordinated designs); per-channel state,
-/// where an algorithm requires it (e.g. PAR-BS batches), is keyed by
-/// [`PickContext::channel`].
+/// A policy instance arbitrates every channel *of one controller*;
+/// per-channel state, where an algorithm requires it (e.g. PAR-BS
+/// batches), is keyed by [`PickContext::channel`]. Flat (single
+/// controller) topologies therefore behave exactly as the paper's
+/// synchronized single-instance designs. In multi-controller topologies
+/// each controller owns its own instance, and policies that participate
+/// in §5.3-style coordination do so through the
+/// [`Scheduler::quantum_exchange`] / [`Scheduler::apply_broadcast`]
+/// hooks driven by a meta-controller.
 pub trait Scheduler: std::fmt::Debug + Send {
     /// Human-readable policy name (used in reports and plots).
     fn name(&self) -> &'static str;
@@ -181,15 +222,64 @@ pub trait Scheduler: std::fmt::Debug + Send {
         &[]
     }
 
-    /// The anomaly log rendered as human-readable strings — a formatting
-    /// shim over [`Scheduler::degradation_events`] kept for report and
-    /// test compatibility.
-    fn degradation_anomalies(&self) -> Vec<String> {
-        self.degradation_events()
-            .iter()
-            .map(|a| a.to_string())
-            .collect()
+    /// Harvests this controller's monitor deltas for meta-controller
+    /// aggregation at a quantum boundary, resetting the local
+    /// accumulators. Policies that do not participate in coordinated
+    /// scheduling return `None` (the default) and are skipped by the
+    /// meta-controller.
+    fn quantum_exchange(&mut self, _now: Cycle) -> Option<MonitorSample> {
+        None
     }
+
+    /// Installs the meta-controller's broadcast directive. The default
+    /// ignores it; coordinated policies replace their thread ranking
+    /// with the plan's.
+    fn apply_broadcast(&mut self, _plan: &ClusterPlan, _now: Cycle) {}
+}
+
+/// A meta-controller policy: aggregates [`MonitorSample`]s from every
+/// controller at quantum boundaries and computes the unified
+/// [`ClusterPlan`] broadcast back to them (paper §5.3).
+///
+/// The simulation engine drives the protocol: at each cycle returned by
+/// [`MetaScheduler::next_tick`] it stops every controller at a barrier,
+/// calls [`Scheduler::quantum_exchange`] on each controller's policy,
+/// hands the samples (in controller order) to
+/// [`MetaScheduler::exchange`], and installs the resulting plan via
+/// [`Scheduler::apply_broadcast`] on every controller before any of
+/// them schedules another request.
+pub trait MetaScheduler: std::fmt::Debug + Send {
+    /// The next cycle strictly after `now` at which the meta-controller
+    /// must run an exchange, or `None` if it never needs one.
+    fn next_tick(&self, now: Cycle) -> Option<Cycle>;
+
+    /// Whether the exchange due at `now` needs fresh controller samples
+    /// (a quantum boundary). When `false` (a shuffle boundary) the
+    /// engine skips the per-controller harvest entirely, leaving each
+    /// controller's quantum accumulation windows intact.
+    fn needs_samples(&self, now: Cycle) -> bool;
+
+    /// Installs OS-assigned thread weights (1.0 = default).
+    fn set_thread_weights(&mut self, _weights: &[f64]) {}
+
+    /// Runs one exchange: `samples` holds each controller's harvest in
+    /// controller order (`None` for non-participating policies), `view`
+    /// the system-wide cumulative counters.
+    fn exchange(
+        &mut self,
+        now: Cycle,
+        view: &SystemView<'_>,
+        samples: &[Option<MonitorSample>],
+    ) -> ClusterPlan;
+
+    /// Typed anomaly log of the meta-controller's plausibility guard
+    /// (mirrors [`Scheduler::degradation_events`]).
+    fn degradation_events(&self) -> &[DegradationAnomaly] {
+        &[]
+    }
+
+    /// Hands the meta-controller a telemetry handle. Observation-only.
+    fn attach_telemetry(&mut self, _telemetry: &Telemetry) {}
 }
 
 #[cfg(test)]

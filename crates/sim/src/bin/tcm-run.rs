@@ -4,12 +4,20 @@
 //!
 //! ```text
 //! tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]
+//!         [--topology N|CxK|a+b+...] [--intra-hosts H]
 //!         [--policies fr-fcfs,stfm,par-bs,atlas,fqm,tcm] [--json]
 //!         [--workload A|B|C|D] [--workers W] [--verify]
 //!         [--checkpoint FILE] [--resume FILE] [--cell-deadline SECS]
 //!         [--bench-json FILE] [--chaos-smoke]
 //!         [--trace FILE] [--trace-format jsonl|chrome] [--metrics-json FILE]
 //! ```
+//!
+//! `--topology` selects the memory-system shape: `4` is the legacy flat
+//! single controller with 4 channels, `2x2` is two controllers with two
+//! channels each (coordinated by the paper's §5.3 meta-controller when
+//! the policy is TCM), `3+1` is an asymmetric pair. `--intra-hosts`
+//! shards a multi-controller cell's controllers across host threads —
+//! results are bit-identical for any value; it only trades wall-clock.
 //!
 //! `--trace FILE` enables telemetry and writes the captured event log:
 //! as JSONL (one event per line, `cell_begin` marker lines between
@@ -71,7 +79,7 @@ use tcm_sim::{CellFailureKind, PolicyKind, RunConfig, Session, SweepCell, System
 use tcm_telemetry::{
     chrome_counter, chrome_event, chrome_process_name, event_to_jsonl, labeled, TelemetryConfig,
 };
-use tcm_types::{SimError, SystemConfig};
+use tcm_types::{SimError, SystemConfig, Topology};
 use tcm_workload::{random_workload, table5_workloads, WorkloadSpec};
 
 struct PolicyOutput {
@@ -164,17 +172,29 @@ impl Output {
 
 /// Benchmark mode: time the fixed paper-lineup sweep and write the
 /// throughput record to `path`. Returns the process exit code.
-fn run_bench(path: &str, cycles: u64, workers: usize) -> i32 {
+fn run_bench(
+    path: &str,
+    cycles: u64,
+    workers: usize,
+    topology: Option<&Topology>,
+    intra_hosts: usize,
+) -> i32 {
     let threads = 24usize;
     let policies = PolicyKind::paper_lineup(threads);
     let workloads = table5_workloads();
     let policy_labels: Vec<String> = policies.iter().map(PolicyKind::label).collect();
     let workload_names: Vec<String> = workloads.iter().map(|w| w.name.clone()).collect();
 
+    let mut cfg = SystemConfig::paper_baseline();
+    if let Some(topology) = topology {
+        cfg.topology = topology.clone();
+    }
+    let topology_spec = cfg.topology.to_string();
     let session = Session::new(
         RunConfig::builder()
-            .system(SystemConfig::paper_baseline())
+            .system(cfg)
             .horizon(cycles)
+            .intra_hosts(intra_hosts)
             .build(),
     );
     let sweep = session
@@ -209,6 +229,8 @@ fn run_bench(path: &str, cycles: u64, workers: usize) -> i32 {
     json::string(&mut s, tcm_dram::QUEUE_IMPL);
     s.push_str(",\n  \"telemetry_impl\": ");
     json::string(&mut s, tcm_telemetry::TELEMETRY_IMPL);
+    s.push_str(",\n  \"topology\": ");
+    json::string(&mut s, &topology_spec);
     let _ = write!(s, ",\n  \"threads\": {threads},\n  \"horizon\": {cycles}");
     s.push_str(",\n  \"policies\": [");
     for (i, p) in policy_labels.iter().enumerate() {
@@ -305,11 +327,11 @@ fn run_chaos_smoke() -> i32 {
                 report(kind.name(), true, format!("caught: {}", r.summary()));
             }
             (Detector::Degradation, Ok(_)) => {
-                let anomalies = sys.degradation_anomalies();
+                let anomalies = sys.degradation_events();
                 let ok = !anomalies.is_empty();
                 let detail = anomalies
                     .first()
-                    .cloned()
+                    .map(|a| a.to_string())
                     .unwrap_or_else(|| "no anomaly logged".to_string());
                 report(kind.name(), ok, format!("degraded: {detail}"));
             }
@@ -544,11 +566,17 @@ fn parse_policy(name: &str, n: usize) -> Result<PolicyKind, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]\n\
+         \x20              [--topology N|CxK|a+b+...] [--intra-hosts H]\n\
          \x20              [--policies p1,p2,...] [--workload A|B|C|D] [--workers W] [--json]\n\
          \x20              [--verify] [--checkpoint FILE] [--resume FILE]\n\
          \x20              [--cell-deadline SECS] [--bench-json FILE] [--chaos-smoke]\n\
          \x20              [--trace FILE] [--trace-format jsonl|chrome] [--metrics-json FILE]\n\
          policies: fcfs fr-fcfs stfm par-bs atlas fqm tcm (default: all but fcfs/fqm)\n\
+         --topology picks the memory-system shape: `4` = one controller with 4\n\
+         \x20          channels (flat default), `2x2` = 2 controllers x 2 channels,\n\
+         \x20          `3+1` = asymmetric per-controller channel counts\n\
+         --intra-hosts shards a multi-controller cell over H host threads\n\
+         \x20          (bit-identical results; wall-clock only)\n\
          --verify enables the DRAM protocol invariant checker (observation-only)\n\
          --checkpoint records completed sweep cells to FILE (JSONL, atomic updates)\n\
          --resume restores completed cells from FILE, runs the rest, keeps FILE updated\n\
@@ -580,6 +608,8 @@ fn main() {
     let mut trace: Option<String> = None;
     let mut trace_format = TraceFormat::Jsonl;
     let mut metrics_json: Option<String> = None;
+    let mut topology: Option<Topology> = None;
+    let mut intra_hosts = 1usize;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -631,6 +661,15 @@ fn main() {
                 }
             }
             "--metrics-json" => metrics_json = Some(value("--metrics-json")),
+            "--topology" => {
+                topology = Some(Topology::parse(&value("--topology")).unwrap_or_else(|err| {
+                    eprintln!("{err}");
+                    usage()
+                }))
+            }
+            "--intra-hosts" => {
+                intra_hosts = value("--intra-hosts").parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -647,7 +686,13 @@ fn main() {
         // Benchmark mode uses a fixed sweep; default to a shorter horizon
         // than the exploratory default unless --cycles was given.
         let bench_cycles = if cycles_given { cycles } else { 2_000_000 };
-        std::process::exit(run_bench(&path, bench_cycles, workers.unwrap_or(1)));
+        std::process::exit(run_bench(
+            &path,
+            bench_cycles,
+            workers.unwrap_or(1),
+            topology.as_ref(),
+            intra_hosts,
+        ));
     }
 
     let workload: WorkloadSpec = match named_workload.as_deref() {
@@ -675,11 +720,15 @@ fn main() {
 
     let mut cfg = SystemConfig::paper_baseline();
     cfg.num_threads = threads;
+    if let Some(topology) = topology {
+        cfg.topology = topology;
+    }
     let session = Session::new(
         RunConfig::builder()
             .system(cfg)
             .horizon(cycles)
             .verify(verify)
+            .intra_hosts(intra_hosts)
             .cell_deadline(cell_deadline)
             .telemetry(
                 (trace.is_some() || metrics_json.is_some()).then(TelemetryConfig::default),

@@ -41,6 +41,7 @@
 mod checkpoint;
 mod event;
 mod metrics;
+mod multi;
 pub mod report;
 mod runner;
 pub mod scatter;
@@ -48,9 +49,8 @@ pub mod sweep;
 mod system;
 
 pub use event::{Event, EventQueue};
+pub use multi::MultiSystem;
 pub use metrics::{mean, variance, workload_metrics, IpcPair, WorkloadMetrics};
-#[allow(deprecated)]
-pub use runner::{evaluate, evaluate_weighted, AloneCache};
 pub use runner::{
     average_metrics, EvalResult, PolicyKind, RunConfig, RunConfigBuilder, PAPER_LINEUP_LABELS,
 };

@@ -1,26 +1,23 @@
-//! Experiment vocabulary: policy factories, run configuration, and the
-//! legacy single-cell evaluation helpers.
+//! Experiment vocabulary: policy factories and run configuration.
 //!
-//! The preferred way to run experiments is the [`Session`] /
-//! [`Sweep`](crate::Sweep) layer in [`crate::sweep`]; the free-standing
-//! [`evaluate`] / [`evaluate_weighted`] / [`AloneCache`] trio is kept as
-//! deprecated shims over that layer.
+//! Experiments run through the [`Session`] / [`Sweep`](crate::Sweep)
+//! layer in [`crate::sweep`]; this module supplies the declarative
+//! pieces those take — [`PolicyKind`] and [`RunConfig`].
 //!
 //! [`Session`]: crate::Session
 
 use crate::metrics::WorkloadMetrics;
 use crate::system::RunResult;
-use std::collections::HashMap;
 use std::time::Duration;
 use tcm_chaos::FaultPlan;
-use tcm_core::{Tcm, TcmParams};
+use tcm_core::{MetaController, Tcm, TcmController, TcmParams};
 use tcm_sched::{
-    Atlas, AtlasParams, FairQueueing, Fcfs, FrFcfs, ParBs, ParBsParams, Scheduler, Stfm,
-    StfmParams,
+    Atlas, AtlasParams, FairQueueing, Fcfs, FrFcfs, MetaScheduler, ParBs, ParBsParams, Scheduler,
+    Stfm, StfmParams,
 };
 use tcm_telemetry::{TelemetryConfig, TelemetrySnapshot};
 use tcm_types::{Cycle, SystemConfig};
-use tcm_workload::{BenchmarkProfile, WorkloadSpec};
+use tcm_workload::WorkloadSpec;
 
 /// Labels of [`PolicyKind::paper_lineup`], in the same order — handy for
 /// building report headers without instantiating the policies.
@@ -76,6 +73,30 @@ impl PolicyKind {
         }
     }
 
+    /// Instantiates the policy for *one controller* of an `n`-thread
+    /// system (multi-controller topologies): each controller owns a
+    /// fresh instance arbitrating only its own channels. For TCM this
+    /// is the per-controller [`TcmController`], which must be paired
+    /// with the [`PolicyKind::build_meta`] meta-controller;
+    /// uncoordinated policies get instances identical to
+    /// [`PolicyKind::build`].
+    pub fn build_controller(&self, n: usize, cfg: &SystemConfig) -> Box<dyn Scheduler> {
+        match self {
+            PolicyKind::Tcm(_) => Box::new(TcmController::new(n, cfg)),
+            other => other.build(n, cfg),
+        }
+    }
+
+    /// Instantiates the meta-controller that coordinates the
+    /// per-controller instances at quantum boundaries (paper §5.3), or
+    /// `None` for policies without coordinated state.
+    pub fn build_meta(&self, n: usize, cfg: &SystemConfig) -> Option<Box<dyn MetaScheduler>> {
+        match self {
+            PolicyKind::Tcm(p) => Some(Box::new(MetaController::new(*p, n, cfg))),
+            _ => None,
+        }
+    }
+
     /// Display label.
     pub fn label(&self) -> String {
         match self {
@@ -125,6 +146,13 @@ pub struct RunConfig {
     /// surfaces `SimError::Cancelled`, which sweeps record as a
     /// retryable timeout instead of poisoning other cells.
     pub cell_deadline: Option<Duration>,
+    /// Host threads used to shard one cell's controllers during
+    /// simulation (intra-cell parallelism). Only multi-controller
+    /// topologies can shard; `1` (the default) runs every controller on
+    /// the calling thread. Sharded execution is bit-identical to
+    /// sequential — the engine exchanges events at fixed barriers — so
+    /// this knob affects wall-clock only.
+    pub intra_hosts: usize,
     /// Telemetry configuration for every evaluated cell. `None` (the
     /// default) runs with telemetry fully disabled — the hot-path cost is
     /// one branch per hook. When set, each cell gets its own tracer and
@@ -142,12 +170,6 @@ impl RunConfig {
     pub fn builder() -> RunConfigBuilder {
         RunConfigBuilder::default()
     }
-
-    /// Paper baseline machine with the given horizon.
-    #[deprecated(note = "use `RunConfig::builder().horizon(h).build()`")]
-    pub fn baseline(horizon: Cycle) -> Self {
-        Self::builder().horizon(horizon).build()
-    }
 }
 
 /// Builder for [`RunConfig`] (see [`RunConfig::builder`]).
@@ -159,6 +181,7 @@ pub struct RunConfigBuilder {
     watchdog: Option<Cycle>,
     chaos: Option<FaultPlan>,
     cell_deadline: Option<Duration>,
+    intra_hosts: usize,
     telemetry: Option<TelemetryConfig>,
 }
 
@@ -171,6 +194,7 @@ impl Default for RunConfigBuilder {
             watchdog: Some(crate::system::DEFAULT_STALL_LIMIT),
             chaos: None,
             cell_deadline: None,
+            intra_hosts: 1,
             telemetry: None,
         }
     }
@@ -217,6 +241,13 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Sets the number of host threads sharding each cell's controllers
+    /// (default: 1 — sequential). See [`RunConfig::intra_hosts`].
+    pub fn intra_hosts(mut self, hosts: usize) -> Self {
+        self.intra_hosts = hosts.max(1);
+        self
+    }
+
     /// Enables per-cell structured tracing and metrics (default: none —
     /// telemetry fully disabled). See [`RunConfig::telemetry`].
     pub fn telemetry(mut self, telemetry: Option<TelemetryConfig>) -> Self {
@@ -233,61 +264,9 @@ impl RunConfigBuilder {
             watchdog: self.watchdog,
             chaos: self.chaos,
             cell_deadline: self.cell_deadline,
+            intra_hosts: self.intra_hosts,
             telemetry: self.telemetry,
         }
-    }
-}
-
-/// Cache of alone-run IPCs, keyed by benchmark characteristics and
-/// machine configuration.
-#[deprecated(note = "use `Session` (`tcm_sim::Session`), whose alone-IPC \
-                     cache is thread-safe and shared across experiments")]
-#[derive(Debug, Default)]
-pub struct AloneCache {
-    cache: HashMap<String, f64>,
-}
-
-#[allow(deprecated)]
-impl AloneCache {
-    /// Creates an empty cache.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn key(profile: &BenchmarkProfile, rc: &RunConfig) -> String {
-        format!(
-            "{}|{:.4}|{:.4}|{:.4}|{}ch{}b{}w{}q{}",
-            profile.name,
-            profile.mpki,
-            profile.rbl,
-            profile.blp,
-            rc.system.num_channels,
-            rc.system.banks_per_channel,
-            rc.system.window_size,
-            rc.system.request_buffer,
-            rc.horizon,
-        )
-    }
-
-    /// IPC of `profile` running alone on `rc`'s machine (cached).
-    pub fn alone_ipc(&mut self, profile: &BenchmarkProfile, rc: &RunConfig) -> f64 {
-        let key = Self::key(profile, rc);
-        if let Some(&ipc) = self.cache.get(&key) {
-            return ipc;
-        }
-        let ipc = crate::sweep::compute_alone_ipc(profile, rc);
-        self.cache.insert(key, ipc);
-        ipc
-    }
-
-    /// Number of cached alone runs.
-    pub fn len(&self) -> usize {
-        self.cache.len()
-    }
-
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.cache.is_empty()
     }
 }
 
@@ -310,33 +289,6 @@ pub struct EvalResult {
     /// `None` unless [`RunConfig::telemetry`] was set. Boxed to keep the
     /// common telemetry-off result small.
     pub telemetry: Option<Box<TelemetrySnapshot>>,
-}
-
-/// Runs `workload` under `policy` and computes the paper's metrics,
-/// using (and filling) `alone` for the denominator IPCs.
-#[deprecated(note = "use `Session::eval` (`tcm_sim::Session`)")]
-#[allow(deprecated)]
-pub fn evaluate(
-    policy: &PolicyKind,
-    workload: &WorkloadSpec,
-    rc: &RunConfig,
-    alone: &mut AloneCache,
-) -> EvalResult {
-    evaluate_weighted(policy, workload, rc, alone, None)
-}
-
-/// Like [`evaluate`], with optional OS thread weights installed on the
-/// policy before the run.
-#[deprecated(note = "use `Session::eval_weighted` (`tcm_sim::Session`)")]
-#[allow(deprecated)]
-pub fn evaluate_weighted(
-    policy: &PolicyKind,
-    workload: &WorkloadSpec,
-    rc: &RunConfig,
-    alone: &mut AloneCache,
-    weights: Option<&[f64]>,
-) -> EvalResult {
-    crate::sweep::eval_cell(policy, workload, rc, weights, 0, |p| alone.alone_ipc(p, rc))
 }
 
 /// Deterministic per-workload seed so every policy sees the identical
@@ -362,10 +314,10 @@ pub fn average_metrics(results: &[EvalResult]) -> WorkloadMetrics {
 }
 
 #[cfg(test)]
-#[allow(deprecated, clippy::unwrap_used)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
-    use tcm_workload::random_workload;
+    use tcm_workload::{random_workload, BenchmarkProfile};
 
     fn small_rc() -> RunConfig {
         RunConfig::builder()
@@ -379,7 +331,15 @@ mod tests {
         let rc = RunConfig::builder().horizon(5_000).build();
         assert_eq!(rc.system, SystemConfig::paper_baseline());
         assert_eq!(rc.horizon, 5_000);
-        assert_eq!(rc, RunConfig::baseline(5_000));
+        assert_eq!(rc.intra_hosts, 1);
+    }
+
+    #[test]
+    fn intra_hosts_clamps_to_at_least_one() {
+        let rc = RunConfig::builder().intra_hosts(0).build();
+        assert_eq!(rc.intra_hosts, 1);
+        let rc = RunConfig::builder().intra_hosts(3).build();
+        assert_eq!(rc.intra_hosts, 3);
     }
 
     #[test]
@@ -390,31 +350,28 @@ mod tests {
     }
 
     #[test]
-    fn alone_cache_hits_after_first_run() {
-        let rc = small_rc();
-        let mut cache = AloneCache::new();
+    fn session_caches_alone_runs() {
+        let session = crate::Session::new(small_rc());
         let p = tcm_workload::spec_by_name("mcf").unwrap();
-        let a = cache.alone_ipc(&p, &rc);
-        assert_eq!(cache.len(), 1);
-        let b = cache.alone_ipc(&p, &rc);
+        let a = session.alone_ipc(&p);
+        assert_eq!(session.alone_cache().misses(), 1);
+        let b = session.alone_ipc(&p);
         assert_eq!(a, b);
-        assert_eq!(cache.len(), 1);
+        assert_eq!(session.alone_cache().misses(), 1);
     }
 
     #[test]
     fn compute_only_profile_runs_at_issue_width_alone() {
-        let rc = small_rc();
-        let mut cache = AloneCache::new();
+        let session = crate::Session::new(small_rc());
         let p = BenchmarkProfile::new("idle", 0.0, 0.5, 1.0);
-        assert_eq!(cache.alone_ipc(&p, &rc), 3.0);
+        assert_eq!(session.alone_ipc(&p), 3.0);
     }
 
     #[test]
-    fn evaluate_produces_consistent_metrics() {
-        let rc = small_rc();
-        let mut cache = AloneCache::new();
+    fn eval_produces_consistent_metrics() {
+        let session = crate::Session::new(small_rc());
         let w = random_workload(1, 4, 0.5);
-        let r = evaluate(&PolicyKind::FrFcfs, &w, &rc, &mut cache);
+        let r = session.eval(&PolicyKind::FrFcfs, &w);
         assert_eq!(r.slowdowns.len(), 4);
         assert!(r.metrics.weighted_speedup > 0.0);
         assert!(r.metrics.weighted_speedup <= 4.0 + 1e-9);
@@ -424,14 +381,13 @@ mod tests {
 
     #[test]
     fn every_policy_kind_builds_and_runs() {
-        let rc = small_rc();
-        let mut cache = AloneCache::new();
+        let session = crate::Session::new(small_rc());
         let w = random_workload(2, 4, 0.75);
         let mut kinds = PolicyKind::paper_lineup(4);
         kinds[4] = PolicyKind::Tcm(TcmParams::paper_default(4).with_cluster_thresh(0.25));
         kinds.push(PolicyKind::Fcfs);
         for kind in kinds {
-            let r = evaluate(&kind, &w, &rc, &mut cache);
+            let r = session.eval(&kind, &w);
             assert!(
                 r.metrics.weighted_speedup.is_finite(),
                 "{} produced bad metrics",
@@ -442,31 +398,29 @@ mod tests {
 
     #[test]
     fn same_policy_same_workload_is_reproducible() {
-        let rc = small_rc();
-        let mut cache = AloneCache::new();
+        let session = crate::Session::new(small_rc());
         let w = random_workload(5, 4, 1.0);
-        let a = evaluate(&PolicyKind::FrFcfs, &w, &rc, &mut cache);
-        let b = evaluate(&PolicyKind::FrFcfs, &w, &rc, &mut cache);
+        let a = session.eval(&PolicyKind::FrFcfs, &w);
+        let b = session.eval(&PolicyKind::FrFcfs, &w);
         assert_eq!(a.run, b.run);
     }
 
     #[test]
-    fn deprecated_evaluate_matches_session_eval() {
-        let rc = small_rc();
-        let mut cache = AloneCache::new();
-        let w = random_workload(6, 4, 0.75);
-        let old = evaluate(&PolicyKind::FairQueueing, &w, &rc, &mut cache);
-        let session = crate::Session::new(small_rc());
-        let new = session.eval(&PolicyKind::FairQueueing, &w);
-        assert_eq!(old, new);
+    fn coordinated_policies_declare_a_meta_controller() {
+        let cfg = SystemConfig::paper_baseline();
+        for kind in PolicyKind::paper_lineup(24) {
+            let is_tcm = matches!(kind, PolicyKind::Tcm(_));
+            assert_eq!(kind.build_meta(24, &cfg).is_some(), is_tcm, "{}", kind.label());
+            // Per-controller instances must build for every policy.
+            let _ = kind.build_controller(24, &cfg);
+        }
     }
 
     #[test]
     fn average_metrics_averages() {
-        let rc = small_rc();
-        let mut cache = AloneCache::new();
+        let session = crate::Session::new(small_rc());
         let results: Vec<EvalResult> = (0..3)
-            .map(|s| evaluate(&PolicyKind::FrFcfs, &random_workload(s, 4, 0.5), &rc, &mut cache))
+            .map(|s| session.eval(&PolicyKind::FrFcfs, &random_workload(s, 4, 0.5)))
             .collect();
         let avg = average_metrics(&results);
         let manual: f64 =

@@ -44,8 +44,9 @@
 
 use crate::checkpoint::{self, CheckpointHeader, CheckpointWriter};
 use crate::metrics::{workload_metrics, IpcPair, WorkloadMetrics};
+use crate::multi::MultiSystem;
 use crate::runner::{workload_seed, EvalResult, PolicyKind, RunConfig};
-use crate::system::System;
+use crate::system::{RunResult, System};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -54,7 +55,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tcm_sched::FrFcfs;
 use tcm_telemetry::Telemetry;
-use tcm_types::{CancelToken, Cycle, SimError};
+use tcm_types::{CancelToken, ConfigError, Cycle, SimError};
 use tcm_workload::{BenchmarkProfile, WorkloadSpec};
 
 /// Exact identity of a benchmark profile for alone-IPC caching.
@@ -146,8 +147,19 @@ pub(crate) fn compute_alone_ipc(profile: &BenchmarkProfile, rc: &RunConfig) -> f
     let mut cfg = rc.system.clone();
     cfg.num_threads = 1;
     let workload = WorkloadSpec::new(profile.name.clone(), vec![profile.clone()]);
-    let mut sys = System::new(&cfg, &workload, Box::new(FrFcfs::new()), 0);
-    sys.run(rc.horizon).ipc[0]
+    if cfg.topology.num_controllers() > 1 {
+        let controllers = cfg
+            .topology
+            .controllers()
+            .map(|_| Box::new(FrFcfs::new()) as _)
+            .collect();
+        let mut sys = MultiSystem::new(&cfg, &workload, controllers, None, 0);
+        sys.set_hosts(rc.intra_hosts);
+        sys.run(rc.horizon).ipc[0]
+    } else {
+        let mut sys = System::new(&cfg, &workload, Box::new(FrFcfs::new()), 0);
+        sys.run(rc.horizon).ipc[0]
+    }
 }
 
 /// Runs one (policy, workload) cell and computes the paper's metrics,
@@ -183,6 +195,43 @@ pub(crate) fn try_eval_cell(
     seed_xor: u64,
     mut alone_ipc: impl FnMut(&BenchmarkProfile) -> f64,
 ) -> Result<EvalResult, SimError> {
+    let telemetry = rc.telemetry.as_ref().map(Telemetry::new);
+    let run = if rc.system.topology.num_controllers() > 1 {
+        run_multi_cell(policy, workload, rc, weights, seed_xor, telemetry.as_ref())?
+    } else {
+        run_single_cell(policy, workload, rc, weights, seed_xor, telemetry.as_ref())?
+    };
+    let pairs: Vec<IpcPair> = workload
+        .threads
+        .iter()
+        .enumerate()
+        .map(|(i, profile)| IpcPair {
+            shared: run.ipc[i],
+            alone: alone_ipc(profile),
+        })
+        .collect();
+    let metrics = workload_metrics(&pairs);
+    Ok(EvalResult {
+        policy: policy.label(),
+        workload: workload.name.clone(),
+        metrics,
+        slowdowns: pairs.iter().map(|p| p.slowdown()).collect(),
+        speedups: pairs.iter().map(|p| p.speedup()).collect(),
+        run,
+        telemetry: telemetry.and_then(|t| t.snapshot()).map(Box::new),
+    })
+}
+
+/// Runs one cell on the single-controller [`System`] engine — the legacy
+/// path, preserved bit-for-bit for flat topologies.
+fn run_single_cell(
+    policy: &PolicyKind,
+    workload: &WorkloadSpec,
+    rc: &RunConfig,
+    weights: Option<&[f64]>,
+    seed_xor: u64,
+    telemetry: Option<&Telemetry>,
+) -> Result<RunResult, SimError> {
     let n = workload.threads.len();
     let scheduler = policy.build(n, &rc.system);
     let mut sys = System::new(
@@ -208,30 +257,56 @@ pub(crate) fn try_eval_cell(
     }
     // Attached last so a ChaosScheduler wrapper installed by
     // `install_chaos` receives the handle too.
-    let telemetry = rc.telemetry.as_ref().map(Telemetry::new);
-    if let Some(t) = &telemetry {
+    if let Some(t) = telemetry {
         sys.set_telemetry(t);
     }
-    let run = sys.try_run(rc.horizon)?;
-    let pairs: Vec<IpcPair> = workload
-        .threads
-        .iter()
-        .enumerate()
-        .map(|(i, profile)| IpcPair {
-            shared: run.ipc[i],
-            alone: alone_ipc(profile),
-        })
+    sys.try_run(rc.horizon)
+}
+
+/// Runs one cell on the [`MultiSystem`] engine: one policy instance per
+/// controller, plus the policy's meta-controller when it defines one,
+/// sharded over `rc.intra_hosts` host threads (bit-identical for any
+/// count).
+fn run_multi_cell(
+    policy: &PolicyKind,
+    workload: &WorkloadSpec,
+    rc: &RunConfig,
+    weights: Option<&[f64]>,
+    seed_xor: u64,
+    telemetry: Option<&Telemetry>,
+) -> Result<RunResult, SimError> {
+    if rc.chaos.is_some() {
+        return Err(SimError::Config(ConfigError::invalid(
+            "chaos",
+            "fault injection supports single-controller topologies only",
+        )));
+    }
+    let n = workload.threads.len();
+    let controllers = (0..rc.system.topology.num_controllers())
+        .map(|_| policy.build_controller(n, &rc.system))
         .collect();
-    let metrics = workload_metrics(&pairs);
-    Ok(EvalResult {
-        policy: policy.label(),
-        workload: workload.name.clone(),
-        metrics,
-        slowdowns: pairs.iter().map(|p| p.slowdown()).collect(),
-        speedups: pairs.iter().map(|p| p.speedup()).collect(),
-        run,
-        telemetry: telemetry.and_then(|t| t.snapshot()).map(Box::new),
-    })
+    let mut sys = MultiSystem::new(
+        &rc.system,
+        workload,
+        controllers,
+        policy.build_meta(n, &rc.system),
+        workload_seed(workload) ^ seed_xor,
+    );
+    sys.set_hosts(rc.intra_hosts);
+    if rc.verify {
+        sys.enable_verification();
+    }
+    sys.set_watchdog(rc.watchdog);
+    if let Some(deadline) = rc.cell_deadline {
+        sys.set_cancel_token(Some(CancelToken::with_deadline(deadline)));
+    }
+    if let Some(w) = weights {
+        sys.set_thread_weights(w);
+    }
+    if let Some(t) = telemetry {
+        sys.set_telemetry(t);
+    }
+    sys.try_run(rc.horizon)
 }
 
 /// Why a sweep cell failed.

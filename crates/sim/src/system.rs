@@ -193,7 +193,7 @@ impl System {
                 }
             })
             .collect();
-        let channels = (0..cfg.num_channels)
+        let channels = (0..cfg.num_channels())
             .map(|c| {
                 Channel::with_threads(
                     ChannelId::new(c),
@@ -214,7 +214,7 @@ impl System {
             now: 0,
             next_request_id: 0,
             core_epoch: vec![0; cfg.num_threads],
-            spill: (0..cfg.num_channels).map(|_| VecDeque::new()).collect(),
+            spill: (0..cfg.num_channels()).map(|_| VecDeque::new()).collect(),
             spilled: 0,
             sched_tick_pending: false,
             injected: 0,
@@ -234,7 +234,7 @@ impl System {
             chaos_flood: None,
             scratch_banks: Vec::with_capacity(cfg.banks_per_channel),
             scratch_ids: Vec::new(),
-            touched_channels: vec![false; cfg.num_channels],
+            touched_channels: vec![false; cfg.num_channels()],
             telemetry: Telemetry::disabled(),
             next_sample: None,
         };
@@ -343,7 +343,7 @@ impl System {
             cycle: self.now,
             kind: FaultKind::SpillFlood,
         });
-        let channel = fault.channel.min(self.cfg.num_channels - 1);
+        let channel = fault.channel.min(self.cfg.num_channels() - 1);
         let addr = MemAddress::new(
             ChannelId::new(channel),
             BankId::new(0),
@@ -370,9 +370,9 @@ impl System {
     }
 
     /// The policy's plausibility-guard anomaly log (empty for policies
-    /// without a guard; see `Scheduler::degradation_anomalies`).
-    pub fn degradation_anomalies(&self) -> Vec<String> {
-        self.scheduler.degradation_anomalies()
+    /// without a guard; see `Scheduler::degradation_events`).
+    pub fn degradation_events(&self) -> &[tcm_telemetry::DegradationAnomaly] {
+        self.scheduler.degradation_events()
     }
 
     /// Installs OS thread weights on the policy.

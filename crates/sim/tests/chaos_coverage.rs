@@ -135,13 +135,13 @@ fn monitor_corruption_degrades_tcm_instead_of_failing_the_run() {
         .try_run(HORIZON)
         .expect("degradation is graceful: the run itself completes");
     assert!(run.total_serviced > 0, "the system kept serving memory");
-    let anomalies = corrupted.degradation_anomalies();
+    let anomalies = corrupted.degradation_events();
     assert!(
         !anomalies.is_empty(),
         "the plausibility guard must log the anomaly"
     );
     assert!(
-        anomalies[0].contains("implausible monitor data"),
+        anomalies[0].to_string().contains("implausible monitor data"),
         "anomaly names the cause: {}",
         anomalies[0]
     );
@@ -149,7 +149,7 @@ fn monitor_corruption_degrades_tcm_instead_of_failing_the_run() {
     let mut clean = build(false);
     clean.try_run(HORIZON).expect("control run is clean");
     assert!(
-        clean.degradation_anomalies().is_empty(),
+        clean.degradation_events().is_empty(),
         "no false positives on the clean control"
     );
 }

@@ -6,6 +6,191 @@
 //! 3-wide issue with at most one memory operation per cycle.
 
 use crate::error::ConfigError;
+use crate::ids::{ChannelId, ControllerId};
+use std::fmt;
+use std::ops::Range;
+
+/// Upper bound on `banks_per_channel`, mirroring the `u128` occupancy
+/// bitmask (`BankSet`) the DRAM crate uses to track busy banks per
+/// channel. `tcm-types` cannot depend on `tcm-dram`, so the constant is
+/// duplicated here; a cross-check test in `tcm-dram` keeps the two in
+/// sync.
+pub const MAX_BANKS_PER_CHANNEL: usize = 128;
+
+/// Hierarchical memory-system shape: `Topology -> Controller -> Channel
+/// -> Bank`.
+///
+/// A topology is an ordered list of memory controllers, each owning a
+/// contiguous, non-empty span of channels; channels are numbered densely
+/// across the whole system in controller order. Bank count per channel
+/// stays uniform (it lives in [`SystemConfig::banks_per_channel`]).
+///
+/// [`Topology::flat(n)`](Topology::flat) — one controller owning `n`
+/// channels — reproduces the legacy flat `num_channels` configuration
+/// bit-identically: a single controller means a single scheduler
+/// arbitrating every channel, exactly as before. Multi-controller
+/// topologies give each controller its own scheduler instance and
+/// request queues, coordinated by the §5.3 meta-controller.
+///
+/// # Example
+///
+/// ```
+/// use tcm_types::{ControllerId, Topology};
+///
+/// let t = Topology::parse("3+1")?;
+/// assert_eq!(t.num_controllers(), 2);
+/// assert_eq!(t.num_channels(), 4);
+/// assert_eq!(t.channel_range(ControllerId::new(0)), 0..3);
+/// assert_eq!(t.channel_range(ControllerId::new(1)), 3..4);
+/// assert_eq!(t.to_string(), "3+1");
+/// assert_eq!(Topology::parse("2x2")?, Topology::uniform(2, 2));
+/// assert_eq!(Topology::parse("4")?, Topology::flat(4));
+/// # Ok::<(), tcm_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Topology {
+    /// Channels owned by each controller, in controller order.
+    channels: Vec<usize>,
+}
+
+impl Topology {
+    /// One controller owning `n` channels: the legacy flat shape.
+    pub fn flat(n: usize) -> Self {
+        Self { channels: vec![n] }
+    }
+
+    /// `controllers` controllers of `channels_each` channels each.
+    pub fn uniform(controllers: usize, channels_each: usize) -> Self {
+        Self {
+            channels: vec![channels_each; controllers],
+        }
+    }
+
+    /// A controller per entry, each owning the given channel count.
+    pub fn asymmetric(channels: impl Into<Vec<usize>>) -> Self {
+        Self {
+            channels: channels.into(),
+        }
+    }
+
+    /// Parses a topology spec: `"4"` (flat, one controller with 4
+    /// channels), `"2x2"` (2 controllers x 2 channels each), or `"3+1"`
+    /// (asymmetric per-controller channel counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the spec is malformed or describes
+    /// an invalid topology (zero controllers or an empty controller).
+    pub fn parse(spec: &str) -> Result<Self, ConfigError> {
+        let num = |s: &str| -> Result<usize, ConfigError> {
+            s.trim().parse().map_err(|_| {
+                ConfigError::invalid("topology", "expected N, CxK or a+b+... channel counts")
+            })
+        };
+        let topology = if let Some((controllers, each)) = spec.split_once('x') {
+            Self::uniform(num(controllers)?, num(each)?)
+        } else if spec.contains('+') {
+            Self::asymmetric(spec.split('+').map(num).collect::<Result<Vec<_>, _>>()?)
+        } else {
+            Self::flat(num(spec)?)
+        };
+        topology.validate()?;
+        Ok(topology)
+    }
+
+    /// Validates the shape: at least one controller, no empty controllers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the offending dimension.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.channels.is_empty() {
+            return Err(ConfigError::invalid(
+                "topology",
+                "must have at least one controller",
+            ));
+        }
+        if self.channels.contains(&0) {
+            return Err(ConfigError::invalid(
+                "num_channels",
+                "every controller must own at least one channel",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of memory controllers.
+    #[inline]
+    pub fn num_controllers(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Total channels across all controllers.
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.channels.iter().sum()
+    }
+
+    /// Channels owned by controller `c`.
+    #[inline]
+    pub fn channels_of(&self, c: ControllerId) -> usize {
+        self.channels[c.index()]
+    }
+
+    /// Per-controller channel counts, in controller order.
+    #[inline]
+    pub fn per_controller(&self) -> &[usize] {
+        &self.channels
+    }
+
+    /// The dense global channel indices owned by controller `c`.
+    pub fn channel_range(&self, c: ControllerId) -> Range<usize> {
+        let start: usize = self.channels[..c.index()].iter().sum();
+        start..start + self.channels[c.index()]
+    }
+
+    /// The controller owning global channel `ch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is out of range for this topology.
+    pub fn controller_of(&self, ch: ChannelId) -> ControllerId {
+        let mut remaining = ch.index();
+        for (c, &owned) in self.channels.iter().enumerate() {
+            if remaining < owned {
+                return ControllerId::new(c);
+            }
+            remaining -= owned;
+        }
+        panic!(
+            "channel {ch} out of range for a {}-channel topology",
+            self.num_channels()
+        );
+    }
+
+    /// Iterates the controller identifiers in order.
+    pub fn controllers(&self) -> impl Iterator<Item = ControllerId> {
+        (0..self.channels.len()).map(ControllerId::new)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.channels.len() == 1 {
+            return write!(f, "{}", self.channels[0]);
+        }
+        if self.channels.windows(2).all(|w| w[0] == w[1]) {
+            return write!(f, "{}x{}", self.channels.len(), self.channels[0]);
+        }
+        for (i, n) in self.channels.iter().enumerate() {
+            if i > 0 {
+                f.write_str("+")?;
+            }
+            write!(f, "{n}")?;
+        }
+        Ok(())
+    }
+}
 
 /// DRAM access timing expressed in *core* cycles (5 GHz core clock).
 ///
@@ -108,21 +293,29 @@ impl Default for DramTiming {
 /// # Example
 ///
 /// ```
-/// use tcm_types::SystemConfig;
+/// use tcm_types::{SystemConfig, Topology};
 ///
 /// let cfg = SystemConfig::builder()
 ///     .num_threads(8)
 ///     .num_channels(2)
 ///     .build()?;
 /// assert_eq!(cfg.total_banks(), 8);
+/// // Multi-controller shapes go through the hierarchical topology API:
+/// let numa = SystemConfig::builder()
+///     .topology(Topology::uniform(2, 2))
+///     .build()?;
+/// assert_eq!(numa.num_channels(), 4);
+/// assert_eq!(numa.topology.num_controllers(), 2);
 /// # Ok::<(), tcm_types::ConfigError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SystemConfig {
     /// Number of hardware threads (= cores; one thread per core).
     pub num_threads: usize,
-    /// Number of memory channels, each with an independent controller.
-    pub num_channels: usize,
+    /// The controller/channel hierarchy. [`Topology::flat(n)`]
+    /// (Topology::flat) reproduces the legacy flat `num_channels: n`
+    /// configuration bit-identically.
+    pub topology: Topology,
     /// DRAM banks per channel.
     pub banks_per_channel: usize,
     /// Rows per bank (16384 in the baseline: 2 KB rows, per Table 2's
@@ -147,7 +340,7 @@ impl SystemConfig {
     pub fn paper_baseline() -> Self {
         Self {
             num_threads: 24,
-            num_channels: 4,
+            topology: Topology::flat(4),
             banks_per_channel: 4,
             rows_per_bank: 16384,
             window_size: 128,
@@ -163,22 +356,29 @@ impl SystemConfig {
         SystemConfigBuilder::new()
     }
 
+    /// Total number of memory channels across all controllers.
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.topology.num_channels()
+    }
+
     /// Total number of banks across all channels.
     #[inline]
     pub fn total_banks(&self) -> usize {
-        self.num_channels * self.banks_per_channel
+        self.num_channels() * self.banks_per_channel
     }
 
     /// Validates internal consistency.
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] when any dimension is zero or the timing
-    /// parameters are invalid.
+    /// Returns [`ConfigError`] when any dimension is zero, the topology
+    /// is malformed, `banks_per_channel` overflows the DRAM crate's
+    /// `u128` bank-occupancy bitmask, or the timing parameters are
+    /// invalid.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        let nonzero: [(&str, usize); 8] = [
+        let nonzero: [(&str, usize); 7] = [
             ("num_threads", self.num_threads),
-            ("num_channels", self.num_channels),
             ("banks_per_channel", self.banks_per_channel),
             ("rows_per_bank", self.rows_per_bank),
             ("window_size", self.window_size),
@@ -190,6 +390,13 @@ impl SystemConfig {
             if value == 0 {
                 return Err(ConfigError::invalid(name, "must be non-zero"));
             }
+        }
+        self.topology.validate()?;
+        if self.banks_per_channel > MAX_BANKS_PER_CHANNEL {
+            return Err(ConfigError::invalid(
+                "banks_per_channel",
+                "exceeds the 128-bank occupancy bitmask a channel can track",
+            ));
         }
         self.timing.validate()
     }
@@ -224,9 +431,16 @@ impl SystemConfigBuilder {
         self
     }
 
-    /// Sets the number of memory channels (controllers).
+    /// Sets a flat topology: one controller owning `n` channels — the
+    /// legacy configuration surface, preserved bit-identically.
     pub fn num_channels(&mut self, n: usize) -> &mut Self {
-        self.cfg.num_channels = n;
+        self.cfg.topology = Topology::flat(n);
+        self
+    }
+
+    /// Sets the controller/channel hierarchy.
+    pub fn topology(&mut self, topology: Topology) -> &mut Self {
+        self.cfg.topology = topology;
         self
     }
 
@@ -300,7 +514,8 @@ mod tests {
     fn baseline_matches_table_3() {
         let cfg = SystemConfig::paper_baseline();
         assert_eq!(cfg.num_threads, 24);
-        assert_eq!(cfg.num_channels, 4);
+        assert_eq!(cfg.num_channels(), 4);
+        assert_eq!(cfg.topology, Topology::flat(4));
         assert_eq!(cfg.banks_per_channel, 4);
         assert_eq!(cfg.window_size, 128);
         assert_eq!(cfg.issue_width, 3);
@@ -357,5 +572,77 @@ mod tests {
     fn default_is_baseline() {
         assert_eq!(SystemConfig::default(), SystemConfig::paper_baseline());
         assert_eq!(DramTiming::default(), DramTiming::ddr2_800());
+    }
+
+    #[test]
+    fn topology_parse_covers_all_three_spellings() {
+        assert_eq!(Topology::parse("4").unwrap(), Topology::flat(4));
+        assert_eq!(Topology::parse("2x2").unwrap(), Topology::uniform(2, 2));
+        assert_eq!(
+            Topology::parse("3+1").unwrap(),
+            Topology::asymmetric([3, 1])
+        );
+        assert!(Topology::parse("").is_err());
+        assert!(Topology::parse("0").is_err());
+        assert!(Topology::parse("2x0").is_err());
+        assert!(Topology::parse("3+0").is_err());
+        assert!(Topology::parse("banana").is_err());
+    }
+
+    #[test]
+    fn topology_display_round_trips_through_parse() {
+        for spec in ["4", "1", "2x2", "4x1", "3+1", "1+2+3"] {
+            let t = Topology::parse(spec).unwrap();
+            assert_eq!(Topology::parse(&t.to_string()).unwrap(), t, "{spec}");
+        }
+        // Uniform shapes render in CxK form even when built asymmetric.
+        assert_eq!(Topology::asymmetric([2, 2]).to_string(), "2x2");
+        assert_eq!(Topology::flat(4).to_string(), "4");
+    }
+
+    #[test]
+    fn topology_channel_ranges_partition_the_channels() {
+        let t = Topology::asymmetric([3, 1, 2]);
+        assert_eq!(t.num_controllers(), 3);
+        assert_eq!(t.num_channels(), 6);
+        assert_eq!(t.channel_range(ControllerId::new(0)), 0..3);
+        assert_eq!(t.channel_range(ControllerId::new(1)), 3..4);
+        assert_eq!(t.channel_range(ControllerId::new(2)), 4..6);
+        for ch in 0..6 {
+            let owner = t.controller_of(ChannelId::new(ch));
+            assert!(t.channel_range(owner).contains(&ch), "channel {ch}");
+        }
+    }
+
+    #[test]
+    fn bank_counts_past_the_bitmask_are_rejected() {
+        let ok = SystemConfig::builder()
+            .banks_per_channel(MAX_BANKS_PER_CHANNEL)
+            .build();
+        assert!(ok.is_ok());
+        let err = SystemConfig::builder()
+            .banks_per_channel(MAX_BANKS_PER_CHANNEL + 1)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("banks_per_channel"));
+    }
+
+    #[test]
+    fn multi_controller_configs_validate() {
+        let cfg = SystemConfig::builder()
+            .num_threads(8)
+            .topology(Topology::asymmetric([3, 1]))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.num_channels(), 4);
+        assert_eq!(cfg.total_banks(), 16);
+        assert!(SystemConfig::builder()
+            .topology(Topology::asymmetric([]))
+            .build()
+            .is_err());
+        assert!(SystemConfig::builder()
+            .topology(Topology::asymmetric([2, 0]))
+            .build()
+            .is_err());
     }
 }

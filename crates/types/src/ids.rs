@@ -59,8 +59,17 @@ index_newtype!(
 );
 
 index_newtype!(
-    /// Identifies one memory channel; each channel has its own independent
-    /// DRAM controller (4 in the paper's baseline).
+    /// Identifies one memory controller. A controller owns a contiguous
+    /// span of channels (see `Topology` in the config module); the
+    /// paper's baseline is four single-channel controllers, while §5.3's
+    /// meta-controller coordinates several controllers per system.
+    ControllerId,
+    "mc"
+);
+
+index_newtype!(
+    /// Identifies one memory channel; channels are numbered densely
+    /// across the whole system (4 in the paper's baseline).
     ChannelId,
     "ch"
 );
@@ -148,6 +157,7 @@ mod tests {
     #[test]
     fn display_is_compact_and_nonempty() {
         assert_eq!(ThreadId::new(3).to_string(), "T3");
+        assert_eq!(ControllerId::new(1).to_string(), "mc1");
         assert_eq!(ChannelId::new(0).to_string(), "ch0");
         assert_eq!(BankId::new(2).to_string(), "b2");
         assert_eq!(Row::new(11).to_string(), "row11");

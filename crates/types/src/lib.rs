@@ -37,9 +37,9 @@ mod ids;
 mod request;
 
 pub use cancel::CancelToken;
-pub use config::{DramTiming, SystemConfig, SystemConfigBuilder};
+pub use config::{DramTiming, SystemConfig, SystemConfigBuilder, Topology, MAX_BANKS_PER_CHANNEL};
 pub use error::{ConfigError, Invariant, InvariantViolation, SimError, StallReport};
-pub use ids::{BankId, ChannelId, GlobalBank, Row, ThreadId};
+pub use ids::{BankId, ChannelId, ControllerId, GlobalBank, Row, ThreadId};
 pub use request::{MemAddress, Request, RequestId, RowState};
 
 /// Simulation time, measured in processor core cycles.

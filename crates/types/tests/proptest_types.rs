@@ -1,8 +1,11 @@
 //! Property tests for the foundational types: identifier round trips,
-//! address flattening, and timing monotonicity.
+//! address flattening, timing monotonicity, and topology round trips.
 
 use proptest::prelude::*;
-use tcm_types::{BankId, ChannelId, DramTiming, GlobalBank, Request, RequestId, RowState};
+use tcm_types::{
+    BankId, ChannelId, DramTiming, GlobalBank, Request, RequestId, RowState, SystemConfig,
+    Topology,
+};
 
 proptest! {
     /// Global bank flattening is a bijection for any bank geometry.
@@ -60,5 +63,55 @@ proptest! {
         let a = Request::new(RequestId::new(a_id), tcm_types::ThreadId::new(0), addr, a_cycle);
         let b = Request::new(RequestId::new(b_id), tcm_types::ThreadId::new(0), addr, b_cycle);
         prop_assert!(a.is_older_than(&b) != b.is_older_than(&a));
+    }
+
+    /// `Topology::flat(n)` reproduces the legacy single-controller
+    /// config exactly: one controller owning all `n` channels, dense
+    /// channel indices, and a spelling that parses back to itself —
+    /// and a config built through the legacy `num_channels(n)` knob is
+    /// identical to one built with the explicit flat topology.
+    #[test]
+    fn flat_topology_round_trips_legacy_config(n in 1usize..64) {
+        let flat = Topology::flat(n);
+        prop_assert_eq!(flat.validate(), Ok(()));
+        prop_assert_eq!(flat.num_controllers(), 1);
+        prop_assert_eq!(flat.num_channels(), n);
+        prop_assert_eq!(flat.per_controller(), &[n]);
+        let c0 = flat.controllers().next().expect("one controller");
+        prop_assert_eq!(flat.channels_of(c0), n);
+        prop_assert_eq!(flat.channel_range(c0), 0..n);
+        for ch in 0..n {
+            prop_assert_eq!(flat.controller_of(ChannelId::new(ch)), c0);
+        }
+        prop_assert_eq!(flat.to_string(), n.to_string());
+        prop_assert_eq!(Topology::parse(&n.to_string()), Ok(flat.clone()));
+
+        let legacy = SystemConfig::builder().num_channels(n).build();
+        let explicit = SystemConfig::builder().topology(flat).build();
+        prop_assert_eq!(legacy, explicit);
+    }
+
+    /// Any valid topology's channel ranges partition `0..num_channels`
+    /// in controller order, and `controller_of` inverts the partition;
+    /// the display spelling always parses back to the same topology.
+    #[test]
+    fn topology_ranges_partition_and_display_round_trips(
+        counts in proptest::collection::vec(1usize..8, 1..6),
+    ) {
+        let t = Topology::asymmetric(counts.clone());
+        prop_assert_eq!(t.validate(), Ok(()));
+        prop_assert_eq!(t.num_controllers(), counts.len());
+        let mut next = 0usize;
+        for c in t.controllers() {
+            let range = t.channel_range(c);
+            prop_assert_eq!(range.start, next);
+            prop_assert_eq!(range.len(), t.channels_of(c));
+            for ch in range.clone() {
+                prop_assert_eq!(t.controller_of(ChannelId::new(ch)), c);
+            }
+            next = range.end;
+        }
+        prop_assert_eq!(next, t.num_channels());
+        prop_assert_eq!(Topology::parse(&t.to_string()), Ok(t));
     }
 }

@@ -217,7 +217,7 @@ impl TraceGenerator {
 impl From<&tcm_types::SystemConfig> for MachineShape {
     fn from(cfg: &tcm_types::SystemConfig) -> Self {
         Self {
-            num_channels: cfg.num_channels,
+            num_channels: cfg.num_channels(),
             banks_per_channel: cfg.banks_per_channel,
             rows_per_bank: cfg.rows_per_bank,
         }

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Wall-clock benchmark of the controller hot path: times the fixed
-# paper-lineup sweep (tcm-run --bench-json) three times — with the default
-# indexed request queue, with the pre-refactor flat queue
-# (--features tcm-dram/flat-queue), and with the telemetry hooks compiled
-# out (--features tcm-telemetry/off) — and merges the records into
-# BENCH_hotpath.json with the measured queue speedup and the disabled-
-# telemetry overhead. Results are bit-identical between all builds; only
-# the wall clock differs. The full run gates the telemetry-hook overhead
-# at <2% (the hooks are one branch on a None option when disabled);
-# smoke mode only reports it, since sub-second runs are all noise.
+# paper-lineup sweep (tcm-run --bench-json) four times — with the default
+# indexed request queue, on a 2x2 multi-controller topology with the
+# controller phase sharded over two host threads (default build), with
+# the pre-refactor flat queue (--features tcm-dram/flat-queue), and with
+# the telemetry hooks compiled out (--features tcm-telemetry/off) — and
+# merges the records into BENCH_hotpath.json with the measured queue
+# speedup and the disabled-telemetry overhead. The single-controller
+# builds are bit-identical to each other (the multi row simulates a
+# different machine); only the wall clock differs. The full run gates
+# the telemetry-hook overhead at <2% (the hooks are one branch on a
+# None option when disabled); smoke mode only reports it, since
+# sub-second runs are all noise.
 #
 # Usage:
 #   scripts/bench.sh            full run (2M-cycle horizon per cell)
@@ -56,6 +59,17 @@ run_variant() {
 }
 
 run_variant indexed
+# Multi-controller variant: the same fixed sweep on a 2x2 topology (two
+# controllers x two channels each, TCM cells coordinated by the
+# meta-controller), with each cell's controller phase sharded over two
+# host threads. Runs on the default build, so it goes right after the
+# indexed variant while that binary is current.
+echo "==> run: multi (2x2 topology, --intra-hosts 2)"
+for k in $(seq "$RUNS"); do
+    ./target/release/tcm-run \
+        --bench-json "$TMPDIR_BENCH/multi.run$k.json" --cycles "$CYCLES" \
+        --topology 2x2 --intra-hosts 2
+done
 run_variant flat --features tcm-dram/flat-queue
 run_variant nohooks --features tcm-telemetry/off
 # Leave the default build in place for whoever runs next.
@@ -69,10 +83,10 @@ import sys
 tmp, out_path, smoke = sys.argv[1:4]
 
 REQUIRED = {
-    "schema": str, "queue_impl": str, "threads": int, "horizon": int,
-    "policies": list, "workloads": list, "cells": int, "alone_runs": int,
-    "workers": int, "sim_cycles": int, "wall_secs": float,
-    "sim_cycles_per_sec": float, "cells_per_sec": float,
+    "schema": str, "queue_impl": str, "topology": str, "threads": int,
+    "horizon": int, "policies": list, "workloads": list, "cells": int,
+    "alone_runs": int, "workers": int, "sim_cycles": int,
+    "wall_secs": float, "sim_cycles_per_sec": float, "cells_per_sec": float,
     "peak_queue_depth": int,
 }
 
@@ -103,12 +117,20 @@ def load_best(impl, expect_impl):
     return max(records, key=lambda r: r["sim_cycles_per_sec"])
 
 indexed = load_best("indexed", "indexed")
+multi = load_best("multi", "indexed")
 flat = load_best("flat", "flat")
 nohooks = load_best("nohooks", "indexed")
 if nohooks.get("telemetry_impl", "off") != "off":
     sys.exit("nohooks variant: expected the tcm-telemetry/off build")
+if indexed["topology"] != "4":
+    sys.exit(f"indexed variant: expected the flat 4-channel topology, "
+             f"got {indexed['topology']!r}")
+if multi["topology"] != "2x2":
+    sys.exit(f"multi variant: expected the 2x2 topology, "
+             f"got {multi['topology']!r}")
 for key in ("threads", "horizon", "cells", "policies", "workloads"):
-    for name, other in (("flat", flat), ("nohooks", nohooks)):
+    for name, other in (("multi", multi), ("flat", flat),
+                        ("nohooks", nohooks)):
         if indexed[key] != other[key]:
             sys.exit(f"variant mismatch ({name}) on {key!r}: "
                      f"{indexed[key]!r} vs {other[key]!r}")
@@ -130,6 +152,7 @@ merged = {
     "schema": "tcm-bench-hotpath-v1",
     "generated_by": "scripts/bench.sh" + (" --smoke" if smoke == "1" else ""),
     "indexed": indexed,
+    "multi": multi,
     "flat": flat,
     "nohooks": nohooks,
     "speedup_indexed_over_flat": speedup,
@@ -141,6 +164,8 @@ with open(out_path, "w") as f:
 
 print(f"indexed: {indexed['sim_cycles_per_sec']:.3e} sim-cycles/sec "
       f"({indexed['wall_secs']:.2f}s)")
+print(f"multi:   {multi['sim_cycles_per_sec']:.3e} sim-cycles/sec "
+      f"({multi['wall_secs']:.2f}s, 2x2 topology, 2 intra-cell hosts)")
 print(f"flat:    {flat['sim_cycles_per_sec']:.3e} sim-cycles/sec "
       f"({flat['wall_secs']:.2f}s)")
 print(f"speedup (indexed over flat): {speedup:.2f}x -> {out_path}")
@@ -156,12 +181,13 @@ if smoke == "1":
     if os.path.exists("BENCH_hotpath.json"):
         with open("BENCH_hotpath.json") as f:
             committed = json.load(f)
-        for key in ("schema", "indexed", "flat", "speedup_indexed_over_flat"):
+        for key in ("schema", "indexed", "multi", "flat",
+                    "speedup_indexed_over_flat"):
             if key not in committed:
                 sys.exit(f"committed BENCH_hotpath.json: missing key {key!r}")
         if committed["schema"] != "tcm-bench-hotpath-v1":
             sys.exit("committed BENCH_hotpath.json: unexpected schema")
-        for impl in ("indexed", "flat"):
+        for impl in ("indexed", "multi", "flat"):
             for key in REQUIRED:
                 if key not in committed[impl]:
                     sys.exit(f"committed BENCH_hotpath.json [{impl}]: "

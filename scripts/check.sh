@@ -28,6 +28,16 @@ TCM_VERIFY=1 cargo test -q --release --offline -p tcm-sim -p tcm-dram
 echo "==> chaos smoke campaign"
 cargo run --release -q -p tcm-sim --bin tcm-run --offline -- --chaos-smoke
 
+# Multi-controller smoke: the paper lineup on a 2x2 topology (TCM cells
+# coordinated by the meta-controller), with the protocol checker on and
+# each cell's controller phase sharded across two host threads — the
+# sharding is required to be bit-identical to sequential stepping, which
+# tests/golden_fingerprints.rs and tests/determinism.rs pin exactly.
+echo "==> multi-controller topology smoke (2x2, sharded, verified)"
+cargo run --release -q -p tcm-sim --bin tcm-run --offline -- \
+    --topology 2x2 --threads 8 --cycles 1200000 \
+    --intra-hosts 2 --verify >/dev/null
+
 # Telemetry trace smoke: run one TCM cell with tracing and metrics
 # enabled and validate the emitted schemas — JSONL event lines, the
 # Perfetto-loadable Chrome array, and the tcm-metrics-v1 document.

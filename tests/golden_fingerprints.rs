@@ -14,7 +14,7 @@
 
 use tcm::sim::{PolicyKind, RunConfig, RunResult, Session};
 use tcm::telemetry::TelemetryConfig;
-use tcm::types::SystemConfig;
+use tcm::types::{SystemConfig, Topology};
 use tcm::workload::{random_workload, table5_workloads, WorkloadSpec};
 
 /// FNV-1a over a structured encoding of every behavioral field of a
@@ -136,5 +136,91 @@ fn telemetry_enabled_run_matches_golden_fingerprints() {
 fn print_fingerprints() {
     for (policy, workload, fp) in compute_fingerprints(None) {
         println!("    (\"{policy}\", \"{workload}\", {fp:#018x}),");
+    }
+}
+
+/// The multi-controller grid: FR-FCFS (uncoordinated) and TCM (under
+/// the §5.3 meta-controller) on a uniform 2x2 and an asymmetric 3+1
+/// topology, past TCM's 1M-cycle quantum so the cross-controller
+/// exchange engages. Captured with `intra_hosts = 1`; the sharded test
+/// below reruns the same grid over multiple host threads and must land
+/// on the same fingerprints.
+fn compute_multi_fingerprints(spec: &str, intra_hosts: usize) -> Vec<(String, String, u64)> {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.topology = Topology::parse(spec).expect("valid spec");
+    let session = Session::new(
+        RunConfig::builder()
+            .system(cfg)
+            .horizon(1_200_000)
+            .intra_hosts(intra_hosts)
+            .build(),
+    );
+    let result = session
+        .sweep()
+        .policies([
+            PolicyKind::FrFcfs,
+            PolicyKind::Tcm(tcm::core::TcmParams::paper_default(24)),
+        ])
+        .workloads([random_workload(1, 24, 0.75)])
+        .run();
+    assert!(result.is_complete(), "multi golden grid must not fail");
+    result
+        .cells()
+        .iter()
+        .map(|cell| {
+            (
+                result.policy_labels()[cell.policy].clone(),
+                result.workload_names()[cell.workload].clone(),
+                fingerprint(&cell.result.run),
+            )
+        })
+        .collect()
+}
+
+/// Captured at the introduction of the multi-controller engine; these
+/// pin the windowed two-phase execution order, the meta-controller
+/// exchange, and the per-controller FR-FCFS behavior.
+const GOLDEN_MULTI: [(&str, &str, &str, u64); 4] = [
+    ("2x2", "FR-FCFS", "rand-75%-01", 0x437f563057e4e484),
+    ("2x2", "TCM", "rand-75%-01", 0xbbaa255371346515),
+    ("3+1", "FR-FCFS", "rand-75%-01", 0x9c68390431a821ed),
+    ("3+1", "TCM", "rand-75%-01", 0x9738dfdf7bd812c8),
+];
+
+fn assert_matches_multi_golden(hosts: usize) {
+    let mut expected = GOLDEN_MULTI.iter();
+    for spec in ["2x2", "3+1"] {
+        for (policy, workload, fp) in compute_multi_fingerprints(spec, hosts) {
+            let &(gs, gp, gw, gfp) = expected.next().expect("grid grew");
+            assert_eq!((spec, policy.as_str(), workload.as_str()), (gs, gp, gw));
+            assert_eq!(
+                fp, gfp,
+                "multi RunResult drifted for {spec} {policy} x {workload} \
+                 ({hosts} hosts): {fp:#018x} != golden {gfp:#018x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_controller_grid_matches_golden_fingerprints() {
+    assert_matches_multi_golden(1);
+}
+
+/// The acceptance bar for intra-cell sharding: the identical grid,
+/// stepped with the controller phase split over three host threads,
+/// must reproduce the sequential fingerprints bit-for-bit.
+#[test]
+fn sharded_multi_controller_grid_matches_golden_fingerprints() {
+    assert_matches_multi_golden(3);
+}
+
+#[test]
+#[ignore = "re-capture helper: prints the GOLDEN_MULTI table"]
+fn print_multi_fingerprints() {
+    for spec in ["2x2", "3+1"] {
+        for (policy, workload, fp) in compute_multi_fingerprints(spec, 1) {
+            println!("    (\"{spec}\", \"{policy}\", \"{workload}\", {fp:#018x}),");
+        }
     }
 }
