@@ -11,14 +11,17 @@
 //!
 //! The vocabulary:
 //!
-//! * [`FaultKind`] — the eight injectable fault classes, each mapped
+//! * [`FaultKind`] — the ten injectable fault classes, each mapped
 //!   1:1 to the detector expected to catch it ([`FaultKind::detector`]);
 //! * [`FaultSpec`] — one scheduled fault: a kind plus *when* (cycle) and
-//!   *where* (channel / thread) to strike;
+//!   *where* (channel / thread / controller) to strike;
 //! * [`FaultPlan`] — an immutable schedule of faults, built explicitly
-//!   or drawn from a seeded RNG ([`FaultPlan::campaign`]). All
-//!   randomness happens at *construction*; executing a plan draws
-//!   nothing, so a plan replays bit-identically;
+//!   or drawn from a seeded RNG ([`FaultPlan::campaign`] for flat
+//!   machines, [`FaultPlan::campaign_for`] for arbitrary topologies).
+//!   All randomness happens at *construction*; executing a plan draws
+//!   nothing, so a plan replays bit-identically. Under multi-controller
+//!   topologies, [`FaultPlan::validate`] turns mistargeted addresses
+//!   into typed config errors instead of silent aliasing;
 //! * [`ChannelChaos`] — the per-channel execution state a DRAM channel
 //!   carries while a plan is live (armed faults, fired flags, observed
 //!   bus history).
@@ -33,7 +36,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tcm_types::{Cycle, Invariant};
+use tcm_types::{ConfigError, Cycle, Invariant, Topology};
 
 /// What is expected to catch a given [`FaultKind`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +48,13 @@ pub enum Detector {
     /// TCM's plausibility guard engages graceful degradation (the run
     /// itself completes; no error is surfaced).
     Degradation,
+    /// The meta-controller's staleness/plausibility guard quarantines
+    /// the afflicted controller — healthy controllers keep TCM
+    /// clustering, the quarantined one falls back to local FR-FCFS
+    /// until re-admitted (the run itself completes; typed quarantine
+    /// events are surfaced). Multi-controller topologies only; these
+    /// faults are inert on the flat single-controller engine.
+    Quarantine,
 }
 
 /// The injectable fault classes.
@@ -83,11 +93,22 @@ pub enum FaultKind {
     /// returns the current cycle forever, freezing simulated time.
     /// Detector: the same-cycle livelock guard → `SimError::Stalled`.
     SchedulerSpin,
+    /// One controller's monitor samples go absent at the first quantum
+    /// boundary at or after the arm cycle: the meta-controller sees a
+    /// controller that used to participate suddenly report nothing.
+    /// Detector: the meta-controller's staleness guard → quarantine.
+    ControllerBlackout,
+    /// One controller reports physically impossible aggregates at a
+    /// quantum boundary (more row hits than accesses). Detector: the
+    /// meta-controller's plausibility guard → quarantine.
+    MonitorSkew,
 }
 
 impl FaultKind {
     /// Every fault class, in a fixed order (campaigns iterate this).
-    pub const ALL: [FaultKind; 8] = [
+    /// The two coordination faults come last so seeded draws for the
+    /// original eight classes are unchanged.
+    pub const ALL: [FaultKind; 10] = [
         FaultKind::TimingViolation,
         FaultKind::RowCorruption,
         FaultKind::BusOverlap,
@@ -96,6 +117,8 @@ impl FaultKind {
         FaultKind::SpillFlood,
         FaultKind::MonitorCorruption,
         FaultKind::SchedulerSpin,
+        FaultKind::ControllerBlackout,
+        FaultKind::MonitorSkew,
     ];
 
     /// Short human-readable name.
@@ -109,6 +132,8 @@ impl FaultKind {
             FaultKind::SpillFlood => "spill-flood",
             FaultKind::MonitorCorruption => "monitor-corruption",
             FaultKind::SchedulerSpin => "scheduler-spin",
+            FaultKind::ControllerBlackout => "controller-blackout",
+            FaultKind::MonitorSkew => "monitor-skew",
         }
     }
 
@@ -124,6 +149,7 @@ impl FaultKind {
             FaultKind::SpillFlood => Detector::Invariant(Invariant::ResourceBound),
             FaultKind::MonitorCorruption => Detector::Degradation,
             FaultKind::SchedulerSpin => Detector::Stall,
+            FaultKind::ControllerBlackout | FaultKind::MonitorSkew => Detector::Quarantine,
         }
     }
 
@@ -138,6 +164,20 @@ impl FaultKind {
                 | FaultKind::DuplicateRequest
                 | FaultKind::DropRequest
         )
+    }
+
+    /// Whether this fault's site is a channel, so its `channel` target
+    /// is meaningful (channel faults plus the spill flood, which
+    /// strikes the controller buffer feeding a channel).
+    pub const fn targets_channel(self) -> bool {
+        self.is_channel_fault() || matches!(self, FaultKind::SpillFlood)
+    }
+
+    /// Whether this fault strikes quantum-boundary coordination between
+    /// a controller and the TCM meta-controller (the two kinds mapped
+    /// to [`Detector::Quarantine`]).
+    pub const fn is_coordination_fault(self) -> bool {
+        matches!(self, FaultKind::ControllerBlackout | FaultKind::MonitorSkew)
     }
 }
 
@@ -157,25 +197,37 @@ pub struct FaultSpec {
     /// monitor faults apply at the first TCM quantum boundary at or
     /// after it.
     pub at: Cycle,
-    /// Target channel index (channel faults and floods; ignored
-    /// otherwise).
+    /// Target channel index — *global* across the whole topology
+    /// (channel faults and floods; ignored otherwise). Engines must
+    /// resolve it to an owning controller via `Topology::partition`,
+    /// never by assuming flat indexing; [`FaultPlan::validate`] rejects
+    /// out-of-range indices up front.
     pub channel: usize,
-    /// Target thread index (monitor corruption; ignored otherwise).
+    /// Target thread index (monitor corruption and skew; ignored
+    /// otherwise).
     pub thread: usize,
+    /// Target controller index (scheduler spins and coordination
+    /// faults under multi-controller topologies; ignored by
+    /// channel-sited faults, whose controller is derived from
+    /// `channel`).
+    pub controller: usize,
 }
 
 impl FaultSpec {
-    /// A spec for `kind` arming at cycle `at` on channel 0 / thread 0.
+    /// A spec for `kind` arming at cycle `at` on channel 0 / thread 0 /
+    /// controller 0.
     pub const fn new(kind: FaultKind, at: Cycle) -> Self {
         Self {
             kind,
             at,
             channel: 0,
             thread: 0,
+            controller: 0,
         }
     }
 
-    /// Returns the spec retargeted to `channel`.
+    /// Returns the spec retargeted to `channel` (a global index; see
+    /// the field docs).
     pub const fn on_channel(mut self, channel: usize) -> Self {
         self.channel = channel;
         self
@@ -185,6 +237,36 @@ impl FaultSpec {
     pub const fn on_thread(mut self, thread: usize) -> Self {
         self.thread = thread;
         self
+    }
+
+    /// Returns the spec retargeted to `controller`.
+    pub const fn on_controller(mut self, controller: usize) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// Resolves this fault's global channel target to its owning
+    /// controller and local channel index under `topology`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the channel index is out of range
+    /// for the topology (the typed replacement for silent aliasing).
+    pub fn partition_for(
+        &self,
+        topology: &Topology,
+    ) -> Result<(tcm_types::ControllerId, usize), ConfigError> {
+        topology.partition(self.channel).map_err(|_| {
+            ConfigError::invalid(
+                "chaos",
+                format!(
+                    "fault `{}` targets channel {} but the topology has {} channels",
+                    self.kind,
+                    self.channel,
+                    topology.num_channels()
+                ),
+            )
+        })
     }
 }
 
@@ -223,6 +305,8 @@ impl FaultPlan {
     /// drawn uniformly from `[horizon/8, horizon/2)` and channel/thread
     /// targets drawn from the machine shape. Equal seeds produce equal
     /// plans; the RNG is consumed here and never during execution.
+    /// Controllers are not drawn (every fault targets controller 0) —
+    /// use [`FaultPlan::campaign_for`] for topology-aware campaigns.
     pub fn campaign(seed: u64, horizon: Cycle, num_channels: usize, num_threads: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let lo = (horizon / 8).max(1);
@@ -234,9 +318,77 @@ impl FaultPlan {
                 at: rng.gen_range(lo..hi),
                 channel: rng.gen_range(0..num_channels.max(1)),
                 thread: rng.gen_range(0..num_threads.max(1)),
+                controller: 0,
             })
             .collect();
         Self { faults }
+    }
+
+    /// A topology-aware seeded campaign: like [`FaultPlan::campaign`]
+    /// but channel targets are drawn across the whole topology and
+    /// controller targets across its controllers. Channel-sited faults
+    /// get their controller *derived* from the drawn channel via
+    /// `Topology::partition`, so the two addresses always agree; other
+    /// faults draw a controller independently. The result always
+    /// passes [`FaultPlan::validate`] for the same topology.
+    pub fn campaign_for(topology: &Topology, seed: u64, horizon: Cycle, num_threads: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lo = (horizon / 8).max(1);
+        let hi = (horizon / 2).max(lo + 1);
+        let faults = FaultKind::ALL
+            .iter()
+            .map(|&kind| {
+                let at = rng.gen_range(lo..hi);
+                let channel = rng.gen_range(0..topology.num_channels().max(1));
+                let thread = rng.gen_range(0..num_threads.max(1));
+                let drawn = rng.gen_range(0..topology.num_controllers().max(1));
+                let controller = if kind.targets_channel() {
+                    topology
+                        .partition(channel)
+                        .map(|(c, _)| c.index())
+                        .unwrap_or(0)
+                } else {
+                    drawn
+                };
+                FaultSpec {
+                    kind,
+                    at,
+                    channel,
+                    thread,
+                    controller,
+                }
+            })
+            .collect();
+        Self { faults }
+    }
+
+    /// Checks every fault's channel/controller address against
+    /// `topology`, so a mistargeted plan is a typed config error at
+    /// plan-install time instead of silently aliasing onto the wrong
+    /// shard. Channel-sited faults are routed through
+    /// `Topology::partition`; all other faults must name an existing
+    /// controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the out-of-range fault.
+    pub fn validate(&self, topology: &Topology) -> Result<(), ConfigError> {
+        for f in &self.faults {
+            if f.kind.targets_channel() {
+                f.partition_for(topology)?;
+            } else if f.controller >= topology.num_controllers() {
+                return Err(ConfigError::invalid(
+                    "chaos",
+                    format!(
+                        "fault `{}` targets controller {} but the topology has {} controllers",
+                        f.kind,
+                        f.controller,
+                        topology.num_controllers()
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Whether the plan schedules no faults.
@@ -268,13 +420,36 @@ impl FaultPlan {
             .copied()
     }
 
-    /// Earliest scheduler-spin arm cycle, if the plan schedules one.
+    /// Earliest scheduler-spin arm cycle, if the plan schedules one
+    /// (all spins regardless of controller target — the flat engine
+    /// has exactly one scheduler).
     pub fn spin_at(&self) -> Option<Cycle> {
         self.faults
             .iter()
             .filter(|f| f.kind == FaultKind::SchedulerSpin)
             .map(|f| f.at)
             .min()
+    }
+
+    /// Earliest scheduler-spin arm cycle targeting `controller`, if
+    /// the plan schedules one (the multi-controller engine wedges only
+    /// the named shard's scheduler).
+    pub fn spin_for(&self, controller: usize) -> Option<Cycle> {
+        self.faults
+            .iter()
+            .filter(|f| f.kind == FaultKind::SchedulerSpin && f.controller == controller)
+            .map(|f| f.at)
+            .min()
+    }
+
+    /// The coordination faults (controller blackout / monitor skew),
+    /// in insertion order. Only the multi-controller engine executes
+    /// these; they are inert on the flat engine.
+    pub fn coordination_faults(&self) -> impl Iterator<Item = FaultSpec> + '_ {
+        self.faults
+            .iter()
+            .filter(|f| f.kind.is_coordination_fault())
+            .copied()
     }
 
     /// The first spill-flood fault, if the plan schedules one.
@@ -378,11 +553,18 @@ mod tests {
             .collect();
         // All five invariant classes are covered by some fault.
         assert_eq!(invariants.len(), 5);
-        // Stall and degradation are covered too.
+        // Stall, degradation and quarantine are covered too.
         assert!(FaultKind::ALL.iter().any(|k| k.detector() == Detector::Stall));
         assert!(FaultKind::ALL
             .iter()
             .any(|k| k.detector() == Detector::Degradation));
+        assert!(FaultKind::ALL
+            .iter()
+            .any(|k| k.detector() == Detector::Quarantine));
+        // Exactly the coordination faults map to quarantine.
+        for k in FaultKind::ALL {
+            assert_eq!(k.detector() == Detector::Quarantine, k.is_coordination_fault());
+        }
     }
 
     #[test]
@@ -433,6 +615,69 @@ mod tests {
         assert!(plan.channel_chaos(2).is_empty(), "flood is not a channel fault");
         assert!(FaultPlan::none().is_empty());
         assert_eq!(FaultPlan::none(), FaultPlan::default());
+    }
+
+    #[test]
+    fn topology_campaign_is_deterministic_and_always_validates() {
+        let t = Topology::asymmetric([3, 1]);
+        let a = FaultPlan::campaign_for(&t, 7, 1_000_000, 24);
+        let b = FaultPlan::campaign_for(&t, 7, 1_000_000, 24);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::campaign_for(&t, 8, 1_000_000, 24));
+        assert_eq!(a.faults().len(), FaultKind::ALL.len());
+        a.validate(&t).unwrap();
+        for f in a.faults() {
+            assert!(f.channel < t.num_channels());
+            assert!(f.controller < t.num_controllers());
+            if f.kind.targets_channel() {
+                // The controller address agrees with the channel address.
+                let (owner, _) = f.partition_for(&t).unwrap();
+                assert_eq!(owner.index(), f.controller, "{}", f.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_addresses() {
+        let t = Topology::asymmetric([2, 2]);
+        FaultPlan::none().validate(&t).unwrap();
+        // A channel index past the topology is a typed error, not an alias.
+        let bad_channel =
+            FaultPlan::none().with_fault(FaultSpec::new(FaultKind::TimingViolation, 10).on_channel(4));
+        let err = bad_channel.validate(&t).unwrap_err();
+        assert_eq!(err.field(), "chaos");
+        assert!(err.reason().contains("channel 4"), "{err}");
+        // Same for a controller index.
+        let bad_controller =
+            FaultPlan::none().with_fault(FaultSpec::new(FaultKind::ControllerBlackout, 10).on_controller(2));
+        let err = bad_controller.validate(&t).unwrap_err();
+        assert!(err.reason().contains("controller 2"), "{err}");
+        // In-range addresses pass.
+        FaultPlan::none()
+            .with_fault(FaultSpec::new(FaultKind::SpillFlood, 10).on_channel(3))
+            .with_fault(FaultSpec::new(FaultKind::MonitorSkew, 10).on_controller(1))
+            .validate(&t)
+            .unwrap();
+    }
+
+    #[test]
+    fn controller_accessors_route_coordination_faults() {
+        let plan = FaultPlan::none()
+            .with_fault(FaultSpec::new(FaultKind::ControllerBlackout, 10).on_controller(1))
+            .with_fault(FaultSpec::new(FaultKind::MonitorSkew, 20))
+            .with_fault(FaultSpec::new(FaultKind::SchedulerSpin, 30).on_controller(2))
+            .with_fault(FaultSpec::new(FaultKind::SchedulerSpin, 40));
+        let coord: Vec<_> = plan.coordination_faults().collect();
+        assert_eq!(coord.len(), 2);
+        assert_eq!(coord[0].kind, FaultKind::ControllerBlackout);
+        assert_eq!(coord[0].controller, 1);
+        assert_eq!(coord[1].kind, FaultKind::MonitorSkew);
+        assert_eq!(plan.spin_for(2), Some(30));
+        assert_eq!(plan.spin_for(0), Some(40));
+        assert_eq!(plan.spin_for(9), None);
+        assert_eq!(plan.spin_at(), Some(30), "flat accessor sees every spin");
+        // Coordination faults never land in channel state.
+        assert!(plan.channel_chaos(0).is_empty());
     }
 
     #[test]

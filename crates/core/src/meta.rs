@@ -29,10 +29,11 @@
 use crate::monitor::{QuantumSnapshot, TcmMonitor};
 use crate::params::TcmParams;
 use crate::scheduler::Tcm;
+use tcm_chaos::FaultSpec;
 use tcm_dram::ServiceOutcome;
 use tcm_sched::select::{age_key, pick_max_by_key, row_hit};
 use tcm_sched::{ClusterPlan, MetaScheduler, MonitorSample, PickContext, Scheduler, SystemView};
-use tcm_telemetry::{DegradationAnomaly, Telemetry};
+use tcm_telemetry::{DegradationAnomaly, QuarantineReason, Telemetry};
 use tcm_types::{Cycle, Request, SystemConfig};
 
 /// One memory controller's slice of the coordinated TCM design: local
@@ -130,9 +131,25 @@ pub struct MetaController {
     retired_snapshot: Vec<u64>,
     misses_snapshot: Vec<u64>,
     service_snapshot: Vec<u64>,
+    /// Per-controller quarantine flags (sized lazily from the first
+    /// sample vector). A quarantined controller's samples are excluded
+    /// from aggregation until it earns re-admission.
+    quarantined: Vec<bool>,
+    /// Consecutive clean quanta each quarantined controller has
+    /// supplied since its last offense.
+    clean_quanta: Vec<u64>,
+    /// Whether each controller has ever supplied a sample — staleness
+    /// (a `None` sample) is only an anomaly for controllers that used
+    /// to participate, so mixed fleets of coordinated and
+    /// non-coordinated policies are never flagged.
+    participated: Vec<bool>,
 }
 
 impl MetaController {
+    /// Consecutive clean quanta a quarantined controller must supply
+    /// before the meta-controller re-admits its samples.
+    pub const QUARANTINE_CLEAN_QUANTA: u64 = 2;
+
     /// Creates a meta-controller with the given TCM parameters.
     ///
     /// # Panics
@@ -145,14 +162,104 @@ impl MetaController {
             retired_snapshot: vec![0; num_threads],
             misses_snapshot: vec![0; num_threads],
             service_snapshot: vec![0; num_threads],
+            quarantined: Vec::new(),
+            clean_quanta: Vec::new(),
+            participated: Vec::new(),
         }
     }
 
-    /// The plan reflecting the ranking engine's current state.
+    /// Per-controller quarantine flags (empty until a sample vector has
+    /// been seen — and stays all-`false` on healthy runs).
+    pub fn quarantined(&self) -> &[bool] {
+        &self.quarantined
+    }
+
+    /// The plan reflecting the ranking engine's current state. The
+    /// quarantine vector is only attached once some controller has
+    /// actually been quarantined, so clean runs broadcast a plan
+    /// bit-identical to the pre-quarantine format.
     fn plan(&self) -> ClusterPlan {
         ClusterPlan {
             priorities: self.core.priorities().to_vec(),
             degraded: self.core.degraded(),
+            quarantined: if self.quarantined.iter().any(|&q| q) {
+                self.quarantined.clone()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Whether a controller's sample is physically impossible: the
+    /// shadow row-buffer cannot hit more often than it is accessed, and
+    /// the BLP integral cannot be positive over zero busy cycles. A
+    /// healthy controller can never produce either, so this guard has
+    /// no false positives by construction.
+    fn sample_implausible(sample: &MonitorSample) -> bool {
+        let hits_exceed = sample
+            .shadow_hits
+            .iter()
+            .zip(&sample.shadow_accesses)
+            .any(|(&h, &a)| h > a);
+        let phantom_blp = sample
+            .blp_integral
+            .iter()
+            .zip(&sample.busy_time)
+            .any(|(&i, &b)| i > 0 && b == 0);
+        hits_exceed || phantom_blp
+    }
+
+    /// The per-controller staleness/plausibility guard (runs only at
+    /// quantum boundaries, before aggregation): quarantines a single
+    /// controller's samples instead of degrading the whole system, and
+    /// re-admits it after [`MetaController::QUARANTINE_CLEAN_QUANTA`]
+    /// consecutive clean quanta. Emits typed
+    /// [`DegradationAnomaly::ControllerQuarantined`] /
+    /// [`DegradationAnomaly::ControllerReadmitted`] events through the
+    /// shared anomaly log and telemetry stream.
+    fn update_quarantine(&mut self, now: Cycle, samples: &[Option<MonitorSample>]) {
+        let n = samples.len();
+        if self.quarantined.len() < n {
+            self.quarantined.resize(n, false);
+            self.clean_quanta.resize(n, 0);
+            self.participated.resize(n, false);
+        }
+        for (c, sample) in samples.iter().enumerate() {
+            let stale = self.participated[c] && sample.is_none();
+            let skewed = sample.as_ref().is_some_and(Self::sample_implausible);
+            if !self.quarantined[c] {
+                if stale || skewed {
+                    self.quarantined[c] = true;
+                    self.clean_quanta[c] = 0;
+                    let reason = if skewed {
+                        QuarantineReason::ImplausibleAggregate
+                    } else {
+                        QuarantineReason::StaleSample
+                    };
+                    self.core.record_anomaly(DegradationAnomaly::ControllerQuarantined {
+                        cycle: now,
+                        controller: c,
+                        reason,
+                    });
+                }
+            } else if stale || skewed {
+                self.clean_quanta[c] = 0;
+            } else if sample.is_some() {
+                self.clean_quanta[c] += 1;
+                if self.clean_quanta[c] >= Self::QUARANTINE_CLEAN_QUANTA {
+                    let clean_quanta = self.clean_quanta[c];
+                    self.quarantined[c] = false;
+                    self.clean_quanta[c] = 0;
+                    self.core.record_anomaly(DegradationAnomaly::ControllerReadmitted {
+                        cycle: now,
+                        controller: c,
+                        clean_quanta,
+                    });
+                }
+            }
+            if sample.is_some() {
+                self.participated[c] = true;
+            }
         }
     }
 
@@ -170,7 +277,13 @@ impl MetaController {
         let mut accesses = vec![0u64; n];
         let mut blp_integral = vec![0u64; n];
         let mut busy_time = vec![0u64; n];
-        for sample in samples.iter().flatten() {
+        for (c, sample) in samples.iter().enumerate() {
+            // A quarantined controller's samples are untrusted: keep
+            // them out of the system-wide aggregate until re-admission.
+            if self.quarantined.get(c).copied().unwrap_or(false) {
+                continue;
+            }
+            let Some(sample) = sample else { continue };
             for t in 0..n {
                 hits[t] += sample.shadow_hits.get(t).copied().unwrap_or(0);
                 accesses[t] += sample.shadow_accesses.get(t).copied().unwrap_or(0);
@@ -233,12 +346,21 @@ impl MetaScheduler for MetaController {
         view: &SystemView<'_>,
         samples: &[Option<MonitorSample>],
     ) -> ClusterPlan {
-        let snap = self
-            .core
-            .is_quantum_due(now)
-            .then(|| self.aggregate(view, samples));
+        let snap = self.core.is_quantum_due(now).then(|| {
+            // Quarantine first so a skewed sample never reaches the
+            // aggregate (and the whole-system plausibility guard) in
+            // the same quantum it is detected.
+            self.update_quarantine(now, samples);
+            let mut snap = self.aggregate(view, samples);
+            self.core.apply_monitor_faults(&mut snap, now);
+            snap
+        });
         self.core.run_boundary(snap, now);
         self.plan()
+    }
+
+    fn inject_monitor_fault(&mut self, fault: &FaultSpec) {
+        self.core.inject_monitor_fault(fault);
     }
 
     fn degradation_events(&self) -> &[DegradationAnomaly] {
@@ -411,6 +533,127 @@ mod tests {
         let second = ctl.quantum_exchange(2_000).unwrap();
         assert_eq!(second.shadow_accesses[1], 0);
         assert_eq!(second.shadow_hits[1], 0);
+    }
+
+    /// A physically plausible per-controller sample: every thread was
+    /// accessed once, no shadow hits, no bank-level parallelism.
+    fn clean_sample(n: usize) -> MonitorSample {
+        MonitorSample {
+            shadow_hits: vec![0; n],
+            shadow_accesses: vec![1; n],
+            blp_integral: vec![0; n],
+            busy_time: vec![0; n],
+        }
+    }
+
+    fn paper_view() -> ([u64; 4], [u64; 4], [u64; 4]) {
+        view_arrays()
+    }
+
+    #[test]
+    fn implausible_sample_quarantines_only_that_controller() {
+        let cfg = cfg();
+        let params = TcmParams::paper_default(4).with_cluster_thresh(0.25);
+        let mut meta = MetaController::new(params, 4, &cfg);
+        let (retired, misses, service) = paper_view();
+        let view = SystemView {
+            retired: &retired,
+            misses: &misses,
+            service: &service,
+        };
+        let mut bad = clean_sample(4);
+        // The shadow row-buffer cannot hit more often than it is
+        // accessed: this sample is impossible for a healthy controller.
+        bad.shadow_hits[2] = bad.shadow_accesses[2] + 7;
+        let samples = vec![Some(clean_sample(4)), Some(bad)];
+        let plan = meta.exchange(1_000_000, &view, &samples);
+        assert_eq!(plan.quarantined, vec![false, true]);
+        assert!(!plan.degraded, "the healthy majority keeps TCM clustering");
+        assert!(
+            plan.priorities.iter().any(|&p| p > 0),
+            "the quantum still ranks threads from the healthy sample"
+        );
+        let events = meta.degradation_events();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            DegradationAnomaly::ControllerQuarantined {
+                controller: 1,
+                reason: QuarantineReason::ImplausibleAggregate,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stale_controller_is_quarantined_then_readmitted() {
+        let cfg = cfg();
+        let params = TcmParams::paper_default(4).with_cluster_thresh(0.25);
+        let mut meta = MetaController::new(params, 4, &cfg);
+        let (retired, misses, service) = paper_view();
+        let view = SystemView {
+            retired: &retired,
+            misses: &misses,
+            service: &service,
+        };
+        let both = || vec![Some(clean_sample(4)), Some(clean_sample(4))];
+        // Quantum 1: both controllers participate cleanly.
+        let plan = meta.exchange(1_000_000, &view, &both());
+        assert!(plan.quarantined.is_empty());
+        assert!(meta.degradation_events().is_empty());
+        // Quantum 2: controller 1 goes dark — stale-sample quarantine.
+        let plan = meta.exchange(2_000_000, &view, &[Some(clean_sample(4)), None]);
+        assert_eq!(plan.quarantined, vec![false, true]);
+        // Quantum 3: one clean quantum is not enough to earn trust back.
+        let plan = meta.exchange(3_000_000, &view, &both());
+        assert_eq!(plan.quarantined, vec![false, true]);
+        // Quantum 4: second consecutive clean quantum — re-admitted.
+        let plan = meta.exchange(4_000_000, &view, &both());
+        assert!(
+            plan.quarantined.is_empty(),
+            "re-admission clears the broadcast quarantine flags"
+        );
+        let events = meta.degradation_events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            DegradationAnomaly::ControllerQuarantined {
+                controller: 1,
+                reason: QuarantineReason::StaleSample,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[1],
+            DegradationAnomaly::ControllerReadmitted { controller: 1, clean_quanta: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn absent_controllers_are_not_stale_before_first_participation() {
+        // Staleness is "used to report, stopped reporting": a controller
+        // that never supplied a sample (e.g. a non-coordinated policy in
+        // a mixed fleet) must never be flagged.
+        let cfg = cfg();
+        let params = TcmParams::paper_default(4).with_cluster_thresh(0.25);
+        let mut meta = MetaController::new(params, 4, &cfg);
+        let (retired, misses, service) = paper_view();
+        let view = SystemView {
+            retired: &retired,
+            misses: &misses,
+            service: &service,
+        };
+        let plan = meta.exchange(1_000_000, &view, &[Some(clean_sample(4)), None]);
+        assert!(plan.quarantined.is_empty());
+        assert!(meta.degradation_events().is_empty());
+        // Once it starts participating it is trusted immediately.
+        let plan = meta.exchange(
+            2_000_000,
+            &view,
+            &[Some(clean_sample(4)), Some(clean_sample(4))],
+        );
+        assert!(plan.quarantined.is_empty());
+        assert!(meta.degradation_events().is_empty());
     }
 
     #[test]

@@ -172,10 +172,22 @@ impl Tcm {
         &self.anomalies
     }
 
+    /// Records an anomaly into this policy's typed log and telemetry
+    /// stream. The meta-controller uses this to surface its
+    /// per-controller quarantine events through the same channel as the
+    /// whole-system plausibility guard.
+    pub(crate) fn record_anomaly(&mut self, anomaly: DegradationAnomaly) {
+        self.telemetry
+            .emit(|| TraceEvent::DegradationFallback(anomaly.clone()));
+        self.anomalies.push(anomaly);
+    }
+
     /// Applies any armed monitor faults whose cycle has passed: flips the
     /// sign/exponent bits of the target thread's MPKI, RBL and BLP
-    /// counters, modeling bit flips in the monitoring hardware.
-    fn apply_monitor_faults(&mut self, snap: &mut QuantumSnapshot, now: Cycle) {
+    /// counters, modeling bit flips in the monitoring hardware. Exposed
+    /// crate-wide so the meta-controller can corrupt its *aggregated*
+    /// snapshot through the same machinery.
+    pub(crate) fn apply_monitor_faults(&mut self, snap: &mut QuantumSnapshot, now: Cycle) {
         fn flip(v: f64) -> f64 {
             f64::from_bits(v.to_bits() ^ 0xFFF0_0000_0000_0000)
         }
@@ -212,7 +224,7 @@ impl Tcm {
     /// run can never trip this check.
     fn implausible_monitor(&self, snap: &QuantumSnapshot, now: Cycle) -> Option<DegradationAnomaly> {
         let banks = self.monitor.total_banks() as f64;
-        let anomaly = |thread, counter, value, upper| DegradationAnomaly {
+        let anomaly = |thread, counter, value, upper| DegradationAnomaly::ImplausibleCounter {
             cycle: now,
             thread,
             counter,

@@ -147,6 +147,14 @@ pub struct ClusterPlan {
     /// aggregated monitor data and degraded to FR-FCFS for this quantum
     /// (all priorities equal).
     pub degraded: bool,
+    /// Per-controller quarantine flags (indexed by controller), set by
+    /// the meta-controller's staleness/plausibility guard. Empty when no
+    /// controller has ever been quarantined — the engine treats an
+    /// empty vector exactly like all-healthy, so clean runs stay
+    /// bit-identical to plans without the field. A flagged controller's
+    /// samples were excluded from this quantum's aggregation and the
+    /// engine drops it to local FR-FCFS ordering until re-admission.
+    pub quarantined: Vec<bool>,
 }
 
 /// A memory-request scheduling policy.
@@ -277,6 +285,13 @@ pub trait MetaScheduler: std::fmt::Debug + Send {
     fn degradation_events(&self) -> &[DegradationAnomaly] {
         &[]
     }
+
+    /// Arms a monitor-state fault (from the `tcm-chaos` layer) against
+    /// the *aggregated* snapshot the meta-controller computes at its
+    /// next quantum boundary (mirrors
+    /// [`Scheduler::inject_monitor_fault`]). Meta-controllers without
+    /// monitors ignore it — the default is a no-op.
+    fn inject_monitor_fault(&mut self, _fault: &FaultSpec) {}
 
     /// Hands the meta-controller a telemetry handle. Observation-only.
     fn attach_telemetry(&mut self, _telemetry: &Telemetry) {}

@@ -8,7 +8,7 @@
 //!         [--policies fr-fcfs,stfm,par-bs,atlas,fqm,tcm] [--json]
 //!         [--workload A|B|C|D] [--workers W] [--verify]
 //!         [--checkpoint FILE] [--resume FILE] [--cell-deadline SECS]
-//!         [--bench-json FILE] [--chaos-smoke]
+//!         [--bench-json FILE] [--chaos-smoke] [--chaos-empty]
 //!         [--trace FILE] [--trace-format jsonl|chrome] [--metrics-json FILE]
 //! ```
 //!
@@ -37,8 +37,9 @@
 //! with which `RequestQueue` implementation the binary was built with
 //! (`indexed` by default, `flat` under the `flat-queue` feature).
 //! `scripts/bench.sh` runs both builds and merges the two records into
-//! `BENCH_hotpath.json`. Only `--cycles` and `--workers` modify the
-//! fixed sweep (workers default to 1 in this mode for stable timing).
+//! `BENCH_hotpath.json`. Only `--cycles`, `--workers`, the topology
+//! flags, and the `--verify`/`--chaos-empty` probes modify the fixed
+//! sweep (workers default to 1 in this mode for stable timing).
 //!
 //! `--checkpoint FILE` records every completed sweep cell to FILE
 //! (JSONL, atomically republished after each cell), and `--resume FILE`
@@ -54,7 +55,14 @@
 //! sweep: every `tcm-chaos` fault class is injected into a fixed-seed
 //! simulation and must be caught by exactly its mapped detector, and a
 //! zero-fault control run must finish clean and bit-identical to a run
-//! without the chaos layer.
+//! without the chaos layer. With a multi-controller `--topology` (e.g.
+//! `2x2`) the campaign runs on `MultiSystem` instead — covering the
+//! coordination fault classes (controller blackout, monitor skew) that
+//! have no flat-machine analogue — and honours `--intra-hosts`, so the
+//! same faults are provably host-count invariant. `--chaos-empty`
+//! installs an *empty* fault plan on every run (arming the detectors
+//! without scheduling any fault); benches use it to prove the chaos
+//! layer is zero-cost when inert.
 //!
 //! Exit codes: 0 on success, 1 if any sweep cell failed for a
 //! deterministic reason (panic, invariant violation, stall — the
@@ -75,7 +83,7 @@ use std::time::Duration;
 use tcm_chaos::{Detector, FaultKind, FaultPlan, FaultSpec};
 use tcm_core::TcmParams;
 use tcm_sched::{AtlasParams, ParBsParams, StfmParams};
-use tcm_sim::{CellFailureKind, PolicyKind, RunConfig, Session, SweepCell, System};
+use tcm_sim::{CellFailureKind, MultiSystem, PolicyKind, RunConfig, Session, SweepCell, System};
 use tcm_telemetry::{
     chrome_counter, chrome_event, chrome_process_name, event_to_jsonl, labeled, TelemetryConfig,
 };
@@ -178,6 +186,8 @@ fn run_bench(
     workers: usize,
     topology: Option<&Topology>,
     intra_hosts: usize,
+    verify: bool,
+    chaos_empty: bool,
 ) -> i32 {
     let threads = 24usize;
     let policies = PolicyKind::paper_lineup(threads);
@@ -195,6 +205,8 @@ fn run_bench(
             .system(cfg)
             .horizon(cycles)
             .intra_hosts(intra_hosts)
+            .verify(verify)
+            .chaos(chaos_empty.then(FaultPlan::none))
             .build(),
     );
     let sweep = session
@@ -280,8 +292,49 @@ fn run_bench(
 /// Chaos smoke campaign: inject every fault class at a fixed seed and
 /// check each is caught by exactly its mapped detector, then prove the
 /// clean control has zero detections and is bit-identical to a run
-/// without the chaos layer. Returns the process exit code.
-fn run_chaos_smoke() -> i32 {
+/// without the chaos layer. A multi-controller `--topology` runs the
+/// campaign on [`MultiSystem`] (the only machine where the coordination
+/// fault classes have a target). Returns the process exit code.
+fn run_chaos_smoke(topology: Option<&Topology>, intra_hosts: usize) -> i32 {
+    match topology {
+        Some(topo) if topo.num_controllers() > 1 => run_chaos_smoke_multi(topo, intra_hosts),
+        _ => run_chaos_smoke_flat(),
+    }
+}
+
+/// Tallies per-check pass/fail lines for the smoke campaigns.
+struct SmokeReport {
+    failures: usize,
+}
+
+impl SmokeReport {
+    fn new() -> Self {
+        Self { failures: 0 }
+    }
+
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        eprintln!("  {name:<20} {} {detail}", if ok { "ok  " } else { "FAIL" });
+        if !ok {
+            self.failures += 1;
+        }
+    }
+
+    fn finish(self, label: &str, classes: usize) -> i32 {
+        if self.failures == 0 {
+            eprintln!("chaos smoke [{label}]: all {classes} fault classes detected, control clean");
+            0
+        } else {
+            eprintln!("chaos smoke [{label}]: {} check(s) FAILED", self.failures);
+            1
+        }
+    }
+}
+
+/// The single-controller campaign: every non-coordination fault class
+/// on the flat [`System`] engine. Coordination faults (blackout, skew)
+/// strike the controller↔meta-controller exchange, which a flat machine
+/// does not have; the multi campaign covers them.
+fn run_chaos_smoke_flat() -> i32 {
     const HORIZON: u64 = 200_000;
     const FAULT_AT: u64 = 20_000;
     let threads = 4;
@@ -299,16 +352,19 @@ fn run_chaos_smoke() -> i32 {
         ..TcmParams::paper_default(threads)
     });
 
-    let mut failures = 0usize;
-    let mut report = |name: &str, ok: bool, detail: String| {
-        eprintln!("  {name:<20} {} {detail}", if ok { "ok  " } else { "FAIL" });
-        if !ok {
-            failures += 1;
-        }
-    };
-
+    let mut report = SmokeReport::new();
+    let mut classes = 0usize;
     eprintln!("chaos smoke: every fault class vs its detector");
     for kind in FaultKind::ALL {
+        if kind.is_coordination_fault() {
+            eprintln!(
+                "  {:<20} skip coordination fault needs a meta-controller \
+                 (rerun with --topology 2x2)",
+                kind.name()
+            );
+            continue;
+        }
+        classes += 1;
         let policy = match kind.detector() {
             Detector::Degradation => &tcm,
             _ => &PolicyKind::FrFcfs,
@@ -321,10 +377,10 @@ fn run_chaos_smoke() -> i32 {
         match (kind.detector(), outcome) {
             (Detector::Invariant(expected), Err(SimError::InvariantViolation(v))) => {
                 let ok = v.invariant == expected;
-                report(kind.name(), ok, format!("caught: {v}"));
+                report.check(kind.name(), ok, format!("caught: {v}"));
             }
             (Detector::Stall, Err(SimError::Stalled(r))) => {
-                report(kind.name(), true, format!("caught: {}", r.summary()));
+                report.check(kind.name(), true, format!("caught: {}", r.summary()));
             }
             (Detector::Degradation, Ok(_)) => {
                 let anomalies = sys.degradation_events();
@@ -333,10 +389,11 @@ fn run_chaos_smoke() -> i32 {
                     .first()
                     .map(|a| a.to_string())
                     .unwrap_or_else(|| "no anomaly logged".to_string());
-                report(kind.name(), ok, format!("degraded: {detail}"));
+                report.check(kind.name(), ok, format!("degraded: {detail}"));
             }
-            (_, Err(err)) => report(kind.name(), false, format!("wrong detector: {err}")),
-            (_, Ok(_)) => report(kind.name(), false, "escaped undetected".to_string()),
+            (Detector::Quarantine, _) => unreachable!("coordination kinds skipped above"),
+            (_, Err(err)) => report.check(kind.name(), false, format!("wrong detector: {err}")),
+            (_, Ok(_)) => report.check(kind.name(), false, "escaped undetected".to_string()),
         }
     }
 
@@ -348,7 +405,7 @@ fn run_chaos_smoke() -> i32 {
     control.install_chaos(&FaultPlan::none());
     match (bare.try_run(HORIZON), control.try_run(HORIZON)) {
         (Ok(a), Ok(b)) => {
-            report(
+            report.check(
                 "clean-control",
                 a == b,
                 if a == b {
@@ -358,20 +415,147 @@ fn run_chaos_smoke() -> i32 {
                 },
             );
         }
-        (a, b) => report(
+        (a, b) => report.check(
             "clean-control",
             false,
             format!("false positive: {:?} / {:?}", a.err(), b.err()),
         ),
     }
 
-    if failures == 0 {
-        eprintln!("chaos smoke: all {} fault classes detected, control clean", FaultKind::ALL.len());
-        0
-    } else {
-        eprintln!("chaos smoke: {failures} check(s) FAILED");
-        1
+    report.finish("flat", classes)
+}
+
+/// The multi-controller campaign: all fault classes — including the two
+/// coordination kinds — on a sharded [`MultiSystem`], with faults
+/// addressed to the *last* controller and the *last* global channel so
+/// detection proves topology-aware routing, not flat-index luck.
+fn run_chaos_smoke_multi(topo: &Topology, intra_hosts: usize) -> i32 {
+    const HORIZON: u64 = 300_000;
+    const FAULT_AT: u64 = 20_000;
+    // Coordination faults must land *after* the target controller has
+    // participated in one clean exchange (first boundary at the 50k
+    // quantum): a monitor that never reported is indistinguishable from
+    // one that went dark.
+    const COORD_AT: u64 = 60_000;
+    let threads = 4;
+    let cfg = SystemConfig::builder()
+        .num_threads(threads)
+        .topology(topo.clone())
+        .build()
+        .expect("smoke config is valid");
+    let workload = random_workload(1, threads, 1.0);
+    let tcm = PolicyKind::Tcm(TcmParams {
+        quantum: 50_000,
+        ..TcmParams::paper_default(threads)
+    });
+    let build = |policy: &PolicyKind, hosts: usize| -> MultiSystem {
+        let controllers = (0..topo.num_controllers())
+            .map(|_| policy.build_controller(threads, &cfg))
+            .collect();
+        let mut sys =
+            MultiSystem::new(&cfg, &workload, controllers, policy.build_meta(threads, &cfg), 0);
+        sys.set_hosts(hosts);
+        sys
+    };
+    let last_controller = topo.num_controllers() - 1;
+    let last_channel = topo.num_channels() - 1;
+
+    let mut report = SmokeReport::new();
+    eprintln!(
+        "chaos smoke: every fault class vs its detector on {topo} across {intra_hosts} host(s)"
+    );
+    for kind in FaultKind::ALL {
+        let policy = match kind.detector() {
+            // Both the plausibility guard and the quarantine guard live
+            // in the TCM meta-controller.
+            Detector::Degradation | Detector::Quarantine => &tcm,
+            _ => &PolicyKind::FrFcfs,
+        };
+        let at = if kind.is_coordination_fault() { COORD_AT } else { FAULT_AT };
+        let mut sys = build(policy, intra_hosts);
+        sys.install_chaos(&FaultPlan::none().with_fault(
+            FaultSpec::new(kind, at)
+                .on_thread(1)
+                .on_channel(last_channel)
+                .on_controller(last_controller),
+        ));
+        let outcome = sys.try_run(HORIZON);
+        match (kind.detector(), outcome) {
+            (Detector::Invariant(expected), Err(SimError::InvariantViolation(v))) => {
+                let ok = v.invariant == expected && v.channel.index() == last_channel;
+                report.check(kind.name(), ok, format!("caught: {v}"));
+            }
+            (Detector::Stall, Err(SimError::Stalled(r))) => {
+                // A sharded stall must name the frozen controller.
+                let ok = r.controller.is_some();
+                report.check(kind.name(), ok, format!("caught: {}", r.summary().trim_end()));
+            }
+            (Detector::Degradation, Ok(_)) => {
+                let anomalies = sys.degradation_events();
+                let ok = !anomalies.is_empty();
+                let detail = anomalies
+                    .first()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|| "no anomaly logged".to_string());
+                report.check(kind.name(), ok, format!("degraded: {detail}"));
+            }
+            (Detector::Quarantine, Ok(_)) => {
+                use tcm_telemetry::DegradationAnomaly;
+                let anomalies = sys.degradation_events();
+                let quarantined = anomalies.iter().any(|a| {
+                    matches!(a, DegradationAnomaly::ControllerQuarantined { controller, .. }
+                        if *controller == last_controller)
+                });
+                let readmitted = anomalies.iter().any(|a| {
+                    matches!(a, DegradationAnomaly::ControllerReadmitted { controller, .. }
+                        if *controller == last_controller)
+                });
+                let detail = anomalies
+                    .first()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|| "no quarantine logged".to_string());
+                report.check(
+                    kind.name(),
+                    quarantined && readmitted,
+                    format!("quarantined + readmitted: {detail}"),
+                );
+            }
+            (_, Err(err)) => report.check(kind.name(), false, format!("wrong detector: {err}")),
+            (_, Ok(_)) => report.check(kind.name(), false, "escaped undetected".to_string()),
+        }
     }
+
+    // Clean control under TCM (the guard-bearing policy): the empty plan
+    // must be a strict no-op, and sharding across hosts must not shift a
+    // single bit relative to the sequential chaos-free run.
+    let mut bare = build(&tcm, 1);
+    bare.enable_verification();
+    let mut control = build(&tcm, intra_hosts);
+    control.install_chaos(&FaultPlan::none());
+    match (bare.try_run(HORIZON), control.try_run(HORIZON)) {
+        (Ok(a), Ok(b)) => {
+            let ok = a == b;
+            report.check(
+                "clean-control",
+                ok,
+                if ok {
+                    format!(
+                        "zero detections, bit-identical to chaos-free run at 1 vs \
+                         {intra_hosts} host(s)"
+                    )
+                } else {
+                    "results diverge from the chaos-free run".to_string()
+                },
+            );
+        }
+        (a, b) => report.check(
+            "clean-control",
+            false,
+            format!("false positive: {:?} / {:?}", a.err(), b.err()),
+        ),
+    }
+
+    report.finish(&format!("{topo} × {intra_hosts} host(s)"), FaultKind::ALL.len())
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -570,7 +754,8 @@ fn usage() -> ! {
          \x20              [--policies p1,p2,...] [--workload A|B|C|D] [--workers W] [--json]\n\
          \x20              [--verify] [--checkpoint FILE] [--resume FILE]\n\
          \x20              [--cell-deadline SECS] [--bench-json FILE] [--chaos-smoke]\n\
-         \x20              [--trace FILE] [--trace-format jsonl|chrome] [--metrics-json FILE]\n\
+         \x20              [--chaos-empty] [--trace FILE] [--trace-format jsonl|chrome]\n\
+         \x20              [--metrics-json FILE]\n\
          policies: fcfs fr-fcfs stfm par-bs atlas fqm tcm (default: all but fcfs/fqm)\n\
          --topology picks the memory-system shape: `4` = one controller with 4\n\
          \x20          channels (flat default), `2x2` = 2 controllers x 2 channels,\n\
@@ -582,7 +767,11 @@ fn usage() -> ! {
          --resume restores completed cells from FILE, runs the rest, keeps FILE updated\n\
          --cell-deadline cancels (and retries once) any cell exceeding SECS wall-clock\n\
          --bench-json times the fixed paper-lineup sweep and writes the record to FILE\n\
-         --chaos-smoke runs the fault-injection smoke campaign and exits\n\
+         --chaos-smoke runs the fault-injection smoke campaign and exits (a\n\
+         \x20          multi-controller --topology runs it on MultiSystem, honouring\n\
+         \x20          --intra-hosts and covering the coordination fault classes)\n\
+         --chaos-empty installs an empty fault plan on every run: detectors armed,\n\
+         \x20          zero faults (benches use it to prove the inert layer is free)\n\
          --trace writes the telemetry event log to FILE (jsonl by default; chrome is\n\
          \x20       a Chrome-trace array loadable at https://ui.perfetto.dev)\n\
          --metrics-json writes every cell's final metrics registry to FILE"
@@ -605,6 +794,7 @@ fn main() {
     let mut checkpoint: Option<String> = None;
     let mut cell_deadline: Option<Duration> = None;
     let mut chaos_smoke = false;
+    let mut chaos_empty = false;
     let mut trace: Option<String> = None;
     let mut trace_format = TraceFormat::Jsonl;
     let mut metrics_json: Option<String> = None;
@@ -649,6 +839,7 @@ fn main() {
                 cell_deadline = Some(Duration::from_secs_f64(secs));
             }
             "--chaos-smoke" => chaos_smoke = true,
+            "--chaos-empty" => chaos_empty = true,
             "--trace" => trace = Some(value("--trace")),
             "--trace-format" => {
                 trace_format = match value("--trace-format").as_str() {
@@ -679,7 +870,7 @@ fn main() {
     }
 
     if chaos_smoke {
-        std::process::exit(run_chaos_smoke());
+        std::process::exit(run_chaos_smoke(topology.as_ref(), intra_hosts));
     }
 
     if let Some(path) = bench_json {
@@ -692,6 +883,8 @@ fn main() {
             workers.unwrap_or(1),
             topology.as_ref(),
             intra_hosts,
+            verify,
+            chaos_empty,
         ));
     }
 
@@ -729,6 +922,7 @@ fn main() {
             .horizon(cycles)
             .verify(verify)
             .intra_hosts(intra_hosts)
+            .chaos(chaos_empty.then(FaultPlan::none))
             .cell_deadline(cell_deadline)
             .telemetry(
                 (trace.is_some() || metrics_json.is_some()).then(TelemetryConfig::default),

@@ -44,15 +44,30 @@ use crate::event::{Event, EventQueue};
 use crate::system::{RunResult, DEFAULT_STALL_LIMIT};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use tcm_chaos::{FaultKind, FaultPlan, FaultSpec};
 use tcm_cpu::{Core, CoreStatus};
 use tcm_dram::Channel;
-use tcm_sched::{MetaScheduler, MonitorSample, PickContext, Scheduler, SystemView};
-use tcm_telemetry::{labeled, DegradationAnomaly, Telemetry};
+use tcm_sched::{
+    ChaosScheduler, ClusterPlan, MetaScheduler, MonitorSample, PickContext, Scheduler, SystemView,
+};
+use tcm_telemetry::{labeled, DegradationAnomaly, Telemetry, TraceEvent};
 use tcm_types::{
-    BankId, CancelToken, ChannelId, Cycle, DramTiming, Invariant, InvariantViolation, MemAddress,
-    Request, RequestId, RowState, SimError, StallReport, SystemConfig, ThreadId,
+    BankId, CancelToken, ChannelId, ControllerId, Cycle, DramTiming, Invariant,
+    InvariantViolation, MemAddress, Request, RequestId, RowState, SimError, StallReport,
+    SystemConfig, ThreadId,
 };
 use tcm_workload::{MachineShape, TraceGenerator, WorkloadSpec};
+
+/// Consecutive window barriers a shard's policy timer may refuse to
+/// advance past the window start before the run is declared stalled.
+///
+/// A healthy policy's `next_tick` always lands strictly in the future,
+/// so the counter resets every barrier; a wedged timer (e.g. a
+/// scheduler-spin fault) pins it at the current cycle, shrinking every
+/// window to one cycle without ever tripping the retirement watchdog.
+/// This is the sharded engine's analogue of the flat engine's
+/// same-cycle livelock guard.
+pub const FROZEN_TICK_LIMIT: u64 = 1_000;
 
 /// A message crossing the coordinator → shard boundary, or queued
 /// shard-locally (bank wakeups never leave their shard).
@@ -292,8 +307,9 @@ impl Shard {
 /// across host threads. See the module docs for the execution model.
 ///
 /// Identical inputs produce bit-identical results regardless of
-/// [`MultiSystem::set_hosts`]. Fault injection (`tcm-chaos`) is not
-/// supported on this engine.
+/// [`MultiSystem::set_hosts`] — including under a fault-injection plan
+/// (see [`MultiSystem::install_chaos`]): faults fire at window barriers
+/// or shard-locally, never across the phase boundary.
 ///
 /// # Example
 ///
@@ -343,6 +359,16 @@ pub struct MultiSystem {
     hosts: usize,
     scratch_ids: Vec<RequestId>,
     telemetry: Telemetry,
+    /// Armed spill-flood fault: at its cycle, phantom requests are routed
+    /// to the owning shard until its spill queue outgrows the bound.
+    chaos_flood: Option<FaultSpec>,
+    /// Armed coordination faults (controller blackout / monitor skew),
+    /// applied to the harvested sample vector at the next quantum
+    /// exchange at or after their cycle. Fire-once: removed when fired.
+    chaos_coordination: Vec<FaultSpec>,
+    /// Per-shard count of consecutive barriers whose policy timer was
+    /// already due at the window start (see [`FROZEN_TICK_LIMIT`]).
+    frozen_ticks: Vec<u64>,
 }
 
 impl MultiSystem {
@@ -468,6 +494,9 @@ impl MultiSystem {
             hosts: 1,
             scratch_ids: Vec::new(),
             telemetry: Telemetry::disabled(),
+            chaos_flood: None,
+            chaos_coordination: Vec::new(),
+            frozen_ticks: vec![0; cfg.topology.num_controllers()],
             cfg: cfg.clone(),
         };
         if std::env::var_os("TCM_VERIFY").is_some_and(|v| v != "0") {
@@ -535,6 +564,119 @@ impl MultiSystem {
         }
         if let Some(meta) = &mut self.meta {
             meta.attach_telemetry(telemetry);
+        }
+    }
+
+    /// Installs a fault-injection plan (see the `tcm-chaos` crate),
+    /// mirroring `System::install_chaos` on the sharded engine.
+    ///
+    /// Routes each fault to its execution site via the topology's
+    /// channel partition: channel faults to the owning shard's
+    /// [`Channel`], monitor faults to the meta-controller (or the target
+    /// controller's policy when uncoordinated), the spill flood to the
+    /// owning shard's admission path, scheduler spins to the target
+    /// controller's policy (wrapped in a [`ChaosScheduler`]), and
+    /// coordination faults (controller blackout / monitor skew) to the
+    /// quantum-exchange harvest.
+    ///
+    /// Also enables protocol verification on every channel: injecting
+    /// faults without the detectors armed would be undetectable by
+    /// design. Installing an *empty* plan still installs the (inert)
+    /// chaos state everywhere, so tests can prove the zero-fault plan is
+    /// bit-identical to no plan at all.
+    pub fn install_chaos(&mut self, plan: &FaultPlan) {
+        self.enable_verification();
+        for shard in &mut self.shards {
+            for (local, ch) in shard.channels.iter_mut().enumerate() {
+                ch.set_chaos(Some(plan.channel_chaos(shard.channel_base + local)));
+            }
+        }
+        for fault in plan.monitor_faults() {
+            if let Some(meta) = &mut self.meta {
+                meta.inject_monitor_fault(&fault);
+            } else {
+                let c = fault.controller.min(self.shards.len() - 1);
+                self.shards[c].scheduler.inject_monitor_fault(&fault);
+            }
+        }
+        self.chaos_flood = plan.flood();
+        self.chaos_coordination = plan.coordination_faults().collect();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if let Some(spin_at) = plan.spin_for(i) {
+                // Placeholder swap: Box<dyn Scheduler> has no cheap
+                // default, and the wrapper needs ownership of the inner
+                // policy.
+                let inner =
+                    std::mem::replace(&mut shard.scheduler, Box::new(tcm_sched::Fcfs::new()));
+                shard.scheduler = Box::new(ChaosScheduler::new(inner, spin_at));
+                // Policies without timers never armed a tick; the
+                // wrapper needs one for the spin to engage.
+                shard.next_tick = shard.scheduler.next_tick(shard.now);
+            }
+        }
+    }
+
+    /// Executes an armed spill-flood fault: routes phantom requests to
+    /// the target channel's shard until its buffer and spill queue both
+    /// overflow, tripping the resource-bound detector in `Shard::admit`
+    /// during the next controller phase.
+    fn trigger_flood(&mut self, fault: FaultSpec, at: Cycle) {
+        self.telemetry.emit(|| TraceEvent::ChaosInjected {
+            cycle: at,
+            kind: FaultKind::SpillFlood,
+        });
+        let channel = fault.channel.min(self.cfg.num_channels() - 1);
+        let addr = MemAddress::new(
+            ChannelId::new(channel),
+            BankId::new(0),
+            tcm_types::Row::new(0),
+        );
+        let thread = ThreadId::new(fault.thread.min(self.cfg.num_threads - 1));
+        let spill_bound = self.cfg.num_threads * self.cfg.mshrs_per_core;
+        let phantoms = self.cfg.request_buffer + spill_bound + 1;
+        // All phantoms go to the inbox up front; the shard stops
+        // admitting the moment the bound trips (its event loop breaks on
+        // a pending error), and poll_faults surfaces it at the barrier.
+        for _ in 0..phantoms {
+            let id = RequestId::new(self.next_request_id);
+            self.next_request_id += 1;
+            let request = Request::new(id, thread, addr, at);
+            self.route(at, request, ShardMsg::Arrival(request));
+        }
+    }
+
+    /// Applies due coordination faults to this exchange's harvested
+    /// sample vector: a blackout deletes the target controller's sample
+    /// (its monitor went dark), a skew corrupts it into physical
+    /// impossibility (more shadow hits than accesses). Fire-once.
+    fn apply_coordination_faults(&mut self, at: Cycle, samples: &mut [Option<MonitorSample>]) {
+        let mut i = 0;
+        while i < self.chaos_coordination.len() {
+            let fault = self.chaos_coordination[i];
+            if fault.at > at {
+                i += 1;
+                continue;
+            }
+            self.chaos_coordination.remove(i);
+            let c = fault.controller.min(samples.len() - 1);
+            match fault.kind {
+                FaultKind::ControllerBlackout => samples[c] = None,
+                FaultKind::MonitorSkew => {
+                    if let Some(sample) = &mut samples[c] {
+                        let t = fault
+                            .thread
+                            .min(sample.shadow_accesses.len().saturating_sub(1));
+                        sample.shadow_hits[t] = sample.shadow_accesses[t]
+                            .saturating_mul(2)
+                            .saturating_add(1_000);
+                    }
+                }
+                _ => unreachable!("coordination_faults yields only coordination kinds"),
+            }
+            self.telemetry.emit(|| TraceEvent::ChaosInjected {
+                cycle: at,
+                kind: fault.kind,
+            });
         }
     }
 
@@ -711,7 +853,8 @@ impl MultiSystem {
         if self.meta_tick.is_some_and(|due| due <= at) {
             let (retired, misses, service) = self.view_arrays();
             let meta = self.meta.as_mut().expect("meta_tick without a meta");
-            let samples: Vec<Option<MonitorSample>> = if meta.needs_samples(at) {
+            let harvested = meta.needs_samples(at);
+            let mut samples: Vec<Option<MonitorSample>> = if harvested {
                 self.shards
                     .iter_mut()
                     .map(|s| s.scheduler.quantum_exchange(at))
@@ -719,15 +862,39 @@ impl MultiSystem {
             } else {
                 vec![None; self.shards.len()]
             };
+            if harvested && !self.chaos_coordination.is_empty() {
+                self.apply_coordination_faults(at, &mut samples);
+            }
+            let meta = self.meta.as_mut().expect("meta_tick without a meta");
             let view = SystemView {
                 retired: &retired,
                 misses: &misses,
                 service: &service,
             };
             let plan = meta.exchange(at, &view, &samples);
-            for shard in &mut self.shards {
-                shard.scheduler.apply_broadcast(&plan, at);
+            if plan.quarantined.is_empty() {
+                for shard in &mut self.shards {
+                    shard.scheduler.apply_broadcast(&plan, at);
+                }
+            } else {
+                // A quarantined controller gets the degenerate all-zero
+                // ranking — Algorithm 3 with equal ranks is row-hit then
+                // oldest, i.e. local FR-FCFS — while the healthy shards
+                // keep the real TCM clustering for this quantum.
+                let fallback = ClusterPlan {
+                    priorities: vec![0; self.cfg.num_threads],
+                    degraded: true,
+                    quarantined: plan.quarantined.clone(),
+                };
+                for (i, shard) in self.shards.iter_mut().enumerate() {
+                    if plan.quarantined.get(i).copied().unwrap_or(false) {
+                        shard.scheduler.apply_broadcast(&fallback, at);
+                    } else {
+                        shard.scheduler.apply_broadcast(&plan, at);
+                    }
+                }
             }
+            let meta = self.meta.as_mut().expect("meta_tick without a meta");
             self.meta_tick = meta.next_tick(at);
         }
         for i in 0..self.shards.len() {
@@ -784,9 +951,28 @@ impl MultiSystem {
             if let Some(due) = self.meta_tick {
                 bound = bound.min(due.max(t + 1));
             }
-            for shard in &self.shards {
-                if let Some(due) = shard.next_tick {
+            for i in 0..self.shards.len() {
+                if let Some(due) = self.shards[i].next_tick {
                     bound = bound.min(due.max(t + 1));
+                    // A timer already due at the window start means the
+                    // policy's clock refuses to advance — the sharded
+                    // analogue of a same-cycle event-loop spin.
+                    if due <= t {
+                        self.frozen_ticks[i] += 1;
+                        if self.frozen_ticks[i] > FROZEN_TICK_LIMIT {
+                            return Err(SimError::Stalled(Box::new(self.stall_report_for(Some(i)))));
+                        }
+                    } else {
+                        self.frozen_ticks[i] = 0;
+                    }
+                } else {
+                    self.frozen_ticks[i] = 0;
+                }
+            }
+            if let Some(fault) = self.chaos_flood {
+                if fault.at < bound {
+                    self.chaos_flood = None;
+                    self.trigger_flood(fault, fault.at.max(t));
                 }
             }
             self.phase_cores(bound);
@@ -803,7 +989,7 @@ impl MultiSystem {
                 if self.injected > self.completed
                     && bound.saturating_sub(self.last_retire) > limit
                 {
-                    return Err(SimError::Stalled(self.stall_report()));
+                    return Err(SimError::Stalled(Box::new(self.stall_report())));
                 }
             }
             if bound <= horizon {
@@ -812,7 +998,7 @@ impl MultiSystem {
             t = bound;
         }
         if self.stall_limit.is_some() && self.injected > self.completed && self.drained() {
-            return Err(SimError::Stalled(self.stall_report()));
+            return Err(SimError::Stalled(Box::new(self.stall_report())));
         }
         self.now = horizon;
         for t in 0..self.cfg.num_threads {
@@ -827,7 +1013,30 @@ impl MultiSystem {
     }
 
     fn stall_report(&self) -> StallReport {
+        // No specific culprit known: attribute the controller with the
+        // deepest backlog (queues + spill), ties to the lowest index —
+        // on a multi-controller machine that is where progress died.
+        let suspect = (self.shards.len() > 1).then(|| {
+            let load = |s: &Shard| {
+                s.channels.iter().map(|ch| ch.queue().len()).sum::<usize>()
+                    + s.spill.iter().map(VecDeque::len).sum::<usize>()
+            };
+            self.shards
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, s)| (load(s), Reverse(*i)))
+                .map_or(0, |(i, _)| i)
+        });
+        self.stall_report_for(suspect)
+    }
+
+    /// A stall report attributing `controller` (when known and the
+    /// machine actually has more than one).
+    fn stall_report_for(&self, controller: Option<usize>) -> StallReport {
         StallReport {
+            controller: controller
+                .filter(|_| self.shards.len() > 1)
+                .map(ControllerId::new),
             now: self.now,
             last_retire: self.last_retire,
             events_since_retire: self.events_since_retire,

@@ -55,7 +55,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tcm_sched::FrFcfs;
 use tcm_telemetry::Telemetry;
-use tcm_types::{CancelToken, ConfigError, Cycle, SimError};
+use tcm_types::{CancelToken, ControllerId, Cycle, SimError};
 use tcm_workload::{BenchmarkProfile, WorkloadSpec};
 
 /// Exact identity of a benchmark profile for alone-IPC caching.
@@ -245,6 +245,8 @@ fn run_single_cell(
     }
     sys.set_watchdog(rc.watchdog);
     if let Some(plan) = &rc.chaos {
+        plan.validate(&rc.system.topology)
+            .map_err(SimError::Config)?;
         sys.install_chaos(plan);
     }
     if let Some(deadline) = rc.cell_deadline {
@@ -275,12 +277,6 @@ fn run_multi_cell(
     seed_xor: u64,
     telemetry: Option<&Telemetry>,
 ) -> Result<RunResult, SimError> {
-    if rc.chaos.is_some() {
-        return Err(SimError::Config(ConfigError::invalid(
-            "chaos",
-            "fault injection supports single-controller topologies only",
-        )));
-    }
     let n = workload.threads.len();
     let controllers = (0..rc.system.topology.num_controllers())
         .map(|_| policy.build_controller(n, &rc.system))
@@ -297,6 +293,11 @@ fn run_multi_cell(
         sys.enable_verification();
     }
     sys.set_watchdog(rc.watchdog);
+    if let Some(plan) = &rc.chaos {
+        plan.validate(&rc.system.topology)
+            .map_err(SimError::Config)?;
+        sys.install_chaos(plan);
+    }
     if let Some(deadline) = rc.cell_deadline {
         sys.set_cancel_token(Some(CancelToken::with_deadline(deadline)));
     }
@@ -373,6 +374,11 @@ pub struct CellError {
     pub attempts: u32,
     /// The final failure.
     pub kind: CellFailureKind,
+    /// The memory controller the failure is attributed to, when the
+    /// machine has more than one and the failure names a culprit (a
+    /// stall report's watchdog attribution, or the controller owning an
+    /// invariant violation's channel).
+    pub controller: Option<ControllerId>,
 }
 
 impl CellError {
@@ -385,7 +391,9 @@ impl CellError {
     ///
     /// `kind` is one of `panic`, `sim`, `timeout`; double quotes inside
     /// the detail are replaced with single quotes so the line stays
-    /// splittable on `"`-delimited fields.
+    /// splittable on `"`-delimited fields. When the failure is
+    /// attributed to a specific memory controller, a trailing
+    /// ` controller=mc<N>` field is appended.
     pub fn structured_line(&self) -> String {
         let kind = match &self.kind {
             CellFailureKind::Panic(_) => "panic",
@@ -393,11 +401,15 @@ impl CellError {
             CellFailureKind::Timeout(_) => "timeout",
         };
         let detail = self.kind.to_string().replace('"', "'");
-        format!(
+        let mut line = format!(
             "cell-failure policy=\"{}\" workload=\"{}\" seed={} kind={} \
              attempts={} detail=\"{}\"",
             self.policy_label, self.workload_name, self.seed_value, kind, self.attempts, detail,
-        )
+        );
+        if let Some(mc) = self.controller {
+            line.push_str(&format!(" controller={mc}"));
+        }
+        line
     }
 }
 
@@ -768,16 +780,32 @@ impl Sweep<'_> {
                     }
                     Ok(cell)
                 }
-                Err(kind) => Err(Box::new(CellError {
-                    policy: p,
-                    workload: w,
-                    seed: s,
-                    policy_label: self.policies[p].label(),
-                    workload_name: self.workloads[w].name.clone(),
-                    seed_value: self.seeds[s],
-                    attempts,
-                    kind,
-                })),
+                Err(kind) => {
+                    // Attribute the failure to a controller when the
+                    // error names one (stall reports carry the watchdog's
+                    // suspect; invariant violations name their channel,
+                    // whose owner the topology knows).
+                    let topology = &self.session.rc.system.topology;
+                    let controller = match &kind {
+                        CellFailureKind::Sim(SimError::Stalled(report)) => report.controller,
+                        CellFailureKind::Sim(SimError::InvariantViolation(v)) => {
+                            (topology.num_controllers() > 1)
+                                .then(|| topology.controller_of(v.channel))
+                        }
+                        _ => None,
+                    };
+                    Err(Box::new(CellError {
+                        policy: p,
+                        workload: w,
+                        seed: s,
+                        policy_label: self.policies[p].label(),
+                        workload_name: self.workloads[w].name.clone(),
+                        seed_value: self.seeds[s],
+                        attempts,
+                        kind,
+                        controller,
+                    }))
+                }
             }
         };
 

@@ -640,7 +640,7 @@ impl System {
                 let stalled = self.injected > self.completed
                     && self.now.saturating_sub(self.last_retire) > limit;
                 if stalled || self.events_at_now > self.livelock_limit {
-                    return Err(SimError::Stalled(self.stall_report()));
+                    return Err(SimError::Stalled(Box::new(self.stall_report())));
                 }
             }
             match event {
@@ -696,7 +696,7 @@ impl System {
         if self.stall_limit.is_some() && self.injected > self.completed && self.events.is_empty() {
             // Nothing left to process but requests are still in flight:
             // whatever event should have completed them was never pushed.
-            return Err(SimError::Stalled(self.stall_report()));
+            return Err(SimError::Stalled(Box::new(self.stall_report())));
         }
         self.now = horizon;
         for t in 0..self.cfg.num_threads {
@@ -725,6 +725,8 @@ impl System {
     /// Snapshot of simulator state for a [`SimError::Stalled`] report.
     fn stall_report(&self) -> StallReport {
         StallReport {
+            // A single-controller machine has no one else to blame.
+            controller: None,
             now: self.now,
             last_retire: self.last_retire,
             events_since_retire: self.events_since_retire,

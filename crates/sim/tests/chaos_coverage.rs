@@ -155,6 +155,24 @@ fn monitor_corruption_degrades_tcm_instead_of_failing_the_run() {
 }
 
 #[test]
+fn coordination_faults_are_inert_on_a_flat_machine() {
+    // Blackout and skew strike the controller↔meta-controller exchange
+    // at a quantum barrier; a flat single-controller machine has no such
+    // exchange, so the two kinds must pass through a flat run without
+    // detection — and without perturbing a single bit. Their detection
+    // is covered end-to-end in `chaos_multi.rs`.
+    let workload = random_workload(3, 4, 1.0);
+    let cfg = single_channel_cfg(4);
+    let mut bare = System::new(&cfg, &workload, Box::new(FrFcfs::new()), 0);
+    bare.enable_verification();
+    let baseline = bare.try_run(HORIZON).expect("clean run");
+    for kind in FaultKind::ALL.into_iter().filter(|k| k.is_coordination_fault()) {
+        let run = run_with_plan_seeded(&FaultPlan::single(kind, FAULT_AT), &workload);
+        assert_eq!(baseline, run, "{kind} must be a no-op on a flat machine");
+    }
+}
+
+#[test]
 fn clean_control_run_reports_no_detections() {
     // Detectors armed, zero faults: the run must succeed.
     let run = run_with_plan(&FaultPlan::none()).expect("no false positives");

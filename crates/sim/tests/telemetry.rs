@@ -146,6 +146,7 @@ fn structured_failure_line_is_stable_and_greppable() {
         seed_value: 7,
         attempts: 2,
         kind: CellFailureKind::Timeout(123_456),
+        controller: None,
     };
     let line = err.structured_line();
     assert!(
@@ -171,4 +172,12 @@ fn structured_failure_line_is_stable_and_greppable() {
         6,
         "exactly the three quoted fields: {line}"
     );
+
+    // An attributed failure appends the controller as a trailing field.
+    let attributed = CellError {
+        controller: Some(tcm_types::ControllerId::new(1)),
+        ..panicked
+    };
+    let line = attributed.structured_line();
+    assert!(line.ends_with(" controller=mc1"), "{line}");
 }

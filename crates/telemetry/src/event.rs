@@ -144,41 +144,143 @@ impl MonitorCounter {
     }
 }
 
-/// One trip of a policy's monitor-plausibility guard: the counter whose
-/// value fell outside what the monitoring hardware can physically
-/// produce, forcing the policy to degrade to a fallback ordering for
-/// the quantum.
+/// Why the TCM meta-controller quarantined one controller's monitor
+/// samples instead of degrading the whole system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// A controller that used to supply monitor samples at quantum
+    /// boundaries suddenly reported none.
+    StaleSample,
+    /// A controller reported physically impossible aggregates (e.g.
+    /// more shadow row hits than accesses).
+    ImplausibleAggregate,
+}
+
+impl QuarantineReason {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuarantineReason::StaleSample => "stale-sample",
+            QuarantineReason::ImplausibleAggregate => "implausible-aggregate",
+        }
+    }
+
+    /// Parses the output of [`QuarantineReason::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "stale-sample" => Some(QuarantineReason::StaleSample),
+            "implausible-aggregate" => Some(QuarantineReason::ImplausibleAggregate),
+            _ => None,
+        }
+    }
+}
+
+/// One trip of a policy's self-protection machinery at a quantum
+/// boundary.
 ///
-/// The `Display` form reproduces the historical free-form anomaly
-/// string exactly, so `anomalies()`-style shims stay byte-compatible.
+/// [`ImplausibleCounter`](DegradationAnomaly::ImplausibleCounter) is
+/// the whole-system guard: a monitor counter fell outside what the
+/// hardware can physically produce, so the policy degrades to a
+/// fallback ordering for the quantum. The two controller variants are
+/// the meta-controller's *per-controller* guard on multi-controller
+/// topologies: one controller's samples are quarantined (that shard
+/// falls back to local FR-FCFS) while the healthy majority keeps TCM
+/// clustering, and the controller is re-admitted after enough clean
+/// quanta.
+///
+/// The `Display` form of `ImplausibleCounter` reproduces the
+/// historical free-form anomaly string exactly, so `anomalies()`-style
+/// shims stay byte-compatible.
 #[derive(Debug, Clone, PartialEq)]
-pub struct DegradationAnomaly {
-    /// Cycle of the quantum boundary that detected the anomaly.
-    pub cycle: Cycle,
-    /// Thread whose counter was implausible.
-    pub thread: usize,
-    /// The offending counter.
-    pub counter: MonitorCounter,
-    /// The implausible value observed.
-    pub value: f64,
-    /// Upper bound of the legal range (1.0 for RBL, total banks for
-    /// BLP; unused for MPKI, whose only bound is `>= 0`).
-    pub upper: f64,
+pub enum DegradationAnomaly {
+    /// A monitor counter was implausible; the whole policy degraded
+    /// for this quantum.
+    ImplausibleCounter {
+        /// Cycle of the quantum boundary that detected the anomaly.
+        cycle: Cycle,
+        /// Thread whose counter was implausible.
+        thread: usize,
+        /// The offending counter.
+        counter: MonitorCounter,
+        /// The implausible value observed.
+        value: f64,
+        /// Upper bound of the legal range (1.0 for RBL, total banks
+        /// for BLP; unused for MPKI, whose only bound is `>= 0`).
+        upper: f64,
+    },
+    /// The meta-controller quarantined one controller's samples.
+    ControllerQuarantined {
+        /// Cycle of the quantum boundary that detected the anomaly.
+        cycle: Cycle,
+        /// Index of the quarantined controller.
+        controller: usize,
+        /// What tripped the guard.
+        reason: QuarantineReason,
+    },
+    /// A quarantined controller supplied enough consecutive clean
+    /// samples and was re-admitted to the cluster aggregation.
+    ControllerReadmitted {
+        /// Cycle of the quantum boundary that re-admitted it.
+        cycle: Cycle,
+        /// Index of the re-admitted controller.
+        controller: usize,
+        /// Consecutive clean quanta it took to earn re-admission.
+        clean_quanta: u64,
+    },
+}
+
+impl DegradationAnomaly {
+    /// Cycle of the quantum boundary the anomaly was detected at.
+    pub fn cycle(&self) -> Cycle {
+        match self {
+            DegradationAnomaly::ImplausibleCounter { cycle, .. }
+            | DegradationAnomaly::ControllerQuarantined { cycle, .. }
+            | DegradationAnomaly::ControllerReadmitted { cycle, .. } => *cycle,
+        }
+    }
 }
 
 impl fmt::Display for DegradationAnomaly {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let t = self.thread;
-        let v = self.value;
-        write!(f, "cycle {}: implausible monitor data (", self.cycle)?;
-        match self.counter {
-            MonitorCounter::Mpki => write!(f, "thread {t} MPKI {v} (must be >= 0)")?,
-            MonitorCounter::Rbl => write!(f, "thread {t} RBL {v} (must be in [0, 1])")?,
-            MonitorCounter::Blp => {
-                write!(f, "thread {t} BLP {v} (must be in [0, {}])", self.upper)?;
+        match self {
+            DegradationAnomaly::ImplausibleCounter {
+                cycle,
+                thread: t,
+                counter,
+                value: v,
+                upper,
+            } => {
+                write!(f, "cycle {cycle}: implausible monitor data (")?;
+                match counter {
+                    MonitorCounter::Mpki => write!(f, "thread {t} MPKI {v} (must be >= 0)")?,
+                    MonitorCounter::Rbl => write!(f, "thread {t} RBL {v} (must be in [0, 1])")?,
+                    MonitorCounter::Blp => {
+                        write!(f, "thread {t} BLP {v} (must be in [0, {upper}])")?;
+                    }
+                }
+                write!(f, "); falling back to FR-FCFS for this quantum")
             }
+            DegradationAnomaly::ControllerQuarantined {
+                cycle,
+                controller,
+                reason,
+            } => write!(
+                f,
+                "cycle {cycle}: controller mc{controller} quarantined ({}); healthy \
+                 controllers keep TCM clustering, mc{controller} falls back to local \
+                 FR-FCFS",
+                reason.name()
+            ),
+            DegradationAnomaly::ControllerReadmitted {
+                cycle,
+                controller,
+                clean_quanta,
+            } => write!(
+                f,
+                "cycle {cycle}: controller mc{controller} re-admitted after \
+                 {clean_quanta} clean quanta"
+            ),
         }
-        write!(f, "); falling back to FR-FCFS for this quantum")
     }
 }
 
@@ -278,7 +380,7 @@ impl TraceEvent {
             | TraceEvent::BankActivate { cycle, .. }
             | TraceEvent::BankPrecharge { cycle, .. }
             | TraceEvent::ChaosInjected { cycle, .. } => *cycle,
-            TraceEvent::DegradationFallback(a) => a.cycle,
+            TraceEvent::DegradationFallback(a) => a.cycle(),
         }
     }
 
@@ -305,7 +407,7 @@ mod tests {
 
     #[test]
     fn anomaly_display_matches_the_historical_string() {
-        let a = DegradationAnomaly {
+        let a = DegradationAnomaly::ImplausibleCounter {
             cycle: 1_000_000,
             thread: 1,
             counter: MonitorCounter::Rbl,
@@ -317,7 +419,7 @@ mod tests {
             "cycle 1000000: implausible monitor data (thread 1 RBL -3.5 \
              (must be in [0, 1])); falling back to FR-FCFS for this quantum"
         );
-        let b = DegradationAnomaly {
+        let b = DegradationAnomaly::ImplausibleCounter {
             cycle: 7,
             thread: 0,
             counter: MonitorCounter::Blp,
@@ -325,7 +427,7 @@ mod tests {
             upper: 16.0,
         };
         assert!(b.to_string().contains("BLP 99 (must be in [0, 16])"));
-        let c = DegradationAnomaly {
+        let c = DegradationAnomaly::ImplausibleCounter {
             cycle: 7,
             thread: 2,
             counter: MonitorCounter::Mpki,
@@ -333,6 +435,28 @@ mod tests {
             upper: f64::INFINITY,
         };
         assert!(c.to_string().contains("MPKI NaN (must be >= 0)"));
+    }
+
+    #[test]
+    fn quarantine_anomalies_name_the_controller() {
+        let q = DegradationAnomaly::ControllerQuarantined {
+            cycle: 2_000_000,
+            controller: 3,
+            reason: QuarantineReason::StaleSample,
+        };
+        let msg = q.to_string();
+        assert!(msg.contains("cycle 2000000"), "{msg}");
+        assert!(msg.contains("mc3 quarantined (stale-sample)"), "{msg}");
+        assert!(msg.contains("falls back to local FR-FCFS"), "{msg}");
+        assert_eq!(q.cycle(), 2_000_000);
+        let r = DegradationAnomaly::ControllerReadmitted {
+            cycle: 5_000_000,
+            controller: 3,
+            clean_quanta: 2,
+        };
+        let msg = r.to_string();
+        assert!(msg.contains("mc3 re-admitted after 2 clean quanta"), "{msg}");
+        assert_eq!(r.cycle(), 5_000_000);
     }
 
     #[test]
@@ -346,6 +470,12 @@ mod tests {
         for counter in [MonitorCounter::Mpki, MonitorCounter::Rbl, MonitorCounter::Blp] {
             assert_eq!(MonitorCounter::from_name(counter.name()), Some(counter));
         }
+        for reason in [
+            QuarantineReason::StaleSample,
+            QuarantineReason::ImplausibleAggregate,
+        ] {
+            assert_eq!(QuarantineReason::from_name(reason.name()), Some(reason));
+        }
         for cluster in [ClusterKind::Latency, ClusterKind::Bandwidth] {
             assert_eq!(ClusterKind::from_name(cluster.name()), Some(cluster));
         }
@@ -358,17 +488,27 @@ mod tests {
             TraceEvent::QuantumBoundary { cycle: 1, index: 0, degraded: false },
             TraceEvent::ShuffleApplied { cycle: 2, algo: ShuffleAlgo::Random },
             TraceEvent::BankPrecharge { cycle: 3, channel: 0, bank: 0 },
-            TraceEvent::DegradationFallback(DegradationAnomaly {
+            TraceEvent::DegradationFallback(DegradationAnomaly::ImplausibleCounter {
                 cycle: 4,
                 thread: 0,
                 counter: MonitorCounter::Mpki,
                 value: -1.0,
                 upper: f64::INFINITY,
             }),
+            TraceEvent::DegradationFallback(DegradationAnomaly::ControllerQuarantined {
+                cycle: 5,
+                controller: 1,
+                reason: QuarantineReason::ImplausibleAggregate,
+            }),
+            TraceEvent::DegradationFallback(DegradationAnomaly::ControllerReadmitted {
+                cycle: 6,
+                controller: 1,
+                clean_quanta: 3,
+            }),
         ];
         assert_eq!(
             events.iter().map(TraceEvent::cycle).collect::<Vec<_>>(),
-            vec![1, 2, 3, 4]
+            vec![1, 2, 3, 4, 5, 6]
         );
     }
 }

@@ -15,7 +15,8 @@
 //! assemble a full multi-process trace (one process per sweep cell).
 
 use crate::event::{
-    ClusterKind, DegradationAnomaly, MonitorCounter, RowOutcome, ShuffleAlgo, TraceEvent,
+    ClusterKind, DegradationAnomaly, MonitorCounter, QuarantineReason, RowOutcome, ShuffleAlgo,
+    TraceEvent,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -126,13 +127,25 @@ pub fn event_to_jsonl(event: &TraceEvent) -> String {
             field_u64(&mut out, "channel", *channel as u64);
             field_u64(&mut out, "bank", *bank as u64);
         }
-        TraceEvent::DegradationFallback(a) => {
-            field_u64(&mut out, "cycle", a.cycle);
-            field_u64(&mut out, "thread", a.thread as u64);
-            field_str(&mut out, "counter", a.counter.name());
-            field_f64_bits(&mut out, "value_bits", a.value);
-            field_f64_bits(&mut out, "upper_bits", a.upper);
-        }
+        TraceEvent::DegradationFallback(a) => match a {
+            DegradationAnomaly::ImplausibleCounter { cycle, thread, counter, value, upper } => {
+                field_u64(&mut out, "cycle", *cycle);
+                field_u64(&mut out, "thread", *thread as u64);
+                field_str(&mut out, "counter", counter.name());
+                field_f64_bits(&mut out, "value_bits", *value);
+                field_f64_bits(&mut out, "upper_bits", *upper);
+            }
+            DegradationAnomaly::ControllerQuarantined { cycle, controller, reason } => {
+                field_u64(&mut out, "cycle", *cycle);
+                field_u64(&mut out, "controller", *controller as u64);
+                field_str(&mut out, "reason", reason.name());
+            }
+            DegradationAnomaly::ControllerReadmitted { cycle, controller, clean_quanta } => {
+                field_u64(&mut out, "cycle", *cycle);
+                field_u64(&mut out, "controller", *controller as u64);
+                field_u64(&mut out, "clean_quanta", *clean_quanta);
+            }
+        },
         TraceEvent::ChaosInjected { cycle, kind } => {
             field_u64(&mut out, "cycle", *cycle);
             field_str(&mut out, "kind", kind.name());
@@ -335,13 +348,32 @@ pub fn parse_event(line: &str) -> Option<TraceEvent> {
             channel: u("channel")? as usize,
             bank: u("bank")? as usize,
         },
-        "degradation_fallback" => TraceEvent::DegradationFallback(DegradationAnomaly {
-            cycle: u("cycle")?,
-            thread: u("thread")? as usize,
-            counter: MonitorCounter::from_name(s("counter")?)?,
-            value: f("value_bits")?,
-            upper: f("upper_bits")?,
-        }),
+        // The anomaly variant is discriminated by field presence: the
+        // historical implausible-counter shape carries "counter", the
+        // quarantine shapes carry "reason" / "clean_quanta".
+        "degradation_fallback" if fields.contains_key("counter") => {
+            TraceEvent::DegradationFallback(DegradationAnomaly::ImplausibleCounter {
+                cycle: u("cycle")?,
+                thread: u("thread")? as usize,
+                counter: MonitorCounter::from_name(s("counter")?)?,
+                value: f("value_bits")?,
+                upper: f("upper_bits")?,
+            })
+        }
+        "degradation_fallback" if fields.contains_key("reason") => {
+            TraceEvent::DegradationFallback(DegradationAnomaly::ControllerQuarantined {
+                cycle: u("cycle")?,
+                controller: u("controller")? as usize,
+                reason: QuarantineReason::from_name(s("reason")?)?,
+            })
+        }
+        "degradation_fallback" => TraceEvent::DegradationFallback(
+            DegradationAnomaly::ControllerReadmitted {
+                cycle: u("cycle")?,
+                controller: u("controller")? as usize,
+                clean_quanta: u("clean_quanta")?,
+            },
+        ),
         "chaos_injected" => {
             let kind_name = s("kind")?;
             TraceEvent::ChaosInjected {
@@ -377,7 +409,9 @@ pub fn chrome_event(event: &TraceEvent, pid: u64) -> String {
     let tid = match event {
         TraceEvent::ClusterAssignment { thread, .. }
         | TraceEvent::RequestServiced { thread, .. } => *thread as u64,
-        TraceEvent::DegradationFallback(a) => a.thread as u64,
+        TraceEvent::DegradationFallback(DegradationAnomaly::ImplausibleCounter {
+            thread, ..
+        }) => *thread as u64,
         _ => 0,
     };
     field_u64(&mut out, "tid", tid);
@@ -422,13 +456,23 @@ fn chrome_args(event: &TraceEvent) -> String {
             field_u64(&mut out, "channel", *channel as u64);
             field_u64(&mut out, "bank", *bank as u64);
         }
-        TraceEvent::DegradationFallback(a) => {
-            field_str(&mut out, "counter", a.counter.name());
-            push_json_str(&mut out, "value");
-            out.push(':');
-            out.push_str(&json_number(a.value));
-            out.push(',');
-        }
+        TraceEvent::DegradationFallback(a) => match a {
+            DegradationAnomaly::ImplausibleCounter { counter, value, .. } => {
+                field_str(&mut out, "counter", counter.name());
+                push_json_str(&mut out, "value");
+                out.push(':');
+                out.push_str(&json_number(*value));
+                out.push(',');
+            }
+            DegradationAnomaly::ControllerQuarantined { controller, reason, .. } => {
+                field_u64(&mut out, "controller", *controller as u64);
+                field_str(&mut out, "reason", reason.name());
+            }
+            DegradationAnomaly::ControllerReadmitted { controller, clean_quanta, .. } => {
+                field_u64(&mut out, "controller", *controller as u64);
+                field_u64(&mut out, "clean_quanta", *clean_quanta);
+            }
+        },
         TraceEvent::ChaosInjected { kind, .. } => {
             field_str(&mut out, "kind", kind.name());
         }
@@ -497,14 +541,25 @@ mod tests {
             },
             TraceEvent::BankActivate { cycle: 1_001_100, channel: 2, bank: 3, row: 42 },
             TraceEvent::BankPrecharge { cycle: 1_001_050, channel: 2, bank: 3 },
-            TraceEvent::DegradationFallback(DegradationAnomaly {
+            TraceEvent::DegradationFallback(DegradationAnomaly::ImplausibleCounter {
                 cycle: 2_000_000,
                 thread: 0,
                 counter: MonitorCounter::Mpki,
                 value: f64::NAN,
                 upper: f64::INFINITY,
             }),
+            TraceEvent::DegradationFallback(DegradationAnomaly::ControllerQuarantined {
+                cycle: 2_000_000,
+                controller: 2,
+                reason: QuarantineReason::StaleSample,
+            }),
+            TraceEvent::DegradationFallback(DegradationAnomaly::ControllerReadmitted {
+                cycle: 4_000_000,
+                controller: 2,
+                clean_quanta: 2,
+            }),
             TraceEvent::ChaosInjected { cycle: 3_000_000, kind: FaultKind::SpillFlood },
+            TraceEvent::ChaosInjected { cycle: 3_000_000, kind: FaultKind::ControllerBlackout },
         ]
     }
 

@@ -54,7 +54,8 @@ mod export;
 mod metrics;
 
 pub use event::{
-    ClusterKind, DegradationAnomaly, MonitorCounter, RowOutcome, ShuffleAlgo, TraceEvent,
+    ClusterKind, DegradationAnomaly, MonitorCounter, QuarantineReason, RowOutcome, ShuffleAlgo,
+    TraceEvent,
 };
 pub use export::{
     chrome_counter, chrome_event, chrome_process_name, event_to_jsonl, events_to_jsonl,

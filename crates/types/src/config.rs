@@ -155,17 +155,42 @@ impl Topology {
     ///
     /// Panics if `ch` is out of range for this topology.
     pub fn controller_of(&self, ch: ChannelId) -> ControllerId {
-        let mut remaining = ch.index();
+        match self.partition(ch.index()) {
+            Ok((c, _)) => c,
+            Err(_) => panic!(
+                "channel {ch} out of range for a {}-channel topology",
+                self.num_channels()
+            ),
+        }
+    }
+
+    /// Splits a dense global channel index into its owning controller
+    /// and the channel's *local* index within that controller — the
+    /// non-panicking two-way form of [`Topology::controller_of`].
+    /// Fault plans and engines that address channels under
+    /// multi-controller topologies must route through this instead of
+    /// assuming flat indexing, so an out-of-range index is a typed
+    /// error rather than silent aliasing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when `global_channel` is out of range
+    /// for this topology.
+    pub fn partition(&self, global_channel: usize) -> Result<(ControllerId, usize), ConfigError> {
+        let mut remaining = global_channel;
         for (c, &owned) in self.channels.iter().enumerate() {
             if remaining < owned {
-                return ControllerId::new(c);
+                return Ok((ControllerId::new(c), remaining));
             }
             remaining -= owned;
         }
-        panic!(
-            "channel {ch} out of range for a {}-channel topology",
-            self.num_channels()
-        );
+        Err(ConfigError::invalid(
+            "channel",
+            format!(
+                "channel index {global_channel} out of range for a {}-channel topology",
+                self.num_channels()
+            ),
+        ))
     }
 
     /// Iterates the controller identifiers in order.
@@ -611,6 +636,25 @@ mod tests {
         for ch in 0..6 {
             let owner = t.controller_of(ChannelId::new(ch));
             assert!(t.channel_range(owner).contains(&ch), "channel {ch}");
+        }
+    }
+
+    #[test]
+    fn partition_splits_global_indices_and_rejects_out_of_range() {
+        let t = Topology::asymmetric([3, 1, 2]);
+        assert_eq!(t.partition(0).unwrap(), (ControllerId::new(0), 0));
+        assert_eq!(t.partition(2).unwrap(), (ControllerId::new(0), 2));
+        assert_eq!(t.partition(3).unwrap(), (ControllerId::new(1), 0));
+        assert_eq!(t.partition(4).unwrap(), (ControllerId::new(2), 0));
+        assert_eq!(t.partition(5).unwrap(), (ControllerId::new(2), 1));
+        let err = t.partition(6).unwrap_err();
+        assert_eq!(err.field(), "channel");
+        assert!(err.reason().contains("out of range"));
+        // Consistency with the panicking single-way form.
+        for ch in 0..6 {
+            let (owner, local) = t.partition(ch).unwrap();
+            assert_eq!(owner, t.controller_of(ChannelId::new(ch)));
+            assert_eq!(t.channel_range(owner).start + local, ch);
         }
     }
 

@@ -14,7 +14,7 @@
 //!   its timing or conservation invariants. Carries a structured
 //!   [`InvariantViolation`] with cycle, bank and request context.
 
-use crate::{BankId, ChannelId, Cycle, RequestId};
+use crate::{BankId, ChannelId, ControllerId, Cycle, RequestId};
 use std::error::Error;
 use std::fmt;
 
@@ -155,6 +155,11 @@ pub struct StallReport {
     pub spill_depths: Vec<usize>,
     /// Number of busy banks, per channel.
     pub busy_banks: Vec<usize>,
+    /// The controller attributed as the stall site, when the engine can
+    /// name one. The flat single-controller engine reports `None`; the
+    /// multi-controller engine names the shard whose timer froze or
+    /// whose queues back up the most.
+    pub controller: Option<ControllerId>,
 }
 
 impl StallReport {
@@ -174,6 +179,9 @@ impl StallReport {
             self.events_since_retire,
             self.total_outstanding(),
         );
+        if let Some(controller) = self.controller {
+            s.push_str(&format!("  attributed controller: {controller}\n"));
+        }
         s.push_str(&format!("  per-thread outstanding: {:?}\n", self.outstanding));
         s.push_str(&format!("  per-channel queue depths: {:?}\n", self.queue_depths));
         s.push_str(&format!("  per-channel spill depths: {:?}\n", self.spill_depths));
@@ -199,7 +207,9 @@ pub enum SimError {
     /// The machine or algorithm configuration was invalid.
     Config(ConfigError),
     /// The forward-progress watchdog fired; the report says why.
-    Stalled(StallReport),
+    /// Boxed: the report carries four per-thread/per-channel vectors,
+    /// and the error type rides in every hot `Result` return.
+    Stalled(Box<StallReport>),
     /// The runtime DRAM protocol checker observed a violation.
     InvariantViolation(InvariantViolation),
     /// The run's cooperative cancellation token fired (a per-cell
@@ -296,11 +306,16 @@ mod tests {
             queue_depths: vec![2],
             spill_depths: vec![0],
             busy_banks: vec![1],
+            controller: None,
         };
         assert_eq!(r.total_outstanding(), 3);
         assert!(r.summary().contains("cycle 500"));
         assert!(r.summary().contains("42 events"));
-        let sim = SimError::Stalled(r);
+        assert!(!r.summary().contains("attributed controller"));
+        let mut attributed = r.clone();
+        attributed.controller = Some(ControllerId::new(1));
+        assert!(attributed.summary().contains("attributed controller: mc1"));
+        let sim = SimError::Stalled(Box::new(r));
         assert!(sim.to_string().contains("stalled"));
         assert!(sim.source().is_none());
     }

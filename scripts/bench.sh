@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
 # Wall-clock benchmark of the controller hot path: times the fixed
-# paper-lineup sweep (tcm-run --bench-json) four times — with the default
+# paper-lineup sweep (tcm-run --bench-json) six times — with the default
 # indexed request queue, on a 2x2 multi-controller topology with the
-# controller phase sharded over two host threads (default build), with
+# controller phase sharded over two host threads (default build), the
+# same 2x2 sweep with the protocol checker armed and again with an
+# empty fault plan installed (isolating the chaos layer's cost), with
 # the pre-refactor flat queue (--features tcm-dram/flat-queue), and with
 # the telemetry hooks compiled out (--features tcm-telemetry/off) — and
 # merges the records into BENCH_hotpath.json with the measured queue
-# speedup and the disabled-telemetry overhead. The single-controller
-# builds are bit-identical to each other (the multi row simulates a
-# different machine); only the wall clock differs. The full run gates
-# the telemetry-hook overhead at <2% (the hooks are one branch on a
-# None option when disabled); smoke mode only reports it, since
-# sub-second runs are all noise.
+# speedup, the disabled-telemetry overhead, and the empty-plan chaos
+# overhead. The single-controller builds are bit-identical to each
+# other (the multi rows simulate a different machine); only the wall
+# clock differs. The full run gates the telemetry-hook overhead and the
+# empty-fault-plan overhead at <2% each (disabled hooks are one branch
+# on a None option; an inert chaos layer is a None check per window);
+# smoke mode only reports them, since sub-second runs are all noise.
 #
 # Usage:
 #   scripts/bench.sh            full run (2M-cycle horizon per cell)
@@ -70,6 +73,21 @@ for k in $(seq "$RUNS"); do
         --bench-json "$TMPDIR_BENCH/multi.run$k.json" --cycles "$CYCLES" \
         --topology 2x2 --intra-hosts 2
 done
+# Chaos-layer cost probe, also on the default build: the same multi
+# sweep with the protocol checker on (the baseline), then with an
+# *empty* fault plan installed (which arms the same checker plus the
+# inert chaos state). The pair isolates the chaos layer's overhead from
+# the checker's; the full run gates it at <2% — when no fault is
+# scheduled, the layer must be free.
+echo "==> run: multi_verify / multi_chaos (2x2, checker on vs empty fault plan)"
+for k in $(seq "$RUNS"); do
+    ./target/release/tcm-run \
+        --bench-json "$TMPDIR_BENCH/multi_verify.run$k.json" --cycles "$CYCLES" \
+        --topology 2x2 --intra-hosts 2 --verify
+    ./target/release/tcm-run \
+        --bench-json "$TMPDIR_BENCH/multi_chaos.run$k.json" --cycles "$CYCLES" \
+        --topology 2x2 --intra-hosts 2 --chaos-empty
+done
 run_variant flat --features tcm-dram/flat-queue
 run_variant nohooks --features tcm-telemetry/off
 # Leave the default build in place for whoever runs next.
@@ -118,6 +136,8 @@ def load_best(impl, expect_impl):
 
 indexed = load_best("indexed", "indexed")
 multi = load_best("multi", "indexed")
+multi_verify = load_best("multi_verify", "indexed")
+multi_chaos = load_best("multi_chaos", "indexed")
 flat = load_best("flat", "flat")
 nohooks = load_best("nohooks", "indexed")
 if nohooks.get("telemetry_impl", "off") != "off":
@@ -128,12 +148,27 @@ if indexed["topology"] != "4":
 if multi["topology"] != "2x2":
     sys.exit(f"multi variant: expected the 2x2 topology, "
              f"got {multi['topology']!r}")
+for name, other in (("multi_verify", multi_verify),
+                    ("multi_chaos", multi_chaos)):
+    if other["topology"] != "2x2":
+        sys.exit(f"{name} variant: expected the 2x2 topology, "
+                 f"got {other['topology']!r}")
 for key in ("threads", "horizon", "cells", "policies", "workloads"):
-    for name, other in (("multi", multi), ("flat", flat),
+    for name, other in (("multi", multi), ("multi_verify", multi_verify),
+                        ("multi_chaos", multi_chaos), ("flat", flat),
                         ("nohooks", nohooks)):
         if indexed[key] != other[key]:
             sys.exit(f"variant mismatch ({name}) on {key!r}: "
                      f"{indexed[key]!r} vs {other[key]!r}")
+# The empty fault plan and the bare checker simulate the same machine;
+# an armed-but-inert chaos layer must not change a single behavioral
+# bit.
+if multi["peak_queue_depth"] != multi_verify["peak_queue_depth"]:
+    sys.exit("peak_queue_depth differs with the protocol checker armed — "
+             "verification is supposed to be observation-only")
+if multi_verify["peak_queue_depth"] != multi_chaos["peak_queue_depth"]:
+    sys.exit("peak_queue_depth differs under the empty fault plan — the "
+             "inert chaos layer is supposed to be bit-identical")
 # Same simulation either way: the peak depth is a behavioral quantity and
 # must agree bit-for-bit between the builds.
 if indexed["peak_queue_depth"] != flat["peak_queue_depth"]:
@@ -148,15 +183,23 @@ speedup = indexed["sim_cycles_per_sec"] / flat["sim_cycles_per_sec"]
 # than the build with hooks compiled out entirely.
 overhead_pct = 100.0 * (nohooks["sim_cycles_per_sec"]
                         / indexed["sim_cycles_per_sec"] - 1.0)
+# Positive = the empty fault plan is slower than the bare checker: both
+# arm the same protocol verification, so the delta is the chaos layer
+# alone.
+chaos_overhead_pct = 100.0 * (multi_verify["sim_cycles_per_sec"]
+                              / multi_chaos["sim_cycles_per_sec"] - 1.0)
 merged = {
     "schema": "tcm-bench-hotpath-v1",
     "generated_by": "scripts/bench.sh" + (" --smoke" if smoke == "1" else ""),
     "indexed": indexed,
     "multi": multi,
+    "multi_verify": multi_verify,
+    "multi_chaos": multi_chaos,
     "flat": flat,
     "nohooks": nohooks,
     "speedup_indexed_over_flat": speedup,
     "telemetry_disabled_overhead_pct": overhead_pct,
+    "chaos_empty_plan_overhead_pct": chaos_overhead_pct,
 }
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
@@ -171,9 +214,14 @@ print(f"flat:    {flat['sim_cycles_per_sec']:.3e} sim-cycles/sec "
 print(f"speedup (indexed over flat): {speedup:.2f}x -> {out_path}")
 print(f"telemetry hooks, disabled at runtime, vs compiled out: "
       f"{overhead_pct:+.2f}% overhead")
+print(f"empty fault plan vs bare protocol checker (2x2): "
+      f"{chaos_overhead_pct:+.2f}% overhead")
 if smoke != "1" and overhead_pct > 2.0:
     sys.exit(f"disabled-telemetry overhead {overhead_pct:.2f}% exceeds the "
              f"2% budget — the hooks must stay one branch when disabled")
+if smoke != "1" and chaos_overhead_pct > 2.0:
+    sys.exit(f"empty-fault-plan overhead {chaos_overhead_pct:.2f}% exceeds "
+             f"the 2% budget — an inert chaos layer must be free")
 if smoke == "1":
     print("smoke mode: schema validated; absolute numbers not gated")
     # Also schema-check the committed record, if one exists.

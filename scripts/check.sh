@@ -28,6 +28,15 @@ TCM_VERIFY=1 cargo test -q --release --offline -p tcm-sim -p tcm-dram
 echo "==> chaos smoke campaign"
 cargo run --release -q -p tcm-sim --bin tcm-run --offline -- --chaos-smoke
 
+# The same campaign on a sharded 2x2 multi-controller machine: all ten
+# fault classes (including the coordination kinds, which only exist
+# there), faults addressed to the last controller/channel to prove
+# topology-aware routing, and a clean control pinning 1-vs-3-host
+# bit-identity under the armed detectors.
+echo "==> chaos smoke campaign (2x2 topology, 3 intra-cell hosts)"
+cargo run --release -q -p tcm-sim --bin tcm-run --offline -- \
+    --chaos-smoke --topology 2x2 --intra-hosts 3
+
 # Multi-controller smoke: the paper lineup on a 2x2 topology (TCM cells
 # coordinated by the meta-controller), with the protocol checker on and
 # each cell's controller phase sharded across two host threads — the

@@ -12,6 +12,7 @@
 //!
 //! and paste the printed table over `GOLDEN`.
 
+use tcm::chaos::{FaultKind, FaultPlan, FaultSpec};
 use tcm::sim::{PolicyKind, RunConfig, RunResult, Session};
 use tcm::telemetry::TelemetryConfig;
 use tcm::types::{SystemConfig, Topology};
@@ -222,5 +223,101 @@ fn print_multi_fingerprints() {
         for (policy, workload, fp) in compute_multi_fingerprints(spec, 1) {
             println!("    (\"{spec}\", \"{policy}\", \"{workload}\", {fp:#018x}),");
         }
+    }
+}
+
+/// The chaos-under-multi grid: a 2x2 machine struck by both
+/// coordination fault classes — a blackout on mc1 and a skew on mc2 —
+/// with a TCM quantum short enough that each quarantine *and* its
+/// re-admission land inside the horizon. Pins that barrier-synchronous
+/// fault application, quarantine fallback, and re-admission are
+/// bit-identical however the controller phase is sharded. The FR-FCFS
+/// row pins that the same plan is inert (coordination faults have no
+/// target without a meta-controller) while its armed detectors stay
+/// observation-only.
+fn compute_chaos_multi_fingerprints(intra_hosts: usize) -> Vec<(String, String, u64)> {
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.topology = Topology::parse("2x2").expect("valid spec");
+    // Both faults land after their target's first clean exchange at
+    // 200k, so staleness is attributable (see `tcm-core`'s guard).
+    let plan = FaultPlan::none()
+        .with_fault(FaultSpec::new(FaultKind::ControllerBlackout, 250_000).on_controller(1))
+        .with_fault(
+            FaultSpec::new(FaultKind::MonitorSkew, 450_000)
+                .on_controller(0)
+                .on_thread(5),
+        );
+    let session = Session::new(
+        RunConfig::builder()
+            .system(cfg)
+            .horizon(1_200_000)
+            .intra_hosts(intra_hosts)
+            .chaos(Some(plan))
+            .build(),
+    );
+    let result = session
+        .sweep()
+        .policies([
+            PolicyKind::FrFcfs,
+            PolicyKind::Tcm(tcm::core::TcmParams {
+                quantum: 200_000,
+                ..tcm::core::TcmParams::paper_default(24)
+            }),
+        ])
+        .workloads([random_workload(1, 24, 0.75)])
+        .run();
+    assert!(result.is_complete(), "quarantine is graceful: no cell fails");
+    result
+        .cells()
+        .iter()
+        .map(|cell| {
+            (
+                result.policy_labels()[cell.policy].clone(),
+                result.workload_names()[cell.workload].clone(),
+                fingerprint(&cell.result.run),
+            )
+        })
+        .collect()
+}
+
+/// Captured at the introduction of multi-controller fault injection.
+/// The FR-FCFS fingerprint coincides with its `GOLDEN_MULTI` 2x2 entry:
+/// the plan really is a no-op there, armed detectors and all.
+const GOLDEN_CHAOS_MULTI: [(&str, &str, u64); 2] = [
+    ("FR-FCFS", "rand-75%-01", 0x437f563057e4e484),
+    ("TCM", "rand-75%-01", 0xc2dba57447602141),
+];
+
+fn assert_matches_chaos_multi_golden(hosts: usize) {
+    let got = compute_chaos_multi_fingerprints(hosts);
+    assert_eq!(got.len(), GOLDEN_CHAOS_MULTI.len(), "grid shape changed");
+    for ((policy, workload, fp), (gp, gw, gfp)) in got.iter().zip(GOLDEN_CHAOS_MULTI) {
+        assert_eq!((policy.as_str(), workload.as_str()), (gp, gw));
+        assert_eq!(
+            *fp, gfp,
+            "chaos-multi RunResult drifted for {policy} x {workload} \
+             ({hosts} hosts): {fp:#018x} != golden {gfp:#018x}"
+        );
+    }
+}
+
+/// The acceptance bar for fault-tolerant sharding: the same faults, the
+/// same quarantines, the same bits — at one, two, and three hosts.
+#[test]
+fn chaos_multi_grid_matches_golden_fingerprints() {
+    assert_matches_chaos_multi_golden(1);
+}
+
+#[test]
+fn sharded_chaos_multi_grid_matches_golden_fingerprints() {
+    assert_matches_chaos_multi_golden(2);
+    assert_matches_chaos_multi_golden(3);
+}
+
+#[test]
+#[ignore = "re-capture helper: prints the GOLDEN_CHAOS_MULTI table"]
+fn print_chaos_multi_fingerprints() {
+    for (policy, workload, fp) in compute_chaos_multi_fingerprints(1) {
+        println!("    (\"{policy}\", \"{workload}\", {fp:#018x}),");
     }
 }
