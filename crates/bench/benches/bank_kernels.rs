@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the batched SoA bank-timing kernel:
+//! the `BankArray` operations the skip-ahead hot path performs per
+//! scheduling opportunity (the `schedulable` mask kernel over the whole
+//! channel, and the begin/finish service round-trip that advances one
+//! bank's timing). These sit alongside the `queue_kernels` group —
+//! together they cover the full per-decision cost of the indexed hot
+//! path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tcm_dram::{BankArray, BankSet};
+use tcm_types::{BankId, Cycle, DramTiming, Row};
+
+/// A bank array in a steady-state mix: `busy` of the `banks` banks are
+/// mid-service (parked at `Cycle::MAX`), the rest alternate between
+/// ready-now and ready-soon so the mask kernel takes both branches.
+fn mixed_banks(banks: usize, busy: usize, now: Cycle) -> BankArray {
+    let timing = DramTiming::ddr2_800();
+    let mut array = BankArray::new(banks);
+    for b in 0..banks {
+        let bank = BankId::new(b);
+        let service = array.begin_service(bank, Row::new(b % 16), now, &timing);
+        if b < busy {
+            continue; // leave mid-service
+        }
+        // Finish half the idle banks in the past (ready now) and half in
+        // the near future (ready later) relative to the probe cycle.
+        let slack = if b % 2 == 0 { 0 } else { 50 };
+        array.finish_service(bank, service.access_done + slack);
+    }
+    array
+}
+
+fn bench_schedulable_mask(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bank_schedulable_mask");
+    for &(banks, busy) in &[(4usize, 0usize), (4, 2), (8, 4), (16, 8)] {
+        // Closed-row service from cycle 0 frees banks around cycle 275;
+        // probing at 300 with ±50 slack splits idle banks into
+        // ready-now and ready-later halves.
+        let now = 300;
+        let array = mixed_banks(banks, busy, 0);
+        let mut pending = BankSet::default();
+        for b in 0..banks {
+            pending.insert(BankId::new(b));
+        }
+        group.bench_function(BenchmarkId::from_parameter(format!("{banks}b_{busy}busy")), |b| {
+            b.iter(|| black_box(array.schedulable(black_box(pending), black_box(now))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_service_roundtrip(c: &mut Criterion) {
+    let timing = DramTiming::ddr2_800();
+    c.bench_function("bank_begin_finish_service", |b| {
+        let mut array = BankArray::new(4);
+        let mut now = 0u64;
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let bank = BankId::new(i % 4);
+            let service = array.begin_service(bank, Row::new(i % 64), now, &timing);
+            array.finish_service(bank, service.access_done + 4);
+            now = service.start + 1;
+            black_box(service.access_done)
+        })
+    });
+}
+
+fn bench_open_row_probe(c: &mut Criterion) {
+    // The row-hit test every pick performs per candidate request.
+    let array = mixed_banks(16, 0, 0);
+    c.bench_function("bank_row_state_probe", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(array.row_state(BankId::new(i % 16), Row::new(i % 16)))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_schedulable_mask,
+    bench_service_roundtrip,
+    bench_open_row_probe
+);
+criterion_main!(benches);

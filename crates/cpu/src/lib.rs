@@ -36,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 #![warn(clippy::unwrap_used)]
 
+use std::collections::VecDeque;
 use tcm_types::{Cycle, RequestId, ThreadId};
 
 /// What a core is doing, as reported by [`Core::poll`].
@@ -73,6 +74,13 @@ pub struct Core {
     anchor_cycle: Cycle,
     /// Outstanding misses: `(request id, instruction index at issue)`.
     outstanding: Vec<(RequestId, u64)>,
+    /// Outstanding misses grouped by issuing burst, oldest first:
+    /// `(instruction index, live miss count)`. Bursts issue at strictly
+    /// increasing instruction indices (`schedule_burst` requires a
+    /// positive gap), so this deque is always sorted by instruction index
+    /// and the window limit is the front entry alone — O(1) instead of a
+    /// scan over the whole MSHR pool on every poll.
+    bursts: VecDeque<(u64, usize)>,
     /// Next burst: `(absolute instruction index, number of accesses)`.
     next_burst: Option<(u64, usize)>,
     /// Instruction index of the most recently issued burst.
@@ -100,6 +108,7 @@ impl Core {
             anchor_instr: 0,
             anchor_cycle: 0,
             outstanding: Vec::new(),
+            bursts: VecDeque::new(),
             next_burst: None,
             last_burst_instr: 0,
             misses_issued: 0,
@@ -159,13 +168,13 @@ impl Core {
 
     /// First instruction index that cannot execute because of the window:
     /// `min(outstanding issue index) + window`, or `u64::MAX` when no
-    /// miss is outstanding.
+    /// miss is outstanding. The oldest live burst holds the minimum, so
+    /// only the deque front is consulted (drained fronts are popped
+    /// eagerly in [`Core::complete`]).
     fn window_limit(&self) -> u64 {
-        self.outstanding
-            .iter()
-            .map(|&(_, instr)| instr.saturating_add(self.window))
-            .min()
-            .unwrap_or(u64::MAX)
+        self.bursts
+            .front()
+            .map_or(u64::MAX, |&(instr, _)| instr.saturating_add(self.window))
     }
 
     /// Advances execution to `now` and reports the core's status.
@@ -239,6 +248,9 @@ impl Core {
         for &id in ids {
             self.outstanding.push((id, at));
         }
+        // `at > last_burst_instr` (positive gap), so the deque stays
+        // sorted by pushing at the back.
+        self.bursts.push_back((at, size));
         self.misses_issued += size as u64;
         self.last_burst_instr = at;
         self.next_burst = None;
@@ -258,7 +270,19 @@ impl Core {
             .iter()
             .position(|&(rid, _)| rid == id)
             .expect("completion for unknown request");
-        self.outstanding.swap_remove(idx);
+        let (_, instr) = self.outstanding.swap_remove(idx);
+        let burst = self
+            .bursts
+            .iter()
+            .position(|&(at, _)| at == instr)
+            .expect("outstanding miss without a live burst entry");
+        self.bursts[burst].1 -= 1;
+        // Drained middle entries are harmless (the front is always the
+        // minimum), but a drained front must go so `window_limit` sees
+        // the next live burst.
+        while self.bursts.front().is_some_and(|&(_, count)| count == 0) {
+            self.bursts.pop_front();
+        }
         self.misses_completed += 1;
     }
 

@@ -1,8 +1,17 @@
-//! A single DRAM bank: open-row state plus service timing.
+//! Per-channel DRAM bank timing state, struct-of-arrays.
+//!
+//! Bank state used to live in one small `Bank` object per bank; the hot
+//! path (schedulability scans, issue timing) walks *all* banks of a
+//! channel, so the state now lives in flat parallel arrays plus a busy
+//! bitmask. The schedulability question — idle, past its ready cycle,
+//! work pending — becomes one mask intersection and a short scan of a
+//! contiguous `ready_at` array ([`BankArray::schedulable`]), instead of
+//! a per-bank object walk.
 
-use tcm_types::{Cycle, DramTiming, Row, RowState};
+use crate::queue::BankSet;
+use tcm_types::{BankId, Cycle, DramTiming, Row, RowState};
 
-/// The access-phase timing computed by [`Bank::begin_service`].
+/// The access-phase timing computed by [`BankArray::begin_service`].
 ///
 /// The access phase covers precharge/activate/column-access at the bank;
 /// the subsequent data-bus transfer is arbitrated separately by the
@@ -19,55 +28,105 @@ pub struct BankService {
     pub row_state: RowState,
 }
 
-/// One DRAM bank.
+/// All banks of one channel, stored as parallel arrays.
 ///
 /// A bank is busy from the moment a request is issued to it until the
-/// request's data has left on the channel bus ([`Bank::finish_service`]
-/// records that time). While busy it cannot accept another request; the
-/// simulator only issues to banks whose [`Bank::ready_at`] has passed.
+/// request's data has left on the channel bus
+/// ([`BankArray::finish_service`] records that time). While busy it
+/// cannot accept another request; the simulator only issues to banks
+/// whose ready cycle has passed.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Bank {
-    open_row: Option<Row>,
-    ready_at: Cycle,
-    busy: bool,
+pub struct BankArray {
+    /// First cycle each bank can begin a new access (`Cycle::MAX` while
+    /// the bank is busy).
+    ready_at: Vec<Cycle>,
+    /// Row currently held in each bank's row-buffer.
+    open_row: Vec<Option<Row>>,
+    /// Banks currently servicing a request.
+    busy: BankSet,
 }
 
-impl Bank {
-    /// Creates an idle, precharged bank (no open row).
-    pub fn new() -> Self {
+impl BankArray {
+    /// Creates `num_banks` idle, precharged banks (no open rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_banks` exceeds [`BankSet::MAX_BANKS`].
+    pub fn new(num_banks: usize) -> Self {
+        assert!(
+            num_banks <= BankSet::MAX_BANKS,
+            "channel supports at most {} banks",
+            BankSet::MAX_BANKS
+        );
         Self {
-            open_row: None,
-            ready_at: 0,
-            busy: false,
+            ready_at: vec![0; num_banks],
+            open_row: vec![None; num_banks],
+            busy: BankSet::empty(),
         }
     }
 
-    /// The row currently held in the row-buffer, if any.
+    /// Number of banks.
     #[inline]
-    pub fn open_row(&self) -> Option<Row> {
-        self.open_row
+    pub fn len(&self) -> usize {
+        self.ready_at.len()
     }
 
-    /// First cycle at which the bank can begin a new access.
+    /// Whether the channel has no banks (never true in a valid config).
     #[inline]
-    pub fn ready_at(&self) -> Cycle {
-        self.ready_at
+    pub fn is_empty(&self) -> bool {
+        self.ready_at.is_empty()
     }
 
-    /// Whether the bank is currently in the middle of servicing a request.
+    /// The row currently held in `bank`'s row-buffer, if any.
     #[inline]
-    pub fn is_busy(&self) -> bool {
-        self.busy
+    pub fn open_row(&self, bank: BankId) -> Option<Row> {
+        self.open_row[bank.index()]
     }
 
-    /// Row-buffer state a request for `row` would encounter right now.
+    /// First cycle at which `bank` can begin a new access.
     #[inline]
-    pub fn row_state(&self, row: Row) -> RowState {
-        match self.open_row {
+    pub fn ready_at(&self, bank: BankId) -> Cycle {
+        self.ready_at[bank.index()]
+    }
+
+    /// Whether `bank` is currently in the middle of servicing a request.
+    #[inline]
+    pub fn is_busy(&self, bank: BankId) -> bool {
+        self.busy.contains(bank)
+    }
+
+    /// Number of banks currently servicing a request.
+    #[inline]
+    pub fn busy_count(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Row-buffer state a request for `row` at `bank` would encounter.
+    #[inline]
+    pub fn row_state(&self, bank: BankId, row: Row) -> RowState {
+        match self.open_row[bank.index()] {
             Some(open) if open == row => RowState::Hit,
             Some(_) => RowState::Conflict,
             None => RowState::Closed,
         }
+    }
+
+    /// The batched schedulability kernel: of the banks in `pending`
+    /// (those with queued work), the ones that are idle *and* past their
+    /// ready cycle at `now` — one mask intersection, then one compare per
+    /// surviving bit against the flat `ready_at` array.
+    #[inline]
+    pub fn schedulable(&self, pending: BankSet, now: Cycle) -> BankSet {
+        let mut out = pending.and_not(self.busy);
+        for bank in out {
+            // Busy banks park ready_at at Cycle::MAX, so this test alone
+            // would suffice; the mask subtraction above just skips them
+            // without touching the array.
+            if self.ready_at[bank.index()] > now {
+                out.remove(bank);
+            }
+        }
+        out
     }
 
     /// Begins servicing an access to `row` at cycle `now`.
@@ -79,18 +138,25 @@ impl Bank {
     /// # Panics
     ///
     /// Panics if the bank is already busy: the simulator must wait for
-    /// [`Bank::finish_service`] before issuing again (issuing to a busy
-    /// bank would silently corrupt timing).
-    pub fn begin_service(&mut self, row: Row, now: Cycle, timing: &DramTiming) -> BankService {
-        assert!(!self.busy, "bank issued while busy");
-        let start = now.max(self.ready_at);
-        let row_state = self.row_state(row);
+    /// [`BankArray::finish_service`] before issuing again (issuing to a
+    /// busy bank would silently corrupt timing).
+    pub fn begin_service(
+        &mut self,
+        bank: BankId,
+        row: Row,
+        now: Cycle,
+        timing: &DramTiming,
+    ) -> BankService {
+        assert!(!self.busy.contains(bank), "bank issued while busy");
+        let b = bank.index();
+        let start = now.max(self.ready_at[b]);
+        let row_state = self.row_state(bank, row);
         let access_done = start + timing.access_phase(row_state);
-        self.open_row = Some(row);
-        self.busy = true;
+        self.open_row[b] = Some(row);
+        self.busy.insert(bank);
         // Until finish_service fixes the true end (after bus arbitration),
         // conservatively mark the bank unavailable forever.
-        self.ready_at = Cycle::MAX;
+        self.ready_at[b] = Cycle::MAX;
         BankService {
             start,
             access_done,
@@ -104,16 +170,10 @@ impl Bank {
     /// # Panics
     ///
     /// Panics if the bank is not busy.
-    pub fn finish_service(&mut self, busy_until: Cycle) {
-        assert!(self.busy, "finish_service on idle bank");
-        self.busy = false;
-        self.ready_at = busy_until;
-    }
-}
-
-impl Default for Bank {
-    fn default() -> Self {
-        Self::new()
+    pub fn finish_service(&mut self, bank: BankId, busy_until: Cycle) {
+        assert!(self.busy.contains(bank), "finish_service on idle bank");
+        self.busy.remove(bank);
+        self.ready_at[bank.index()] = busy_until;
     }
 }
 
@@ -127,34 +187,37 @@ mod tests {
         DramTiming::ddr2_800()
     }
 
+    const B0: BankId = BankId::new(0);
+
     #[test]
     fn fresh_bank_is_closed_and_ready() {
-        let b = Bank::new();
-        assert_eq!(b.open_row(), None);
-        assert_eq!(b.ready_at(), 0);
-        assert!(!b.is_busy());
-        assert_eq!(b.row_state(Row::new(5)), RowState::Closed);
+        let b = BankArray::new(4);
+        assert_eq!(b.open_row(B0), None);
+        assert_eq!(b.ready_at(B0), 0);
+        assert!(!b.is_busy(B0));
+        assert_eq!(b.row_state(B0, Row::new(5)), RowState::Closed);
+        assert_eq!(b.busy_count(), 0);
     }
 
     #[test]
     fn first_access_is_closed_then_hit_then_conflict() {
         let t = timing();
-        let mut b = Bank::new();
+        let mut b = BankArray::new(1);
 
-        let s1 = b.begin_service(Row::new(7), 0, &t);
+        let s1 = b.begin_service(B0, Row::new(7), 0, &t);
         assert_eq!(s1.row_state, RowState::Closed);
         assert_eq!(s1.start, 0);
         assert_eq!(s1.access_done, t.rcd + t.cl);
-        b.finish_service(s1.access_done + t.bus_burst);
+        b.finish_service(B0, s1.access_done + t.bus_burst);
 
         // Same row: hit.
-        let s2 = b.begin_service(Row::new(7), s1.access_done + t.bus_burst, &t);
+        let s2 = b.begin_service(B0, Row::new(7), s1.access_done + t.bus_burst, &t);
         assert_eq!(s2.row_state, RowState::Hit);
         assert_eq!(s2.access_done - s2.start, t.cl);
-        b.finish_service(s2.access_done + t.bus_burst);
+        b.finish_service(B0, s2.access_done + t.bus_burst);
 
         // Different row: conflict.
-        let s3 = b.begin_service(Row::new(9), s2.access_done + t.bus_burst, &t);
+        let s3 = b.begin_service(B0, Row::new(9), s2.access_done + t.bus_burst, &t);
         assert_eq!(s3.row_state, RowState::Conflict);
         assert_eq!(s3.access_done - s3.start, t.rp + t.rcd + t.cl);
     }
@@ -162,11 +225,11 @@ mod tests {
     #[test]
     fn service_waits_for_bank_ready() {
         let t = timing();
-        let mut b = Bank::new();
-        let s1 = b.begin_service(Row::new(1), 0, &t);
-        b.finish_service(s1.access_done + t.bus_burst);
+        let mut b = BankArray::new(1);
+        let s1 = b.begin_service(B0, Row::new(1), 0, &t);
+        b.finish_service(B0, s1.access_done + t.bus_burst);
         // Issue "at" cycle 10, but the bank is only ready later.
-        let s2 = b.begin_service(Row::new(1), 10, &t);
+        let s2 = b.begin_service(B0, Row::new(1), 10, &t);
         assert_eq!(s2.start, s1.access_done + t.bus_burst);
     }
 
@@ -174,19 +237,46 @@ mod tests {
     #[should_panic(expected = "busy")]
     fn double_issue_panics() {
         let t = timing();
-        let mut b = Bank::new();
-        b.begin_service(Row::new(1), 0, &t);
-        b.begin_service(Row::new(2), 0, &t);
+        let mut b = BankArray::new(1);
+        b.begin_service(B0, Row::new(1), 0, &t);
+        b.begin_service(B0, Row::new(2), 0, &t);
     }
 
     #[test]
     fn open_row_tracks_last_access() {
         let t = timing();
-        let mut b = Bank::new();
-        let s = b.begin_service(Row::new(3), 0, &t);
-        b.finish_service(s.access_done);
-        assert_eq!(b.open_row(), Some(Row::new(3)));
-        assert_eq!(b.row_state(Row::new(3)), RowState::Hit);
-        assert_eq!(b.row_state(Row::new(4)), RowState::Conflict);
+        let mut b = BankArray::new(1);
+        let s = b.begin_service(B0, Row::new(3), 0, &t);
+        b.finish_service(B0, s.access_done);
+        assert_eq!(b.open_row(B0), Some(Row::new(3)));
+        assert_eq!(b.row_state(B0, Row::new(3)), RowState::Hit);
+        assert_eq!(b.row_state(B0, Row::new(4)), RowState::Conflict);
+    }
+
+    #[test]
+    fn schedulable_masks_busy_and_not_ready_banks() {
+        let t = timing();
+        let mut b = BankArray::new(4);
+        let mut pending = BankSet::empty();
+        pending.insert(BankId::new(0));
+        pending.insert(BankId::new(2));
+        pending.insert(BankId::new(3));
+
+        // Fresh banks: everything pending is schedulable.
+        let ids: Vec<_> = b.schedulable(pending, 0).into_iter().collect();
+        assert_eq!(ids, vec![BankId::new(0), BankId::new(2), BankId::new(3)]);
+
+        // Bank 0 busy: masked out.
+        let s = b.begin_service(BankId::new(0), Row::new(1), 0, &t);
+        let ids: Vec<_> = b.schedulable(pending, 0).into_iter().collect();
+        assert_eq!(ids, vec![BankId::new(2), BankId::new(3)]);
+
+        // Bank 0 idle again but only ready later: still masked until then.
+        b.finish_service(BankId::new(0), s.access_done + t.bus_burst);
+        let ids: Vec<_> = b.schedulable(pending, 0).into_iter().collect();
+        assert_eq!(ids, vec![BankId::new(2), BankId::new(3)]);
+        let ready = s.access_done + t.bus_burst;
+        let ids: Vec<_> = b.schedulable(pending, ready).into_iter().collect();
+        assert_eq!(ids, vec![BankId::new(0), BankId::new(2), BankId::new(3)]);
     }
 }

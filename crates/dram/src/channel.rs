@@ -1,10 +1,10 @@
 //! One memory channel: banks + data bus + request buffer + accounting.
 
 use crate::verify::ProtocolChecker;
-use crate::{Bank, ChannelStats, DataBus, QueueFullError, RequestQueue};
+use crate::{BankArray, BankSet, ChannelStats, DataBus, QueueFullError, RequestQueue};
 use tcm_chaos::{ChannelChaos, FaultKind};
 use tcm_telemetry::{RowOutcome, Telemetry, TraceEvent};
-use tcm_types::{BankId, ChannelId, Cycle, DramTiming, InvariantViolation, Request, RowState};
+use tcm_types::{BankId, ChannelId, Cycle, DramTiming, InvariantViolation, Request, Row, RowState};
 
 /// The full timing result of issuing one request to its bank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,7 +44,7 @@ impl ServiceOutcome {
 #[derive(Debug, Clone)]
 pub struct Channel {
     id: ChannelId,
-    banks: Vec<Bank>,
+    banks: BankArray,
     bus: DataBus,
     queue: RequestQueue,
     stats: ChannelStats,
@@ -54,6 +54,12 @@ pub struct Channel {
     /// Injected-fault execution state (`None` in normal operation; see
     /// [`Channel::set_chaos`] and the `tcm-chaos` crate).
     chaos: Option<Box<ChannelChaos>>,
+    /// Whether `chaos` holds at least one armed fault. A plan's fault
+    /// list per channel is fixed for the run, so this is precomputed at
+    /// install time: channels with an inert (empty) state skip the
+    /// injection hooks entirely on the hot path, which is what makes an
+    /// empty fault plan genuinely free.
+    chaos_active: bool,
     /// Telemetry sink (disabled by default — one pointer test per hook;
     /// see [`Channel::set_telemetry`]).
     telemetry: Telemetry,
@@ -76,12 +82,13 @@ impl Channel {
     ) -> Self {
         let mut channel = Self {
             id,
-            banks: (0..num_banks).map(|_| Bank::new()).collect(),
+            banks: BankArray::new(num_banks),
             bus: DataBus::new(),
             queue: RequestQueue::new(buffer_capacity, num_banks),
             stats: ChannelStats::new(num_banks, num_threads),
             checker: None,
             chaos: None,
+            chaos_active: false,
             telemetry: Telemetry::disabled(),
         };
         // Keep the timing model honest wherever tests run: the checker is
@@ -107,13 +114,16 @@ impl Channel {
     }
 
     /// Installs (or clears, with `None`) this channel's fault-injection
-    /// state. An empty [`ChannelChaos`] is a strict no-op: the hooks
-    /// run but never mutate anything, so results stay bit-identical.
+    /// state. An empty [`ChannelChaos`] is a strict no-op: the
+    /// injection hooks are skipped outright (they could never mutate
+    /// anything), so results stay bit-identical and the inert state is
+    /// free.
     ///
     /// Detecting the injected faults is the checker's job — callers
     /// that want detections must also enable verification.
     pub fn set_chaos(&mut self, chaos: Option<ChannelChaos>) {
         self.chaos = chaos.map(Box::new);
+        self.chaos_active = self.chaos.as_ref().is_some_and(|c| !c.is_empty());
     }
 
     /// Whether a fault-injection state is installed (possibly empty).
@@ -174,13 +184,47 @@ impl Channel {
         self.banks.len()
     }
 
-    /// Immutable view of one bank.
+    /// The row currently open in `bank`'s row-buffer, if any.
     ///
     /// # Panics
     ///
     /// Panics if `bank` is out of range.
-    pub fn bank(&self, bank: BankId) -> &Bank {
-        &self.banks[bank.index()]
+    #[inline]
+    pub fn open_row(&self, bank: BankId) -> Option<Row> {
+        self.banks.open_row(bank)
+    }
+
+    /// First cycle at which `bank` can begin a new access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[inline]
+    pub fn bank_ready_at(&self, bank: BankId) -> Cycle {
+        self.banks.ready_at(bank)
+    }
+
+    /// Whether `bank` is currently servicing a request.
+    #[inline]
+    pub fn bank_busy(&self, bank: BankId) -> bool {
+        self.banks.is_busy(bank)
+    }
+
+    /// Whether `bank` is idle and past its ready cycle at `now` — i.e.
+    /// it could accept an issue this cycle if work were pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    #[inline]
+    pub fn bank_idle_ready(&self, bank: BankId, now: Cycle) -> bool {
+        !self.banks.is_busy(bank) && self.banks.ready_at(bank) <= now
+    }
+
+    /// Number of banks currently servicing a request.
+    #[inline]
+    pub fn busy_bank_count(&self) -> usize {
+        self.banks.busy_count()
     }
 
     /// The request buffer.
@@ -212,7 +256,7 @@ impl Channel {
         if let Some(checker) = self.checker.as_mut() {
             checker.on_admit(&request, request.issued_at);
         }
-        if self.chaos.is_some() {
+        if self.chaos_active {
             self.inject_admission_faults(&request);
         }
         Ok(())
@@ -261,12 +305,17 @@ impl Channel {
 
     /// Banks that are idle *and* have at least one pending request at
     /// cycle `now` — the banks for which a scheduling decision is due.
-    /// Yields ascending bank ids; allocation-free.
+    /// One batched mask kernel (see [`BankArray::schedulable`]); the
+    /// iterator yields ascending bank ids, allocation-free.
     pub fn schedulable_banks(&self, now: Cycle) -> impl Iterator<Item = BankId> + '_ {
-        self.queue.banks_with_pending().into_iter().filter(move |b| {
-            let bank = &self.banks[b.index()];
-            !bank.is_busy() && bank.ready_at() <= now
-        })
+        self.schedulable_bank_set(now).into_iter()
+    }
+
+    /// The batched form of [`Channel::schedulable_banks`]: the whole
+    /// answer as one bank set.
+    #[inline]
+    pub fn schedulable_bank_set(&self, now: Cycle) -> BankSet {
+        self.banks.schedulable(self.queue.banks_with_pending(), now)
     }
 
     /// Issues the `pos`-th pending request of its bank (position as
@@ -282,7 +331,8 @@ impl Channel {
     /// Panics if no such pending request exists or the bank is busy —
     /// both indicate a scheduling-driver bug.
     pub fn issue(&mut self, bank_index: usize, pos: usize, timing: &DramTiming) -> ServiceOutcome {
-        self.issue_at(bank_index, pos, self.banks[bank_index].ready_at(), timing)
+        let ready = self.banks.ready_at(BankId::new(bank_index));
+        self.issue_at(bank_index, pos, ready, timing)
     }
 
     /// Like [`Channel::issue`] but with an explicit schedule cycle `now`
@@ -303,7 +353,7 @@ impl Channel {
             .queue
             .take_for_bank(bank_id, pos)
             .expect("scheduler picked a request position that does not exist");
-        let service = self.banks[bank_index].begin_service(request.addr.row, now, timing);
+        let service = self.banks.begin_service(bank_id, request.addr.row, now, timing);
         let (_, bus_end) = self.bus.reserve(service.access_done, timing.bus_burst);
         // The bank is held until its data has left on the bus, for every
         // row-buffer state. (Deliberately not modeling CAS pipelining:
@@ -312,7 +362,7 @@ impl Channel {
         // streaming threads' alone-run IPC — and therefore their
         // apparent slowdowns — by ~4x relative to the paper's model.)
         let bank_ready = bus_end;
-        self.banks[bank_index].finish_service(bank_ready);
+        self.banks.finish_service(bank_id, bank_ready);
         let completes_at = bus_end + timing.fixed_overhead;
         let mut outcome = ServiceOutcome {
             request,
@@ -322,7 +372,7 @@ impl Channel {
             completes_at,
             service_cycles: timing.access_phase(service.row_state) + timing.bus_burst,
         };
-        if self.chaos.is_some() {
+        if self.chaos_active {
             self.inject_service_faults(&mut outcome, timing, now);
         }
         self.stats.record(

@@ -3,9 +3,10 @@
 //! This crate models the memory system the schedulers arbitrate over, at
 //! *bank service* granularity:
 //!
-//! * each [`Bank`] serves one request at a time; the service latency
-//!   depends on the row-buffer state (hit / closed / conflict) exactly as
-//!   in the paper's DDR2-800 baseline (200/300/400-cycle round trips),
+//! * each bank serves one request at a time (state lives in the
+//!   struct-of-arrays [`BankArray`]); the service latency depends on the
+//!   row-buffer state (hit / closed / conflict) exactly as in the
+//!   paper's DDR2-800 baseline (200/300/400-cycle round trips),
 //! * each channel has one shared [`DataBus`]; 32-byte transfers from the
 //!   channel's banks serialize on it,
 //! * each [`Channel`] owns a bounded [`RequestQueue`] (the controller's
@@ -55,7 +56,7 @@ mod shadow;
 mod stats;
 mod verify;
 
-pub use bank::{Bank, BankService};
+pub use bank::{BankArray, BankService};
 pub use bus::DataBus;
 pub use channel::{Channel, ServiceOutcome};
 pub use queue::{BankSet, BankSetIter, QueueFullError, RequestQueue, QUEUE_IMPL};

@@ -123,6 +123,14 @@ impl BankSet {
         }
     }
 
+    /// Set difference: the banks in `self` that are not in `other`
+    /// (`self & !other`). One mask operation; the schedulability kernel
+    /// uses it to strip busy banks from the pending set.
+    #[inline]
+    pub const fn and_not(self, other: Self) -> Self {
+        Self(self.0 & !other.0)
+    }
+
     /// Iterates the set banks in ascending id order.
     #[inline]
     pub fn iter(&self) -> BankSetIter {

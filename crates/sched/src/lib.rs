@@ -57,6 +57,7 @@
 
 mod atlas;
 pub mod chaos;
+mod fasthash;
 mod fcfs;
 mod fqm;
 mod frfcfs;

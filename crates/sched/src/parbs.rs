@@ -1,9 +1,10 @@
 //! PAR-BS: parallelism-aware batch scheduling (Mutlu & Moscibroda, ISCA
 //! 2008).
 
+use crate::fasthash::BuildFastIdHasher;
 use crate::select::{age_key, pick_max_by_key, row_hit};
 use crate::{PickContext, Scheduler};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use tcm_dram::ServiceOutcome;
 use tcm_types::{ChannelId, Cycle, Request, RequestId};
 
@@ -32,13 +33,18 @@ impl Default for ParBsParams {
 /// Per-channel batch state.
 #[derive(Debug, Clone, Default)]
 struct BatchState {
-    /// Requests marked into the current batch.
-    marked: HashSet<RequestId>,
+    /// Requests marked into the current batch. Membership is tested for
+    /// every pending candidate on every pick, so the set uses the cheap
+    /// id hasher; its iteration order is never observed.
+    marked: HashSet<RequestId, BuildFastIdHasher>,
     /// Thread priority values for the current batch; higher = first.
     priority: Vec<usize>,
     /// Mirror of the channel's queued requests (the batch former needs
     /// visibility across all banks, while `pick` only sees one bank).
     queued: Vec<Request>,
+    /// Ids of `queued`, kept index-parallel so the per-service removal
+    /// scan walks 8-byte ids instead of 48-byte requests.
+    queued_ids: Vec<RequestId>,
 }
 
 /// Parallelism-aware batch scheduler.
@@ -56,7 +62,10 @@ struct BatchState {
 pub struct ParBs {
     params: ParBsParams,
     num_threads: usize,
-    channels: HashMap<ChannelId, BatchState>,
+    /// Batch state indexed densely by channel, grown on first touch
+    /// (channel ids are dense, so a `Vec` replaces a hashed lookup on
+    /// every pick/enqueue/service).
+    channels: Vec<BatchState>,
 }
 
 impl ParBs {
@@ -71,35 +80,64 @@ impl ParBs {
         Self {
             params,
             num_threads,
-            channels: HashMap::new(),
+            channels: Vec::new(),
         }
+    }
+
+    /// The batch state for `channel`, growing the dense table on first
+    /// touch.
+    fn state_mut(&mut self, channel: ChannelId) -> &mut BatchState {
+        let index = channel.index();
+        if index >= self.channels.len() {
+            self.channels.resize_with(index + 1, BatchState::default);
+        }
+        &mut self.channels[index]
     }
 
     /// Forms a new batch for one channel from its queued-request mirror.
     fn form_batch(state: &mut BatchState, cap: usize, num_threads: usize) {
         state.marked.clear();
-        // Group by (thread, bank), oldest first, mark up to `cap` each.
-        let mut by_group: HashMap<(usize, usize), Vec<&Request>> = HashMap::new();
-        for r in &state.queued {
-            by_group
-                .entry((r.thread.index(), r.addr.bank.index()))
-                .or_default()
-                .push(r);
-        }
-        // Per-thread marked load per bank, for the ranking.
+        // Group by (thread, bank) by sorting the mirror in place — its
+        // order is otherwise irrelevant (`on_service` swap-removes), and
+        // sorting avoids a per-batch map of per-group allocations. Ids
+        // are unique, so the key is a total order and an unstable sort
+        // is deterministic.
+        state.queued.sort_unstable_by_key(|r| {
+            (
+                r.thread.index(),
+                r.addr.bank.index(),
+                r.issued_at,
+                r.id.raw(),
+            )
+        });
+        // Walk each (thread, bank) run oldest-first and mark up to `cap`,
+        // accumulating per-thread marked load per bank for the ranking.
         let mut max_load = vec![0usize; num_threads];
         let mut total_load = vec![0usize; num_threads];
-        for ((thread, _bank), mut requests) in by_group {
-            requests.sort_by_key(|r| (r.issued_at, r.id.raw()));
-            let marked = requests.len().min(cap);
-            for r in requests.iter().take(marked) {
+        let mut start = 0;
+        while start < state.queued.len() {
+            let thread = state.queued[start].thread.index();
+            let bank = state.queued[start].addr.bank.index();
+            let mut end = start + 1;
+            while end < state.queued.len()
+                && state.queued[end].thread.index() == thread
+                && state.queued[end].addr.bank.index() == bank
+            {
+                end += 1;
+            }
+            let marked = (end - start).min(cap);
+            for r in &state.queued[start..start + marked] {
                 state.marked.insert(r.id);
             }
             if thread < num_threads {
                 max_load[thread] = max_load[thread].max(marked);
                 total_load[thread] += marked;
             }
+            start = end;
         }
+        // The sort reordered `queued`; rebuild the parallel id mirror.
+        state.queued_ids.clear();
+        state.queued_ids.extend(state.queued.iter().map(|r| r.id));
         // Shortest job first: ascending (max load, total load).
         let mut order: Vec<usize> = (0..num_threads).collect();
         order.sort_by_key(|&t| (max_load[t], total_load[t]));
@@ -118,7 +156,7 @@ impl Scheduler for ParBs {
     fn pick(&mut self, pending: &[Request], ctx: &PickContext) -> usize {
         let cap = self.params.batch_cap;
         let num_threads = self.num_threads;
-        let state = self.channels.entry(ctx.channel).or_default();
+        let state = self.state_mut(ctx.channel);
         if state.marked.is_empty() && !state.queued.is_empty() {
             Self::form_batch(state, cap, num_threads);
         }
@@ -133,11 +171,9 @@ impl Scheduler for ParBs {
     }
 
     fn on_enqueue(&mut self, req: &Request, _now: Cycle) {
-        self.channels
-            .entry(req.addr.channel)
-            .or_default()
-            .queued
-            .push(*req);
+        let state = self.state_mut(req.addr.channel);
+        state.queued.push(*req);
+        state.queued_ids.push(req.id);
     }
 
     fn on_service(
@@ -147,10 +183,11 @@ impl Scheduler for ParBs {
         _now: Cycle,
     ) {
         let id = outcome.request.id;
-        if let Some(state) = self.channels.get_mut(&outcome.request.addr.channel) {
+        if let Some(state) = self.channels.get_mut(outcome.request.addr.channel.index()) {
             state.marked.remove(&id);
-            if let Some(pos) = state.queued.iter().position(|r| r.id == id) {
+            if let Some(pos) = state.queued_ids.iter().position(|&qid| qid == id) {
                 state.queued.swap_remove(pos);
+                state.queued_ids.swap_remove(pos);
             }
         }
     }
@@ -217,7 +254,7 @@ mod tests {
         // Batch drained; r1 becomes marked in the new batch.
         let pending = vec![r1];
         assert_eq!(s.pick(&pending, &ctx(400, None)), 0);
-        let state = &s.channels[&ChannelId::new(0)];
+        let state = &s.channels[ChannelId::new(0).index()];
         assert!(state.marked.contains(&r1.id));
     }
 
@@ -227,8 +264,8 @@ mod tests {
         let r0 = req(0, 0, 1, 0); // channel 0
         s.on_enqueue(&r0, 0);
         s.pick(&[r0], &ctx(1, None));
-        assert!(s.channels.contains_key(&ChannelId::new(0)));
-        assert!(!s.channels.contains_key(&ChannelId::new(1)));
+        assert!(!s.channels[ChannelId::new(0).index()].marked.is_empty());
+        assert!(s.channels.get(ChannelId::new(1).index()).is_none());
     }
 
     #[test]

@@ -52,6 +52,12 @@ pub struct Stfm {
     t_shared: Vec<f64>,
     t_interference: Vec<f64>,
     completed: Vec<u64>,
+    /// Memoized `slowdown()` per thread, refreshed whenever that
+    /// thread's estimator inputs change. `slowdown_extremes` runs on
+    /// every pick; reading the cache avoids one division per thread per
+    /// pick (the cached value is the identical division result, so
+    /// decisions are bit-for-bit unchanged).
+    slowdowns: Vec<f64>,
     next_decay: Cycle,
 }
 
@@ -69,7 +75,14 @@ impl Stfm {
             t_shared: vec![0.0; num_threads],
             t_interference: vec![0.0; num_threads],
             completed: vec![0; num_threads],
+            slowdowns: vec![1.0; num_threads],
         }
+    }
+
+    /// Refreshes the memoized slowdown for thread `i` after its inputs
+    /// changed.
+    fn refresh_slowdown(&mut self, i: usize) {
+        self.slowdowns[i] = self.slowdown(ThreadId::new(i));
     }
 
     /// Current slowdown estimate for `thread` (≥ 1).
@@ -95,7 +108,7 @@ impl Stfm {
                 continue;
             }
             active += 1;
-            let s = self.slowdown(ThreadId::new(i));
+            let s = self.slowdowns[i];
             if s > max {
                 max = s;
                 max_thread = ThreadId::new(i);
@@ -140,6 +153,7 @@ impl Scheduler for Stfm {
             if r.thread != servicer {
                 if let Some(t) = self.t_interference.get_mut(r.thread.index()) {
                     *t += busy;
+                    self.refresh_slowdown(r.thread.index());
                 }
             }
         }
@@ -150,6 +164,7 @@ impl Scheduler for Stfm {
         if let Some(t) = self.t_shared.get_mut(i) {
             *t += (now - req.issued_at) as f64;
             self.completed[i] += 1;
+            self.refresh_slowdown(i);
         }
     }
 
@@ -164,6 +179,9 @@ impl Scheduler for Stfm {
         }
         for t in &mut self.t_interference {
             *t *= 0.5;
+        }
+        for i in 0..self.slowdowns.len() {
+            self.refresh_slowdown(i);
         }
         self.next_decay = now + self.params.interval_length;
     }

@@ -1,7 +1,28 @@
 //! Deterministic event queue for the system simulator.
+//!
+//! Structurally this is a small binary heap plus per-channel FIFO
+//! *lanes*. The heap only ever holds core bursts and scheduler ticks
+//! (a handful of entries); the two high-volume event classes ride the
+//! lanes:
+//!
+//! * `Completion` cycles are `bus_end + fixed_overhead`, and
+//! * `BankReady` cycles are `bus_end`,
+//!
+//! where `bus_end` comes from [`DataBus::reserve`], which is strictly
+//! increasing per channel. Each class is therefore pushed in
+//! nondecreasing cycle order *per channel*, so a plain `VecDeque` per
+//! (channel, class) replaces heap sift traffic with O(1) pushes and
+//! pops. A single monotone sequence number is stamped on every push —
+//! lane or heap — and the pop side takes the global minimum of
+//! `(cycle, seq)` across the heap and all lane fronts, which reproduces
+//! the old pure-heap pop order bit for bit (same-cycle events pop in
+//! insertion order). Should a push ever violate a lane's monotonicity
+//! (no current producer does, including the chaos bus-overlap re-timing
+//! whose `burst >= 1` keeps completions nondecreasing), it falls back
+//! to the heap and ordering is still exact.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use tcm_types::{BankId, ChannelId, Cycle, Request, ThreadId};
 
 /// A simulation event.
@@ -32,13 +53,30 @@ pub enum Event {
     SchedTick,
 }
 
+/// Which structure currently holds the earliest event.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    Heap,
+    Completion(usize),
+    BankReady(usize),
+}
+
 /// Time-ordered event queue. Events at the same cycle pop in insertion
 /// order (a monotone sequence number breaks ties), making runs exactly
 /// reproducible.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Reverse<(Cycle, u64, EventEntry)>>,
+    /// Per-channel completion lane: nondecreasing cycles by construction.
+    completions: Vec<VecDeque<(Cycle, u64, Request)>>,
+    /// Per-channel bank-ready lane: nondecreasing cycles by construction.
+    bank_ready: Vec<VecDeque<(Cycle, u64, BankId)>>,
+    len: usize,
     seq: u64,
+    /// Test hook: route every push through the heap (the pre-lane
+    /// reference behavior) so equivalence tests can prove the lanes
+    /// change nothing observable.
+    reference_mode: bool,
 }
 
 /// Wrapper giving `Event` a total order for heap membership (never
@@ -59,35 +97,140 @@ impl Ord for EventEntry {
 }
 
 impl EventQueue {
-    /// Creates an empty queue.
+    /// Creates an empty queue. Lanes grow on first use per channel.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Routes all future pushes through the heap (the reference, pure
+    /// binary-heap order). Pop order is identical either way; this exists
+    /// so tests can assert that, not for production use.
+    #[doc(hidden)]
+    pub fn set_reference_mode(&mut self, on: bool) {
+        self.reference_mode = on;
+    }
+
+    #[cold]
+    fn grow_lanes(&mut self, channel: usize) {
+        self.completions.resize_with(channel + 1, VecDeque::new);
+        self.bank_ready.resize_with(channel + 1, VecDeque::new);
+    }
+
     /// Schedules `event` at `cycle`.
     pub fn push(&mut self, cycle: Cycle, event: Event) {
-        self.heap.push(Reverse((cycle, self.seq, EventEntry(event))));
+        let seq = self.seq;
         self.seq += 1;
+        self.len += 1;
+        if !self.reference_mode {
+            match event {
+                Event::Completion { request } => {
+                    let c = request.addr.channel.index();
+                    if c >= self.completions.len() {
+                        self.grow_lanes(c);
+                    }
+                    let lane = &mut self.completions[c];
+                    if lane.back().is_none_or(|&(last, _, _)| cycle >= last) {
+                        lane.push_back((cycle, seq, request));
+                        return;
+                    }
+                }
+                Event::BankReady { channel, bank } => {
+                    let c = channel.index();
+                    if c >= self.bank_ready.len() {
+                        self.grow_lanes(c);
+                    }
+                    let lane = &mut self.bank_ready[c];
+                    if lane.back().is_none_or(|&(last, _, _)| cycle >= last) {
+                        lane.push_back((cycle, seq, bank));
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.heap.push(Reverse((cycle, seq, EventEntry(event))));
+    }
+
+    /// `(cycle, seq)` of the earliest pending event and where it lives.
+    fn min_source(&self) -> Option<(Cycle, u64, Source)> {
+        let mut best = self
+            .heap
+            .peek()
+            .map(|Reverse((c, s, _))| (*c, *s, Source::Heap));
+        for (i, lane) in self.completions.iter().enumerate() {
+            if let Some(&(c, s, _)) = lane.front() {
+                if best.is_none_or(|(bc, bs, _)| (c, s) < (bc, bs)) {
+                    best = Some((c, s, Source::Completion(i)));
+                }
+            }
+        }
+        for (i, lane) in self.bank_ready.iter().enumerate() {
+            if let Some(&(c, s, _)) = lane.front() {
+                if best.is_none_or(|(bc, bs, _)| (c, s) < (bc, bs)) {
+                    best = Some((c, s, Source::BankReady(i)));
+                }
+            }
+        }
+        best
+    }
+
+    fn pop_source(&mut self, source: Source) -> (Cycle, Event) {
+        self.len -= 1;
+        match source {
+            Source::Heap => {
+                let Reverse((c, _, e)) = self.heap.pop().expect("heap source vanished");
+                (c, e.0)
+            }
+            Source::Completion(i) => {
+                let (c, _, request) =
+                    self.completions[i].pop_front().expect("lane source vanished");
+                (c, Event::Completion { request })
+            }
+            Source::BankReady(i) => {
+                let (c, _, bank) =
+                    self.bank_ready[i].pop_front().expect("lane source vanished");
+                (
+                    c,
+                    Event::BankReady {
+                        channel: ChannelId::new(i),
+                        bank,
+                    },
+                )
+            }
+        }
     }
 
     /// Removes and returns the earliest event as `(cycle, event)`.
     pub fn pop(&mut self) -> Option<(Cycle, Event)> {
-        self.heap.pop().map(|Reverse((c, _, e))| (c, e.0))
+        let (_, _, source) = self.min_source()?;
+        Some(self.pop_source(source))
+    }
+
+    /// Removes and returns the earliest event if it is scheduled at or
+    /// before `bound` — the peek and the pop in one scan, so the event
+    /// loop's `peek_cycle()` + `pop().expect(...)` pair becomes a single
+    /// conditional pop.
+    pub fn pop_at_or_before(&mut self, bound: Cycle) -> Option<(Cycle, Event)> {
+        let (cycle, _, source) = self.min_source()?;
+        if cycle > bound {
+            return None;
+        }
+        Some(self.pop_source(source))
     }
 
     /// The cycle of the earliest pending event.
     pub fn peek_cycle(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse((c, _, _))| *c)
+        self.min_source().map(|(c, _, _)| c)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -95,6 +238,18 @@ impl EventQueue {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use tcm_types::{MemAddress, RequestId, Row};
+
+    fn completion(channel: usize, id: u64) -> Event {
+        Event::Completion {
+            request: Request::new(
+                RequestId::new(id),
+                ThreadId::new(0),
+                MemAddress::new(ChannelId::new(channel), BankId::new(0), Row::new(0)),
+                0,
+            ),
+        }
+    }
 
     #[test]
     fn events_pop_in_time_order() {
@@ -119,6 +274,80 @@ mod tests {
             })
             .collect();
         assert_eq!(threads, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ties_across_lanes_and_heap_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, completion(1, 100)); // lane: channel 1
+        q.push(5, Event::SchedTick); // heap
+        q.push(5, completion(0, 101)); // lane: channel 0
+        q.push(
+            5,
+            Event::BankReady { channel: ChannelId::new(1), bank: BankId::new(3) },
+        );
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Completion { request } => request.id.raw(),
+                Event::SchedTick => 0,
+                Event::BankReady { bank, .. } => 200 + bank.index() as u64,
+                Event::CoreBurst { .. } => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![100, 0, 101, 203]);
+    }
+
+    #[test]
+    fn non_monotone_lane_push_falls_back_to_heap() {
+        let mut q = EventQueue::new();
+        q.push(50, completion(0, 1));
+        q.push(40, completion(0, 2)); // violates lane order: heap fallback
+        q.push(50, completion(0, 3));
+        let order: Vec<(Cycle, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|(c, e)| match e {
+                Event::Completion { request } => (c, request.id.raw()),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![(40, 2), (50, 1), (50, 3)]);
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_bound() {
+        let mut q = EventQueue::new();
+        q.push(10, Event::SchedTick);
+        q.push(20, completion(0, 7));
+        assert_eq!(q.pop_at_or_before(5), None);
+        assert_eq!(q.pop_at_or_before(10).map(|(c, _)| c), Some(10));
+        assert_eq!(q.pop_at_or_before(19), None);
+        assert_eq!(q.pop_at_or_before(20).map(|(c, _)| c), Some(20));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reference_mode_orders_identically() {
+        let pushes = [
+            (5, completion(0, 1)),
+            (3, Event::SchedTick),
+            (5, completion(1, 2)),
+            (5, Event::BankReady { channel: ChannelId::new(0), bank: BankId::new(1) }),
+            (4, completion(0, 3)),
+            (5, completion(0, 4)),
+        ];
+        let mut fast = EventQueue::new();
+        let mut reference = EventQueue::new();
+        reference.set_reference_mode(true);
+        for &(c, e) in &pushes {
+            fast.push(c, e);
+            reference.push(c, e);
+        }
+        loop {
+            let (a, b) = (fast.pop(), reference.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -69,6 +69,14 @@ use tcm_workload::{MachineShape, TraceGenerator, WorkloadSpec};
 /// same-cycle livelock guard.
 pub const FROZEN_TICK_LIMIT: u64 = 1_000;
 
+/// Pending-message count below which a window's controller phase runs
+/// inline even when multiple host threads are configured (see
+/// [`MultiSystem::step_shards`]). A message costs on the order of 100ns
+/// to process; a `thread::scope` spawn-and-join costs tens of
+/// microseconds — parallelism only pays off for windows carrying
+/// thousands of messages.
+const INLINE_WINDOW_THRESHOLD: usize = 2_048;
+
 /// A message crossing the coordinator → shard boundary, or queued
 /// shard-locally (bank wakeups never leave their shard).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,30 +111,125 @@ impl Ord for MsgEntry {
     }
 }
 
+/// Which structure currently holds a shard's earliest message.
+#[derive(Debug, Clone, Copy)]
+enum MsgSource {
+    Heap,
+    Inbox,
+    BankReady(usize),
+}
+
 /// Shard-local time-ordered queue; same-cycle messages pop in insertion
-/// order, mirroring [`EventQueue`].
+/// order, mirroring [`EventQueue`] — including its lane structure:
+///
+/// * coordinator-routed messages (arrivals and completions) enter in
+///   coordinator processing order, so their cycles are nondecreasing —
+///   one `VecDeque` lane;
+/// * `BankReady` cycles are `bus_end`, strictly increasing per channel
+///   (see `DataBus::reserve`) — one lane per local channel;
+/// * anything out of order (a chaos flood stamping phantoms ahead of
+///   in-flight core events) falls back to the small heap.
+///
+/// A global sequence number stamps every push, and pops take the
+/// minimum `(cycle, seq)` across all sources, reproducing the pure-heap
+/// pop order bit for bit.
 #[derive(Debug, Default)]
 struct MsgQueue {
     heap: BinaryHeap<Reverse<(Cycle, u64, MsgEntry)>>,
+    /// Coordinator-routed lane: nondecreasing cycles by construction.
+    inbox: VecDeque<(Cycle, u64, ShardMsg)>,
+    /// Per-local-channel bank-ready lane: nondecreasing by construction.
+    bank_ready: Vec<VecDeque<(Cycle, u64, BankId)>>,
+    len: usize,
     seq: u64,
 }
 
 impl MsgQueue {
-    fn push(&mut self, cycle: Cycle, msg: ShardMsg) {
-        self.heap.push(Reverse((cycle, self.seq, MsgEntry(msg))));
-        self.seq += 1;
+    #[cold]
+    fn grow_lanes(&mut self, channel: usize) {
+        self.bank_ready.resize_with(channel + 1, VecDeque::new);
     }
 
-    fn pop(&mut self) -> Option<(Cycle, ShardMsg)> {
-        self.heap.pop().map(|Reverse((c, _, m))| (c, m.0))
+    fn push(&mut self, cycle: Cycle, msg: ShardMsg) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        match msg {
+            ShardMsg::BankReady { channel, bank } => {
+                if channel >= self.bank_ready.len() {
+                    self.grow_lanes(channel);
+                }
+                let lane = &mut self.bank_ready[channel];
+                if lane.back().is_none_or(|&(last, _, _)| cycle >= last) {
+                    lane.push_back((cycle, seq, bank));
+                    return;
+                }
+            }
+            ShardMsg::Arrival(_) | ShardMsg::Completed(_) => {
+                if self.inbox.back().is_none_or(|&(last, _, _)| cycle >= last) {
+                    self.inbox.push_back((cycle, seq, msg));
+                    return;
+                }
+            }
+        }
+        self.heap.push(Reverse((cycle, seq, MsgEntry(msg))));
+    }
+
+    /// `(cycle, seq)` of the earliest pending message and where it lives.
+    fn min_source(&self) -> Option<(Cycle, u64, MsgSource)> {
+        let mut best = self
+            .heap
+            .peek()
+            .map(|Reverse((c, s, _))| (*c, *s, MsgSource::Heap));
+        if let Some(&(c, s, _)) = self.inbox.front() {
+            if best.is_none_or(|(bc, bs, _)| (c, s) < (bc, bs)) {
+                best = Some((c, s, MsgSource::Inbox));
+            }
+        }
+        for (i, lane) in self.bank_ready.iter().enumerate() {
+            if let Some(&(c, s, _)) = lane.front() {
+                if best.is_none_or(|(bc, bs, _)| (c, s) < (bc, bs)) {
+                    best = Some((c, s, MsgSource::BankReady(i)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Removes and returns the earliest message if it is scheduled
+    /// strictly before `bound` — the peek and the pop in one scan.
+    fn pop_before(&mut self, bound: Cycle) -> Option<(Cycle, ShardMsg)> {
+        let (cycle, _, source) = self.min_source()?;
+        if cycle >= bound {
+            return None;
+        }
+        self.len -= 1;
+        Some(match source {
+            MsgSource::Heap => {
+                let Reverse((c, _, m)) = self.heap.pop().expect("heap source vanished");
+                (c, m.0)
+            }
+            MsgSource::Inbox => {
+                let (c, _, msg) = self.inbox.pop_front().expect("lane source vanished");
+                (c, msg)
+            }
+            MsgSource::BankReady(i) => {
+                let (c, _, bank) = self.bank_ready[i].pop_front().expect("lane source vanished");
+                (c, ShardMsg::BankReady { channel: i, bank })
+            }
+        })
     }
 
     fn peek_cycle(&self) -> Option<Cycle> {
-        self.heap.peek().map(|Reverse((c, _, _))| *c)
+        self.min_source().map(|(c, _, _)| c)
+    }
+
+    fn len(&self) -> usize {
+        self.len
     }
 
     fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -170,11 +273,10 @@ impl Shard {
             self.events.push(cycle, msg);
         }
         self.inbox = inbox; // hand the capacity back
-        while let Some(at) = self.events.peek_cycle() {
-            if at >= bound || self.pending_error.is_some() {
+        while self.pending_error.is_none() {
+            let Some((cycle, msg)) = self.events.pop_before(bound) else {
                 break;
-            }
-            let (cycle, msg) = self.events.pop().expect("peeked message vanished");
+            };
             self.now = cycle;
             match msg {
                 ShardMsg::Arrival(request) => {
@@ -187,11 +289,9 @@ impl Shard {
                 }
                 ShardMsg::BankReady { channel, bank } => {
                     self.drain_spill(channel);
-                    let idle_ready = {
-                        let b = self.channels[channel].bank(bank);
-                        !b.is_busy() && b.ready_at() <= cycle
-                    };
-                    if idle_ready && self.channels[channel].queue().has_pending_for_bank(bank) {
+                    if self.channels[channel].bank_idle_ready(bank, cycle)
+                        && self.channels[channel].queue().has_pending_for_bank(bank)
+                    {
                         self.decide(channel, bank);
                     }
                 }
@@ -263,7 +363,7 @@ impl Shard {
             now: self.now,
             channel: ChannelId::new(self.channel_base + local),
             bank,
-            open_row: self.channels[local].bank(bank).open_row(),
+            open_row: self.channels[local].open_row(bank),
         };
         let pending = self.channels[local].pending_for_bank(bank);
         debug_assert!(!pending.is_empty());
@@ -286,7 +386,16 @@ impl Shard {
     /// Per-thread bank-busy service cycles attained on this controller's
     /// channels only (the view a per-controller policy's timer sees).
     fn local_service(&self, num_threads: usize) -> Vec<u64> {
-        let mut service = vec![0u64; num_threads];
+        let mut service = Vec::new();
+        self.local_service_into(num_threads, &mut service);
+        service
+    }
+
+    /// In-place form of [`Shard::local_service`] for the per-tick hot
+    /// path (the caller reuses the buffer across barriers).
+    fn local_service_into(&self, num_threads: usize, service: &mut Vec<u64>) {
+        service.clear();
+        service.resize(num_threads, 0);
         for ch in &self.channels {
             for (t, s) in ch.stats().thread_service_all().iter().enumerate() {
                 if t < num_threads {
@@ -294,7 +403,6 @@ impl Shard {
                 }
             }
         }
-        service
     }
 
     fn idle(&self) -> bool {
@@ -369,6 +477,11 @@ pub struct MultiSystem {
     /// Per-shard count of consecutive barriers whose policy timer was
     /// already due at the window start (see [`FROZEN_TICK_LIMIT`]).
     frozen_ticks: Vec<u64>,
+    /// Scratch: per-thread counter views for `run_ticks` (reused across
+    /// barriers; the old code allocated fresh `Vec`s per due timer).
+    scratch_retired: Vec<u64>,
+    scratch_misses: Vec<u64>,
+    scratch_service: Vec<u64>,
 }
 
 impl MultiSystem {
@@ -497,6 +610,9 @@ impl MultiSystem {
             chaos_flood: None,
             chaos_coordination: Vec::new(),
             frozen_ticks: vec![0; cfg.topology.num_controllers()],
+            scratch_retired: Vec::new(),
+            scratch_misses: Vec::new(),
+            scratch_service: Vec::new(),
             cfg: cfg.clone(),
         };
         if std::env::var_os("TCM_VERIFY").is_some_and(|v| v != "0") {
@@ -743,11 +859,8 @@ impl MultiSystem {
 
     /// Phase 1: processes core-side events below `bound`.
     fn phase_cores(&mut self, bound: Cycle) {
-        while let Some(at) = self.events.peek_cycle() {
-            if at >= bound {
-                break;
-            }
-            let (cycle, event) = self.events.pop().expect("peeked event vanished");
+        // `bound >= t + 1 >= 1`, so the inclusive form cannot underflow.
+        while let Some((cycle, event)) = self.events.pop_at_or_before(bound - 1) {
             debug_assert!(cycle >= self.now, "coordinator queue went backwards");
             self.now = cycle;
             self.events_since_retire += 1;
@@ -781,25 +894,38 @@ impl MultiSystem {
 
     /// Phase 2: steps every shard to `bound`, chunked over host threads
     /// when more than one is configured. Shards own disjoint state and
-    /// are joined in spawn order, so the thread count is unobservable.
+    /// are joined in spawn order, so the thread count is unobservable —
+    /// which also makes the adaptive fast path safe: a window whose
+    /// total pending work is below [`INLINE_WINDOW_THRESHOLD`] messages
+    /// runs inline, because spawning threads costs more than stepping a
+    /// near-empty window (the 200-cycle hit-round-trip windows of a
+    /// typical run carry a handful of messages each; per-window spawns
+    /// were the dominant cost of the sharded engine).
     fn step_shards(&mut self, bound: Cycle) {
         let hosts = self.hosts.min(self.shards.len()).max(1);
-        if hosts <= 1 {
-            for shard in &mut self.shards {
-                shard.step(bound);
-            }
-            return;
-        }
-        let chunk = self.shards.len().div_ceil(hosts);
-        std::thread::scope(|scope| {
-            for shards in self.shards.chunks_mut(chunk) {
-                scope.spawn(move || {
-                    for shard in shards {
-                        shard.step(bound);
+        if hosts > 1 {
+            let work: usize = self
+                .shards
+                .iter()
+                .map(|s| s.inbox.len() + s.events.len())
+                .sum();
+            if work >= INLINE_WINDOW_THRESHOLD {
+                let chunk = self.shards.len().div_ceil(hosts);
+                std::thread::scope(|scope| {
+                    for shards in self.shards.chunks_mut(chunk) {
+                        scope.spawn(move || {
+                            for shard in shards {
+                                shard.step(bound);
+                            }
+                        });
                     }
                 });
+                return;
             }
-        });
+        }
+        for shard in &mut self.shards {
+            shard.step(bound);
+        }
     }
 
     /// Barrier: merges every shard's completions into the coordinator
@@ -848,10 +974,29 @@ impl MultiSystem {
 
     /// Runs every timer due at `at`: the meta-controller's exchange
     /// first (harvest → aggregate → broadcast), then per-controller
-    /// policy timers in controller order.
+    /// policy timers in controller order. Counter views are built in
+    /// reused scratch buffers — timers fire every barrier for some
+    /// policies, and allocating three vectors per firing was measurable.
     fn run_ticks(&mut self, at: Cycle) {
+        let mut retired = std::mem::take(&mut self.scratch_retired);
+        let mut misses = std::mem::take(&mut self.scratch_misses);
+        let mut service = std::mem::take(&mut self.scratch_service);
         if self.meta_tick.is_some_and(|due| due <= at) {
-            let (retired, misses, service) = self.view_arrays();
+            retired.clear();
+            retired.extend(self.cores.iter().map(Core::retired));
+            misses.clear();
+            misses.extend(self.cores.iter().map(Core::misses_issued));
+            service.clear();
+            service.resize(self.cfg.num_threads, 0);
+            for shard in &self.shards {
+                for ch in &shard.channels {
+                    for (t, s) in ch.stats().thread_service_all().iter().enumerate() {
+                        if t < self.cfg.num_threads {
+                            service[t] += s;
+                        }
+                    }
+                }
+            }
             let meta = self.meta.as_mut().expect("meta_tick without a meta");
             let harvested = meta.needs_samples(at);
             let mut samples: Vec<Option<MonitorSample>> = if harvested {
@@ -899,9 +1044,11 @@ impl MultiSystem {
         }
         for i in 0..self.shards.len() {
             if self.shards[i].next_tick.is_some_and(|due| due <= at) {
-                let retired: Vec<u64> = self.cores.iter().map(Core::retired).collect();
-                let misses: Vec<u64> = self.cores.iter().map(Core::misses_issued).collect();
-                let service = self.shards[i].local_service(self.cfg.num_threads);
+                retired.clear();
+                retired.extend(self.cores.iter().map(Core::retired));
+                misses.clear();
+                misses.extend(self.cores.iter().map(Core::misses_issued));
+                self.shards[i].local_service_into(self.cfg.num_threads, &mut service);
                 let view = SystemView {
                     retired: &retired,
                     misses: &misses,
@@ -911,6 +1058,9 @@ impl MultiSystem {
                 self.shards[i].next_tick = self.shards[i].scheduler.next_tick(at);
             }
         }
+        self.scratch_retired = retired;
+        self.scratch_misses = misses;
+        self.scratch_service = service;
     }
 
     /// Whether no event anywhere can ever fire again (timers alone never
@@ -947,6 +1097,7 @@ impl MultiSystem {
             if self.drained() {
                 break;
             }
+            t = self.skip_empty_windows(t, horizon);
             let mut bound = (t + self.window).min(horizon + 1);
             if let Some(due) = self.meta_tick {
                 bound = bound.min(due.max(t + 1));
@@ -1012,6 +1163,58 @@ impl MultiSystem {
         Ok(self.collect(horizon))
     }
 
+    /// Fast-forwards `t` over windows that are provable no-ops: no event
+    /// (coordinator or shard) fires in them, no scheduler or
+    /// meta-controller timer is due, no armed flood would fire, and the
+    /// retirement watchdog cannot trip. Returns the new window start —
+    /// always a whole number of windows ahead, so the barrier grid (and
+    /// with it every same-cycle ordering decision) is exactly the grid
+    /// the per-window loop would have walked.
+    ///
+    /// Soundness: a window `[t, t+W)` with no event below its bound and
+    /// no timer due at it runs `phase_cores`/`step_shards` over nothing,
+    /// merges empty outboxes, and skips `run_ticks` — a strict no-op
+    /// apart from the barrier bookkeeping, which is also unobservable in
+    /// the skipped range: `frozen_ticks` stays 0 (every due is strictly
+    /// beyond the range), the stall check is capped below (we never skip
+    /// past `last_retire + limit`, so a watchdog error surfaces at the
+    /// same barrier bound it always did), and nothing in the range can
+    /// change `injected`/`completed`/`last_retire`. The skip target is
+    /// held strictly below the first constraint (`limit - 1` in the
+    /// divide) so the barrier *at* a due cycle still runs its ticks.
+    fn skip_empty_windows(&self, t: Cycle, horizon: Cycle) -> Cycle {
+        let mut limit = horizon + 1;
+        let mut clamp = |c: Cycle| limit = limit.min(c);
+        if let Some(at) = self.events.peek_cycle() {
+            clamp(at);
+        }
+        for shard in &self.shards {
+            debug_assert!(shard.inbox.is_empty(), "inboxes drain at every barrier");
+            if let Some(at) = shard.events.peek_cycle() {
+                clamp(at);
+            }
+            if let Some(due) = shard.next_tick {
+                clamp(due);
+            }
+        }
+        if let Some(due) = self.meta_tick {
+            clamp(due);
+        }
+        if let Some(fault) = self.chaos_flood {
+            clamp(fault.at);
+        }
+        if let Some(stall) = self.stall_limit {
+            if self.injected > self.completed {
+                clamp(self.last_retire.saturating_add(stall).saturating_add(1));
+            }
+        }
+        if limit <= t {
+            return t;
+        }
+        let windows = (limit - 1 - t) / self.window;
+        t + windows * self.window
+    }
+
     fn stall_report(&self) -> StallReport {
         // No specific culprit known: attribute the controller with the
         // deepest backlog (queues + spill), ties to the lowest index —
@@ -1054,13 +1257,7 @@ impl MultiSystem {
             busy_banks: self
                 .shards
                 .iter()
-                .flat_map(|s| {
-                    s.channels.iter().map(|ch| {
-                        (0..self.cfg.banks_per_channel)
-                            .filter(|&b| ch.bank(BankId::new(b)).is_busy())
-                            .count()
-                    })
-                })
+                .flat_map(|s| s.channels.iter().map(Channel::busy_bank_count))
                 .collect(),
         }
     }

@@ -121,11 +121,27 @@ pub struct System {
     /// Cooperative cancellation: checked every [`CANCEL_CHECK_STRIDE`]
     /// events; `None` means the run cannot be cancelled.
     cancel: Option<CancelToken>,
-    /// Events processed over the run (cancellation-check bookkeeping).
-    events_processed: u64,
+    /// Events until the next cancellation check (strided probe: checks
+    /// at the same event indices the old `events_processed % STRIDE`
+    /// test did — the first event always checks).
+    cancel_countdown: u64,
     /// Armed spill-flood fault: at its cycle, phantom requests are
     /// admitted until the spill queue outgrows its resource bound.
     chaos_flood: Option<FaultSpec>,
+    /// Cycle the armed flood fires (`Cycle::MAX` when none is armed), so
+    /// the per-event probe is one compare instead of an `Option` walk.
+    chaos_flood_at: Cycle,
+    /// Next cycle boundary at which the stall watchdog must be
+    /// re-evaluated: `last_retire + stall_limit` (the earliest cycle the
+    /// stalled condition can possibly hold), `Cycle::MAX` when the
+    /// watchdog is disabled. The per-event probe is one compare; the
+    /// full check runs only past the boundary — with semantics identical
+    /// to evaluating it every event.
+    stall_probe_at: Cycle,
+    /// Whether any channel has the protocol checker armed (mirror of
+    /// `verification_enabled()`, so the per-event fault poll skips the
+    /// per-channel walk when nothing can ever be reported).
+    verify_armed: bool,
     /// Scratch: schedulable banks of the channel currently being worked
     /// (reused across `schedule_idle_banks` calls, never allocated per
     /// decision).
@@ -135,12 +151,17 @@ pub struct System {
     /// Scratch: per-channel "this burst touched it" flags (reused, reset
     /// after each injection).
     touched_channels: Vec<bool>,
+    /// Scratch: per-thread counter views for `SchedTick` (reused across
+    /// ticks; the old code allocated three fresh `Vec`s per tick).
+    scratch_retired: Vec<u64>,
+    scratch_misses: Vec<u64>,
+    scratch_service: Vec<u64>,
     /// Structured-event/metric sink, shared with every channel and the
     /// policy. Disabled by default; see [`System::set_telemetry`].
     telemetry: Telemetry,
-    /// Next cycle at which the time-series sampler fires (`None` when
-    /// telemetry is disabled — the per-event check is one `Option` test).
-    next_sample: Option<Cycle>,
+    /// Next cycle at which the time-series sampler fires (`Cycle::MAX`
+    /// when telemetry is disabled — the per-event check is one compare).
+    next_sample: Cycle,
 }
 
 impl System {
@@ -230,17 +251,26 @@ impl System {
             spill_bound: cfg.num_threads * cfg.mshrs_per_core,
             pending_error: None,
             cancel: None,
-            events_processed: 0,
+            cancel_countdown: 0,
             chaos_flood: None,
+            chaos_flood_at: Cycle::MAX,
+            stall_probe_at: DEFAULT_STALL_LIMIT,
+            verify_armed: false,
             scratch_banks: Vec::with_capacity(cfg.banks_per_channel),
             scratch_ids: Vec::new(),
             touched_channels: vec![false; cfg.num_channels()],
+            scratch_retired: Vec::new(),
+            scratch_misses: Vec::new(),
+            scratch_service: Vec::new(),
             telemetry: Telemetry::disabled(),
-            next_sample: None,
+            next_sample: Cycle::MAX,
         };
         if std::env::var_os("TCM_VERIFY").is_some_and(|v| v != "0") {
             sys.enable_verification();
         }
+        // Channels arm the checker on their own in debug builds; keep the
+        // fault-poll gate in sync with whatever they decided.
+        sys.verify_armed = sys.verification_enabled();
         sys.bootstrap();
         sys
     }
@@ -255,6 +285,7 @@ impl System {
         for ch in &mut self.channels {
             ch.enable_verification();
         }
+        self.verify_armed = true;
     }
 
     /// Enables or disables protocol verification on every channel.
@@ -266,6 +297,7 @@ impl System {
                 ch.disable_verification();
             }
         }
+        self.verify_armed = enabled;
     }
 
     /// Whether protocol verification is active on any channel.
@@ -278,6 +310,10 @@ impl System {
     /// watchdog, including the same-cycle livelock guard.
     pub fn set_watchdog(&mut self, stall_limit: Option<Cycle>) {
         self.stall_limit = stall_limit;
+        self.stall_probe_at = match stall_limit {
+            Some(limit) => self.last_retire.saturating_add(limit),
+            None => Cycle::MAX,
+        };
     }
 
     /// Installs a cooperative cancellation token. The event loop polls it
@@ -297,7 +333,7 @@ impl System {
             ch.set_telemetry(telemetry);
         }
         self.scheduler.attach_telemetry(telemetry);
-        self.next_sample = telemetry.sample_interval();
+        self.next_sample = telemetry.sample_interval().unwrap_or(Cycle::MAX);
     }
 
     /// Installs a fault-injection plan (see the `tcm-chaos` crate).
@@ -321,6 +357,7 @@ impl System {
             self.scheduler.inject_monitor_fault(&fault);
         }
         self.chaos_flood = plan.flood();
+        self.chaos_flood_at = self.chaos_flood.map_or(Cycle::MAX, |f| f.at);
         if let Some(spin_at) = plan.spin_at() {
             // Placeholder swap: Box<dyn Scheduler> has no cheap default,
             // and the wrapper needs ownership of the inner policy.
@@ -428,12 +465,16 @@ impl System {
         }
     }
 
-    /// Builds the per-thread counter view for the policy.
-    fn view_arrays(&self) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    /// Fills the per-thread counter view for the policy in place (the
+    /// hot path reuses the scratch vectors across scheduler ticks).
+    fn view_into(&self, retired: &mut Vec<u64>, misses: &mut Vec<u64>, service: &mut Vec<u64>) {
         let n = self.cfg.num_threads;
-        let retired = self.cores.iter().map(|c| c.retired()).collect();
-        let misses = self.cores.iter().map(|c| c.misses_issued()).collect();
-        let mut service = vec![0u64; n];
+        retired.clear();
+        retired.extend(self.cores.iter().map(|c| c.retired()));
+        misses.clear();
+        misses.extend(self.cores.iter().map(|c| c.misses_issued()));
+        service.clear();
+        service.resize(n, 0);
         for ch in &self.channels {
             for (t, s) in ch.stats().thread_service_all().iter().enumerate() {
                 if t < n {
@@ -441,6 +482,13 @@ impl System {
                 }
             }
         }
+    }
+
+    /// Builds the per-thread counter view as owned vectors (end-of-run
+    /// reporting; the event loop uses [`System::view_into`]).
+    fn view_arrays(&self) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+        let (mut retired, mut misses, mut service) = (Vec::new(), Vec::new(), Vec::new());
+        self.view_into(&mut retired, &mut misses, &mut service);
         (retired, misses, service)
     }
 
@@ -545,7 +593,7 @@ impl System {
             now: self.now,
             channel: ChannelId::new(channel),
             bank,
-            open_row: self.channels[channel].bank(bank).open_row(),
+            open_row: self.channels[channel].open_row(bank),
         };
         let pending = self.channels[channel].pending_for_bank(bank);
         debug_assert!(!pending.is_empty());
@@ -605,11 +653,11 @@ impl System {
     /// After an error the system is left at the faulting cycle; resuming
     /// is not supported.
     pub fn try_run(&mut self, horizon: Cycle) -> Result<RunResult, SimError> {
-        while let Some(at) = self.events.peek_cycle() {
-            if at > horizon {
-                break;
-            }
-            let (cycle, event) = self.events.pop().expect("peeked event vanished");
+        // The conditional pop jumps `now` straight to the next scheduled
+        // event; cancel/sample/chaos/stall checks below are strided or
+        // boundary probes with semantics identical to the old per-event
+        // bookkeeping (see each field's invariant).
+        while let Some((cycle, event)) = self.events.pop_at_or_before(horizon) {
             debug_assert!(cycle >= self.now, "event queue went backwards");
             if cycle > self.now {
                 self.events_at_now = 0;
@@ -617,57 +665,53 @@ impl System {
             self.now = cycle;
             self.events_at_now += 1;
             self.events_since_retire += 1;
-            if self.events_processed.is_multiple_of(CANCEL_CHECK_STRIDE) {
+            if self.cancel_countdown == 0 {
+                self.cancel_countdown = CANCEL_CHECK_STRIDE;
                 if let Some(token) = &self.cancel {
                     if token.is_cancelled() {
                         return Err(SimError::Cancelled(self.now));
                     }
                 }
             }
-            self.events_processed += 1;
-            if let Some(at) = self.next_sample {
-                if self.now >= at {
-                    self.sample_series();
-                }
+            self.cancel_countdown -= 1;
+            if self.now >= self.next_sample {
+                self.sample_series();
             }
-            if let Some(fault) = self.chaos_flood {
-                if self.now >= fault.at {
-                    self.chaos_flood = None;
+            if self.now >= self.chaos_flood_at {
+                self.chaos_flood_at = Cycle::MAX;
+                if let Some(fault) = self.chaos_flood.take() {
                     self.trigger_flood(fault);
                 }
             }
-            if let Some(limit) = self.stall_limit {
-                let stalled = self.injected > self.completed
-                    && self.now.saturating_sub(self.last_retire) > limit;
-                if stalled || self.events_at_now > self.livelock_limit {
-                    return Err(SimError::Stalled(Box::new(self.stall_report())));
-                }
+            if self.events_at_now > self.livelock_limit || self.now > self.stall_probe_at {
+                self.check_watchdog()?;
             }
             match event {
                 Event::CoreBurst { thread, epoch } => {
                     let t = thread.index();
-                    if epoch != self.core_epoch[t] {
-                        continue; // stale
-                    }
-                    match self.cores[t].poll(self.now) {
-                        CoreStatus::WillBurst { at } if at <= self.now => {
-                            self.inject_burst(t);
+                    // A stale epoch (the core was re-polled after this
+                    // event was scheduled) still falls through to the
+                    // fault poll below: a pending error must surface on
+                    // the event that observed it, not the next one.
+                    if epoch == self.core_epoch[t] {
+                        match self.cores[t].poll(self.now) {
+                            CoreStatus::WillBurst { at } if at <= self.now => {
+                                self.inject_burst(t);
+                            }
+                            // Blocked (e.g. MSHR raced) or re-timed: re-poll
+                            // created no event for Blocked; completions will.
+                            CoreStatus::WillBurst { .. } => self.poll_core(t),
+                            _ => {}
                         }
-                        // Blocked (e.g. MSHR raced) or re-timed: re-poll
-                        // created no event for Blocked; completions will.
-                        CoreStatus::WillBurst { .. } => self.poll_core(t),
-                        _ => {}
                     }
                 }
                 Event::BankReady { channel, bank } => {
                     self.drain_spill(channel.index());
-                    let idle_ready = {
-                        let b = self.channels[channel.index()].bank(bank);
-                        !b.is_busy() && b.ready_at() <= self.now
-                    };
-                    if idle_ready && self.channels[channel.index()].queue().has_pending_for_bank(bank)
+                    let c = channel.index();
+                    if self.channels[c].bank_idle_ready(bank, self.now)
+                        && self.channels[c].queue().has_pending_for_bank(bank)
                     {
-                        self.decide(channel.index(), bank);
+                        self.decide(c, bank);
                     }
                 }
                 Event::Completion { request } => {
@@ -681,17 +725,25 @@ impl System {
                 }
                 Event::SchedTick => {
                     self.sched_tick_pending = false;
-                    let (retired, misses, service) = self.view_arrays();
+                    let mut retired = std::mem::take(&mut self.scratch_retired);
+                    let mut misses = std::mem::take(&mut self.scratch_misses);
+                    let mut service = std::mem::take(&mut self.scratch_service);
+                    self.view_into(&mut retired, &mut misses, &mut service);
                     let view = SystemView {
                         retired: &retired,
                         misses: &misses,
                         service: &service,
                     };
                     self.scheduler.tick(self.now, &view);
+                    self.scratch_retired = retired;
+                    self.scratch_misses = misses;
+                    self.scratch_service = service;
                     self.schedule_next_tick();
                 }
             }
-            self.poll_faults()?;
+            if self.pending_error.is_some() || self.verify_armed {
+                self.poll_faults()?;
+            }
         }
         if self.stall_limit.is_some() && self.injected > self.completed && self.events.is_empty() {
             // Nothing left to process but requests are still in flight:
@@ -706,6 +758,33 @@ impl System {
             ch.finish_verification(horizon)?;
         }
         Ok(self.collect(horizon))
+    }
+
+    /// Full watchdog evaluation, run only when the per-event probe fires
+    /// (`events_at_now` past the livelock ceiling, or `now` past the
+    /// earliest cycle the stalled condition can hold). Re-arms the probe
+    /// boundary on a clean pass.
+    #[cold]
+    fn check_watchdog(&mut self) -> Result<(), SimError> {
+        if let Some(limit) = self.stall_limit {
+            let stalled = self.injected > self.completed
+                && self.now.saturating_sub(self.last_retire) > limit;
+            if stalled || self.events_at_now > self.livelock_limit {
+                return Err(SimError::Stalled(Box::new(self.stall_report())));
+            }
+            self.stall_probe_at = self.last_retire.saturating_add(limit);
+        } else {
+            self.stall_probe_at = Cycle::MAX;
+        }
+        Ok(())
+    }
+
+    /// Test hook: routes all future event pushes through the reference
+    /// binary-heap path (see `EventQueue::set_reference_mode`), so
+    /// equivalence tests can prove the lane fast path is bit-identical.
+    #[doc(hidden)]
+    pub fn set_reference_event_order(&mut self, on: bool) {
+        self.events.set_reference_mode(on);
     }
 
     /// Surfaces any fault recorded during event processing: a pending
@@ -733,15 +812,7 @@ impl System {
             outstanding: self.cores.iter().map(Core::outstanding).collect(),
             queue_depths: self.channels.iter().map(|ch| ch.queue().len()).collect(),
             spill_depths: self.spill.iter().map(VecDeque::len).collect(),
-            busy_banks: self
-                .channels
-                .iter()
-                .map(|ch| {
-                    (0..self.cfg.banks_per_channel)
-                        .filter(|&b| ch.bank(BankId::new(b)).is_busy())
-                        .count()
-                })
-                .collect(),
+            busy_banks: self.channels.iter().map(Channel::busy_bank_count).collect(),
         }
     }
 
@@ -749,15 +820,20 @@ impl System {
     /// utilization per channel) and re-arms the sampler past `now`.
     fn sample_series(&mut self) {
         let Some(interval) = self.telemetry.sample_interval() else {
-            self.next_sample = None;
+            self.next_sample = Cycle::MAX;
             return;
         };
         let now = self.now;
-        let mut at = self.next_sample.unwrap_or(interval).max(interval);
+        let mut at = if self.next_sample == Cycle::MAX {
+            interval
+        } else {
+            self.next_sample
+        }
+        .max(interval);
         while at <= now {
             at += interval;
         }
-        self.next_sample = Some(at);
+        self.next_sample = at;
         let channels = &self.channels;
         self.telemetry.with_metrics(|m| {
             for (c, ch) in channels.iter().enumerate() {

@@ -3,9 +3,32 @@
 //! random workloads.
 
 use proptest::prelude::*;
-use tcm_sim::{workload_metrics, Event, EventQueue, IpcPair, PolicyKind, System};
-use tcm_types::SystemConfig;
+use tcm_sim::{workload_metrics, Event, EventQueue, IpcPair, MultiSystem, PolicyKind, System};
+use tcm_types::{SystemConfig, Topology};
 use tcm_workload::{BenchmarkProfile, WorkloadSpec};
+
+/// The full policy lineup used by the whole-system properties.
+fn policy_lineup(n: usize) -> [PolicyKind; 6] {
+    [
+        PolicyKind::Fcfs,
+        PolicyKind::FrFcfs,
+        PolicyKind::Stfm(Default::default()),
+        PolicyKind::ParBs(Default::default()),
+        PolicyKind::Atlas(Default::default()),
+        PolicyKind::Tcm(tcm_core::TcmParams::reproduction_default(n)),
+    ]
+}
+
+/// Builds a random workload from proptest-drawn `(mpki, rbl, blp)`
+/// profile triples.
+fn workload_from(profiles: &[(f64, f64, f64)]) -> WorkloadSpec {
+    let threads: Vec<BenchmarkProfile> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, &(mpki, rbl, blp))| BenchmarkProfile::new(format!("p{i}"), mpki, rbl, blp))
+        .collect();
+    WorkloadSpec::new("prop", threads)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -61,20 +84,8 @@ proptest! {
     ) {
         let n = profiles.len();
         let cfg = SystemConfig::builder().num_threads(n).build().unwrap();
-        let threads: Vec<BenchmarkProfile> = profiles
-            .iter()
-            .enumerate()
-            .map(|(i, &(mpki, rbl, blp))| BenchmarkProfile::new(format!("p{i}"), mpki, rbl, blp))
-            .collect();
-        let workload = WorkloadSpec::new("prop", threads);
-        let kinds = [
-            PolicyKind::Fcfs,
-            PolicyKind::FrFcfs,
-            PolicyKind::Stfm(Default::default()),
-            PolicyKind::ParBs(Default::default()),
-            PolicyKind::Atlas(Default::default()),
-            PolicyKind::Tcm(tcm_core::TcmParams::reproduction_default(n)),
-        ];
+        let workload = workload_from(&profiles);
+        let kinds = policy_lineup(n);
         let kind = &kinds[policy_index % kinds.len()];
         let mut sys = System::new(&cfg, &workload, kind.build(n, &cfg), seed);
         let horizon = 120_000;
@@ -87,5 +98,77 @@ proptest! {
             prop_assert!(retired <= horizon * cfg.issue_width as u64);
         }
         prop_assert!((0.0..=1.0).contains(&r.row_hit_rate));
+    }
+
+    /// Skip-ahead stepping is bit-identical to the per-event reference
+    /// path: the lane-based event queue plus strided probe checks must
+    /// produce exactly the same `RunResult` (every counter, every float
+    /// bit) as the plain binary-heap ordering on random workloads under
+    /// every policy. This is the property the SoA/skip-ahead hot path is
+    /// allowed to assume.
+    #[test]
+    fn skip_ahead_matches_per_event_reference(
+        profiles in proptest::collection::vec(
+            (0.0..80.0f64, 0.0..1.0f64, 1.0..8.0f64),
+            2..6,
+        ),
+        policy_index in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let n = profiles.len();
+        let cfg = SystemConfig::builder().num_threads(n).build().unwrap();
+        let workload = workload_from(&profiles);
+        let kinds = policy_lineup(n);
+        let kind = &kinds[policy_index % kinds.len()];
+        let horizon = 150_000;
+
+        let mut fast = System::new(&cfg, &workload, kind.build(n, &cfg), seed);
+        let fast_result = fast.run(horizon);
+
+        let mut reference = System::new(&cfg, &workload, kind.build(n, &cfg), seed);
+        reference.set_reference_event_order(true);
+        let reference_result = reference.run(horizon);
+
+        prop_assert_eq!(fast_result, reference_result);
+    }
+
+    /// The multi-controller window loop's fast paths (empty-window
+    /// skip-ahead, adaptive inline stepping, reused merge scratch) keep
+    /// the determinism contract: results are bit-identical whichever
+    /// host count partitions the shards.
+    #[test]
+    fn multi_window_skip_is_host_count_invariant(
+        profiles in proptest::collection::vec(
+            (0.0..60.0f64, 0.0..1.0f64, 1.0..8.0f64),
+            2..6,
+        ),
+        policy_index in 0usize..6,
+        hosts in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let n = profiles.len();
+        let cfg = SystemConfig::builder()
+            .num_threads(n)
+            .topology(Topology::uniform(2, 2))
+            .build()
+            .unwrap();
+        let workload = workload_from(&profiles);
+        let kinds = policy_lineup(n);
+        let kind = &kinds[policy_index % kinds.len()];
+        let horizon = 100_000;
+
+        let build = |kind: &PolicyKind| {
+            let controllers = (0..cfg.topology.num_controllers())
+                .map(|_| kind.build_controller(n, &cfg))
+                .collect();
+            MultiSystem::new(&cfg, &workload, controllers, kind.build_meta(n, &cfg), seed)
+        };
+        let mut sequential = build(kind);
+        sequential.set_hosts(1);
+        let baseline = sequential.run(horizon);
+
+        let mut sharded = build(kind);
+        sharded.set_hosts(hosts);
+        prop_assert_eq!(sharded.run(horizon), baseline);
     }
 }

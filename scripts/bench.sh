@@ -28,8 +28,10 @@ CYCLES=2000000
 SMOKE=0
 # Sub-second sweeps have several percent of run-to-run noise; the full
 # run times each variant RUNS times and keeps the fastest, which is what
-# the 2% telemetry-overhead gate is applied to.
-RUNS=3
+# the 2% telemetry-overhead gate is applied to. Contended machines need
+# more samples for the overhead gates to converge: override with
+# BENCH_RUNS.
+RUNS="${BENCH_RUNS:-3}"
 if [[ "${1:-}" == "--smoke" ]]; then
     SMOKE=1
     CYCLES=100000
@@ -49,53 +51,59 @@ if [[ "$SMOKE" == 1 ]]; then
     OUT="$TMPDIR_BENCH/BENCH_hotpath.json"
 fi
 
-run_variant() {
+# All feature variants build the same binary path, so build each in
+# sequence and squirrel the binary away; the timed runs then interleave
+# *across* variants round-robin. Sequential per-variant timing blocks
+# would let slow machine-load drift masquerade as variant overhead —
+# interleaving spreads the drift evenly, which is what the <2% overhead
+# gates assume.
+build_variant() {
     local impl="$1"; shift
-    echo "==> build + run: $impl"
-    # All variants build the same binary path, so build and run in
-    # sequence rather than in parallel.
+    echo "==> build: $impl"
     cargo build --release --offline -p tcm-sim --bin tcm-run "$@"
-    for k in $(seq "$RUNS"); do
-        ./target/release/tcm-run \
-            --bench-json "$TMPDIR_BENCH/$impl.run$k.json" --cycles "$CYCLES"
-    done
+    cp target/release/tcm-run "$TMPDIR_BENCH/bin-$impl"
 }
 
-run_variant indexed
-# Multi-controller variant: the same fixed sweep on a 2x2 topology (two
-# controllers x two channels each, TCM cells coordinated by the
-# meta-controller), with each cell's controller phase sharded over two
-# host threads. Runs on the default build, so it goes right after the
-# indexed variant while that binary is current.
-echo "==> run: multi (2x2 topology, --intra-hosts 2)"
-for k in $(seq "$RUNS"); do
-    ./target/release/tcm-run \
-        --bench-json "$TMPDIR_BENCH/multi.run$k.json" --cycles "$CYCLES" \
-        --topology 2x2 --intra-hosts 2
-done
-# Chaos-layer cost probe, also on the default build: the same multi
-# sweep with the protocol checker on (the baseline), then with an
-# *empty* fault plan installed (which arms the same checker plus the
-# inert chaos state). The pair isolates the chaos layer's overhead from
-# the checker's; the full run gates it at <2% — when no fault is
-# scheduled, the layer must be free.
-echo "==> run: multi_verify / multi_chaos (2x2, checker on vs empty fault plan)"
-for k in $(seq "$RUNS"); do
-    ./target/release/tcm-run \
-        --bench-json "$TMPDIR_BENCH/multi_verify.run$k.json" --cycles "$CYCLES" \
-        --topology 2x2 --intra-hosts 2 --verify
-    ./target/release/tcm-run \
-        --bench-json "$TMPDIR_BENCH/multi_chaos.run$k.json" --cycles "$CYCLES" \
-        --topology 2x2 --intra-hosts 2 --chaos-empty
-done
-run_variant flat --features tcm-dram/flat-queue
-run_variant nohooks --features tcm-telemetry/off
+build_variant indexed
+build_variant flat --features tcm-dram/flat-queue
+build_variant nohooks --features tcm-telemetry/off
 # Leave the default build in place for whoever runs next.
 cargo build --release --offline -p tcm-sim --bin tcm-run >/dev/null 2>&1 || true
+
+# The six timed variants:
+# - indexed / flat / nohooks: the fixed flat-topology sweep on each
+#   build (queue refactor A/B, telemetry-hook cost).
+# - multi: the same sweep on a 2x2 topology (two controllers x two
+#   channels, TCM cells coordinated by the meta-controller), controller
+#   phase sharded over two host threads; runs on the default build.
+# - multi_verify / multi_chaos: the multi sweep with the protocol
+#   checker armed, then with an *empty* fault plan installed (same
+#   checker plus the inert chaos state). The pair isolates the chaos
+#   layer's overhead from the checker's; the full run gates it at <2% —
+#   when no fault is scheduled, the layer must be free.
+echo "==> timed runs: $RUNS interleaved rounds x 6 variants"
+for k in $(seq "$RUNS"); do
+    "$TMPDIR_BENCH/bin-indexed" \
+        --bench-json "$TMPDIR_BENCH/indexed.run$k.json" --cycles "$CYCLES"
+    "$TMPDIR_BENCH/bin-indexed" \
+        --bench-json "$TMPDIR_BENCH/multi.run$k.json" --cycles "$CYCLES" \
+        --topology 2x2 --intra-hosts 2
+    "$TMPDIR_BENCH/bin-indexed" \
+        --bench-json "$TMPDIR_BENCH/multi_verify.run$k.json" --cycles "$CYCLES" \
+        --topology 2x2 --intra-hosts 2 --verify
+    "$TMPDIR_BENCH/bin-indexed" \
+        --bench-json "$TMPDIR_BENCH/multi_chaos.run$k.json" --cycles "$CYCLES" \
+        --topology 2x2 --intra-hosts 2 --chaos-empty
+    "$TMPDIR_BENCH/bin-flat" \
+        --bench-json "$TMPDIR_BENCH/flat.run$k.json" --cycles "$CYCLES"
+    "$TMPDIR_BENCH/bin-nohooks" \
+        --bench-json "$TMPDIR_BENCH/nohooks.run$k.json" --cycles "$CYCLES"
+done
 
 python3 - "$TMPDIR_BENCH" "$OUT" "$SMOKE" <<'PY'
 import glob
 import json
+import statistics
 import sys
 
 tmp, out_path, smoke = sys.argv[1:4]
@@ -126,20 +134,36 @@ def load(path, expect_impl):
         sys.exit(f"{path}: non-positive sim_cycles_per_sec")
     return record
 
-def load_best(impl, expect_impl):
-    """Fastest of the variant's repeated runs (least-noise estimate)."""
+def load_runs(impl, expect_impl):
     paths = sorted(glob.glob(f"{tmp}/{impl}.run*.json"))
     if not paths:
         sys.exit(f"no bench records for variant {impl!r}")
-    records = [load(p, expect_impl) for p in paths]
+    return [load(p, expect_impl) for p in paths]
+
+def best(records):
+    """Fastest repeated run: the quiet-floor throughput estimate, used
+    for the headline variant records."""
     return max(records, key=lambda r: r["sim_cycles_per_sec"])
 
-indexed = load_best("indexed", "indexed")
-multi = load_best("multi", "indexed")
-multi_verify = load_best("multi_verify", "indexed")
-multi_chaos = load_best("multi_chaos", "indexed")
-flat = load_best("flat", "flat")
-nohooks = load_best("nohooks", "indexed")
+def median_rate(records):
+    """Median throughput across the interleaved rounds: the robust
+    estimate for the A/B *overhead ratios*, where a single lucky or
+    unlucky round on a contended machine would otherwise swing the
+    <2% gates by several points."""
+    return statistics.median(r["sim_cycles_per_sec"] for r in records)
+
+indexed_runs = load_runs("indexed", "indexed")
+multi_runs = load_runs("multi", "indexed")
+multi_verify_runs = load_runs("multi_verify", "indexed")
+multi_chaos_runs = load_runs("multi_chaos", "indexed")
+flat_runs = load_runs("flat", "flat")
+nohooks_runs = load_runs("nohooks", "indexed")
+indexed = best(indexed_runs)
+multi = best(multi_runs)
+multi_verify = best(multi_verify_runs)
+multi_chaos = best(multi_chaos_runs)
+flat = best(flat_runs)
+nohooks = best(nohooks_runs)
 if nohooks.get("telemetry_impl", "off") != "off":
     sys.exit("nohooks variant: expected the tcm-telemetry/off build")
 if indexed["topology"] != "4":
@@ -181,13 +205,21 @@ if indexed["peak_queue_depth"] != nohooks["peak_queue_depth"]:
 speedup = indexed["sim_cycles_per_sec"] / flat["sim_cycles_per_sec"]
 # Positive = the hooks build (telemetry disabled at runtime) is slower
 # than the build with hooks compiled out entirely.
-overhead_pct = 100.0 * (nohooks["sim_cycles_per_sec"]
-                        / indexed["sim_cycles_per_sec"] - 1.0)
+overhead_pct = 100.0 * (median_rate(nohooks_runs)
+                        / median_rate(indexed_runs) - 1.0)
 # Positive = the empty fault plan is slower than the bare checker: both
 # arm the same protocol verification, so the delta is the chaos layer
 # alone.
-chaos_overhead_pct = 100.0 * (multi_verify["sim_cycles_per_sec"]
-                              / multi_chaos["sim_cycles_per_sec"] - 1.0)
+chaos_overhead_pct = 100.0 * (median_rate(multi_verify_runs)
+                              / median_rate(multi_chaos_runs) - 1.0)
+# The multi engine's remaining gap vs the flat (single-controller)
+# engine on the same build: ROADMAP's "24x penalty" was this ratio at
+# ~0.04. Recorded so the windowed engine's cost is tracked
+# release-over-release instead of eyeballed. (The two variants simulate
+# different machines — 4 flat channels vs 2x2 — so this is a
+# same-horizon throughput ratio, not an A/B of identical work; 1.0 means
+# the window-barrier machinery no longer costs wall clock.)
+multi_over_flat = multi["sim_cycles_per_sec"] / indexed["sim_cycles_per_sec"]
 merged = {
     "schema": "tcm-bench-hotpath-v1",
     "generated_by": "scripts/bench.sh" + (" --smoke" if smoke == "1" else ""),
@@ -198,6 +230,7 @@ merged = {
     "flat": flat,
     "nohooks": nohooks,
     "speedup_indexed_over_flat": speedup,
+    "multi_over_flat_ratio": multi_over_flat,
     "telemetry_disabled_overhead_pct": overhead_pct,
     "chaos_empty_plan_overhead_pct": chaos_overhead_pct,
 }
@@ -212,6 +245,8 @@ print(f"multi:   {multi['sim_cycles_per_sec']:.3e} sim-cycles/sec "
 print(f"flat:    {flat['sim_cycles_per_sec']:.3e} sim-cycles/sec "
       f"({flat['wall_secs']:.2f}s)")
 print(f"speedup (indexed over flat): {speedup:.2f}x -> {out_path}")
+print(f"multi over flat-engine ratio: {multi_over_flat:.3f} "
+      f"(windowed-engine gap; 1.0 = parity)")
 print(f"telemetry hooks, disabled at runtime, vs compiled out: "
       f"{overhead_pct:+.2f}% overhead")
 print(f"empty fault plan vs bare protocol checker (2x2): "
@@ -230,9 +265,13 @@ if smoke == "1":
         with open("BENCH_hotpath.json") as f:
             committed = json.load(f)
         for key in ("schema", "indexed", "multi", "flat",
-                    "speedup_indexed_over_flat"):
+                    "speedup_indexed_over_flat", "multi_over_flat_ratio"):
             if key not in committed:
                 sys.exit(f"committed BENCH_hotpath.json: missing key {key!r}")
+        ratio = committed["multi_over_flat_ratio"]
+        if not isinstance(ratio, float) or not 0.0 < ratio:
+            sys.exit(f"committed BENCH_hotpath.json: multi_over_flat_ratio "
+                     f"{ratio!r} is not a positive float")
         if committed["schema"] != "tcm-bench-hotpath-v1":
             sys.exit("committed BENCH_hotpath.json: unexpected schema")
         for impl in ("indexed", "multi", "flat"):

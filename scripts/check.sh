@@ -121,4 +121,21 @@ cargo build --benches -p tcm-bench --features bench-harness --offline
 echo "==> bench smoke run (schema validation)"
 scripts/bench.sh --smoke
 
+# The committed record must carry the multi-vs-flat gap so the windowed
+# engine's cost is tracked release-over-release, not eyeballed. (The
+# smoke run above validates its own scratch record; this checks the
+# committed one that ships with the repo.)
+echo "==> committed BENCH_hotpath.json records the multi-engine gap"
+python3 - <<'PY'
+import json
+with open("BENCH_hotpath.json") as f:
+    committed = json.load(f)
+ratio = committed.get("multi_over_flat_ratio")
+if not isinstance(ratio, float) or not ratio > 0.0:
+    raise SystemExit(
+        f"BENCH_hotpath.json: multi_over_flat_ratio {ratio!r} missing or "
+        f"not a positive float — regenerate with scripts/bench.sh")
+print(f"multi_over_flat_ratio recorded: {ratio:.3f}")
+PY
+
 echo "All checks passed."
