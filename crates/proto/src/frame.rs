@@ -1,0 +1,105 @@
+//! Length-prefixed framing: `tcmp1 <len>\n<payload>\n`.
+//!
+//! The header line is ASCII (`tcmp1`, a space, the payload byte length
+//! in decimal), followed by exactly `len` payload bytes and a single
+//! trailing newline. A reader therefore never scans the payload for
+//! delimiters — JSON strings may contain anything — while a captured
+//! stream still reads as line-oriented text.
+
+use std::io::{self, BufRead, Write};
+
+/// Frame header magic; doubles as the protocol-generation marker.
+pub const MAGIC: &str = "tcmp1";
+
+/// Hard upper bound on a single frame's payload, protecting both peers
+/// from a corrupt or hostile length header.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Writes one frame and flushes the stream.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload of {} bytes exceeds limit", payload.len()),
+        ));
+    }
+    write!(w, "{MAGIC} {}\n{payload}\n", payload.len())?;
+    w.flush()
+}
+
+/// Reads one frame, returning `None` on a clean end-of-stream (EOF at a
+/// frame boundary). EOF mid-frame, a bad header, an oversized length or
+/// non-UTF-8 payload all surface as [`io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let header = header.trim_end_matches('\n');
+    let len: usize = header
+        .strip_prefix(MAGIC)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame header: {header:?}"),
+            )
+        })?;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len + 1]; // + trailing newline
+    r.read_exact(&mut payload)?;
+    if payload.pop() != Some(b'\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame missing trailing newline",
+        ));
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame payload is not UTF-8"))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_including_newlines_in_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").unwrap();
+        write_frame(&mut buf, "line1\nline2").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "{\"a\":1}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "line1\nline2");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_are_loud() {
+        // EOF mid-payload.
+        let mut r = Cursor::new(b"tcmp1 10\nshort".to_vec());
+        assert!(read_frame(&mut r).is_err());
+        // Garbage header.
+        let mut r = Cursor::new(b"hello 3\nabc\n".to_vec());
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Oversized length never allocates.
+        let mut r = Cursor::new(format!("tcmp1 {}\n", usize::MAX).into_bytes());
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

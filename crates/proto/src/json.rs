@@ -1,0 +1,280 @@
+//! The protocol's JSON subset: objects, arrays, strings, and unsigned
+//! integers — exactly what the sweep checkpoint format uses, for the
+//! same reason: floats travel as `f64::to_bits` integers so nothing is
+//! lost to decimal round-tripping, and booleans travel as `0`/`1`.
+//!
+//! Shared by message encoding ([`crate::Request`]/[`crate::Response`])
+//! and by the `tcm-serve` write-ahead log, which reuses this parser for
+//! its records.
+
+/// A parsed JSON value (subset: no floats, no booleans, no null).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+    /// An array.
+    Arr(Vec<Value>),
+    /// A string.
+    Str(String),
+    /// An unsigned integer.
+    UInt(u64),
+}
+
+impl Value {
+    /// The named field of an object.
+    pub fn field<'a>(&'a self, name: &str) -> Option<&'a Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as an integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// This value as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// An array of integers.
+    pub fn u64_array(&self) -> Option<Vec<u64>> {
+        match self {
+            Value::Arr(items) => items.iter().map(Value::as_u64).collect(),
+            _ => None,
+        }
+    }
+
+    /// An array of strings.
+    pub fn str_array(&self) -> Option<Vec<String>> {
+        match self {
+            Value::Arr(items) => items
+                .iter()
+                .map(|v| v.as_str().map(str::to_string))
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document. Trailing bytes after the value are
+/// rejected (every frame payload is exactly one document).
+pub fn parse(text: &str) -> Option<Value> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    (p.pos == p.bytes.len()).then_some(v)
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Some(Value::Str(self.string()?)),
+            b'0'..=b'9' => self.uint(),
+            _ => None,
+        }
+    }
+
+    fn object(&mut self) -> Option<Value> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(Value::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Value::Obj(fields));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Value> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Value::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            let hex = std::str::from_utf8(hex).ok()?;
+                            let code = u32::from_str_radix(hex, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.pos += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn uint(&mut self) -> Option<Value> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(u8::is_ascii_digit)
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+            .map(Value::UInt)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_protocol_subset() {
+        let v = parse(r#"{"a":1,"b":[2,"x"],"c":{"d":"\n\"A"}}"#).unwrap();
+        assert_eq!(v.field("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.field("b").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.field("c").unwrap().field("d").unwrap().as_str(), Some("\n\"A"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_unknown_forms() {
+        assert!(parse("{} extra").is_none());
+        assert!(parse("true").is_none(), "booleans travel as 0/1");
+        assert!(parse("-1").is_none(), "unsigned only");
+        assert!(parse("1.5").is_none(), "floats travel as bit patterns");
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let ugly = "a\"b\\c\nd\te\u{7}f";
+        let mut out = String::new();
+        write_str(&mut out, ugly);
+        assert_eq!(parse(&out).unwrap().as_str(), Some(ugly));
+    }
+}

@@ -1,0 +1,40 @@
+//! `tcm-proto` — the versioned wire protocol between the `tcm-serve`
+//! daemon and its clients.
+//!
+//! The protocol is deliberately minimal and dependency-free:
+//!
+//! * **Framing** ([`frame`]): length-prefixed JSONL over any byte
+//!   stream (in practice a Unix-domain socket). Each frame is
+//!   `tcmp1 <len>\n<payload>\n` — the textual header makes a captured
+//!   stream greppable while the explicit length makes reads exact.
+//! * **JSON subset** ([`json`]): objects, arrays, strings and unsigned
+//!   integers — the same subset the sweep checkpoint format uses. All
+//!   floats travel as IEEE-754 bit patterns (`f64::to_bits`), so every
+//!   metric survives the wire **bit-identically**; booleans travel as
+//!   `0`/`1`.
+//! * **Messages** ([`Request`], [`Response`]): submit/status/cancel/
+//!   watch/drain requests and their typed responses, including the
+//!   streamed per-cell events a `Watch` subscription receives.
+//!
+//! Every frame payload is a JSON object carrying a `"v"` field; peers
+//! reject frames whose version they do not speak (see
+//! [`PROTO_VERSION`]). The crate knows nothing about sockets, jobs or
+//! scheduling — it only defines the bytes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![warn(clippy::unwrap_used)]
+
+pub mod frame;
+pub mod json;
+mod msg;
+
+pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
+pub use msg::{
+    Event, JobKind, JobSpec, JobState, JobStatusInfo, ProtoError, Request, Response, SoakSpec,
+    SweepSpec, WorkloadRef,
+};
+
+/// Protocol version spoken by this build. Bumped on any incompatible
+/// change to the frame format or message schema.
+pub const PROTO_VERSION: u64 = 1;

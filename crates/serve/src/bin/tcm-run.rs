@@ -1,6 +1,24 @@
 //! `tcm-run` — command-line front end for the simulator: run one
 //! workload under one or more scheduling policies and print the paper's
-//! metrics (optionally as JSON).
+//! metrics (optionally as JSON). Two subcommands complete the
+//! engine/service/client split:
+//!
+//! ```text
+//! tcm-run serve  [--socket PATH] [--state-dir DIR] [--workers N]
+//!                [--queue-capacity N] [--drain-deadline SECS]
+//! tcm-run client [--socket PATH] submit|soak|status|watch|cancel|drain ...
+//! ```
+//!
+//! `serve` starts the long-running daemon (see `tcm_serve::server`): a
+//! Unix-socket service with a durable priority job queue (fsynced WAL +
+//! per-job cell checkpoints — a SIGKILL'd daemon restarts and finishes
+//! its jobs bit-identically), per-job deadlines, deterministic seeded
+//! retry backoff, and graceful drain on SIGTERM (exit 0 within the
+//! drain deadline). `client` speaks `tcm-proto` frames to it: `submit`
+//! enqueues a sweep grid (`--watch` streams per-cell results live),
+//! `soak` enqueues a continuous chaos-soak job, `status`/`watch`/
+//! `cancel`/`drain` do what they say. Without a subcommand, `tcm-run`
+//! is the classic one-shot front end:
 //!
 //! ```text
 //! tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]
@@ -74,12 +92,16 @@
 //! Examples:
 //!
 //! ```text
-//! cargo run --release -p tcm-sim --bin tcm-run -- --intensity 1.0 --cycles 5000000
-//! cargo run --release -p tcm-sim --bin tcm-run -- --workload B --json
+//! cargo run --release -p tcm-serve --bin tcm-run -- --intensity 1.0 --cycles 5000000
+//! cargo run --release -p tcm-serve --bin tcm-run -- --workload B --json
+//! cargo run --release -p tcm-serve --bin tcm-run -- serve --socket /tmp/tcm.sock
 //! ```
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Duration;
+use tcm_proto::{Event, JobKind, JobSpec, JobState, SoakSpec, SweepSpec, WorkloadRef};
+use tcm_serve::{Client, Server, ServerConfig};
 use tcm_chaos::{Detector, FaultKind, FaultPlan, FaultSpec};
 use tcm_core::TcmParams;
 use tcm_sched::{AtlasParams, ParBsParams, StfmParams};
@@ -747,6 +769,359 @@ fn parse_policy(name: &str, n: usize) -> Result<PolicyKind, String> {
     })
 }
 
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: tcm-run serve [--socket PATH] [--state-dir DIR] [--workers N]\n\
+         \x20                    [--queue-capacity N] [--drain-deadline SECS]\n\
+         Starts the sweep daemon on a Unix-domain socket. State (WAL, per-job\n\
+         checkpoints, result files) lives in --state-dir; a restarted daemon\n\
+         re-admits unfinished jobs from the WAL and finishes them bit-identically.\n\
+         SIGTERM/SIGINT drain gracefully: admission stops, in-flight cells finish\n\
+         or checkpoint, and the process exits 0 within --drain-deadline."
+    );
+    std::process::exit(2)
+}
+
+fn serve_main(args: &[String]) -> i32 {
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    serve_usage()
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--socket" => config.socket = PathBuf::from(value("--socket")),
+            "--state-dir" => config.state_dir = PathBuf::from(value("--state-dir")),
+            "--workers" => {
+                config.workers = value("--workers").parse().unwrap_or_else(|_| serve_usage())
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = value("--queue-capacity")
+                    .parse()
+                    .unwrap_or_else(|_| serve_usage())
+            }
+            "--drain-deadline" => {
+                let secs: f64 = value("--drain-deadline")
+                    .parse()
+                    .unwrap_or_else(|_| serve_usage());
+                if !secs.is_finite() || secs < 0.0 {
+                    serve_usage()
+                }
+                config.drain_deadline = Duration::from_secs_f64(secs);
+            }
+            "--help" | "-h" => serve_usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                serve_usage()
+            }
+        }
+    }
+    tcm_serve::signal::install_drain_handler();
+    match Server::new(config).and_then(Server::run) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("tcm-serve: {e}");
+            1
+        }
+    }
+}
+
+fn client_usage() -> ! {
+    eprintln!(
+        "usage: tcm-run client [--socket PATH] COMMAND\n\
+         commands:\n\
+         \x20 submit [--priority P] [--deadline SECS] [--max-attempts N]\n\
+         \x20        [--policies p1,p2,...] [--workloads A,B|random:SEED:THREADS:INTENSITY]\n\
+         \x20        [--seeds 0,1,...] [--cycles C] [--topology T] [--telemetry] [--watch]\n\
+         \x20 soak   [--seed S] [--rounds R] [--cycles C] [--priority P] [--watch]\n\
+         \x20 status [ID]\n\
+         \x20 watch  ID\n\
+         \x20 cancel ID\n\
+         \x20 drain\n\
+         submit enqueues a policy × workload × seed sweep grid; soak enqueues a\n\
+         continuous fault-injection job (every class must be detected each round).\n\
+         --watch streams per-cell results live and exits with the job's outcome."
+    );
+    std::process::exit(2)
+}
+
+fn print_event(event: &Event) {
+    match event {
+        Event::CellResult {
+            policy,
+            workload,
+            seed,
+            ws_bits,
+            hs_bits,
+            ms_bits,
+            resumed,
+            ..
+        } => println!(
+            "cell {policy} × {workload} seed={seed} WS={:.2} maxSD={:.2} HS={:.3}{}",
+            f64::from_bits(*ws_bits),
+            f64::from_bits(*ms_bits),
+            f64::from_bits(*hs_bits),
+            if *resumed { " (resumed)" } else { "" },
+        ),
+        Event::CellFailure { line, .. } => eprintln!("{line}"),
+        Event::Telemetry { counters, gauge_bits, .. } => println!(
+            "telemetry: {} counter(s), {} gauge(s)",
+            counters.len(),
+            gauge_bits.len()
+        ),
+        Event::SoakRound {
+            round,
+            detected,
+            classes,
+            ..
+        } => println!("soak round {round}: {detected}/{classes} fault classes detected"),
+        Event::JobDone { .. } => {}
+    }
+}
+
+/// Blocks on a job's event stream; exit code reflects its outcome.
+fn watch_job(client: &mut Client, id: u64) -> i32 {
+    match client.watch(id, print_event) {
+        Ok((state, detail)) => {
+            eprintln!("job {id}: {} — {detail}", state.as_str());
+            i32::from(state != JobState::Done)
+        }
+        Err(e) => {
+            eprintln!("watch failed: {e}");
+            1
+        }
+    }
+}
+
+fn parse_workload_ref(s: &str) -> Result<WorkloadRef, String> {
+    let Some(rest) = s.strip_prefix("random:") else {
+        return Ok(WorkloadRef::Named(s.to_string()));
+    };
+    let parts: Vec<&str> = rest.split(':').collect();
+    let bad = || format!("bad workload `{s}` (want NAME or random:SEED:THREADS:INTENSITY)");
+    if parts.len() != 3 {
+        return Err(bad());
+    }
+    let seed: u64 = parts[0].parse().map_err(|_| bad())?;
+    let threads: u64 = parts[1].parse().map_err(|_| bad())?;
+    let intensity: f64 = parts[2].parse().map_err(|_| bad())?;
+    Ok(WorkloadRef::Random {
+        seed,
+        threads,
+        intensity_bits: intensity.to_bits(),
+    })
+}
+
+fn client_main(args: &[String]) -> i32 {
+    let mut socket = PathBuf::from("tcm-serve.sock");
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => match it.next() {
+                Some(path) => socket = PathBuf::from(path),
+                None => client_usage(),
+            },
+            "--help" | "-h" => client_usage(),
+            _ => {
+                rest.push(arg.clone());
+                rest.extend(it.cloned());
+                break;
+            }
+        }
+    }
+    let Some(command) = rest.first().cloned() else {
+        client_usage()
+    };
+    let args = &rest[1..];
+    let mut client = match Client::connect(&socket) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {}: {e}", socket.display());
+            return 1;
+        }
+    };
+    match command.as_str() {
+        "submit" | "soak" => {
+            let mut spec = JobSpec {
+                priority: 1,
+                deadline_ms: None,
+                max_attempts: 2,
+                kind: JobKind::Sweep(SweepSpec {
+                    policies: vec![],
+                    workloads: vec![WorkloadRef::Named("B".into())],
+                    seeds: vec![],
+                    horizon: 1_000_000,
+                    topology: None,
+                    telemetry: false,
+                }),
+            };
+            let mut soak = SoakSpec {
+                seed: 0,
+                rounds: 10,
+                horizon: 200_000,
+            };
+            let mut watch = false;
+            let is_soak = command == "soak";
+            let mut sweep = SweepSpec {
+                policies: vec![],
+                workloads: vec![WorkloadRef::Named("B".into())],
+                seeds: vec![],
+                horizon: 1_000_000,
+                topology: None,
+                telemetry: false,
+            };
+            let mut it = args.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("missing value for {name}");
+                            client_usage()
+                        })
+                        .clone()
+                };
+                match arg.as_str() {
+                    "--priority" => {
+                        spec.priority = value("--priority").parse().unwrap_or_else(|_| client_usage())
+                    }
+                    "--deadline" => {
+                        let secs: f64 =
+                            value("--deadline").parse().unwrap_or_else(|_| client_usage());
+                        if !secs.is_finite() || secs < 0.0 {
+                            client_usage()
+                        }
+                        spec.deadline_ms = Some((secs * 1000.0) as u64);
+                    }
+                    "--max-attempts" => {
+                        spec.max_attempts = value("--max-attempts")
+                            .parse()
+                            .unwrap_or_else(|_| client_usage())
+                    }
+                    "--policies" if !is_soak => {
+                        sweep.policies =
+                            value("--policies").split(',').map(String::from).collect()
+                    }
+                    "--workloads" if !is_soak => {
+                        sweep.workloads = value("--workloads")
+                            .split(',')
+                            .map(|w| {
+                                parse_workload_ref(w).unwrap_or_else(|e| {
+                                    eprintln!("{e}");
+                                    client_usage()
+                                })
+                            })
+                            .collect()
+                    }
+                    "--seeds" if !is_soak => {
+                        sweep.seeds = value("--seeds")
+                            .split(',')
+                            .map(|s| s.parse().unwrap_or_else(|_| client_usage()))
+                            .collect()
+                    }
+                    "--cycles" => {
+                        let cycles = value("--cycles").parse().unwrap_or_else(|_| client_usage());
+                        sweep.horizon = cycles;
+                        soak.horizon = cycles;
+                    }
+                    "--topology" if !is_soak => sweep.topology = Some(value("--topology")),
+                    "--telemetry" if !is_soak => sweep.telemetry = true,
+                    "--seed" if is_soak => {
+                        soak.seed = value("--seed").parse().unwrap_or_else(|_| client_usage())
+                    }
+                    "--rounds" if is_soak => {
+                        soak.rounds = value("--rounds").parse().unwrap_or_else(|_| client_usage())
+                    }
+                    "--watch" => watch = true,
+                    other => {
+                        eprintln!("unknown argument `{other}`");
+                        client_usage()
+                    }
+                }
+            }
+            spec.kind = if is_soak {
+                JobKind::ChaosSoak(soak)
+            } else {
+                JobKind::Sweep(sweep)
+            };
+            match client.submit(spec) {
+                Ok(id) => {
+                    println!("submitted job {id}");
+                    if watch {
+                        watch_job(&mut client, id)
+                    } else {
+                        0
+                    }
+                }
+                Err(e) => {
+                    eprintln!("submit failed: {e}");
+                    1
+                }
+            }
+        }
+        "status" => {
+            let id = args.first().map(|s| s.parse().unwrap_or_else(|_| client_usage()));
+            match client.status(id) {
+                Ok(jobs) => {
+                    for job in jobs {
+                        println!(
+                            "job {:>4}  prio {}  {:<9}  {}",
+                            job.id,
+                            job.priority,
+                            job.state.as_str(),
+                            job.detail
+                        );
+                    }
+                    0
+                }
+                Err(e) => {
+                    eprintln!("status failed: {e}");
+                    1
+                }
+            }
+        }
+        "watch" => match args.first().and_then(|s| s.parse().ok()) {
+            Some(id) => watch_job(&mut client, id),
+            None => client_usage(),
+        },
+        "cancel" => match args.first().and_then(|s| s.parse().ok()) {
+            Some(id) => match client.cancel(id) {
+                Ok(found) => {
+                    println!(
+                        "job {id}: {}",
+                        if found { "cancelled" } else { "nothing to cancel" }
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("cancel failed: {e}");
+                    1
+                }
+            },
+            None => client_usage(),
+        },
+        "drain" => match client.drain() {
+            Ok(()) => {
+                println!("daemon draining");
+                0
+            }
+            Err(e) => {
+                eprintln!("drain failed: {e}");
+                1
+            }
+        },
+        other => {
+            eprintln!("unknown client command `{other}`");
+            client_usage()
+        }
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]\n\
@@ -774,12 +1149,22 @@ fn usage() -> ! {
          \x20          zero faults (benches use it to prove the inert layer is free)\n\
          --trace writes the telemetry event log to FILE (jsonl by default; chrome is\n\
          \x20       a Chrome-trace array loadable at https://ui.perfetto.dev)\n\
-         --metrics-json writes every cell's final metrics registry to FILE"
+         --metrics-json writes every cell's final metrics registry to FILE\n\
+         subcommands: `tcm-run serve` starts the sweep daemon, `tcm-run client`\n\
+         \x20       talks to it (see `tcm-run serve --help` / `tcm-run client --help`)"
     );
     std::process::exit(2)
 }
 
 fn main() {
+    {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match args.first().map(String::as_str) {
+            Some("serve") => std::process::exit(serve_main(&args[1..])),
+            Some("client") => std::process::exit(client_main(&args[1..])),
+            _ => {}
+        }
+    }
     let mut threads = 24usize;
     let mut intensity = 0.5f64;
     let mut seed = 0u64;

@@ -1,0 +1,113 @@
+//! Blocking client for the `tcm-serve` daemon.
+//!
+//! One connection carries a sequence of request/response exchanges;
+//! [`Client::watch`] switches the connection into streaming mode until
+//! the watched job's `JobDone` event arrives.
+
+use std::io::{self, BufReader};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use tcm_proto::{read_frame, write_frame, Event, JobSpec, JobState, Request, Response};
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A connected client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to a daemon's Unix-domain socket.
+    pub fn connect(socket: impl AsRef<Path>) -> io::Result<Self> {
+        let stream = UnixStream::connect(socket)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// One request/response exchange.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &req.encode())?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let frame = read_frame(&mut self.reader)?
+            .ok_or_else(|| bad("daemon closed the connection mid-exchange"))?;
+        Response::decode(&frame).map_err(|e| bad(e.to_string()))
+    }
+
+    /// Submits a job; returns its id, or the daemon's typed refusal
+    /// (`QueueFull` backpressure, `Draining`) as an error message.
+    pub fn submit(&mut self, spec: JobSpec) -> io::Result<u64> {
+        match self.request(&Request::SubmitJob(spec))? {
+            Response::Submitted { id } => Ok(id),
+            Response::QueueFull { capacity } => Err(bad(format!(
+                "queue full (capacity {capacity}); retry after a job finishes"
+            ))),
+            Response::Draining => Err(bad("daemon is draining; not admitting jobs")),
+            Response::Error { message } => Err(bad(message)),
+            other => Err(bad(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Fetches status for one job (`Some(id)`) or all jobs (`None`).
+    pub fn status(&mut self, id: Option<u64>) -> io::Result<Vec<tcm_proto::JobStatusInfo>> {
+        match self.request(&Request::JobStatus { id })? {
+            Response::Status { jobs } => Ok(jobs),
+            Response::Error { message } => Err(bad(message)),
+            other => Err(bad(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Cancels a job; `true` when the daemon found something to cancel.
+    pub fn cancel(&mut self, id: u64) -> io::Result<bool> {
+        match self.request(&Request::CancelJob { id })? {
+            Response::Cancelled { found, .. } => Ok(found),
+            Response::Error { message } => Err(bad(message)),
+            other => Err(bad(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Asks the daemon to drain (finish in-flight work and exit).
+    pub fn drain(&mut self) -> io::Result<()> {
+        match self.request(&Request::Drain)? {
+            Response::Draining => Ok(()),
+            other => Err(bad(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Subscribes to a job's event stream and blocks until its
+    /// `JobDone`, feeding every intermediate event (cell results,
+    /// failures, telemetry, soak rounds) to `on_event`. Returns the
+    /// job's terminal state and detail line.
+    ///
+    /// Watching an already-finished job yields its terminal state
+    /// immediately.
+    pub fn watch(
+        &mut self,
+        id: u64,
+        mut on_event: impl FnMut(&Event),
+    ) -> io::Result<(JobState, String)> {
+        match self.request(&Request::Watch { id })? {
+            Response::Status { .. } => {}
+            Response::Error { message } => return Err(bad(message)),
+            other => return Err(bad(format!("unexpected reply: {other:?}"))),
+        }
+        loop {
+            match self.read_response()? {
+                Response::Event(Event::JobDone { state, detail, .. }) => {
+                    return Ok((state, detail))
+                }
+                Response::Event(event) => on_event(&event),
+                other => return Err(bad(format!("unexpected frame mid-stream: {other:?}"))),
+            }
+        }
+    }
+}

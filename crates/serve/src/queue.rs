@@ -1,0 +1,154 @@
+//! The daemon's bounded priority job queue.
+//!
+//! Ordering is **total and stable**: jobs are keyed by
+//! `(priority, submission sequence)`, so a lower priority number always
+//! pops first and jobs within one priority class pop in FIFO submission
+//! order — regardless of interleaved submits and cancels. The sequence
+//! number is assigned once at first admission and survives daemon
+//! restarts via the WAL, so a recovered queue replays in the exact
+//! pre-crash order.
+//!
+//! Capacity is a hard bound: a full queue rejects with the typed
+//! [`QueueFull`] error, which the server surfaces to clients as the
+//! protocol's backpressure response rather than blocking or dropping.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Typed backpressure: the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The configured capacity that was hit.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job queue full (capacity {})", self.capacity)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// Bounded priority queue of job ids (see the module docs for the
+/// ordering contract).
+#[derive(Debug)]
+pub struct JobQueue {
+    capacity: usize,
+    /// `(priority, seq) -> id`; `BTreeMap` iteration order *is* the
+    /// pop order, which makes the ordering contract auditable.
+    entries: BTreeMap<(u8, u64), u64>,
+    /// Reverse index for O(log n) cancellation by id.
+    by_id: HashMap<u64, (u8, u64)>,
+}
+
+impl JobQueue {
+    /// An empty queue admitting at most `capacity` jobs.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: BTreeMap::new(),
+            by_id: HashMap::new(),
+        }
+    }
+
+    /// Admits a job. `seq` must be unique per admission (the server
+    /// uses a monotone counter persisted through the WAL).
+    pub fn push(&mut self, id: u64, priority: u8, seq: u64) -> Result<(), QueueFull> {
+        if self.entries.len() >= self.capacity {
+            return Err(QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        debug_assert!(!self.by_id.contains_key(&id), "job {id} queued twice");
+        self.entries.insert((priority, seq), id);
+        self.by_id.insert(id, (priority, seq));
+        Ok(())
+    }
+
+    /// Removes and returns the most urgent job: lowest priority number,
+    /// then earliest submission.
+    pub fn pop(&mut self) -> Option<u64> {
+        let (key, id) = self.entries.pop_first()?;
+        self.by_id.remove(&id);
+        debug_assert_eq!(self.by_id.len(), self.entries.len());
+        let _ = key;
+        Some(id)
+    }
+
+    /// Cancels a queued job; `false` when it is not queued (unknown,
+    /// already popped, or already cancelled).
+    pub fn cancel(&mut self, id: u64) -> bool {
+        match self.by_id.remove(&id) {
+            Some(key) => {
+                self.entries.remove(&key);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the job is currently queued.
+    pub fn contains(&self, id: u64) -> bool {
+        self.by_id.contains_key(&id)
+    }
+
+    /// Queued job count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Queued ids in pop order (for status reports).
+    pub fn iter_in_order(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.values().copied()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let mut q = JobQueue::new(8);
+        q.push(1, 2, 0).unwrap();
+        q.push(2, 0, 1).unwrap();
+        q.push(3, 2, 2).unwrap();
+        q.push(4, 1, 3).unwrap();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, [2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn capacity_is_a_hard_typed_bound() {
+        let mut q = JobQueue::new(2);
+        q.push(1, 0, 0).unwrap();
+        q.push(2, 0, 1).unwrap();
+        assert_eq!(q.push(3, 0, 2), Err(QueueFull { capacity: 2 }));
+        assert_eq!(q.len(), 2);
+        q.pop().unwrap();
+        q.push(3, 0, 2).unwrap();
+    }
+
+    #[test]
+    fn cancel_removes_exactly_the_named_job() {
+        let mut q = JobQueue::new(8);
+        q.push(1, 0, 0).unwrap();
+        q.push(2, 0, 1).unwrap();
+        assert!(q.cancel(1));
+        assert!(!q.cancel(1), "second cancel is a no-op");
+        assert!(!q.cancel(99), "unknown id is a no-op");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,879 @@
+//! The sweep daemon: Unix-socket listener, durable priority job queue,
+//! bounded worker pool, and the drain/recovery state machine.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//!            ┌── SubmitJob (WAL `submit`, fsync) ──┐
+//!            ▼                                     │
+//!  Queued ── worker pop (WAL `start`) ──▶ Running ─┤
+//!    │                                     │       │
+//!    │ CancelJob (WAL `cancel`)            │       │
+//!    ▼                                     ▼       ▼
+//!  Cancelled                     Done / Failed (WAL `finish`)
+//! ```
+//!
+//! Jobs without a terminal WAL record — queued *or* mid-run when the
+//! process died — are re-admitted on restart in their original
+//! `(priority, seq)` order; a re-admitted sweep resumes its per-job
+//! cell checkpoint, so the merged grid is bit-identical to an
+//! uninterrupted run.
+//!
+//! # Drain
+//!
+//! SIGTERM/SIGINT (or a client `Drain` request) flips the drain flag:
+//! admission stops (`Draining` replies), idle workers exit, and busy
+//! workers finish + checkpoint their in-flight cell but start no
+//! further ones. A job interrupted this way keeps its WAL entry open
+//! and is re-admitted on the next start. If workers outlive the
+//! configured drain deadline, their cancellation tokens fire and
+//! in-flight cells abort cooperatively; either way [`Server::run`]
+//! returns 0 once the pool has parked.
+//!
+//! # Retry and quarantine
+//!
+//! Within a sweep, timed-out cells retry under the engine's
+//! deterministic seeded backoff ([`RetryPolicy`]) up to the job's
+//! `max_attempts`. If retryable failures survive a full pass, the job
+//! gets exactly one re-admission pass (resuming the checkpoint, so only
+//! failed cells re-run); cells that fail again are quarantined and the
+//! job reports `Failed`, naming them.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tcm_chaos::{Detector, FaultKind, FaultPlan, FaultSpec};
+use tcm_core::TcmParams;
+use tcm_proto::{
+    read_frame, write_frame, Event, JobKind, JobSpec, JobState, JobStatusInfo, Request, Response,
+    SoakSpec, SweepSpec,
+};
+use tcm_sim::{PolicyKind, RetryPolicy, RunConfig, Session, SweepResult, System};
+use tcm_telemetry::TelemetryConfig;
+use tcm_types::{CancelToken, SimError, SystemConfig};
+use tcm_workload::random_workload;
+
+use crate::job::{render_result, resolve_sweep, write_durable, ResolvedSweep};
+use crate::queue::JobQueue;
+use crate::signal;
+use crate::wal::Wal;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Unix-domain socket path to listen on (replaced if stale).
+    pub socket: PathBuf,
+    /// Directory for the WAL, per-job checkpoints, and result files.
+    pub state_dir: PathBuf,
+    /// Worker-pool size (jobs run concurrently; cells within one job
+    /// run serially so per-job checkpoints stay linear).
+    pub workers: usize,
+    /// Queue admission bound; a full queue answers `QueueFull`.
+    pub queue_capacity: usize,
+    /// How long a drain may take before in-flight cells are aborted.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            socket: PathBuf::from("tcm-serve.sock"),
+            state_dir: PathBuf::from("tcm-serve-state"),
+            workers: 2,
+            queue_capacity: 64,
+            drain_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One job's in-memory record.
+#[derive(Debug, Clone)]
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    detail: String,
+}
+
+/// State guarded by the main mutex. Lock order everywhere:
+/// `inner` → `wal` → `subscribers` (any prefix is fine; never reversed).
+struct Inner {
+    queue: JobQueue,
+    jobs: BTreeMap<u64, JobRecord>,
+    /// Cancellation token of every running job.
+    active: HashMap<u64, CancelToken>,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    work: Condvar,
+    wal: Mutex<Wal>,
+    /// Server-local drain flag; doubles as every sweep's pause flag.
+    /// The process-wide signal flag ([`signal::drain_requested`]) is
+    /// polled separately so in-process tests never cross-talk.
+    draining: Arc<AtomicBool>,
+    subscribers: Mutex<HashMap<u64, Vec<Arc<Mutex<UnixStream>>>>>,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+    state_dir: PathBuf,
+}
+
+/// Recovers a poisoned lock: all guarded state here is kept consistent
+/// by construction (no partial updates survive a panic point), so
+/// continuing is strictly better than wedging the daemon.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The daemon. Construct with [`Server::new`] (which replays the WAL
+/// and binds the socket), then call [`Server::run`].
+pub struct Server {
+    config: ServerConfig,
+    shared: Arc<Shared>,
+    listener: UnixListener,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Replays the WAL in `state_dir`, re-admits unfinished jobs, and
+    /// binds the listening socket (replacing a stale socket file).
+    pub fn new(config: ServerConfig) -> io::Result<Self> {
+        fs::create_dir_all(&config.state_dir)?;
+        let (wal, replayed) = Wal::open(config.state_dir.join("wal.jsonl"))?;
+        let next_id = replayed.iter().map(|j| j.id + 1).max().unwrap_or(1);
+        let next_seq = replayed.iter().map(|j| j.seq + 1).max().unwrap_or(0);
+        let unfinished = replayed.iter().filter(|j| j.terminal.is_none()).count();
+        // Replayed jobs are never bounced for capacity: they were
+        // admitted (and acknowledged) before the restart.
+        let mut queue = JobQueue::new(config.queue_capacity.max(unfinished));
+        let mut jobs = BTreeMap::new();
+        for job in &replayed {
+            let (state, detail) = match job.terminal {
+                Some(state) => (state, "recovered from WAL".to_string()),
+                None if job.started => (
+                    JobState::Queued,
+                    "re-admitted after restart; resumes its checkpoint".to_string(),
+                ),
+                None => (JobState::Queued, "re-admitted after restart".to_string()),
+            };
+            if state == JobState::Queued {
+                let _ = queue.push(job.id, job.spec.priority, job.seq);
+            }
+            jobs.insert(
+                job.id,
+                JobRecord {
+                    spec: job.spec.clone(),
+                    state,
+                    detail,
+                },
+            );
+        }
+        if unfinished > 0 {
+            eprintln!("tcm-serve: re-admitted {unfinished} unfinished job(s) from the WAL");
+        }
+        match fs::remove_file(&config.socket) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let listener = UnixListener::bind(&config.socket)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            shared: Arc::new(Shared {
+                inner: Mutex::new(Inner {
+                    queue,
+                    jobs,
+                    active: HashMap::new(),
+                }),
+                work: Condvar::new(),
+                wal: Mutex::new(wal),
+                draining: Arc::new(AtomicBool::new(false)),
+                subscribers: Mutex::new(HashMap::new()),
+                next_id: AtomicU64::new(next_id),
+                next_seq: AtomicU64::new(next_seq),
+                state_dir: config.state_dir.clone(),
+            }),
+            config,
+            listener,
+        })
+    }
+
+    /// Serves until a drain is requested (signal or `Drain` frame),
+    /// then runs the drain state machine (see the module docs) and
+    /// returns the process exit code — 0 for a clean drain.
+    pub fn run(self) -> io::Result<i32> {
+        let shared = &self.shared;
+        let workers: Vec<_> = (0..self.config.workers.max(1))
+            .map(|i| {
+                let sh = Arc::clone(shared);
+                thread::Builder::new()
+                    .name(format!("tcm-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))
+            })
+            .collect::<io::Result<_>>()?;
+        eprintln!(
+            "tcm-serve: listening on {} ({} worker(s), queue capacity {}, state in {})",
+            self.config.socket.display(),
+            workers.len(),
+            lock(&shared.inner).queue.capacity(),
+            self.config.state_dir.display(),
+        );
+        shared.work.notify_all(); // wake workers for re-admitted jobs
+
+        loop {
+            if signal::drain_requested() || shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let sh = Arc::clone(shared);
+                    thread::spawn(move || handle_conn(&sh, stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    eprintln!("tcm-serve: accept failed: {e}");
+                    thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+
+        shared.draining.store(true, Ordering::SeqCst);
+        shared.work.notify_all();
+        eprintln!(
+            "tcm-serve: draining (deadline {:.1}s): admission stopped, in-flight cells finishing",
+            self.config.drain_deadline.as_secs_f64()
+        );
+        let deadline = Instant::now() + self.config.drain_deadline;
+        let mut aborted = false;
+        while workers.iter().any(|w| !w.is_finished()) {
+            if !aborted && Instant::now() >= deadline {
+                aborted = true;
+                for token in lock(&shared.inner).active.values() {
+                    token.cancel();
+                }
+                eprintln!("tcm-serve: drain deadline hit; aborting in-flight cells");
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        let _ = fs::remove_file(&self.config.socket);
+        // Every WAL append is already fsynced; nothing left to flush.
+        eprintln!("tcm-serve: drained cleanly");
+        Ok(0)
+    }
+
+    /// The server-local drain flag (for tests and embedders).
+    pub fn drain_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shared.draining)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------
+
+fn send(writer: &Arc<Mutex<UnixStream>>, resp: &Response) -> io::Result<()> {
+    let mut stream = lock(writer);
+    write_frame(&mut *stream, &resp.encode())
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: UnixStream) {
+    let _ = stream.set_nonblocking(false);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    let mut reader = io::BufReader::new(read_half);
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return, // clean EOF or protocol error
+        };
+        let ok = match Request::decode(&frame) {
+            Err(e) => send(
+                &writer,
+                &Response::Error {
+                    message: e.to_string(),
+                },
+            ),
+            Ok(Request::Watch { id }) => handle_watch(shared, &writer, id),
+            Ok(req) => send(&writer, &handle_request(shared, req)),
+        };
+        if ok.is_err() {
+            return;
+        }
+    }
+}
+
+/// `Watch` is handled apart from the other requests because it
+/// registers the connection as an event subscriber. Holding `inner`
+/// across the terminal-state check and the registration closes the
+/// race with a job finishing concurrently: workers broadcast the
+/// `JobDone` event while holding `inner` too.
+fn handle_watch(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<UnixStream>>,
+    id: u64,
+) -> io::Result<()> {
+    let inner = lock(&shared.inner);
+    let Some(job) = inner.jobs.get(&id) else {
+        drop(inner);
+        return send(
+            writer,
+            &Response::Error {
+                message: format!("unknown job {id}"),
+            },
+        );
+    };
+    let info = status_info(id, job);
+    let terminal = matches!(
+        job.state,
+        JobState::Done | JobState::Failed | JobState::Cancelled
+    );
+    let done = terminal.then(|| Event::JobDone {
+        job: id,
+        state: job.state,
+        detail: job.detail.clone(),
+    });
+    if !terminal {
+        lock(&shared.subscribers)
+            .entry(id)
+            .or_default()
+            .push(Arc::clone(writer));
+    }
+    drop(inner);
+    send(writer, &Response::Status { jobs: vec![info] })?;
+    match done {
+        Some(event) => send(writer, &Response::Event(event)),
+        None => Ok(()),
+    }
+}
+
+fn status_info(id: u64, job: &JobRecord) -> JobStatusInfo {
+    JobStatusInfo {
+        id,
+        priority: job.spec.priority,
+        state: job.state,
+        detail: job.detail.clone(),
+    }
+}
+
+fn validate(spec: &JobSpec) -> Result<(), String> {
+    match &spec.kind {
+        JobKind::Sweep(sweep) => resolve_sweep(sweep).map(|_| ()),
+        JobKind::ChaosSoak(soak) => {
+            if soak.rounds == 0 {
+                return Err("soak needs at least one round".into());
+            }
+            if soak.horizon == 0 {
+                return Err("soak horizon must be positive".into());
+            }
+            Ok(())
+        }
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
+    match req {
+        Request::SubmitJob(spec) => {
+            if shared.draining.load(Ordering::SeqCst) || signal::drain_requested() {
+                return Response::Draining;
+            }
+            // Reject malformed specs before they consume a WAL entry.
+            if let Err(message) = validate(&spec) {
+                return Response::Error { message };
+            }
+            let mut inner = lock(&shared.inner);
+            if inner.queue.len() >= inner.queue.capacity() {
+                return Response::QueueFull {
+                    capacity: inner.queue.capacity() as u64,
+                };
+            }
+            let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+            let seq = shared.next_seq.fetch_add(1, Ordering::SeqCst);
+            // Durable before acknowledged: the WAL append fsyncs.
+            if let Err(e) = lock(&shared.wal).submit(id, seq, &spec) {
+                return Response::Error {
+                    message: format!("WAL append failed: {e}"),
+                };
+            }
+            let _ = inner.queue.push(id, spec.priority, seq);
+            inner.jobs.insert(
+                id,
+                JobRecord {
+                    spec,
+                    state: JobState::Queued,
+                    detail: String::new(),
+                },
+            );
+            drop(inner);
+            shared.work.notify_one();
+            Response::Submitted { id }
+        }
+        Request::JobStatus { id } => {
+            let inner = lock(&shared.inner);
+            let jobs = match id {
+                Some(id) => match inner.jobs.get(&id) {
+                    Some(job) => vec![status_info(id, job)],
+                    None => {
+                        return Response::Error {
+                            message: format!("unknown job {id}"),
+                        }
+                    }
+                },
+                None => inner
+                    .jobs
+                    .iter()
+                    .map(|(&id, job)| status_info(id, job))
+                    .collect(),
+            };
+            Response::Status { jobs }
+        }
+        Request::CancelJob { id } => {
+            let mut inner = lock(&shared.inner);
+            let found = if inner.queue.cancel(id) {
+                let detail = "cancelled while queued".to_string();
+                if let Err(e) = lock(&shared.wal).cancel(id) {
+                    eprintln!("tcm-serve: WAL cancel failed: {e}");
+                }
+                if let Some(job) = inner.jobs.get_mut(&id) {
+                    job.state = JobState::Cancelled;
+                    job.detail = detail.clone();
+                }
+                let mut subs = lock(&shared.subscribers);
+                broadcast_locked(
+                    &mut subs,
+                    id,
+                    Event::JobDone {
+                        job: id,
+                        state: JobState::Cancelled,
+                        detail,
+                    },
+                );
+                subs.remove(&id);
+                true
+            } else if inner
+                .jobs
+                .get(&id)
+                .is_some_and(|j| j.state == JobState::Running)
+            {
+                if let Err(e) = lock(&shared.wal).cancel(id) {
+                    eprintln!("tcm-serve: WAL cancel failed: {e}");
+                }
+                if let Some(job) = inner.jobs.get_mut(&id) {
+                    job.state = JobState::Cancelled;
+                    job.detail = "cancel requested; aborting in-flight cells".into();
+                }
+                if let Some(token) = inner.active.get(&id) {
+                    token.cancel(); // worker notices and concludes the job
+                }
+                true
+            } else {
+                false
+            };
+            Response::Cancelled { id, found }
+        }
+        Request::Drain => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.work.notify_all();
+            Response::Draining
+        }
+        Request::Watch { .. } => unreachable!("Watch handled by handle_watch"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event fan-out
+// ---------------------------------------------------------------------
+
+type Subscribers = HashMap<u64, Vec<Arc<Mutex<UnixStream>>>>;
+
+fn broadcast(shared: &Shared, job: u64, event: Event) {
+    broadcast_locked(&mut lock(&shared.subscribers), job, event);
+}
+
+fn broadcast_locked(subs: &mut MutexGuard<'_, Subscribers>, job: u64, event: Event) {
+    let Some(streams) = subs.get_mut(&job) else {
+        return;
+    };
+    let payload = Response::Event(event).encode();
+    // A dead subscriber (client hung up) is dropped on write failure.
+    streams.retain(|stream| write_frame(&mut *lock(stream), &payload).is_ok());
+}
+
+// ---------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let (id, spec, token) = {
+            let mut inner = lock(&shared.inner);
+            loop {
+                // During a drain, queued jobs stay in the WAL for the
+                // next incarnation; only the wait ends.
+                if shared.draining.load(Ordering::SeqCst) || signal::drain_requested() {
+                    return;
+                }
+                if let Some(id) = inner.queue.pop() {
+                    let Some(job) = inner.jobs.get_mut(&id) else {
+                        continue;
+                    };
+                    job.state = JobState::Running;
+                    // The per-job wall-clock deadline starts now.
+                    let token = match job.spec.deadline_ms {
+                        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+                        None => CancelToken::new(),
+                    };
+                    let spec = job.spec.clone();
+                    inner.active.insert(id, token.clone());
+                    if let Err(e) = lock(&shared.wal).start(id) {
+                        eprintln!("tcm-serve: WAL start failed: {e}");
+                    }
+                    break (id, spec, token);
+                }
+                inner = shared
+                    .work
+                    .wait(inner)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        run_job(shared, id, &spec, &token);
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, token: &CancelToken) {
+    let outcome = match &spec.kind {
+        JobKind::Sweep(sweep) => run_sweep_job(shared, id, spec, sweep, token),
+        JobKind::ChaosSoak(soak) => run_soak_job(shared, id, soak, token),
+    };
+    match outcome {
+        Some((state, detail)) => conclude(shared, id, state, detail),
+        // Drained mid-run: the WAL entry stays open so the next
+        // incarnation re-admits the job and resumes its checkpoint.
+        None => {
+            let mut inner = lock(&shared.inner);
+            inner.active.remove(&id);
+            if let Some(job) = inner.jobs.get_mut(&id) {
+                job.detail = "drained mid-run; re-admitted on restart".into();
+            }
+        }
+    }
+}
+
+/// Records a terminal state: memory, WAL, then subscribers — all under
+/// `inner` so a concurrent `Watch` either sees the terminal state or
+/// receives the `JobDone` broadcast, never neither.
+fn conclude(shared: &Arc<Shared>, id: u64, state: JobState, detail: String) {
+    let mut inner = lock(&shared.inner);
+    inner.active.remove(&id);
+    // A client cancel that raced the final cells wins: the WAL already
+    // holds the `cancel` op.
+    let state = if inner.jobs.get(&id).is_some_and(|j| j.state == JobState::Cancelled) {
+        JobState::Cancelled
+    } else {
+        state
+    };
+    if let Some(job) = inner.jobs.get_mut(&id) {
+        job.state = state;
+        job.detail = detail.clone();
+    }
+    if matches!(state, JobState::Done | JobState::Failed) {
+        if let Err(e) = lock(&shared.wal).finish(id, state) {
+            eprintln!("tcm-serve: WAL finish failed: {e}");
+        }
+    }
+    let mut subs = lock(&shared.subscribers);
+    broadcast_locked(
+        &mut subs,
+        id,
+        Event::JobDone {
+            job: id,
+            state,
+            detail,
+        },
+    );
+    subs.remove(&id);
+}
+
+fn job_cancelled(shared: &Shared, id: u64) -> bool {
+    lock(&shared.inner)
+        .jobs
+        .get(&id)
+        .is_some_and(|j| j.state == JobState::Cancelled)
+}
+
+// ---------------------------------------------------------------------
+// Sweep jobs
+// ---------------------------------------------------------------------
+
+/// Runs one full sweep pass with streaming hooks. Serial within the
+/// job — concurrency comes from the worker pool — so the per-job
+/// checkpoint grows linearly.
+fn sweep_pass(
+    shared: &Arc<Shared>,
+    id: u64,
+    session: &Session,
+    resolved: &ResolvedSweep,
+    ckpt: &Path,
+    retry: RetryPolicy,
+    token: &CancelToken,
+) -> SweepResult {
+    let seeds = resolved.seeds.clone();
+    let cell_shared = Arc::clone(shared);
+    let fail_shared = Arc::clone(shared);
+    session
+        .sweep()
+        .policies(resolved.policies.iter().cloned())
+        .workloads(resolved.workloads.iter().cloned())
+        .seeds(resolved.seeds.iter().copied())
+        .checkpoint(ckpt)
+        .retry(retry)
+        .pause_flag(Arc::clone(&shared.draining))
+        .cancel_token(token.clone())
+        .on_cell(move |cell, resumed| {
+            let m = &cell.result.metrics;
+            broadcast(
+                &cell_shared,
+                id,
+                Event::CellResult {
+                    job: id,
+                    policy: cell.result.policy.clone(),
+                    workload: cell.result.workload.clone(),
+                    seed: seeds.get(cell.seed).copied().unwrap_or(0),
+                    ws_bits: m.weighted_speedup.to_bits(),
+                    hs_bits: m.harmonic_speedup.to_bits(),
+                    ms_bits: m.max_slowdown.to_bits(),
+                    resumed,
+                },
+            );
+            if let Some(snapshot) = &cell.result.telemetry {
+                let summary = snapshot.metrics.summary();
+                broadcast(
+                    &cell_shared,
+                    id,
+                    Event::Telemetry {
+                        job: id,
+                        counters: summary.counters,
+                        gauge_bits: summary.gauge_bits,
+                    },
+                );
+            }
+        })
+        .on_failure(move |err| {
+            broadcast(
+                &fail_shared,
+                id,
+                Event::CellFailure {
+                    job: id,
+                    line: err.structured_line(),
+                },
+            );
+        })
+        .run()
+}
+
+fn run_sweep_job(
+    shared: &Arc<Shared>,
+    id: u64,
+    spec: &JobSpec,
+    sweep_spec: &SweepSpec,
+    token: &CancelToken,
+) -> Option<(JobState, String)> {
+    let resolved = match resolve_sweep(sweep_spec) {
+        Ok(resolved) => resolved,
+        Err(e) => return Some((JobState::Failed, e)),
+    };
+    let mut cfg = SystemConfig::paper_baseline();
+    cfg.num_threads = resolved.workloads[0].threads.len();
+    if let Some(topology) = resolved.topology.clone() {
+        cfg.topology = topology;
+    }
+    let session = Session::new(
+        RunConfig::builder()
+            .system(cfg)
+            .horizon(resolved.horizon)
+            .telemetry(resolved.telemetry.then(TelemetryConfig::default))
+            .build(),
+    );
+    let ckpt = shared.state_dir.join(format!("job-{id}.ckpt.jsonl"));
+    let retry = RetryPolicy::with_attempts(spec.max_attempts);
+
+    let mut result = sweep_pass(shared, id, &session, &resolved, &ckpt, retry, token);
+    if !result.is_complete() {
+        if job_cancelled(shared, id) {
+            return Some((JobState::Cancelled, "cancelled by client".into()));
+        }
+        if shared.draining.load(Ordering::SeqCst) || signal::drain_requested() {
+            return None;
+        }
+        if token.is_cancelled() {
+            return Some((
+                JobState::Failed,
+                format!(
+                    "job deadline exceeded with {} cell(s) unfinished",
+                    result.failures().len() + result.stats().skipped
+                ),
+            ));
+        }
+        // Quarantine pass: exactly one re-admission for retryable
+        // failures. The checkpoint resume re-runs only the failed
+        // cells; completed cells replay bit-identically.
+        if result.failures().iter().any(|f| f.kind.is_retryable()) {
+            result = sweep_pass(shared, id, &session, &resolved, &ckpt, retry, token);
+            if !result.is_complete() {
+                if job_cancelled(shared, id) {
+                    return Some((JobState::Cancelled, "cancelled by client".into()));
+                }
+                if shared.draining.load(Ordering::SeqCst) || signal::drain_requested() {
+                    return None;
+                }
+            }
+        }
+    }
+
+    if result.is_complete() {
+        let path = shared.state_dir.join(format!("job-{id}.result.json"));
+        if let Err(e) = write_durable(&path, &render_result(&result)) {
+            return Some((
+                JobState::Failed,
+                format!("result write failed: {e}"),
+            ));
+        }
+        Some((
+            JobState::Done,
+            format!(
+                "{} cell(s) -> {}",
+                result.cells().len(),
+                path.display()
+            ),
+        ))
+    } else {
+        let quarantined: Vec<String> = result
+            .failures()
+            .iter()
+            .map(|f| format!("{}×{}@{}", f.policy_label, f.workload_name, f.seed_value))
+            .collect();
+        Some((
+            JobState::Failed,
+            format!(
+                "{} cell(s) quarantined after repeated failure: {}",
+                quarantined.len(),
+                quarantined.join(", ")
+            ),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chaos-soak jobs
+// ---------------------------------------------------------------------
+
+/// One soak round: inject every non-coordination fault class into a
+/// fixed-seed flat machine and count the ones caught by exactly their
+/// mapped detector. Mirrors `tcm-run --chaos-smoke`, but round-seeded
+/// so a long soak walks fresh workloads.
+fn soak_round(seed: u64, horizon: u64) -> (u32, u32) {
+    let threads = 4;
+    let fault_at = (horizon / 10).max(1);
+    let Ok(cfg) = SystemConfig::builder()
+        .num_threads(threads)
+        .num_channels(1)
+        .build()
+    else {
+        return (0, 1);
+    };
+    let workload = random_workload(seed, threads, 1.0);
+    let tcm = PolicyKind::Tcm(TcmParams {
+        quantum: 50_000,
+        ..TcmParams::paper_default(threads)
+    });
+    let (mut detected, mut classes) = (0u32, 0u32);
+    for kind in FaultKind::ALL {
+        if kind.is_coordination_fault() {
+            continue; // needs a meta-controller; the smoke leg covers it
+        }
+        classes += 1;
+        let policy = match kind.detector() {
+            Detector::Degradation => &tcm,
+            _ => &PolicyKind::FrFcfs,
+        };
+        let mut sys = System::new(&cfg, &workload, policy.build(threads, &cfg), 0);
+        sys.install_chaos(&FaultPlan::none().with_fault(FaultSpec::new(kind, fault_at).on_thread(1)));
+        let caught = match (kind.detector(), sys.try_run(horizon)) {
+            (Detector::Invariant(expected), Err(SimError::InvariantViolation(v))) => {
+                v.invariant == expected
+            }
+            (Detector::Stall, Err(SimError::Stalled(_))) => true,
+            (Detector::Degradation, Ok(_)) => !sys.degradation_events().is_empty(),
+            _ => false,
+        };
+        if caught {
+            detected += 1;
+        }
+    }
+    (detected, classes)
+}
+
+fn run_soak_job(
+    shared: &Arc<Shared>,
+    id: u64,
+    spec: &SoakSpec,
+    token: &CancelToken,
+) -> Option<(JobState, String)> {
+    for round in 0..spec.rounds {
+        // Soak rounds are stateless, so a drained soak simply restarts
+        // from round 0 after recovery (documented in DESIGN.md §11).
+        if shared.draining.load(Ordering::SeqCst) || signal::drain_requested() {
+            return None;
+        }
+        if job_cancelled(shared, id) {
+            return Some((JobState::Cancelled, "cancelled by client".into()));
+        }
+        if token.is_cancelled() {
+            return Some((
+                JobState::Failed,
+                format!("job deadline exceeded at round {round}/{}", spec.rounds),
+            ));
+        }
+        let (detected, classes) = soak_round(spec.seed ^ u64::from(round), spec.horizon);
+        broadcast(
+            shared,
+            id,
+            Event::SoakRound {
+                job: id,
+                round,
+                detected,
+                classes,
+            },
+        );
+        if detected < classes {
+            return Some((
+                JobState::Failed,
+                format!("round {round}: only {detected}/{classes} fault classes detected"),
+            ));
+        }
+    }
+    Some((
+        JobState::Done,
+        format!("{} round(s), every fault class detected", spec.rounds),
+    ))
+}

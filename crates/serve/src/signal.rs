@@ -1,0 +1,44 @@
+//! Async-signal-safe drain requests.
+//!
+//! The daemon drains on SIGTERM (and SIGINT, for interactive use). The
+//! handler does the only thing a signal handler safely can: set an
+//! atomic flag. The accept loop and workers poll
+//! [`drain_requested`] cooperatively — the same discipline the
+//! simulator uses for its own cancellation tokens.
+//!
+//! The workspace carries no `libc` dependency; `signal(2)` is declared
+//! directly (the symbol is already linked via `std`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// POSIX `SIGINT`.
+pub const SIGINT: i32 = 2;
+/// POSIX `SIGTERM`.
+pub const SIGTERM: i32 = 15;
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the drain handler for SIGTERM and SIGINT. Idempotent.
+pub fn install_drain_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    // SAFETY: `signal(2)` with a handler that only stores to an atomic
+    // is async-signal-safe; both arguments are valid by construction.
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+/// Whether a drain signal has been received (process-wide, sticky).
+/// In-process `Drain` requests set the server's own flag instead, so
+/// tests hosting several servers in one process never cross-talk.
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}

@@ -1,0 +1,257 @@
+//! The daemon's write-ahead job log (schema `tcm-serve-wal-v1`).
+//!
+//! An append-only JSONL file in the state directory. The first line
+//! names the schema; each further line is one operation:
+//!
+//! ```text
+//! {"op":"submit","id":3,"seq":7,"spec":{…}}   job admitted (spec embedded)
+//! {"op":"start","id":3}                        a worker picked it up
+//! {"op":"finish","id":3,"state":"done"}        terminal: done | failed
+//! {"op":"cancel","id":3}                       terminal: cancelled
+//! ```
+//!
+//! Every append is fsynced **before** the daemon acknowledges the
+//! action to a client, so an admitted job survives SIGKILL. Recovery
+//! ([`Wal::open`]) folds the log into one [`ReplayedJob`] per id; jobs
+//! without a terminal record — queued *or* in-flight at the crash — are
+//! re-admitted in their original `(priority, seq)` order, and a
+//! re-admitted sweep job resumes from its per-job cell checkpoint, so
+//! only the cells that were mid-flight re-run (bit-identically).
+//!
+//! Loading tolerates a torn tail (a crash mid-append): replay stops at
+//! the first unparsable line. A mismatched schema is a loud error — a
+//! WAL can never be silently misread as a different format.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use tcm_proto::json::{self, Value};
+use tcm_proto::{JobSpec, JobState};
+
+/// Schema tag on the WAL's first line.
+pub const WAL_SCHEMA: &str = "tcm-serve-wal-v1";
+
+/// One job's folded history after replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedJob {
+    /// Job id (stable across restarts).
+    pub id: u64,
+    /// Queue sequence number from first admission.
+    pub seq: u64,
+    /// The embedded job spec.
+    pub spec: JobSpec,
+    /// Whether a worker had started it before the crash.
+    pub started: bool,
+    /// Terminal state, when the job finished or was cancelled.
+    pub terminal: Option<JobState>,
+}
+
+/// Append handle over the WAL file.
+#[derive(Debug)]
+pub struct Wal {
+    file: fs::File,
+    path: PathBuf,
+}
+
+impl Wal {
+    /// Opens (or creates) the WAL at `path`, returning the handle plus
+    /// every replayed job in first-admission order.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<(Self, Vec<ReplayedJob>)> {
+        let path = path.into();
+        let jobs = match fs::read_to_string(&path) {
+            Ok(text) => replay(&text)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let mut file = fs::File::create(&path)?;
+                writeln!(file, "{{\"schema\":\"{WAL_SCHEMA}\"}}")?;
+                file.sync_all()?;
+                sync_parent(&path)?;
+                Vec::new()
+            }
+            Err(e) => return Err(e),
+        };
+        let file = fs::OpenOptions::new().append(true).open(&path)?;
+        Ok((Self { file, path }, jobs))
+    }
+
+    /// Records an admission; durable before the caller acknowledges it.
+    pub fn submit(&mut self, id: u64, seq: u64, spec: &JobSpec) -> io::Result<()> {
+        let mut line = format!("{{\"op\":\"submit\",\"id\":{id},\"seq\":{seq},\"spec\":");
+        spec.encode_body(&mut line);
+        line.push('}');
+        self.append(&line)
+    }
+
+    /// Records that a worker started the job.
+    pub fn start(&mut self, id: u64) -> io::Result<()> {
+        self.append(&format!("{{\"op\":\"start\",\"id\":{id}}}"))
+    }
+
+    /// Records a terminal state (`Done` or `Failed`).
+    pub fn finish(&mut self, id: u64, state: JobState) -> io::Result<()> {
+        self.append(&format!(
+            "{{\"op\":\"finish\",\"id\":{id},\"state\":\"{}\"}}",
+            state.as_str()
+        ))
+    }
+
+    /// Records a cancellation (terminal).
+    pub fn cancel(&mut self, id: u64) -> io::Result<()> {
+        self.append(&format!("{{\"op\":\"cancel\",\"id\":{id}}}"))
+    }
+
+    /// The WAL file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append(&mut self, line: &str) -> io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()
+    }
+}
+
+fn sync_parent(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    fs::File::open(parent)?.sync_all()
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Folds WAL text into per-job histories (see module docs).
+fn replay(text: &str) -> io::Result<Vec<ReplayedJob>> {
+    let mut lines = text.split('\n');
+    let header = lines.next().unwrap_or("");
+    let header = json::parse(header).ok_or_else(|| bad("WAL header unparsable"))?;
+    match header.field("schema").and_then(Value::as_str) {
+        Some(WAL_SCHEMA) => {}
+        Some(other) => return Err(bad(format!("WAL schema `{other}`, expected `{WAL_SCHEMA}`"))),
+        None => return Err(bad("WAL header missing schema")),
+    }
+    let mut jobs: Vec<ReplayedJob> = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        // A torn tail (crash mid-append) ends replay; everything before
+        // it was fsynced and is authoritative.
+        let Some(v) = json::parse(line) else { break };
+        let Some(op) = v.field("op").and_then(Value::as_str) else {
+            break;
+        };
+        let Some(id) = v.field("id").and_then(Value::as_u64) else {
+            break;
+        };
+        match op {
+            "submit" => {
+                let (Some(seq), Some(spec)) = (
+                    v.field("seq").and_then(Value::as_u64),
+                    v.field("spec").and_then(|s| JobSpec::from_value(s).ok()),
+                ) else {
+                    break;
+                };
+                jobs.push(ReplayedJob {
+                    id,
+                    seq,
+                    spec,
+                    started: false,
+                    terminal: None,
+                });
+            }
+            "start" => {
+                if let Some(job) = jobs.iter_mut().find(|j| j.id == id) {
+                    job.started = true;
+                }
+            }
+            "finish" => {
+                let state = match v.field("state").and_then(Value::as_str) {
+                    Some("done") => JobState::Done,
+                    Some("failed") => JobState::Failed,
+                    _ => break,
+                };
+                if let Some(job) = jobs.iter_mut().find(|j| j.id == id) {
+                    job.terminal = Some(state);
+                }
+            }
+            "cancel" => {
+                if let Some(job) = jobs.iter_mut().find(|j| j.id == id) {
+                    job.terminal = Some(JobState::Cancelled);
+                }
+            }
+            _ => break,
+        }
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use tcm_proto::{JobKind, SoakSpec};
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            priority: 1,
+            deadline_ms: None,
+            max_attempts: 2,
+            kind: JobKind::ChaosSoak(SoakSpec {
+                seed: 9,
+                rounds: 1,
+                horizon: 10_000,
+            }),
+        }
+    }
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tcm-wal-test-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn replay_readmits_unfinished_jobs_in_order() {
+        let path = temp_wal("order");
+        let _ = fs::remove_file(&path);
+        {
+            let (mut wal, replayed) = Wal::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            wal.submit(1, 0, &spec()).unwrap();
+            wal.submit(2, 1, &spec()).unwrap();
+            wal.submit(3, 2, &spec()).unwrap();
+            wal.start(1).unwrap();
+            wal.finish(1, JobState::Done).unwrap();
+            wal.start(2).unwrap(); // in-flight at the "crash"
+            wal.cancel(3).unwrap();
+        }
+        let (_wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[0].terminal, Some(JobState::Done));
+        assert_eq!(replayed[1].terminal, None, "in-flight job re-admits");
+        assert!(replayed[1].started);
+        assert_eq!(replayed[2].terminal, Some(JobState::Cancelled));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_but_wrong_schema_is_loud() {
+        let path = temp_wal("torn");
+        let _ = fs::remove_file(&path);
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.submit(1, 0, &spec()).unwrap();
+        }
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"op\":\"sub"); // torn mid-append
+        fs::write(&path, &text).unwrap();
+        let (_wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1, "torn tail dropped, prefix kept");
+
+        fs::write(&path, "{\"schema\":\"something-else\"}\n").unwrap();
+        assert!(Wal::open(&path).is_err());
+        fs::remove_file(&path).unwrap();
+    }
+}

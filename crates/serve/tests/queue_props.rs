@@ -1,0 +1,102 @@
+//! Property test: the daemon's job-queue ordering is **total and
+//! stable** under arbitrary interleavings of submit, cancel and pop.
+//!
+//! The reference model is a plain `Vec<(priority, seq, id)>`: the queue
+//! contract says pop order equals the `(priority, seq)` sort of
+//! whatever is queued — lower priority number first, FIFO (by monotone
+//! submission sequence) within one priority class. Cancels may remove
+//! any queued element at any time without disturbing the relative
+//! order of the survivors, and a full queue must refuse with the typed
+//! `QueueFull` error rather than dropping or displacing.
+
+use proptest::prelude::*;
+use tcm_serve::{JobQueue, QueueFull};
+
+const CAPACITY: usize = 24;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Submit { priority: u8 },
+    Cancel { nth: usize },
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted: 3 parts submit, 2 parts pop, 1 part cancel.
+    (0usize..6, 0u8..4, 0usize..64).prop_map(|(select, priority, nth)| match select {
+        0..=2 => Op::Submit { priority },
+        3..=4 => Op::Pop,
+        _ => Op::Cancel { nth },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// After every operation the queue's full iteration order equals
+    /// the model's `(priority, seq)` sort — i.e. the ordering is total,
+    /// stable under interleaved submits/cancels, and FIFO within each
+    /// priority class (seq is strictly monotone across submissions).
+    #[test]
+    fn ordering_is_total_stable_and_fifo_within_class(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        let mut queue = JobQueue::new(CAPACITY);
+        let mut model: Vec<(u8, u64, u64)> = Vec::new(); // (priority, seq, id)
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                Op::Submit { priority } => {
+                    let (id, seq) = (next + 1, next);
+                    next += 1;
+                    let pushed = queue.push(id, priority, seq);
+                    if model.len() >= CAPACITY {
+                        prop_assert_eq!(
+                            pushed,
+                            Err(QueueFull { capacity: CAPACITY }),
+                            "a full queue must refuse with typed backpressure"
+                        );
+                    } else {
+                        prop_assert!(pushed.is_ok());
+                        model.push((priority, seq, id));
+                    }
+                }
+                Op::Cancel { nth } => {
+                    if model.is_empty() {
+                        prop_assert!(!queue.cancel(u64::MAX), "cancel on empty is a no-op");
+                    } else {
+                        let idx = nth % model.len();
+                        let id = model.remove(idx).2;
+                        prop_assert!(queue.cancel(id));
+                        prop_assert!(!queue.cancel(id), "double cancel must be a no-op");
+                    }
+                }
+                Op::Pop => {
+                    // The contract: pop returns exactly the model's
+                    // (priority, seq) minimum.
+                    match model.iter().min().copied() {
+                        Some(entry) => {
+                            prop_assert_eq!(queue.pop(), Some(entry.2));
+                            model.retain(|e| e.2 != entry.2);
+                        }
+                        None => prop_assert_eq!(queue.pop(), None),
+                    }
+                }
+            }
+            prop_assert_eq!(queue.len(), model.len());
+            let mut sorted = model.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(
+                queue.iter_in_order().collect::<Vec<_>>(),
+                sorted.iter().map(|e| e.2).collect::<Vec<_>>(),
+                "iteration order must equal the (priority, seq) sort at every step"
+            );
+        }
+        // Draining what's left pops in total order: priority classes
+        // ascending, FIFO within each class.
+        let mut sorted = model;
+        sorted.sort_unstable();
+        let drained: Vec<u64> = std::iter::from_fn(|| queue.pop()).collect();
+        prop_assert_eq!(drained, sorted.into_iter().map(|e| e.2).collect::<Vec<_>>());
+    }
+}

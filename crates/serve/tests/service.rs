@@ -1,0 +1,209 @@
+//! End-to-end daemon tests over a real Unix-domain socket: WAL
+//! recovery with bit-identical results, streamed watch events, typed
+//! backpressure, and the graceful-drain exit contract.
+//!
+//! The crash in the recovery test is staged rather than delivered with
+//! a real `kill -9` (that lives in `scripts/check.sh`'s `serve-smoke`
+//! leg): the state directory is pre-seeded with exactly what a killed
+//! daemon leaves behind — a WAL whose job has `submit` + `start` but no
+//! terminal record, and a cell checkpoint truncated mid-line.
+
+use std::path::{Path, PathBuf};
+use std::thread;
+use std::time::Duration;
+use tcm_proto::{Event, JobKind, JobSpec, JobState, SweepSpec, WorkloadRef};
+use tcm_serve::{Client, Server, ServerConfig, Wal};
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tcm-serve-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn config(dir: &Path) -> ServerConfig {
+    ServerConfig {
+        socket: dir.join("sock"),
+        state_dir: dir.join("state"),
+        workers: 2,
+        queue_capacity: 8,
+        drain_deadline: Duration::from_secs(20),
+    }
+}
+
+fn sweep_spec() -> JobSpec {
+    JobSpec {
+        priority: 1,
+        deadline_ms: None,
+        max_attempts: 2,
+        kind: JobKind::Sweep(SweepSpec {
+            policies: vec!["fr-fcfs".into(), "fqm".into()],
+            workloads: vec![WorkloadRef::Random {
+                seed: 5,
+                threads: 4,
+                intensity_bits: 0.8f64.to_bits(),
+            }],
+            seeds: vec![0, 17],
+            horizon: 30_000,
+            topology: None,
+            telemetry: false,
+        }),
+    }
+}
+
+/// Starts a daemon, waits for its socket, returns the exit-code handle.
+fn start(config: ServerConfig) -> (thread::JoinHandle<i32>, PathBuf) {
+    let socket = config.socket.clone();
+    let server = Server::new(config).expect("server starts");
+    let handle = thread::spawn(move || server.run().expect("run returns"));
+    for _ in 0..500 {
+        if socket.exists() {
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    (handle, socket)
+}
+
+#[test]
+fn restarted_daemon_readmits_wal_jobs_and_finishes_bit_identically() {
+    // Reference: an uninterrupted daemon runs the job to completion.
+    let ref_dir = scratch_dir("ref");
+    let (handle, socket) = start(config(&ref_dir));
+    let mut client = Client::connect(&socket).expect("connect");
+    let id = client.submit(sweep_spec()).expect("submit");
+    assert_eq!(id, 1);
+    let (state, detail) = client.watch(id, |_| {}).expect("watch");
+    assert_eq!(state, JobState::Done, "{detail}");
+    client.drain().expect("drain");
+    assert_eq!(handle.join().expect("join"), 0, "clean drain exits 0");
+    let reference = std::fs::read(ref_dir.join("state/job-1.result.json")).expect("result file");
+
+    // The crash scene: a WAL with submit+start but no terminal record,
+    // plus the reference checkpoint truncated mid-line — exactly what a
+    // SIGKILL between two atomic publishes leaves behind.
+    let crash_dir = scratch_dir("crash");
+    let state_dir = crash_dir.join("state");
+    std::fs::create_dir_all(&state_dir).expect("state dir");
+    {
+        let (mut wal, replayed) = Wal::open(state_dir.join("wal.jsonl")).expect("fresh WAL");
+        assert!(replayed.is_empty());
+        wal.submit(1, 0, &sweep_spec()).expect("wal submit");
+        wal.start(1).expect("wal start");
+    }
+    let full = std::fs::read_to_string(ref_dir.join("state/job-1.ckpt.jsonl")).expect("ckpt");
+    let lines: Vec<&str> = full.lines().collect();
+    assert_eq!(lines.len(), 5, "header + 4 cells");
+    let torn = &lines[2][..lines[2].len() / 2];
+    std::fs::write(
+        state_dir.join("job-1.ckpt.jsonl"),
+        format!("{}\n{torn}", lines[..2].join("\n")),
+    )
+    .expect("truncated ckpt");
+
+    // Restart: the WAL re-admits job 1, the checkpoint restores the one
+    // intact cell, the rest re-run — and the merged result file is
+    // byte-identical to the uninterrupted daemon's.
+    let (handle, socket) = start(ServerConfig {
+        socket: crash_dir.join("sock"),
+        state_dir: state_dir.clone(),
+        ..config(&crash_dir)
+    });
+    let mut client = Client::connect(&socket).expect("reconnect");
+    let (state, detail) = client.watch(1, |_| {}).expect("watch recovered job");
+    assert_eq!(state, JobState::Done, "{detail}");
+    let recovered = std::fs::read(state_dir.join("job-1.result.json")).expect("result file");
+    assert_eq!(recovered, reference, "recovery is byte-identical");
+    let republished =
+        std::fs::read_to_string(state_dir.join("job-1.ckpt.jsonl")).expect("ckpt republished");
+    assert_eq!(republished.lines().count(), 5, "checkpoint is whole again");
+
+    client.drain().expect("drain");
+    assert_eq!(handle.join().expect("join"), 0);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&crash_dir);
+}
+
+#[test]
+fn drain_refuses_admission_with_typed_status_and_exits_zero() {
+    let dir = scratch_dir("drain");
+    let (handle, socket) = start(config(&dir));
+    let mut client = Client::connect(&socket).expect("connect");
+
+    client.drain().expect("drain acknowledged");
+    // The same connection stays serviceable: submission is refused with
+    // the typed Draining status, not a hangup or a generic error.
+    let err = client.submit(sweep_spec()).expect_err("admission stopped");
+    assert!(err.to_string().contains("draining"), "{err}");
+
+    assert_eq!(handle.join().expect("join"), 0, "graceful drain exits 0");
+    assert!(!socket.exists(), "socket file removed on exit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn backpressure_cancel_and_streaming_roundtrip() {
+    let dir = scratch_dir("queue");
+    let mut cfg = config(&dir);
+    // A single worker, so one long-horizon job jams the pool and the
+    // rest of the test runs against a deterministically busy daemon.
+    cfg.workers = 1;
+    cfg.queue_capacity = 2;
+    let (handle, socket) = start(cfg);
+    let mut client = Client::connect(&socket).expect("connect");
+
+    let mut long_spec = sweep_spec();
+    if let JobKind::Sweep(sweep) = &mut long_spec.kind {
+        sweep.horizon = 50_000_000;
+        sweep.seeds = vec![0];
+    }
+    let running = client.submit(long_spec).expect("submit long job");
+    for _ in 0..1_000 {
+        if client.status(Some(running)).expect("status")[0].state == JobState::Running {
+            break;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    let a = client.submit(sweep_spec()).expect("queued job a");
+    let b = client.submit(sweep_spec()).expect("queued job b");
+    let err = client.submit(sweep_spec()).expect_err("third must bounce");
+    assert!(err.to_string().contains("queue full"), "{err}");
+
+    assert!(client.cancel(a).expect("cancel queued"), "queued job found");
+    assert!(!client.cancel(a).expect("re-cancel"), "second cancel is a no-op");
+    let jobs = client.status(None).expect("status");
+    let find = |id: u64| jobs.iter().find(|j| j.id == id).expect("listed").state;
+    assert_eq!(find(a), JobState::Cancelled);
+    assert_eq!(find(b), JobState::Queued);
+
+    // Register a watcher for `b` while it is still queued behind the
+    // busy worker: every one of its cell events must then stream.
+    let mut watcher = Client::connect(&socket).expect("watcher connection");
+    let streamer = thread::spawn(move || {
+        let mut cells = 0;
+        let outcome = watcher
+            .watch(b, |event| {
+                if let Event::CellResult { resumed, .. } = event {
+                    assert!(!resumed, "fresh run replays nothing");
+                    cells += 1;
+                }
+            })
+            .expect("watch b");
+        (outcome.0, cells)
+    });
+    thread::sleep(Duration::from_millis(300)); // let the Watch register
+
+    // Hard-cancel the running job: its cells abort mid-simulation and
+    // the worker moves on to `b`.
+    assert!(client.cancel(running).expect("cancel running"), "running job found");
+    let (state, _) = client.watch(running, |_| {}).expect("watch cancelled");
+    assert_eq!(state, JobState::Cancelled, "hard cancel aborts in-flight cells");
+
+    let (state, cells) = streamer.join().expect("streamer");
+    assert_eq!(state, JobState::Done);
+    assert_eq!(cells, 4, "2 policies × 2 seeds streamed to the watcher");
+
+    client.drain().expect("drain");
+    assert_eq!(handle.join().expect("join"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -8,9 +8,11 @@
 //! infinity included.
 //!
 //! Durability: every append rewrites the full buffer to `<path>.tmp` and
-//! atomically renames it over `<path>`, so the file on disk is always a
-//! complete prefix of the sweep — a killed process never leaves a torn
-//! line behind. Loading is tolerant: a missing file or a mismatched
+//! atomically renames it over `<path>` — fsyncing the temp file before
+//! the rename and the parent directory after it — so the file on disk
+//! is always a complete, durable prefix of the sweep: a killed process
+//! (or lost power) never leaves a torn or stale published checkpoint
+//! behind. Loading is tolerant: a missing file or a mismatched
 //! header starts fresh, and a trailing partial line (from a pre-rename
 //! crash of some other writer) is ignored.
 //!
@@ -116,8 +118,25 @@ impl CheckpointWriter {
         let tmp = PathBuf::from(tmp);
         let mut buffer = self.lines.join("\n");
         buffer.push('\n');
-        fs::write(&tmp, buffer)?;
-        fs::rename(&tmp, &self.path)
+        // Crash-consistent publish: fsync the temp file *before* the
+        // rename (so the rename can never install a file whose data is
+        // still in the page cache) and fsync the parent directory
+        // *after* it (so the rename itself — a directory mutation — is
+        // durable). Without both, power loss or SIGKILL in the window
+        // between write and rename can surface a stale or torn
+        // checkpoint on restart.
+        {
+            use std::io::Write;
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(buffer.as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        let parent = match self.path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => std::path::Path::new("."),
+        };
+        fs::File::open(parent)?.sync_all()
     }
 }
 

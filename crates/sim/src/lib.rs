@@ -55,7 +55,7 @@ pub use runner::{
     average_metrics, EvalResult, PolicyKind, RunConfig, RunConfigBuilder, PAPER_LINEUP_LABELS,
 };
 pub use sweep::{
-    AloneIpcCache, CellError, CellFailureKind, ProfileFingerprint, Session, SessionStats, Sweep,
-    SweepCell, SweepResult, SweepStats,
+    AloneIpcCache, CellError, CellFailureKind, ProfileFingerprint, RetryPolicy, Session,
+    SessionStats, Sweep, SweepCell, SweepResult, SweepStats,
 };
 pub use system::{RunResult, System, DEFAULT_STALL_LIMIT};

@@ -50,8 +50,8 @@ use crate::system::{RunResult, System};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tcm_sched::FrFcfs;
 use tcm_telemetry::Telemetry;
@@ -175,9 +175,22 @@ pub(crate) fn eval_cell(
     seed_xor: u64,
     alone_ipc: impl FnMut(&BenchmarkProfile) -> f64,
 ) -> EvalResult {
-    match try_eval_cell(policy, workload, rc, weights, seed_xor, alone_ipc) {
+    match try_eval_cell(policy, workload, rc, weights, seed_xor, None, alone_ipc) {
         Ok(result) => result,
         Err(err) => panic!("cell evaluation failed: {err}"),
+    }
+}
+
+/// The cooperative token one cell polls: the per-cell deadline from the
+/// run configuration (fresh per attempt, so a retried timeout gets a
+/// full deadline again) combined, when a sweep-level `cancel` parent is
+/// installed, with that parent — a single parent cancel aborts every
+/// in-flight cell.
+fn cell_token(rc: &RunConfig, cancel: Option<&CancelToken>) -> Option<CancelToken> {
+    match (cancel, rc.cell_deadline) {
+        (Some(parent), deadline) => Some(parent.child_with_deadline(deadline)),
+        (None, Some(deadline)) => Some(CancelToken::with_deadline(deadline)),
+        (None, None) => None,
     }
 }
 
@@ -193,13 +206,14 @@ pub(crate) fn try_eval_cell(
     rc: &RunConfig,
     weights: Option<&[f64]>,
     seed_xor: u64,
+    cancel: Option<&CancelToken>,
     mut alone_ipc: impl FnMut(&BenchmarkProfile) -> f64,
 ) -> Result<EvalResult, SimError> {
     let telemetry = rc.telemetry.as_ref().map(Telemetry::new);
     let run = if rc.system.topology.num_controllers() > 1 {
-        run_multi_cell(policy, workload, rc, weights, seed_xor, telemetry.as_ref())?
+        run_multi_cell(policy, workload, rc, weights, seed_xor, cancel, telemetry.as_ref())?
     } else {
-        run_single_cell(policy, workload, rc, weights, seed_xor, telemetry.as_ref())?
+        run_single_cell(policy, workload, rc, weights, seed_xor, cancel, telemetry.as_ref())?
     };
     let pairs: Vec<IpcPair> = workload
         .threads
@@ -230,6 +244,7 @@ fn run_single_cell(
     rc: &RunConfig,
     weights: Option<&[f64]>,
     seed_xor: u64,
+    cancel: Option<&CancelToken>,
     telemetry: Option<&Telemetry>,
 ) -> Result<RunResult, SimError> {
     let n = workload.threads.len();
@@ -249,11 +264,7 @@ fn run_single_cell(
             .map_err(SimError::Config)?;
         sys.install_chaos(plan);
     }
-    if let Some(deadline) = rc.cell_deadline {
-        // Fresh token per attempt: a retried timeout gets a full
-        // deadline again instead of inheriting an already-expired one.
-        sys.set_cancel_token(Some(CancelToken::with_deadline(deadline)));
-    }
+    sys.set_cancel_token(cell_token(rc, cancel));
     if let Some(w) = weights {
         sys.set_thread_weights(w);
     }
@@ -275,6 +286,7 @@ fn run_multi_cell(
     rc: &RunConfig,
     weights: Option<&[f64]>,
     seed_xor: u64,
+    cancel: Option<&CancelToken>,
     telemetry: Option<&Telemetry>,
 ) -> Result<RunResult, SimError> {
     let n = workload.threads.len();
@@ -298,9 +310,7 @@ fn run_multi_cell(
             .map_err(SimError::Config)?;
         sys.install_chaos(plan);
     }
-    if let Some(deadline) = rc.cell_deadline {
-        sys.set_cancel_token(Some(CancelToken::with_deadline(deadline)));
-    }
+    sys.set_cancel_token(cell_token(rc, cancel));
     if let Some(w) = weights {
         sys.set_thread_weights(w);
     }
@@ -308,6 +318,87 @@ fn run_multi_cell(
         sys.set_telemetry(t);
     }
     sys.try_run(rc.horizon)
+}
+
+/// Retry policy for timed-out cells: bounded attempts with a
+/// deterministic, seeded, jittered backoff schedule.
+///
+/// Only wall-clock timeouts are retryable (deterministic failures would
+/// replay identically — see [`CellFailureKind::is_retryable`]). A cell
+/// gets up to [`RetryPolicy::max_attempts`] total attempts; between
+/// attempt `n` and `n + 1` the executor sleeps
+/// [`RetryPolicy::backoff`]`(cell_seed, n)`. The schedule is a pure
+/// function of the cell's seed and the attempt number — **no entropy is
+/// drawn at retry time** — so a replayed sweep (or a restarted daemon
+/// re-admitting the same job) waits the exact same schedule and, because
+/// the simulation itself is deterministic, produces bit-identical
+/// results. Shared by [`Sweep`] and the `tcm-serve` daemon's retry path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per cell, counting the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff unit: the window for the first retry is `[base/2, base)`,
+    /// doubling per subsequent attempt.
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Two attempts (one retry) with a short jittered pause — the
+    /// successor of the historical immediate retry-once policy.
+    fn default() -> Self {
+        Self {
+            max_attempts: 2,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Fail fast: a single attempt, no retries.
+    pub fn no_retry() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// `attempts` total attempts with the default backoff shape.
+    pub fn with_attempts(attempts: u32) -> Self {
+        Self {
+            max_attempts: attempts.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// The sleep before retrying after failed attempt `attempt`
+    /// (1-based). Deterministic in `(cell_seed, attempt)`: exponential
+    /// window `base * 2^(attempt-1)` capped at [`RetryPolicy::cap`],
+    /// jittered into its upper half by a splitmix64 draw of the seed so
+    /// simultaneous retries of different cells do not stampede in sync.
+    pub fn backoff(&self, cell_seed: u64, attempt: u32) -> Duration {
+        let window = self
+            .base
+            .saturating_mul(1u32 << attempt.clamp(1, 16).saturating_sub(1))
+            .min(self.cap);
+        let half = window.as_nanos() as u64 / 2;
+        if half == 0 {
+            return Duration::ZERO;
+        }
+        let jitter = splitmix64(cell_seed ^ 0xa076_1d64_78bd_642fu64.wrapping_mul(attempt as u64));
+        Duration::from_nanos(half + jitter % half)
+    }
+}
+
+/// SplitMix64: the standard 64-bit finalizer, used for deterministic
+/// backoff jitter (construction-time randomness only, like `tcm-chaos`).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Why a sweep cell failed.
@@ -372,6 +463,15 @@ pub struct CellError {
     pub seed_value: u64,
     /// Evaluation attempts made (2 = timed out, retried, failed again).
     pub attempts: u32,
+    /// The retry budget the attempts were drawn from (the sweep's
+    /// [`RetryPolicy::max_attempts`]); `attempts < max_attempts` means
+    /// the failure was deterministic or the sweep was being cancelled,
+    /// so the remaining budget was not spent.
+    pub max_attempts: u32,
+    /// Wall-clock time spent on the cell across every attempt, including
+    /// backoff sleeps. Distinguishes a cell that timed out instantly
+    /// (misconfigured deadline) from one that burned its full budget.
+    pub elapsed: Duration,
     /// The final failure.
     pub kind: CellFailureKind,
     /// The memory controller the failure is attributed to, when the
@@ -383,17 +483,21 @@ pub struct CellError {
 
 impl CellError {
     /// One grep-able line for CI logs, emitted to stderr by sweeps for
-    /// every failed cell. Stable shape:
+    /// every failed cell (and reused verbatim by the `tcm-serve` daemon
+    /// in job status and streamed `CellFailure` events). Stable shape:
     ///
     /// ```text
-    /// cell-failure policy="TCM" workload="mix3" seed=7 kind=timeout attempts=2 detail="..."
+    /// cell-failure policy="TCM" workload="mix3" seed=7 kind=timeout attempt=2 max_attempts=2 elapsed_ms=450 detail="..."
     /// ```
     ///
-    /// `kind` is one of `panic`, `sim`, `timeout`; double quotes inside
-    /// the detail are replaced with single quotes so the line stays
-    /// splittable on `"`-delimited fields. When the failure is
-    /// attributed to a specific memory controller, a trailing
-    /// ` controller=mc<N>` field is appended.
+    /// `kind` is one of `panic`, `sim`, `timeout`; `attempt=` is the
+    /// attempts actually made out of the `max_attempts=` retry budget,
+    /// and `elapsed_ms=` the wall-clock the cell burned across them —
+    /// together they make timeout-vs-retry behavior observable from logs
+    /// alone. Double quotes inside the detail are replaced with single
+    /// quotes so the line stays splittable on `"`-delimited fields. When
+    /// the failure is attributed to a specific memory controller, a
+    /// trailing ` controller=mc<N>` field is appended.
     pub fn structured_line(&self) -> String {
         let kind = match &self.kind {
             CellFailureKind::Panic(_) => "panic",
@@ -403,8 +507,15 @@ impl CellError {
         let detail = self.kind.to_string().replace('"', "'");
         let mut line = format!(
             "cell-failure policy=\"{}\" workload=\"{}\" seed={} kind={} \
-             attempts={} detail=\"{}\"",
-            self.policy_label, self.workload_name, self.seed_value, kind, self.attempts, detail,
+             attempt={} max_attempts={} elapsed_ms={} detail=\"{}\"",
+            self.policy_label,
+            self.workload_name,
+            self.seed_value,
+            kind,
+            self.attempts,
+            self.max_attempts,
+            self.elapsed.as_millis(),
+            detail,
         );
         if let Some(mc) = self.controller {
             line.push_str(&format!(" controller={mc}"));
@@ -417,12 +528,13 @@ impl std::fmt::Display for CellError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "policy {} x workload {} (seed {}, {} attempt{}): {}",
+            "policy {} x workload {} (seed {}, attempt {}/{}, {} ms): {}",
             self.policy_label,
             self.workload_name,
             self.seed_value,
             self.attempts,
-            if self.attempts == 1 { "" } else { "s" },
+            self.max_attempts,
+            self.elapsed.as_millis(),
             self.kind,
         )
     }
@@ -509,6 +621,11 @@ impl Session {
             seeds: vec![0],
             weights: None,
             checkpoint: None,
+            retry: RetryPolicy::default(),
+            on_cell: None,
+            on_failure: None,
+            pause: None,
+            cancel: None,
         }
     }
 
@@ -578,10 +695,15 @@ impl Session {
     }
 }
 
+/// Observer invoked for every produced cell (`resumed = true` when the
+/// cell was restored from a checkpoint rather than simulated).
+pub type CellHook = Box<dyn Fn(&SweepCell, bool) + Send + Sync>;
+/// Observer invoked for every exhausted cell failure.
+pub type FailureHook = Box<dyn Fn(&CellError) + Send + Sync>;
+
 /// Declarative description of an experiment grid: policies × workloads
 /// × seeds, built from [`Session::sweep`] and executed with
 /// [`Sweep::run`] / [`Sweep::run_parallel`].
-#[derive(Debug)]
 pub struct Sweep<'s> {
     session: &'s Session,
     policies: Vec<PolicyKind>,
@@ -589,6 +711,28 @@ pub struct Sweep<'s> {
     seeds: Vec<u64>,
     weights: Option<Vec<f64>>,
     checkpoint: Option<PathBuf>,
+    retry: RetryPolicy,
+    on_cell: Option<CellHook>,
+    on_failure: Option<FailureHook>,
+    pause: Option<Arc<AtomicBool>>,
+    cancel: Option<CancelToken>,
+}
+
+impl std::fmt::Debug for Sweep<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep")
+            .field("policies", &self.policies)
+            .field("workloads", &self.workloads.len())
+            .field("seeds", &self.seeds)
+            .field("weights", &self.weights)
+            .field("checkpoint", &self.checkpoint)
+            .field("retry", &self.retry)
+            .field("on_cell", &self.on_cell.is_some())
+            .field("on_failure", &self.on_failure.is_some())
+            .field("pause", &self.pause)
+            .field("cancel", &self.cancel)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Sweep<'_> {
@@ -636,6 +780,50 @@ impl Sweep<'_> {
     /// failed cells are never recorded, so a resume retries them.
     pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
         self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Replaces the default timeout-retry policy (two attempts with
+    /// seeded jittered backoff — see [`RetryPolicy`]).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Installs an observer called for every produced cell, from the
+    /// worker thread that finished it (or the calling thread, for cells
+    /// restored from a checkpoint — those report `resumed = true`). The
+    /// mechanism behind the `tcm-serve` daemon's streamed `CellResult`
+    /// events.
+    pub fn on_cell(mut self, hook: impl Fn(&SweepCell, bool) + Send + Sync + 'static) -> Self {
+        self.on_cell = Some(Box::new(hook));
+        self
+    }
+
+    /// Installs an observer called for every exhausted cell failure,
+    /// from the worker thread that observed it.
+    pub fn on_failure(mut self, hook: impl Fn(&CellError) + Send + Sync + 'static) -> Self {
+        self.on_failure = Some(Box::new(hook));
+        self
+    }
+
+    /// Installs a drain flag: once it reads `true`, workers finish (and
+    /// checkpoint) their in-flight cell but start no further ones —
+    /// remaining cells are counted in [`SweepStats::skipped`] and can be
+    /// resumed from the checkpoint later. The mechanism behind the
+    /// daemon's graceful SIGTERM drain.
+    pub fn pause_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.pause = Some(flag);
+        self
+    }
+
+    /// Installs a sweep-level cancellation parent: every cell polls a
+    /// child of this token (combined with the per-cell deadline), so one
+    /// cancel aborts in-flight cells mid-simulation *and* skips the
+    /// rest. Harder than [`Sweep::pause_flag`], which lets in-flight
+    /// cells finish.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -728,14 +916,37 @@ impl Sweep<'_> {
             .collect();
         let workers = workers.min(to_run.len()).max(1);
 
-        // Each cell runs under `catch_unwind`; a wall-clock timeout is
-        // retried once (a fresh attempt gets a fresh deadline), while
-        // panics and typed simulator errors are deterministic and fail
-        // immediately. A failed cell is recorded as a `CellError` while
-        // every other cell still produces its (bit-identical) result. The
-        // closure only *reads* session state across the unwind boundary
-        // (the alone-IPC cache takes its lock inside `alone_ipc`, never
-        // across a cell run), so a mid-cell panic cannot poison it.
+        // Streaming observers see resumed cells first, in grid order,
+        // so a subscriber watching a restarted sweep receives the full
+        // grid without consulting the checkpoint itself.
+        if let Some(hook) = &self.on_cell {
+            for key in &indices {
+                if let Some(cell) = cached.get(key) {
+                    hook(cell, true);
+                }
+            }
+        }
+
+        // Draining (pause flag) or cancellation stops *starting* cells;
+        // the cancel token additionally aborts in-flight simulations via
+        // the per-cell child tokens installed by `cell_token`.
+        let should_stop = || {
+            self.pause
+                .as_ref()
+                .is_some_and(|p| p.load(Ordering::Acquire))
+                || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+        };
+
+        // Each cell runs under `catch_unwind`; wall-clock timeouts are
+        // retried under the sweep's `RetryPolicy` (a fresh attempt gets
+        // a fresh deadline, separated by a deterministic seeded jittered
+        // backoff), while panics and typed simulator errors are
+        // deterministic and fail immediately. A failed cell never aborts
+        // the sweep — every other cell still produces its (bit-identical)
+        // result. The closure only *reads* session state across the
+        // unwind boundary (the alone-IPC cache takes its lock inside
+        // `alone_ipc`, never across a cell run), so a mid-cell panic
+        // cannot poison it.
         let attempt_one = |p: usize, w: usize, s: usize| -> Result<EvalResult, CellFailureKind> {
             catch_unwind(AssertUnwindSafe(|| {
                 try_eval_cell(
@@ -744,6 +955,7 @@ impl Sweep<'_> {
                     &self.session.rc,
                     self.weights.as_deref(),
                     self.seeds[s],
+                    self.cancel.as_ref(),
                     |profile| self.session.alone_ipc(profile),
                 )
             }))
@@ -753,17 +965,30 @@ impl Sweep<'_> {
                 other => CellFailureKind::Sim(other),
             })
         };
-        let eval_one = |&(p, w, s): &(usize, usize, usize)| -> Result<SweepCell, Box<CellError>> {
-            let mut attempts = 1;
-            let outcome = attempt_one(p, w, s).or_else(|kind| {
-                if kind.is_retryable() {
-                    attempts = 2;
-                    attempt_one(p, w, s)
-                } else {
-                    Err(kind)
+        type CellOutcome = Option<Result<SweepCell, Box<CellError>>>;
+        let eval_one = |&(p, w, s): &(usize, usize, usize)| -> CellOutcome {
+            if should_stop() {
+                return None; // skipped: resumable from the checkpoint
+            }
+            let cell_seed = workload_seed(&self.workloads[w]) ^ self.seeds[s];
+            let max_attempts = self.retry.max_attempts.max(1);
+            let t_cell = Instant::now();
+            let mut attempts = 0u32;
+            let outcome = loop {
+                attempts += 1;
+                match attempt_one(p, w, s) {
+                    Ok(result) => break Ok(result),
+                    Err(kind) => {
+                        if kind.is_retryable() && attempts < max_attempts && !should_stop() {
+                            std::thread::sleep(self.retry.backoff(cell_seed, attempts));
+                            continue;
+                        }
+                        break Err(kind);
+                    }
                 }
-            });
-            match outcome {
+            };
+            let elapsed = t_cell.elapsed();
+            Some(match outcome {
                 Ok(result) => {
                     let cell = SweepCell {
                         policy: p,
@@ -777,6 +1002,9 @@ impl Sweep<'_> {
                             .expect("checkpoint writer poisoned")
                             .append(&cell)
                             .expect("cannot append to sweep checkpoint file");
+                    }
+                    if let Some(hook) = &self.on_cell {
+                        hook(&cell, false);
                     }
                     Ok(cell)
                 }
@@ -794,7 +1022,7 @@ impl Sweep<'_> {
                         }
                         _ => None,
                     };
-                    Err(Box::new(CellError {
+                    let err = Box::new(CellError {
                         policy: p,
                         workload: w,
                         seed: s,
@@ -802,14 +1030,20 @@ impl Sweep<'_> {
                         workload_name: self.workloads[w].name.clone(),
                         seed_value: self.seeds[s],
                         attempts,
+                        max_attempts,
+                        elapsed,
                         kind,
                         controller,
-                    }))
+                    });
+                    if let Some(hook) = &self.on_failure {
+                        hook(&err);
+                    }
+                    Err(err)
                 }
-            }
+            })
         };
 
-        let outcomes: Vec<Result<SweepCell, Box<CellError>>> = if workers == 1 {
+        let outcomes: Vec<CellOutcome> = if workers == 1 {
             to_run.iter().map(eval_one).collect()
         } else {
             // Contiguous shards, joined in spawn order: the concatenated
@@ -829,17 +1063,19 @@ impl Sweep<'_> {
         // Merge fresh outcomes with resumed cells, restoring grid order.
         let mut fresh: HashMap<(usize, usize, usize), SweepCell> = HashMap::new();
         let mut failures = Vec::new();
+        let mut skipped = 0usize;
         for outcome in outcomes {
             match outcome {
-                Ok(cell) => {
+                Some(Ok(cell)) => {
                     fresh.insert((cell.policy, cell.workload, cell.seed), cell);
                 }
-                Err(err) => {
+                Some(Err(err)) => {
                     // One stable, grep-able line per failed cell so CI
                     // logs surface failures without parsing the report.
                     eprintln!("{}", err.structured_line());
                     failures.push(*err);
                 }
+                None => skipped += 1,
             }
         }
         let executed = fresh.len();
@@ -858,6 +1094,7 @@ impl Sweep<'_> {
             cells: total,
             failed: failures.len(),
             resumed,
+            skipped,
             workers,
             alone_runs,
             sim_cycles: (executed as u64 + alone_runs) * self.session.rc.horizon,
@@ -898,6 +1135,10 @@ pub struct SweepStats {
     pub failed: usize,
     /// Cells restored from a checkpoint instead of being simulated.
     pub resumed: usize,
+    /// Cells neither simulated nor resumed because the sweep was
+    /// draining ([`Sweep::pause_flag`]) or cancelled
+    /// ([`Sweep::cancel_token`]); a checkpointed re-run picks them up.
+    pub skipped: usize,
     /// Worker threads used.
     pub workers: usize,
     /// Alone-run simulations triggered (cache misses during the sweep).
@@ -964,9 +1205,10 @@ impl SweepResult {
         &self.failures
     }
 
-    /// Whether every cell of the grid produced a result.
+    /// Whether every cell of the grid produced a result (nothing failed
+    /// and nothing was skipped by a drain or cancel).
     pub fn is_complete(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && self.cells.len() == self.stats.cells
     }
 
     /// Labels of the policy axis, in sweep order.
@@ -1019,7 +1261,7 @@ impl SweepResult {
         assert!(policy < self.policy_labels.len(), "policy index {policy}");
         assert!(workload < nw, "workload index {workload}");
         assert!(seed < ns, "seed index {seed}");
-        if self.failures.is_empty() {
+        if self.cells.len() == self.policy_labels.len() * nw * ns {
             // Complete grid: cells sit at their dense grid offset.
             return Some(&self.cells[(policy * nw + workload) * ns + seed].result);
         }

@@ -88,6 +88,55 @@ fn interrupted_sweep_resumes_bit_identically() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// `kill -9` lands **mid-republish**: the `.tmp` sibling holds a
+/// half-written rewrite (never renamed into place) and the published
+/// file itself ends in a torn line (the tail of an older, interrupted
+/// append-era write). Resume must ignore both artifacts, restore the
+/// intact prefix, and merge bit-identically — and the next publish must
+/// clobber the stale `.tmp` rather than trip over it.
+#[test]
+fn kill_nine_mid_republish_leaves_a_resumable_checkpoint() {
+    let path = scratch("midpublish");
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&tmp);
+
+    let reference = sweep_with(&Session::new(run_config()), None);
+    assert!(reference.is_complete());
+
+    let first = sweep_with(&Session::new(run_config()), Some(&path));
+    assert!(first.is_complete());
+    let full = std::fs::read_to_string(&path).expect("checkpoint exists");
+    let lines: Vec<&str> = full.lines().collect();
+
+    // The crash scene: two intact cells, a torn third line in the
+    // published file, and a half-written rewrite in the `.tmp` sibling.
+    let torn = &lines[3][..lines[3].len() / 2];
+    std::fs::write(&path, format!("{}\n{torn}", lines[..3].join("\n")))
+        .expect("truncate checkpoint mid-line");
+    std::fs::write(&tmp, &full[..full.len() / 3]).expect("stale tmp");
+
+    let resumed = sweep_with(&Session::new(run_config()), Some(&path));
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.stats().resumed, 2, "torn tail dropped, prefix kept");
+    assert_eq!(
+        resumed.cells(),
+        reference.cells(),
+        "merged result is bit-identical to the uninterrupted run"
+    );
+
+    // The republish overwrote the stale tmp and renamed it away.
+    assert!(!tmp.exists(), "publish must consume (not trip over) the stale .tmp");
+    let republished = std::fs::read_to_string(&path).expect("checkpoint republished");
+    assert_eq!(
+        republished.lines().count(),
+        1 + reference.cells().len(),
+        "checkpoint is whole again after resume"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn checkpoint_from_a_different_grid_is_refused() {
     let path = scratch("mismatch");

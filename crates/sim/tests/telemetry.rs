@@ -145,6 +145,8 @@ fn structured_failure_line_is_stable_and_greppable() {
         workload_name: "mix3".into(),
         seed_value: 7,
         attempts: 2,
+        max_attempts: 2,
+        elapsed: std::time::Duration::from_millis(450),
         kind: CellFailureKind::Timeout(123_456),
         controller: None,
     };
@@ -152,7 +154,7 @@ fn structured_failure_line_is_stable_and_greppable() {
     assert!(
         line.starts_with(
             "cell-failure policy=\"TCM\" workload=\"mix3\" seed=7 kind=timeout \
-             attempts=2 detail=\""
+             attempt=2 max_attempts=2 elapsed_ms=450 detail=\""
         ),
         "unexpected shape: {line}"
     );

@@ -61,7 +61,7 @@ pub use export::{
     chrome_counter, chrome_event, chrome_process_name, event_to_jsonl, events_to_jsonl,
     json_number, parse_event, parse_jsonl,
 };
-pub use metrics::{labeled, Histogram, MetricsRegistry};
+pub use metrics::{labeled, Histogram, MetricsRegistry, MetricsSummary};
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};

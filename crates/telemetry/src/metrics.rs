@@ -226,6 +226,31 @@ impl MetricsRegistry {
             && self.histograms.is_empty()
             && self.series.is_empty()
     }
+
+    /// A compact, wire-friendly digest of the registry: every counter
+    /// verbatim plus every gauge as its IEEE-754 bit pattern, both in
+    /// name order. The shape the `tcm-serve` daemon streams to
+    /// subscribed clients as `TelemetrySummary` events — integers only,
+    /// so the digest survives any JSON round trip bit-identically.
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauge_bits: self
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_bits()))
+                .collect(),
+        }
+    }
+}
+
+/// Wire-friendly registry digest (see [`MetricsRegistry::summary`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSummary {
+    /// `(name, value)` counter pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, f64::to_bits(value))` gauge pairs, sorted by name.
+    pub gauge_bits: Vec<(String, u64)>,
 }
 
 #[cfg(test)]

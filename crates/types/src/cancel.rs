@@ -28,6 +28,29 @@ pub struct CancelToken {
 struct Inner {
     cancelled: AtomicBool,
     deadline: Option<Instant>,
+    /// An optional parent token whose cancellation propagates to this
+    /// one (but never the other way around). The mechanism behind
+    /// sweep-level cancellation: each cell gets a child token carrying
+    /// its own per-cell deadline, while a single parent cancel aborts
+    /// every in-flight cell at once.
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        match &self.parent {
+            Some(parent) => parent.is_cancelled(),
+            None => false,
+        }
+    }
 }
 
 impl CancelToken {
@@ -43,6 +66,20 @@ impl CancelToken {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
                 deadline: Instant::now().checked_add(deadline),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token that fires when *either* this token fires or its
+    /// own `deadline` (measured from this call) elapses. Cancelling the
+    /// child never cancels the parent.
+    pub fn child_with_deadline(&self, deadline: Option<Duration>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: deadline.and_then(|d| Instant::now().checked_add(d)),
+                parent: Some(Arc::clone(&self.inner)),
             }),
         }
     }
@@ -52,15 +89,10 @@ impl CancelToken {
         self.inner.cancelled.store(true, Ordering::Release);
     }
 
-    /// Whether cancellation was requested or the deadline has passed.
+    /// Whether cancellation was requested or the deadline has passed
+    /// (on this token or any ancestor).
     pub fn is_cancelled(&self) -> bool {
-        if self.inner.cancelled.load(Ordering::Acquire) {
-            return true;
-        }
-        match self.inner.deadline {
-            Some(deadline) => Instant::now() >= deadline,
-            None => false,
-        }
+        self.inner.is_cancelled()
     }
 }
 
@@ -98,5 +130,27 @@ mod tests {
         assert!(!t.is_cancelled());
         t.cancel();
         assert!(t.is_cancelled(), "explicit cancel still works");
+    }
+
+    #[test]
+    fn parent_cancellation_propagates_to_children_only() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(None);
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled(), "parent cancel reaches the child");
+
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(Some(Duration::from_secs(3600)));
+        child.cancel();
+        assert!(!parent.is_cancelled(), "child cancel never climbs up");
+    }
+
+    #[test]
+    fn child_deadline_fires_independently() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(Some(Duration::ZERO));
+        assert!(child.is_cancelled(), "zero child deadline fires at once");
+        assert!(!parent.is_cancelled());
     }
 }

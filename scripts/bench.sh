@@ -60,7 +60,7 @@ fi
 build_variant() {
     local impl="$1"; shift
     echo "==> build: $impl"
-    cargo build --release --offline -p tcm-sim --bin tcm-run "$@"
+    cargo build --release --offline -p tcm-serve --bin tcm-run "$@"
     cp target/release/tcm-run "$TMPDIR_BENCH/bin-$impl"
 }
 
@@ -68,7 +68,7 @@ build_variant indexed
 build_variant flat --features tcm-dram/flat-queue
 build_variant nohooks --features tcm-telemetry/off
 # Leave the default build in place for whoever runs next.
-cargo build --release --offline -p tcm-sim --bin tcm-run >/dev/null 2>&1 || true
+cargo build --release --offline -p tcm-serve --bin tcm-run >/dev/null 2>&1 || true
 
 # The six timed variants:
 # - indexed / flat / nohooks: the fixed flat-topology sweep on each

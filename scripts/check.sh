@@ -26,7 +26,7 @@ TCM_VERIFY=1 cargo test -q --release --offline -p tcm-sim -p tcm-dram
 # caught by exactly its mapped detector, and the zero-fault control must
 # finish clean and bit-identical to a run without the chaos layer.
 echo "==> chaos smoke campaign"
-cargo run --release -q -p tcm-sim --bin tcm-run --offline -- --chaos-smoke
+cargo run --release -q -p tcm-serve --bin tcm-run --offline -- --chaos-smoke
 
 # The same campaign on a sharded 2x2 multi-controller machine: all ten
 # fault classes (including the coordination kinds, which only exist
@@ -34,7 +34,7 @@ cargo run --release -q -p tcm-sim --bin tcm-run --offline -- --chaos-smoke
 # topology-aware routing, and a clean control pinning 1-vs-3-host
 # bit-identity under the armed detectors.
 echo "==> chaos smoke campaign (2x2 topology, 3 intra-cell hosts)"
-cargo run --release -q -p tcm-sim --bin tcm-run --offline -- \
+cargo run --release -q -p tcm-serve --bin tcm-run --offline -- \
     --chaos-smoke --topology 2x2 --intra-hosts 3
 
 # Multi-controller smoke: the paper lineup on a 2x2 topology (TCM cells
@@ -43,7 +43,7 @@ cargo run --release -q -p tcm-sim --bin tcm-run --offline -- \
 # sharding is required to be bit-identical to sequential stepping, which
 # tests/golden_fingerprints.rs and tests/determinism.rs pin exactly.
 echo "==> multi-controller topology smoke (2x2, sharded, verified)"
-cargo run --release -q -p tcm-sim --bin tcm-run --offline -- \
+cargo run --release -q -p tcm-serve --bin tcm-run --offline -- \
     --topology 2x2 --threads 8 --cycles 1200000 \
     --intra-hosts 2 --verify >/dev/null
 
@@ -52,12 +52,13 @@ cargo run --release -q -p tcm-sim --bin tcm-run --offline -- \
 # Perfetto-loadable Chrome array, and the tcm-metrics-v1 document.
 echo "==> telemetry trace smoke (jsonl + chrome + metrics schema)"
 TRACE_TMP=$(mktemp -d)
-trap 'rm -rf "$TRACE_TMP"' EXIT
-cargo run --release -q -p tcm-sim --bin tcm-run --offline -- \
+SERVE_TMP=$(mktemp -d)
+trap 'rm -rf "$TRACE_TMP" "$SERVE_TMP"' EXIT
+cargo run --release -q -p tcm-serve --bin tcm-run --offline -- \
     --workload A --cycles 1200000 --policies tcm \
     --trace "$TRACE_TMP/trace.jsonl" \
     --metrics-json "$TRACE_TMP/metrics.json" >/dev/null
-cargo run --release -q -p tcm-sim --bin tcm-run --offline -- \
+cargo run --release -q -p tcm-serve --bin tcm-run --offline -- \
     --workload A --cycles 1200000 --policies tcm \
     --trace "$TRACE_TMP/trace.chrome" --trace-format chrome >/dev/null
 python3 - "$TRACE_TMP" <<'PY'
@@ -111,6 +112,65 @@ print(f"trace smoke ok: {len(kinds)} event kinds, "
       f"{len(entries)} chrome entries, "
       f"{len(cell['counters'])} counters / {len(cell['series'])} series")
 PY
+
+# Service smoke: the daemon's crash-recovery and drain SLOs end to end,
+# with real signals. One daemon is SIGTERM-drained after finishing a
+# grid (must exit 0 and remove its socket); a second running the same
+# grid is SIGKILLed mid-sweep and restarted on the same state directory
+# — the WAL re-admits the job and the merged result file must be
+# byte-identical to the uninterrupted daemon's.
+echo "==> tcm-serve smoke (SIGKILL recovery, SIGTERM drain)"
+SERVE_BIN=target/release/tcm-run
+SOCK="$SERVE_TMP/sock"
+# Sized so the sweep takes a couple of seconds: the kill below must
+# land mid-run, not after a finished job (the engine clears ~150M
+# sim-cycles/sec, so a small grid would finish before the signal).
+GRID=(--policies fr-fcfs,tcm --workloads random:5:4:0.75 --seeds 0,17
+      --cycles 30000000)
+
+wait_for_socket() {
+    for _ in $(seq 200); do
+        [[ -S "$SOCK" ]] && return 0
+        sleep 0.05
+    done
+    echo "daemon socket $SOCK never appeared" >&2
+    return 1
+}
+
+# Reference: an uninterrupted daemon runs the grid, then drains on
+# SIGTERM. `set -e` gates the exit-0 contract on the `wait`.
+"$SERVE_BIN" serve --socket "$SOCK" --state-dir "$SERVE_TMP/ref" --workers 1 &
+SERVE_PID=$!
+wait_for_socket
+"$SERVE_BIN" client --socket "$SOCK" submit "${GRID[@]}" --watch >/dev/null
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+if [[ -e "$SOCK" ]]; then
+    echo "drained daemon left its socket behind" >&2
+    exit 1
+fi
+
+# Crash: the same grid, but the daemon takes a real `kill -9` mid-sweep.
+"$SERVE_BIN" serve --socket "$SOCK" --state-dir "$SERVE_TMP/crash" --workers 1 &
+SERVE_PID=$!
+wait_for_socket
+"$SERVE_BIN" client --socket "$SOCK" submit "${GRID[@]}" >/dev/null
+sleep 0.4 # let the worker get well into the sweep
+kill -KILL "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true # exits 137: that is the point
+rm -f "$SOCK"
+
+# Restart on the same state directory: the WAL re-admits job 1, the
+# checkpoint restores whatever cells survived, and the result must be
+# byte-identical to the uninterrupted run.
+"$SERVE_BIN" serve --socket "$SOCK" --state-dir "$SERVE_TMP/crash" --workers 1 &
+SERVE_PID=$!
+wait_for_socket
+"$SERVE_BIN" client --socket "$SOCK" watch 1 >/dev/null
+cmp "$SERVE_TMP/ref/job-1.result.json" "$SERVE_TMP/crash/job-1.result.json"
+"$SERVE_BIN" client --socket "$SOCK" drain >/dev/null
+wait "$SERVE_PID"
+echo "serve smoke ok: recovery byte-identical, both drains exited 0"
 
 echo "==> bench harness compiles (feature-gated)"
 cargo build --benches -p tcm-bench --features bench-harness --offline

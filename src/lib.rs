@@ -17,7 +17,9 @@ pub use tcm_chaos as chaos;
 pub use tcm_core as core;
 pub use tcm_cpu as cpu;
 pub use tcm_dram as dram;
+pub use tcm_proto as proto;
 pub use tcm_sched as sched;
+pub use tcm_serve as serve;
 pub use tcm_sim as sim;
 pub use tcm_telemetry as telemetry;
 pub use tcm_types as types;
