@@ -116,7 +116,7 @@ pub enum WorkloadRef {
 /// every applicable fault class against its mapped detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SoakSpec {
-    /// Base seed; round `r` uses `seed + r`.
+    /// Base seed; round `r` uses `seed ^ r`.
     pub seed: u64,
     /// Rounds to run.
     pub rounds: u32,

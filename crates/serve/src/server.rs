@@ -102,7 +102,9 @@ struct JobRecord {
 }
 
 /// State guarded by the main mutex. Lock order everywhere:
-/// `inner` → `wal` → `subscribers` (any prefix is fine; never reversed).
+/// `inner` → `wal` → `subscribers` → per-stream mutex (any prefix or
+/// suffix is fine; never reversed). Stream writes under these locks are
+/// bounded by [`WRITE_TIMEOUT`], so a stalled client cannot wedge them.
 struct Inner {
     queue: JobQueue,
     jobs: BTreeMap<u64, JobRecord>,
@@ -290,6 +292,13 @@ impl Server {
 // Connection handling
 // ---------------------------------------------------------------------
 
+/// Upper bound on any single frame write to a client. Event broadcasts
+/// happen while the broadcaster holds `inner`; a subscriber that stops
+/// reading fills its socket buffer, and without this bound the write
+/// would block forever and wedge every thread waiting on `inner`. A
+/// timed-out write errs and the slow subscriber is dropped instead.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
 fn send(writer: &Arc<Mutex<UnixStream>>, resp: &Response) -> io::Result<()> {
     let mut stream = lock(writer);
     write_frame(&mut *stream, &resp.encode())
@@ -297,6 +306,7 @@ fn send(writer: &Arc<Mutex<UnixStream>>, resp: &Response) -> io::Result<()> {
 
 fn handle_conn(shared: &Arc<Shared>, stream: UnixStream) {
     let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -325,9 +335,11 @@ fn handle_conn(shared: &Arc<Shared>, stream: UnixStream) {
 
 /// `Watch` is handled apart from the other requests because it
 /// registers the connection as an event subscriber. Holding `inner`
-/// across the terminal-state check and the registration closes the
-/// race with a job finishing concurrently: workers broadcast the
-/// `JobDone` event while holding `inner` too.
+/// across the terminal-state check, the registration, *and the Status
+/// reply write* closes the race with a job finishing concurrently:
+/// workers broadcast the `JobDone` event while holding `inner` too, so
+/// no event can reach the stream ahead of the Status frame. The write
+/// under the lock is bounded by [`WRITE_TIMEOUT`].
 fn handle_watch(
     shared: &Arc<Shared>,
     writer: &Arc<Mutex<UnixStream>>,
@@ -359,8 +371,9 @@ fn handle_watch(
             .or_default()
             .push(Arc::clone(writer));
     }
+    let status_sent = send(writer, &Response::Status { jobs: vec![info] });
     drop(inner);
-    send(writer, &Response::Status { jobs: vec![info] })?;
+    status_sent?;
     match done {
         Some(event) => send(writer, &Response::Event(event)),
         None => Ok(()),
@@ -515,7 +528,8 @@ fn broadcast_locked(subs: &mut MutexGuard<'_, Subscribers>, job: u64, event: Eve
         return;
     };
     let payload = Response::Event(event).encode();
-    // A dead subscriber (client hung up) is dropped on write failure.
+    // A dead subscriber (client hung up) or a slow one (write timed out
+    // after [`WRITE_TIMEOUT`]) is dropped on write failure.
     streams.retain(|stream| write_frame(&mut *lock(stream), &payload).is_ok());
 }
 
@@ -561,10 +575,23 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn run_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, token: &CancelToken) {
-    let outcome = match &spec.kind {
+    // Cell-level panics are already caught inside the sweep engine; this
+    // outer guard covers everything else (e.g. checkpoint-file creation
+    // failing). An escaped panic would kill the worker thread, leaking
+    // its pool slot and leaving the job `Running` forever with no
+    // terminal event for watchers — conclude it `Failed` instead.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &spec.kind {
         JobKind::Sweep(sweep) => run_sweep_job(shared, id, spec, sweep, token),
         JobKind::ChaosSoak(soak) => run_soak_job(shared, id, soak, token),
-    };
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".into());
+        Some((JobState::Failed, format!("job panicked: {msg}")))
+    });
     match outcome {
         Some((state, detail)) => conclude(shared, id, state, detail),
         // Drained mid-run: the WAL entry stays open so the next

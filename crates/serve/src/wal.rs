@@ -19,8 +19,12 @@
 //! only the cells that were mid-flight re-run (bit-identically).
 //!
 //! Loading tolerates a torn tail (a crash mid-append): replay stops at
-//! the first unparsable line. A mismatched schema is a loud error — a
-//! WAL can never be silently misread as a different format.
+//! the first unparsable (or unterminated) line and the file is
+//! truncated back to the durable prefix before it is reopened for
+//! append — otherwise the next record would concatenate onto the torn
+//! fragment and everything written after recovery would be lost on the
+//! *following* restart. A mismatched schema is a loud error — a WAL can
+//! never be silently misread as a different format.
 
 use std::fs;
 use std::io::{self, Write as _};
@@ -59,7 +63,19 @@ impl Wal {
     pub fn open(path: impl Into<PathBuf>) -> io::Result<(Self, Vec<ReplayedJob>)> {
         let path = path.into();
         let jobs = match fs::read_to_string(&path) {
-            Ok(text) => replay(&text)?,
+            Ok(text) => {
+                let (jobs, durable_len) = replay(&text)?;
+                // Truncate a torn tail before reopening for append:
+                // appending after an unterminated fragment would corrupt
+                // the first post-recovery record, silently losing every
+                // fsynced op after it on the next replay.
+                if durable_len < text.len() as u64 {
+                    let file = fs::OpenOptions::new().write(true).open(&path)?;
+                    file.set_len(durable_len)?;
+                    file.sync_all()?;
+                }
+                jobs
+            }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 let mut file = fs::File::create(&path)?;
                 writeln!(file, "{{\"schema\":\"{WAL_SCHEMA}\"}}")?;
@@ -123,23 +139,36 @@ fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Folds WAL text into per-job histories (see module docs).
-fn replay(text: &str) -> io::Result<Vec<ReplayedJob>> {
-    let mut lines = text.split('\n');
-    let header = lines.next().unwrap_or("");
-    let header = json::parse(header).ok_or_else(|| bad("WAL header unparsable"))?;
+/// Folds WAL text into per-job histories (see module docs), returning
+/// the jobs plus the byte length of the durable prefix: the header and
+/// every fully parsed, newline-terminated op line. Bytes past that
+/// prefix are a torn tail from a crash mid-append (an unterminated line
+/// was never fsync-acknowledged) and must be truncated before the file
+/// is reopened for append.
+fn replay(text: &str) -> io::Result<(Vec<ReplayedJob>, u64)> {
+    let Some(header_end) = text.find('\n').map(|i| i + 1) else {
+        return Err(bad("WAL header unterminated"));
+    };
+    let header =
+        json::parse(&text[..header_end - 1]).ok_or_else(|| bad("WAL header unparsable"))?;
     match header.field("schema").and_then(Value::as_str) {
         Some(WAL_SCHEMA) => {}
         Some(other) => return Err(bad(format!("WAL schema `{other}`, expected `{WAL_SCHEMA}`"))),
         None => return Err(bad("WAL header missing schema")),
     }
     let mut jobs: Vec<ReplayedJob> = Vec::new();
-    for line in lines {
+    let mut durable = header_end as u64;
+    let mut pos = header_end;
+    // A torn tail (crash mid-append) ends replay; everything before it
+    // was fsynced and is authoritative. `durable` only advances past a
+    // line once it has fully parsed *and* carries its newline.
+    while let Some(nl) = text[pos..].find('\n') {
+        let line = &text[pos..pos + nl];
+        pos += nl + 1;
         if line.is_empty() {
+            durable = pos as u64;
             continue;
         }
-        // A torn tail (crash mid-append) ends replay; everything before
-        // it was fsynced and is authoritative.
         let Some(v) = json::parse(line) else { break };
         let Some(op) = v.field("op").and_then(Value::as_str) else {
             break;
@@ -185,8 +214,9 @@ fn replay(text: &str) -> io::Result<Vec<ReplayedJob>> {
             }
             _ => break,
         }
+        durable = pos as u64;
     }
-    Ok(jobs)
+    Ok((jobs, durable))
 }
 
 #[cfg(test)]
@@ -247,11 +277,47 @@ mod tests {
         let mut text = fs::read_to_string(&path).unwrap();
         text.push_str("{\"op\":\"sub"); // torn mid-append
         fs::write(&path, &text).unwrap();
+        {
+            let (mut wal, replayed) = Wal::open(&path).unwrap();
+            assert_eq!(replayed.len(), 1, "torn tail dropped, prefix kept");
+            // Appends after a torn-tail recovery must survive the *next*
+            // restart: the torn fragment is truncated, not appended onto.
+            wal.submit(2, 1, &spec()).unwrap();
+            wal.finish(1, JobState::Done).unwrap();
+        }
         let (_wal, replayed) = Wal::open(&path).unwrap();
-        assert_eq!(replayed.len(), 1, "torn tail dropped, prefix kept");
+        assert_eq!(replayed.len(), 2, "post-recovery appends replay");
+        assert_eq!(replayed[0].terminal, Some(JobState::Done));
+        assert_eq!(replayed[1].terminal, None);
 
         fs::write(&path, "{\"schema\":\"something-else\"}\n").unwrap();
         assert!(Wal::open(&path).is_err());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unterminated_final_line_is_truncated_not_replayed() {
+        let path = temp_wal("unterm");
+        let _ = fs::remove_file(&path);
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.submit(1, 0, &spec()).unwrap();
+        }
+        // A parsable line missing its newline (crash between the record
+        // write and the newline write) was never acknowledged — it must
+        // be dropped, or the next append would corrupt it anyway.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"op\":\"cancel\",\"id\":1}");
+        fs::write(&path, &text).unwrap();
+        {
+            let (mut wal, replayed) = Wal::open(&path).unwrap();
+            assert_eq!(replayed.len(), 1);
+            assert_eq!(replayed[0].terminal, None, "unterminated cancel dropped");
+            wal.start(1).unwrap();
+        }
+        let (_wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert!(replayed[0].started);
         fs::remove_file(&path).unwrap();
     }
 }

@@ -414,14 +414,21 @@ pub enum CellFailureKind {
     /// reached. Unlike the deterministic failures above, a timeout
     /// depends on machine load, so it is the one retryable kind.
     Timeout(Cycle),
+    /// The cell simulated successfully but its result could not be
+    /// appended to the sweep checkpoint (e.g. disk full); carries the
+    /// I/O error text. The result is discarded — a resume would re-run
+    /// the cell — so the cell reports as failed rather than silently
+    /// merging a non-durable result.
+    Checkpoint(String),
 }
 
 impl CellFailureKind {
     /// Whether retrying the identical cell could plausibly succeed.
     ///
     /// Panics and typed simulator errors are deterministic — the retry
-    /// would replay the identical failure — so only wall-clock timeouts
-    /// are retryable.
+    /// would replay the identical failure — and a checkpoint append
+    /// failure means the storage needs operator attention, so only
+    /// wall-clock timeouts are retryable.
     pub fn is_retryable(&self) -> bool {
         matches!(self, CellFailureKind::Timeout(_))
     }
@@ -434,6 +441,9 @@ impl std::fmt::Display for CellFailureKind {
             CellFailureKind::Sim(err) => write!(f, "{err}"),
             CellFailureKind::Timeout(cycle) => {
                 write!(f, "cell deadline expired at simulated cycle {cycle}")
+            }
+            CellFailureKind::Checkpoint(err) => {
+                write!(f, "checkpoint append failed: {err}")
             }
         }
     }
@@ -490,7 +500,8 @@ impl CellError {
     /// cell-failure policy="TCM" workload="mix3" seed=7 kind=timeout attempt=2 max_attempts=2 elapsed_ms=450 detail="..."
     /// ```
     ///
-    /// `kind` is one of `panic`, `sim`, `timeout`; `attempt=` is the
+    /// `kind` is one of `panic`, `sim`, `timeout`, `checkpoint`;
+    /// `attempt=` is the
     /// attempts actually made out of the `max_attempts=` retry budget,
     /// and `elapsed_ms=` the wall-clock the cell burned across them —
     /// together they make timeout-vs-retry behavior observable from logs
@@ -503,6 +514,7 @@ impl CellError {
             CellFailureKind::Panic(_) => "panic",
             CellFailureKind::Sim(_) => "sim",
             CellFailureKind::Timeout(_) => "timeout",
+            CellFailureKind::Checkpoint(_) => "checkpoint",
         };
         let detail = self.kind.to_string().replace('"', "'");
         let mut line = format!(
@@ -987,22 +999,30 @@ impl Sweep<'_> {
                     }
                 }
             };
+            // A checkpoint append failure (disk full, yanked volume)
+            // must not panic: in the daemon that would kill the worker
+            // thread, leaking its slot and leaving the job `Running`
+            // forever with no terminal event. The non-durable result is
+            // discarded and the cell reports as failed instead.
+            let outcome = outcome.and_then(|result| {
+                let cell = SweepCell {
+                    policy: p,
+                    workload: w,
+                    seed: s,
+                    result,
+                };
+                if let Some(writer) = &writer {
+                    writer
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .append(&cell)
+                        .map_err(|e| CellFailureKind::Checkpoint(e.to_string()))?;
+                }
+                Ok(cell)
+            });
             let elapsed = t_cell.elapsed();
             Some(match outcome {
-                Ok(result) => {
-                    let cell = SweepCell {
-                        policy: p,
-                        workload: w,
-                        seed: s,
-                        result,
-                    };
-                    if let Some(writer) = &writer {
-                        writer
-                            .lock()
-                            .expect("checkpoint writer poisoned")
-                            .append(&cell)
-                            .expect("cannot append to sweep checkpoint file");
-                    }
+                Ok(cell) => {
                     if let Some(hook) = &self.on_cell {
                         hook(&cell, false);
                     }
