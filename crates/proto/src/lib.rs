@@ -31,8 +31,8 @@ mod msg;
 
 pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
 pub use msg::{
-    Event, JobKind, JobSpec, JobState, JobStatusInfo, ProtoError, Request, Response, SoakSpec,
-    SweepSpec, WorkloadRef,
+    Event, JobKind, JobProgress, JobSpec, JobState, JobStatusInfo, ProtoError, Request, Response,
+    ServerInfo, SoakSpec, SweepSpec, WorkloadRef,
 };
 
 /// Protocol version spoken by this build. Bumped on any incompatible

@@ -50,6 +50,9 @@ pub enum Request {
     /// Ask the daemon to drain: stop admitting, finish or checkpoint
     /// in-flight cells, flush the WAL, and exit 0.
     Drain,
+    /// Fetch the daemon's metrics in Prometheus text exposition format;
+    /// answered with [`Response::Metrics`].
+    Metrics,
 }
 
 /// What to run and under which SLOs.
@@ -175,6 +178,49 @@ pub struct JobStatusInfo {
     /// Human detail: progress counts, `cell-failure` lines (verbatim
     /// sweep format), quarantine notes.
     pub detail: String,
+    /// Live work-unit progress, when the daemon tracks it. Optional on
+    /// the wire (`tcmp1`-compatible: old peers ignore the field, old
+    /// daemons simply never send it).
+    pub progress: Option<JobProgress>,
+}
+
+/// Work-unit progress for one job: sweep cells, or soak rounds mapped
+/// onto the same shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobProgress {
+    /// Total work units in the job (grid cells, or soak rounds).
+    pub total: u64,
+    /// Units finished successfully this far (including resumed ones).
+    pub done: u64,
+    /// Units that exhausted their retry budget and failed.
+    pub failed: u64,
+    /// Units restored from checkpoint rather than recomputed.
+    pub resumed: u64,
+}
+
+/// Daemon self-description attached to `Status` responses. Optional on
+/// the wire: pre-observability daemons never send it and old clients
+/// ignore it, so the extension stays within `tcmp1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Daemon build version (crate version string).
+    pub version: String,
+    /// Daemon process id.
+    pub pid: u64,
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// The Unix socket path the daemon is serving on.
+    pub socket: String,
+    /// Configured job-queue capacity.
+    pub queue_capacity: u64,
+    /// Jobs currently queued (not yet running).
+    pub queue_depth: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Workers currently executing a job.
+    pub workers_busy: u64,
+    /// Whether the daemon is draining (no new admissions).
+    pub draining: bool,
 }
 
 /// A streamed event on a `Watch` subscription.
@@ -257,6 +303,9 @@ pub enum Response {
     Status {
         /// One entry per known job, id-ordered.
         jobs: Vec<JobStatusInfo>,
+        /// Daemon self-description (absent from pre-observability
+        /// daemons; old clients ignore it).
+        server: Option<ServerInfo>,
     },
     /// Cancellation outcome.
     Cancelled {
@@ -271,6 +320,11 @@ pub enum Response {
     Error {
         /// What went wrong.
         message: String,
+    },
+    /// The daemon's metrics in Prometheus text exposition format.
+    Metrics {
+        /// The full exposition text (`# TYPE` lines + samples).
+        text: String,
     },
     /// A streamed `Watch` event.
     Event(Event),
@@ -500,6 +554,7 @@ impl Request {
                 push_u64_field(&mut out, "id", *id);
             }
             Request::Drain => push_head(&mut out, "drain"),
+            Request::Metrics => push_head(&mut out, "metrics"),
         }
         out.push('}');
         out
@@ -527,6 +582,7 @@ impl Request {
                 id: need_u64(&v, "id")?,
             },
             "drain" => Request::Drain,
+            "metrics" => Request::Metrics,
             other => return Err(err(format!("unknown request type `{other}`"))),
         })
     }
@@ -545,7 +601,7 @@ impl Response {
                 push_head(&mut out, "queue_full");
                 push_u64_field(&mut out, "capacity", *capacity);
             }
-            Response::Status { jobs } => {
+            Response::Status { jobs, server } => {
                 push_head(&mut out, "status");
                 out.push_str(",\"jobs\":[");
                 for (i, j) in jobs.iter().enumerate() {
@@ -560,9 +616,34 @@ impl Response {
                         j.state.as_str()
                     );
                     json::write_str(&mut out, &j.detail);
+                    if let Some(p) = &j.progress {
+                        let _ = write!(
+                            out,
+                            ",\"progress\":{{\"total\":{},\"done\":{},\
+                             \"failed\":{},\"resumed\":{}}}",
+                            p.total, p.done, p.failed, p.resumed
+                        );
+                    }
                     out.push('}');
                 }
                 out.push(']');
+                if let Some(s) = server {
+                    out.push_str(",\"server\":{\"version\":");
+                    json::write_str(&mut out, &s.version);
+                    let _ = write!(out, ",\"pid\":{},\"uptime_ms\":{}", s.pid, s.uptime_ms);
+                    out.push_str(",\"socket\":");
+                    json::write_str(&mut out, &s.socket);
+                    let _ = write!(
+                        out,
+                        ",\"queue_capacity\":{},\"queue_depth\":{},\"workers\":{},\
+                         \"workers_busy\":{},\"draining\":{}}}",
+                        s.queue_capacity,
+                        s.queue_depth,
+                        s.workers,
+                        s.workers_busy,
+                        u64::from(s.draining)
+                    );
+                }
             }
             Response::Cancelled { id, found } => {
                 push_head(&mut out, "cancelled");
@@ -573,6 +654,10 @@ impl Response {
             Response::Error { message } => {
                 push_head(&mut out, "error");
                 push_str_field(&mut out, "message", message);
+            }
+            Response::Metrics { text } => {
+                push_head(&mut out, "metrics");
+                push_str_field(&mut out, "text", text);
             }
             Response::Event(event) => match event {
                 Event::CellResult {
@@ -656,15 +741,39 @@ impl Response {
                     .ok_or_else(|| err("status missing jobs"))?
                     .iter()
                     .map(|j| {
+                        let progress = match j.field("progress") {
+                            Some(p) => Some(JobProgress {
+                                total: need_u64(p, "total")?,
+                                done: need_u64(p, "done")?,
+                                failed: need_u64(p, "failed")?,
+                                resumed: need_u64(p, "resumed")?,
+                            }),
+                            None => None,
+                        };
                         Ok(JobStatusInfo {
                             id: need_u64(j, "id")?,
                             priority: u8::try_from(need_u64(j, "priority")?)
                                 .map_err(|_| err("priority out of range"))?,
                             state: JobState::from_str(need_str(j, "state")?)?,
                             detail: need_str(j, "detail")?.to_string(),
+                            progress,
                         })
                     })
                     .collect::<Result<Vec<_>, ProtoError>>()?,
+                server: match v.field("server") {
+                    Some(s) => Some(ServerInfo {
+                        version: need_str(s, "version")?.to_string(),
+                        pid: need_u64(s, "pid")?,
+                        uptime_ms: need_u64(s, "uptime_ms")?,
+                        socket: need_str(s, "socket")?.to_string(),
+                        queue_capacity: need_u64(s, "queue_capacity")?,
+                        queue_depth: need_u64(s, "queue_depth")?,
+                        workers: need_u64(s, "workers")?,
+                        workers_busy: need_u64(s, "workers_busy")?,
+                        draining: need_u64(s, "draining")? != 0,
+                    }),
+                    None => None,
+                },
             },
             "cancelled" => Response::Cancelled {
                 id: need_u64(&v, "id")?,
@@ -673,6 +782,9 @@ impl Response {
             "draining" => Response::Draining,
             "error" => Response::Error {
                 message: need_str(&v, "message")?.to_string(),
+            },
+            "metrics" => Response::Metrics {
+                text: need_str(&v, "text")?.to_string(),
             },
             "cell_result" => Response::Event(Event::CellResult {
                 job: need_u64(&v, "job")?,
@@ -804,6 +916,7 @@ mod tests {
             Request::CancelJob { id: 3 },
             Request::Watch { id: 3 },
             Request::Drain,
+            Request::Metrics,
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode()).unwrap();
@@ -818,17 +931,47 @@ mod tests {
             Response::Submitted { id: 12 },
             Response::QueueFull { capacity: 64 },
             Response::Status {
-                jobs: vec![JobStatusInfo {
-                    id: 1,
-                    priority: 2,
-                    state: JobState::Running,
-                    detail: "3/10 cells, 1 failure:\ncell-failure policy=\"TCM\" …".into(),
-                }],
+                jobs: vec![
+                    JobStatusInfo {
+                        id: 1,
+                        priority: 2,
+                        state: JobState::Running,
+                        detail: "3/10 cells, 1 failure:\ncell-failure policy=\"TCM\" …".into(),
+                        progress: Some(JobProgress {
+                            total: 10,
+                            done: 3,
+                            failed: 1,
+                            resumed: 2,
+                        }),
+                    },
+                    JobStatusInfo {
+                        id: 2,
+                        priority: 0,
+                        state: JobState::Queued,
+                        detail: "queued".into(),
+                        progress: None,
+                    },
+                ],
+                server: Some(ServerInfo {
+                    version: "0.1.0".into(),
+                    pid: 4242,
+                    uptime_ms: 123_456,
+                    socket: "/tmp/tcm \"serve\".sock".into(),
+                    queue_capacity: 64,
+                    queue_depth: 1,
+                    workers: 4,
+                    workers_busy: 2,
+                    draining: false,
+                }),
             },
+            Response::Status { jobs: vec![], server: None },
             Response::Cancelled { id: 4, found: true },
             Response::Draining,
             Response::Error {
                 message: "unknown policy `foo`".into(),
+            },
+            Response::Metrics {
+                text: "# TYPE tcm_serve_queue_depth gauge\ntcm_serve_queue_depth 3\n".into(),
             },
             Response::Event(Event::CellResult {
                 job: 1,
@@ -883,6 +1026,22 @@ mod tests {
         match Response::decode(&encoded).unwrap() {
             Response::Event(Event::CellResult { ws_bits, .. }) => {
                 assert!(f64::from_bits(ws_bits).is_nan());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn optional_status_fields_stay_within_tcmp1() {
+        // A pre-observability daemon's Status carries neither progress
+        // nor a server block; it must still decode.
+        let old = "{\"v\":1,\"type\":\"status\",\"jobs\":[{\"id\":1,\"priority\":0,\
+                   \"state\":\"queued\",\"detail\":\"queued\"}]}";
+        match Response::decode(old).unwrap() {
+            Response::Status { jobs, server } => {
+                assert_eq!(jobs.len(), 1);
+                assert_eq!(jobs[0].progress, None);
+                assert_eq!(server, None);
             }
             other => panic!("wrong decode: {other:?}"),
         }

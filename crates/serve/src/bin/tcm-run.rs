@@ -6,7 +6,9 @@
 //! ```text
 //! tcm-run serve  [--socket PATH] [--state-dir DIR] [--workers N]
 //!                [--queue-capacity N] [--drain-deadline SECS]
-//! tcm-run client [--socket PATH] submit|soak|status|watch|cancel|drain ...
+//!                [--log-level L] [--log-json] [--metrics-file FILE]
+//! tcm-run client [--socket PATH] submit|soak|status|watch|cancel|drain|metrics ...
+//! tcm-run top    [--socket PATH] [--interval SECS] [--once]
 //! ```
 //!
 //! `serve` starts the long-running daemon (see `tcm_serve::server`): a
@@ -17,8 +19,14 @@
 //! drain deadline). `client` speaks `tcm-proto` frames to it: `submit`
 //! enqueues a sweep grid (`--watch` streams per-cell results live),
 //! `soak` enqueues a continuous chaos-soak job, `status`/`watch`/
-//! `cancel`/`drain` do what they say. Without a subcommand, `tcm-run`
-//! is the classic one-shot front end:
+//! `cancel`/`drain` do what they say, `metrics` scrapes the daemon's
+//! Prometheus-format exposition over the socket. `top` is a live
+//! dashboard over the same three requests — Status (job table +
+//! `ServerInfo`), Metrics (queue/worker/WAL gauges, throughput
+//! counters) and Watch (streamed events from the newest active job) —
+//! redrawn in place with plain ANSI codes; `--once` prints a single
+//! snapshot and exits. Without a subcommand, `tcm-run` is the classic
+//! one-shot front end:
 //!
 //! ```text
 //! tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]
@@ -97,11 +105,15 @@
 //! cargo run --release -p tcm-serve --bin tcm-run -- serve --socket /tmp/tcm.sock
 //! ```
 
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
-use std::path::PathBuf;
-use std::time::Duration;
-use tcm_proto::{Event, JobKind, JobSpec, JobState, SoakSpec, SweepSpec, WorkloadRef};
-use tcm_serve::{Client, Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tcm_proto::{
+    Event, JobKind, JobSpec, JobState, JobStatusInfo, ServerInfo, SoakSpec, SweepSpec, WorkloadRef,
+};
+use tcm_serve::{Client, Level, Server, ServerConfig};
 use tcm_chaos::{Detector, FaultKind, FaultPlan, FaultSpec};
 use tcm_core::TcmParams;
 use tcm_sched::{AtlasParams, ParBsParams, StfmParams};
@@ -773,17 +785,24 @@ fn serve_usage() -> ! {
     eprintln!(
         "usage: tcm-run serve [--socket PATH] [--state-dir DIR] [--workers N]\n\
          \x20                    [--queue-capacity N] [--drain-deadline SECS]\n\
+         \x20                    [--log-level debug|info|warn|error] [--log-json]\n\
+         \x20                    [--metrics-file FILE]\n\
          Starts the sweep daemon on a Unix-domain socket. State (WAL, per-job\n\
          checkpoints, result files) lives in --state-dir; a restarted daemon\n\
          re-admits unfinished jobs from the WAL and finishes them bit-identically.\n\
          SIGTERM/SIGINT drain gracefully: admission stops, in-flight cells finish\n\
-         or checkpoint, and the process exits 0 within --drain-deadline."
+         or checkpoint, and the process exits 0 within --drain-deadline.\n\
+         Logs are structured key=value lines on stderr (--log-json switches to one\n\
+         JSON object per line); --metrics-file atomically republishes the\n\
+         Prometheus text exposition about once a second for file-based scrapes."
     );
     std::process::exit(2)
 }
 
 fn serve_main(args: &[String]) -> i32 {
     let mut config = ServerConfig::default();
+    let mut log_level = Level::Info;
+    let mut log_json = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -814,6 +833,14 @@ fn serve_main(args: &[String]) -> i32 {
                 }
                 config.drain_deadline = Duration::from_secs_f64(secs);
             }
+            "--log-level" => {
+                log_level = Level::parse(&value("--log-level")).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    serve_usage()
+                })
+            }
+            "--log-json" => log_json = true,
+            "--metrics-file" => config.metrics_file = Some(PathBuf::from(value("--metrics-file"))),
             "--help" | "-h" => serve_usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -821,6 +848,7 @@ fn serve_main(args: &[String]) -> i32 {
             }
         }
     }
+    tcm_serve::log::init(log_level, log_json);
     tcm_serve::signal::install_drain_handler();
     match Server::new(config).and_then(Server::run) {
         Ok(code) => code,
@@ -843,9 +871,12 @@ fn client_usage() -> ! {
          \x20 watch  ID\n\
          \x20 cancel ID\n\
          \x20 drain\n\
+         \x20 metrics\n\
          submit enqueues a policy × workload × seed sweep grid; soak enqueues a\n\
          continuous fault-injection job (every class must be detected each round).\n\
-         --watch streams per-cell results live and exits with the job's outcome."
+         --watch streams per-cell results live and exits with the job's outcome.\n\
+         status prints the daemon's self-description plus per-job progress;\n\
+         metrics prints the daemon's Prometheus-format text exposition."
     );
     std::process::exit(2)
 }
@@ -1066,14 +1097,41 @@ fn client_main(args: &[String]) -> i32 {
         }
         "status" => {
             let id = args.first().map(|s| s.parse().unwrap_or_else(|_| client_usage()));
-            match client.status(id) {
-                Ok(jobs) => {
-                    for job in jobs {
+            match client.status_full(id) {
+                Ok((jobs, server)) => {
+                    if let Some(info) = server {
                         println!(
-                            "job {:>4}  prio {}  {:<9}  {}",
+                            "daemon v{} pid {}  up {}  socket {}  queue {}/{}  \
+                             workers {}/{} busy{}",
+                            info.version,
+                            info.pid,
+                            format_uptime(info.uptime_ms),
+                            info.socket,
+                            info.queue_depth,
+                            info.queue_capacity,
+                            info.workers_busy,
+                            info.workers,
+                            if info.draining { "  DRAINING" } else { "" },
+                        );
+                    }
+                    for job in jobs {
+                        let progress = job
+                            .progress
+                            .map(|p| {
+                                format!(
+                                    "  [{}] {}/{}",
+                                    progress_bar(&p, 20),
+                                    p.done + p.failed,
+                                    p.total
+                                )
+                            })
+                            .unwrap_or_default();
+                        println!(
+                            "job {:>4}  prio {}  {:<9}{}  {}",
                             job.id,
                             job.priority,
                             job.state.as_str(),
+                            progress,
                             job.detail
                         );
                     }
@@ -1085,6 +1143,16 @@ fn client_main(args: &[String]) -> i32 {
                 }
             }
         }
+        "metrics" => match client.metrics() {
+            Ok(text) => {
+                print!("{text}");
+                0
+            }
+            Err(e) => {
+                eprintln!("metrics failed: {e}");
+                1
+            }
+        },
         "watch" => match args.first().and_then(|s| s.parse().ok()) {
             Some(id) => watch_job(&mut client, id),
             None => client_usage(),
@@ -1122,6 +1190,381 @@ fn client_main(args: &[String]) -> i32 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// `tcm-run top` — live daemon dashboard. No dependencies: plain ANSI
+// escape codes, Unicode block glyphs, and the daemon's own Status /
+// Metrics / Watch requests as the only data sources.
+// ---------------------------------------------------------------------------
+
+/// Event lines kept in the dashboard's scrollback pane.
+const TOP_EVENT_LINES: usize = 8;
+/// Sparkline width: throughput samples retained.
+const TOP_SPARK_WIDTH: usize = 40;
+
+fn top_usage() -> ! {
+    eprintln!(
+        "usage: tcm-run top [--socket PATH] [--interval SECS] [--once]\n\
+         Live dashboard for a running tcm-serve daemon: queue/worker/WAL panes\n\
+         from the Metrics scrape, per-job progress bars from Status, a rolling\n\
+         cells/sec sparkline, and streamed events from the newest active job via\n\
+         Watch. Redraws in place every --interval seconds (default 1).\n\
+         --once prints a single snapshot without ANSI control codes and exits."
+    );
+    std::process::exit(2)
+}
+
+/// `142s` → `2m22s`-style compact uptime.
+fn format_uptime(ms: u64) -> String {
+    let secs = ms / 1000;
+    if secs < 60 {
+        format!("{secs}s")
+    } else if secs < 3600 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{}h{:02}m", secs / 3600, (secs % 3600) / 60)
+    }
+}
+
+/// Renders a job's progress as `width` glyphs: `█` done, `▒` failed,
+/// `░` still to run. An empty-total job renders all-empty.
+fn progress_bar(p: &tcm_proto::JobProgress, width: usize) -> String {
+    let total = p.total.max(1);
+    let done_w = (p.done.min(total) as usize * width) / total as usize;
+    let fail_w = (p.failed.min(total) as usize * width) / total as usize;
+    let fail_w = fail_w.min(width - done_w);
+    let mut bar = String::with_capacity(width * 3);
+    for _ in 0..done_w {
+        bar.push('█');
+    }
+    for _ in 0..fail_w {
+        bar.push('▒');
+    }
+    for _ in done_w + fail_w..width {
+        bar.push('░');
+    }
+    bar
+}
+
+/// One-row sparkline over `history` scaled to its own maximum.
+fn sparkline(history: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = history.iter().copied().fold(0.0f64, f64::max);
+    history
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                BARS[(((v / max) * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Parses Prometheus text exposition into `name{labels} → value`,
+/// skipping comments; enough for the dashboard's own daemon scrape.
+fn parse_exposition(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, value)) = line.rsplit_once(' ') {
+            if let Ok(v) = value.parse::<f64>() {
+                out.insert(name.to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+/// Formats one streamed Watch event as a scrollback line.
+fn event_line(id: u64, event: &Event) -> String {
+    match event {
+        Event::CellResult {
+            policy,
+            workload,
+            seed,
+            ws_bits,
+            resumed,
+            ..
+        } => format!(
+            "job {id}: cell {policy} × {workload} seed={seed} WS={:.2}{}",
+            f64::from_bits(*ws_bits),
+            if *resumed { " (resumed)" } else { "" },
+        ),
+        Event::CellFailure { line, .. } => format!("job {id}: {line}"),
+        Event::Telemetry { counters, gauge_bits, .. } => format!(
+            "job {id}: telemetry {} counter(s), {} gauge(s)",
+            counters.len(),
+            gauge_bits.len()
+        ),
+        Event::SoakRound {
+            round,
+            detected,
+            classes,
+            ..
+        } => format!("job {id}: soak round {round}: {detected}/{classes} detected"),
+        Event::JobDone { state, .. } => format!("job {id}: {}", state.as_str()),
+    }
+}
+
+/// Keeps one watcher thread subscribed to the newest non-terminal job,
+/// feeding its event stream into the shared scrollback. When the
+/// watched job finishes (or the stream drops), the slot clears and the
+/// next tick re-subscribes to whatever is active then.
+fn maybe_spawn_watcher(
+    socket: &Path,
+    jobs: &[JobStatusInfo],
+    events: &Arc<Mutex<VecDeque<String>>>,
+    watching: &Arc<Mutex<Option<u64>>>,
+) {
+    let candidate = jobs
+        .iter()
+        .filter(|j| matches!(j.state, JobState::Queued | JobState::Running))
+        .map(|j| j.id)
+        .max();
+    let Some(id) = candidate else { return };
+    {
+        let mut slot = watching.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slot.is_some() {
+            return;
+        }
+        *slot = Some(id);
+    }
+    let socket = socket.to_path_buf();
+    let events = Arc::clone(events);
+    let watching = Arc::clone(watching);
+    std::thread::spawn(move || {
+        let push = |line: String| {
+            let mut q = events.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            q.push_back(line);
+            while q.len() > TOP_EVENT_LINES {
+                q.pop_front();
+            }
+        };
+        if let Ok(mut client) = Client::connect(&socket) {
+            if let Ok((state, _)) = client.watch(id, |event| push(event_line(id, event))) {
+                push(format!("job {id}: {}", state.as_str()));
+            }
+        }
+        *watching.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    });
+}
+
+/// Assembles one dashboard frame from a Status reply, a Metrics scrape
+/// and the Watch scrollback. Pure string building — the caller decides
+/// whether to wrap it in cursor-home/clear codes.
+fn render_top(
+    socket: &Path,
+    jobs: &[JobStatusInfo],
+    server: Option<&ServerInfo>,
+    metrics: &BTreeMap<String, f64>,
+    history: &[f64],
+    events: &[String],
+) -> String {
+    let g = |k: &str| metrics.get(k).copied().unwrap_or(0.0);
+    let by_state = |state: &str| {
+        g(&format!("tcm_serve_jobs_completed_total{{state=\"{state}\"}}"))
+    };
+    let mut s = String::new();
+    let _ = writeln!(s, "tcm-serve top — socket {}", socket.display());
+    if let Some(info) = server {
+        let _ = writeln!(
+            s,
+            "server   v{} pid {}  up {}{}",
+            info.version,
+            info.pid,
+            format_uptime(info.uptime_ms),
+            if info.draining { "  DRAINING" } else { "" },
+        );
+        let _ = writeln!(
+            s,
+            "queue    depth {}/{}  high-water {}  workers {}/{} busy  watchers {}",
+            info.queue_depth,
+            info.queue_capacity,
+            g("tcm_serve_queue_high_water"),
+            info.workers_busy,
+            info.workers,
+            g("tcm_serve_watch_subscribers"),
+        );
+    } else {
+        let _ = writeln!(
+            s,
+            "queue    depth {}/{}  high-water {}  workers {}/{} busy  watchers {}",
+            g("tcm_serve_queue_depth"),
+            g("tcm_serve_queue_capacity"),
+            g("tcm_serve_queue_high_water"),
+            g("tcm_serve_workers_busy"),
+            g("tcm_serve_workers"),
+            g("tcm_serve_watch_subscribers"),
+        );
+    }
+    let _ = writeln!(
+        s,
+        "wal      appended {} record(s) / {} B  replayed {} job(s)  truncated {} B",
+        g("tcm_serve_wal_appended_records_total"),
+        g("tcm_serve_wal_appended_bytes_total"),
+        g("tcm_serve_wal_replayed_jobs_total"),
+        g("tcm_serve_wal_truncated_bytes_total"),
+    );
+    let _ = writeln!(
+        s,
+        "jobs     submitted {}  done {}  failed {}  cancelled {}  retries {}  dropped-ev {}",
+        g("tcm_serve_jobs_submitted_total"),
+        by_state("done"),
+        by_state("failed"),
+        by_state("cancelled"),
+        g("tcm_serve_cell_retries_total"),
+        g("tcm_trace_events_dropped_total"),
+    );
+    let rate = history.last().copied().unwrap_or(0.0);
+    let _ = writeln!(
+        s,
+        "cells    done {}  resumed {}  failures {}  {:>7.1} cells/s  {}",
+        g("tcm_serve_cells_completed_total"),
+        g("tcm_serve_cells_resumed_total"),
+        g("tcm_serve_cell_failures_total"),
+        rate,
+        sparkline(history),
+    );
+    s.push('\n');
+    if jobs.is_empty() {
+        s.push_str("(no jobs)\n");
+    }
+    for job in jobs {
+        let progress = job
+            .progress
+            .map(|p| {
+                format!(
+                    "  [{}] {:>4}/{:<4}",
+                    progress_bar(&p, 20),
+                    p.done + p.failed,
+                    p.total
+                )
+            })
+            .unwrap_or_default();
+        let _ = writeln!(
+            s,
+            "job {:>4}  prio {}  {:<9}{}  {}",
+            job.id,
+            job.priority,
+            job.state.as_str(),
+            progress,
+            job.detail
+        );
+    }
+    if !events.is_empty() {
+        s.push('\n');
+        for line in events {
+            let _ = writeln!(s, "  {line}");
+        }
+    }
+    s
+}
+
+fn top_main(args: &[String]) -> i32 {
+    let mut socket = PathBuf::from("tcm-serve.sock");
+    let mut interval = Duration::from_secs(1);
+    let mut once = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    top_usage()
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--socket" => socket = PathBuf::from(value("--socket")),
+            "--interval" => {
+                let secs: f64 = value("--interval").parse().unwrap_or_else(|_| top_usage());
+                if !secs.is_finite() || secs <= 0.0 {
+                    top_usage()
+                }
+                interval = Duration::from_secs_f64(secs);
+            }
+            "--once" => once = true,
+            "--help" | "-h" => top_usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                top_usage()
+            }
+        }
+    }
+    let mut client = match Client::connect(&socket) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("cannot connect to {}: {e}", socket.display());
+            return 1;
+        }
+    };
+    let events: Arc<Mutex<VecDeque<String>>> = Arc::new(Mutex::new(VecDeque::new()));
+    let watching: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
+    let mut history: VecDeque<f64> = VecDeque::new();
+    let mut last: Option<(Instant, f64)> = None;
+    loop {
+        let (jobs, server) = match client.status_full(None) {
+            Ok(reply) => reply,
+            Err(e) => {
+                eprintln!("status failed: {e}");
+                return 1;
+            }
+        };
+        let text = match client.metrics() {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("metrics failed: {e}");
+                return 1;
+            }
+        };
+        let metrics = parse_exposition(&text);
+        let cells = metrics
+            .get("tcm_serve_cells_completed_total")
+            .copied()
+            .unwrap_or(0.0);
+        let now = Instant::now();
+        if let Some((t0, c0)) = last {
+            let dt = now.duration_since(t0).as_secs_f64();
+            if dt > 0.0 {
+                history.push_back(((cells - c0) / dt).max(0.0));
+                while history.len() > TOP_SPARK_WIDTH {
+                    history.pop_front();
+                }
+            }
+        }
+        last = Some((now, cells));
+        if !once {
+            maybe_spawn_watcher(&socket, &jobs, &events, &watching);
+        }
+        let event_lines: Vec<String> = events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect();
+        let frame = render_top(
+            &socket,
+            &jobs,
+            server.as_ref(),
+            &metrics,
+            history.make_contiguous(),
+            &event_lines,
+        );
+        if once {
+            print!("{frame}");
+            return 0;
+        }
+        // Home + clear-to-end redraws in place without flicker.
+        print!("\x1b[H\x1b[J{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(interval);
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: tcm-run [--threads N] [--intensity F] [--seed S] [--cycles C]\n\
@@ -1151,7 +1594,8 @@ fn usage() -> ! {
          \x20       a Chrome-trace array loadable at https://ui.perfetto.dev)\n\
          --metrics-json writes every cell's final metrics registry to FILE\n\
          subcommands: `tcm-run serve` starts the sweep daemon, `tcm-run client`\n\
-         \x20       talks to it (see `tcm-run serve --help` / `tcm-run client --help`)"
+         \x20       talks to it, `tcm-run top` is a live daemon dashboard (see\n\
+         \x20       `tcm-run serve --help` / `client --help` / `top --help`)"
     );
     std::process::exit(2)
 }
@@ -1162,6 +1606,7 @@ fn main() {
         match args.first().map(String::as_str) {
             Some("serve") => std::process::exit(serve_main(&args[1..])),
             Some("client") => std::process::exit(client_main(&args[1..])),
+            Some("top") => std::process::exit(top_main(&args[1..])),
             _ => {}
         }
     }
@@ -1377,6 +1822,22 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("metrics -> {path}");
+    }
+    // A full trace ring silently truncates the event log; that must not
+    // pass as a clean run. (The daemon surfaces the same signal as the
+    // `tcm_trace_events_dropped_total` metric.)
+    let dropped: u64 = result
+        .cells()
+        .iter()
+        .filter_map(|c| c.result.telemetry.as_ref())
+        .map(|s| s.dropped)
+        .sum();
+    if dropped > 0 {
+        eprintln!(
+            "WARNING: telemetry ring buffer overflowed — {dropped} event(s) dropped; \
+             the trace is INCOMPLETE (metrics and results are unaffected). \
+             Raise the telemetry capacity or shorten the run to capture everything."
+        );
     }
     if result.stats().resumed > 0 {
         eprintln!(

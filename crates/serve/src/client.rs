@@ -7,7 +7,7 @@
 use std::io::{self, BufReader};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
-use tcm_proto::{read_frame, write_frame, Event, JobSpec, JobState, Request, Response};
+use tcm_proto::{read_frame, write_frame, Event, JobSpec, JobState, Request, Response, ServerInfo};
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -59,8 +59,27 @@ impl Client {
 
     /// Fetches status for one job (`Some(id)`) or all jobs (`None`).
     pub fn status(&mut self, id: Option<u64>) -> io::Result<Vec<tcm_proto::JobStatusInfo>> {
+        self.status_full(id).map(|(jobs, _)| jobs)
+    }
+
+    /// Fetches job status plus the daemon's [`ServerInfo`] block (which
+    /// is `None` when talking to a pre-observability daemon).
+    pub fn status_full(
+        &mut self,
+        id: Option<u64>,
+    ) -> io::Result<(Vec<tcm_proto::JobStatusInfo>, Option<ServerInfo>)> {
         match self.request(&Request::JobStatus { id })? {
-            Response::Status { jobs } => Ok(jobs),
+            Response::Status { jobs, server } => Ok((jobs, server)),
+            Response::Error { message } => Err(bad(message)),
+            other => Err(bad(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Fetches the daemon's metrics in Prometheus text exposition
+    /// format.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
             Response::Error { message } => Err(bad(message)),
             other => Err(bad(format!("unexpected reply: {other:?}"))),
         }

@@ -26,12 +26,16 @@
 
 pub mod client;
 pub mod job;
+pub mod log;
+pub mod metrics;
 pub mod queue;
 pub mod server;
 pub mod signal;
 pub mod wal;
 
 pub use client::Client;
+pub use log::Level;
+pub use metrics::DaemonMetrics;
 pub use queue::{JobQueue, QueueFull};
 pub use server::{Server, ServerConfig};
-pub use wal::{ReplayedJob, Wal};
+pub use wal::{ReplayedJob, Wal, WalStats};

@@ -52,8 +52,8 @@ use std::time::{Duration, Instant};
 use tcm_chaos::{Detector, FaultKind, FaultPlan, FaultSpec};
 use tcm_core::TcmParams;
 use tcm_proto::{
-    read_frame, write_frame, Event, JobKind, JobSpec, JobState, JobStatusInfo, Request, Response,
-    SoakSpec, SweepSpec,
+    read_frame, write_frame, Event, JobKind, JobProgress, JobSpec, JobState, JobStatusInfo,
+    Request, Response, ServerInfo, SoakSpec, SweepSpec,
 };
 use tcm_sim::{PolicyKind, RetryPolicy, RunConfig, Session, SweepResult, System};
 use tcm_telemetry::TelemetryConfig;
@@ -61,6 +61,8 @@ use tcm_types::{CancelToken, SimError, SystemConfig};
 use tcm_workload::random_workload;
 
 use crate::job::{render_result, resolve_sweep, write_durable, ResolvedSweep};
+use crate::log::{slog, Level};
+use crate::metrics::{DaemonMetrics, LiveGauges};
 use crate::queue::JobQueue;
 use crate::signal;
 use crate::wal::Wal;
@@ -79,6 +81,9 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// How long a drain may take before in-flight cells are aborted.
     pub drain_deadline: Duration,
+    /// When set, the Prometheus exposition is atomically republished to
+    /// this path about once per second (socketless scraping).
+    pub metrics_file: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +94,7 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 64,
             drain_deadline: Duration::from_secs(10),
+            metrics_file: None,
         }
     }
 }
@@ -99,6 +105,9 @@ struct JobRecord {
     spec: JobSpec,
     state: JobState,
     detail: String,
+    /// Live work-unit counts, populated once a worker starts the job
+    /// (sweep cells, or soak rounds mapped onto the same shape).
+    progress: Option<JobProgress>,
 }
 
 /// State guarded by the main mutex. Lock order everywhere:
@@ -124,6 +133,13 @@ struct Shared {
     next_id: AtomicU64,
     next_seq: AtomicU64,
     state_dir: PathBuf,
+    /// Metric accumulator — a leaf lock, composable anywhere in the
+    /// order above.
+    metrics: DaemonMetrics,
+    /// The socket path and pool size, frozen at startup for
+    /// [`ServerInfo`] reporting.
+    socket: PathBuf,
+    workers_total: usize,
 }
 
 /// Recovers a poisoned lock: all guarded state here is kept consistent
@@ -180,11 +196,16 @@ impl Server {
                     spec: job.spec.clone(),
                     state,
                     detail,
+                    progress: None,
                 },
             );
         }
+        let metrics = DaemonMetrics::new();
+        metrics.raise_queue_high_water(queue.len() as u64);
         if unfinished > 0 {
-            eprintln!("tcm-serve: re-admitted {unfinished} unfinished job(s) from the WAL");
+            metrics.add("tcm_serve_jobs_readmitted_total", unfinished as u64);
+            slog!(Level::Info, "server", "re-admitted unfinished jobs from the WAL";
+                jobs = unfinished);
         }
         match fs::remove_file(&config.socket) {
             Ok(()) => {}
@@ -207,6 +228,9 @@ impl Server {
                 next_id: AtomicU64::new(next_id),
                 next_seq: AtomicU64::new(next_seq),
                 state_dir: config.state_dir.clone(),
+                metrics,
+                socket: config.socket.clone(),
+                workers_total: config.workers.max(1),
             }),
             config,
             listener,
@@ -226,18 +250,24 @@ impl Server {
                     .spawn(move || worker_loop(&sh))
             })
             .collect::<io::Result<_>>()?;
-        eprintln!(
-            "tcm-serve: listening on {} ({} worker(s), queue capacity {}, state in {})",
-            self.config.socket.display(),
-            workers.len(),
-            lock(&shared.inner).queue.capacity(),
-            self.config.state_dir.display(),
-        );
+        slog!(Level::Info, "server", "listening";
+            socket = self.config.socket.display(),
+            workers = workers.len(),
+            queue_capacity = lock(&shared.inner).queue.capacity(),
+            state_dir = self.config.state_dir.display());
         shared.work.notify_all(); // wake workers for re-admitted jobs
 
+        publish_metrics_file(shared, self.config.metrics_file.as_deref());
+        let mut last_publish = Instant::now();
         loop {
             if signal::drain_requested() || shared.draining.load(Ordering::SeqCst) {
                 break;
+            }
+            if self.config.metrics_file.is_some()
+                && last_publish.elapsed() >= Duration::from_secs(1)
+            {
+                publish_metrics_file(shared, self.config.metrics_file.as_deref());
+                last_publish = Instant::now();
             }
             match self.listener.accept() {
                 Ok((stream, _)) => {
@@ -249,18 +279,17 @@ impl Server {
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => {
-                    eprintln!("tcm-serve: accept failed: {e}");
+                    slog!(Level::Error, "server", "accept failed"; error = e);
                     thread::sleep(Duration::from_millis(100));
                 }
             }
         }
 
         shared.draining.store(true, Ordering::SeqCst);
+        shared.metrics.add("tcm_serve_drains_total", 1);
         shared.work.notify_all();
-        eprintln!(
-            "tcm-serve: draining (deadline {:.1}s): admission stopped, in-flight cells finishing",
-            self.config.drain_deadline.as_secs_f64()
-        );
+        slog!(Level::Info, "server", "draining: admission stopped, in-flight cells finishing";
+            deadline_s = format!("{:.1}", self.config.drain_deadline.as_secs_f64()));
         let deadline = Instant::now() + self.config.drain_deadline;
         let mut aborted = false;
         while workers.iter().any(|w| !w.is_finished()) {
@@ -269,7 +298,7 @@ impl Server {
                 for token in lock(&shared.inner).active.values() {
                     token.cancel();
                 }
-                eprintln!("tcm-serve: drain deadline hit; aborting in-flight cells");
+                slog!(Level::Warn, "server", "drain deadline hit; aborting in-flight cells");
             }
             thread::sleep(Duration::from_millis(10));
         }
@@ -278,13 +307,73 @@ impl Server {
         }
         let _ = fs::remove_file(&self.config.socket);
         // Every WAL append is already fsynced; nothing left to flush.
-        eprintln!("tcm-serve: drained cleanly");
+        // One final republish so the scrape file reflects the drain.
+        publish_metrics_file(shared, self.config.metrics_file.as_deref());
+        slog!(Level::Info, "server", "drained cleanly");
         Ok(0)
     }
 
     /// The server-local drain flag (for tests and embedders).
     pub fn drain_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.shared.draining)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics scraping
+// ---------------------------------------------------------------------
+
+/// Renders the full Prometheus exposition: accumulated counters and
+/// histograms plus gauges assembled from live state. Locks are taken
+/// sequentially (never nested), so any caller position in the lock
+/// order is safe.
+fn scrape(shared: &Shared) -> String {
+    let (queue_depth, queue_capacity) = {
+        let inner = lock(&shared.inner);
+        (inner.queue.len() as u64, inner.queue.capacity() as u64)
+    };
+    let wal = lock(&shared.wal).stats();
+    let watch_subscribers = lock(&shared.subscribers)
+        .values()
+        .map(Vec::len)
+        .sum::<usize>() as u64;
+    shared.metrics.render(&LiveGauges {
+        queue_depth,
+        queue_capacity,
+        workers: shared.workers_total as u64,
+        watch_subscribers,
+        draining: shared.draining.load(Ordering::SeqCst),
+        wal_appended_records: wal.appended_records,
+        wal_appended_bytes: wal.appended_bytes,
+        wal_replayed_jobs: wal.replayed_jobs,
+        wal_truncated_bytes: wal.truncated_bytes,
+    })
+}
+
+/// Atomically republishes the exposition to the `--metrics-file` path
+/// (temp + fsync + rename, like every other durable publish).
+fn publish_metrics_file(shared: &Shared, path: Option<&Path>) {
+    let Some(path) = path else { return };
+    if let Err(e) = write_durable(path, &scrape(shared)) {
+        slog!(Level::Warn, "server", "metrics-file publish failed";
+            path = path.display(), error = e);
+    }
+}
+
+/// The daemon's self-description for `Status` responses. The caller
+/// passes its already-held `inner` guard's contents — taking the lock
+/// here would deadlock (std mutexes are not reentrant).
+fn server_info(shared: &Shared, inner: &Inner) -> ServerInfo {
+    ServerInfo {
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        pid: u64::from(std::process::id()),
+        uptime_ms: shared.metrics.uptime_ms(),
+        socket: shared.socket.display().to_string(),
+        queue_capacity: inner.queue.capacity() as u64,
+        queue_depth: inner.queue.len() as u64,
+        workers: shared.workers_total as u64,
+        workers_busy: shared.metrics.workers_busy(),
+        draining: shared.draining.load(Ordering::SeqCst),
     }
 }
 
@@ -370,8 +459,10 @@ fn handle_watch(
             .entry(id)
             .or_default()
             .push(Arc::clone(writer));
+        slog!(Level::Debug, "server", "watch subscribed"; job = id);
     }
-    let status_sent = send(writer, &Response::Status { jobs: vec![info] });
+    let server = Some(server_info(shared, &inner));
+    let status_sent = send(writer, &Response::Status { jobs: vec![info], server });
     drop(inner);
     status_sent?;
     match done {
@@ -386,6 +477,7 @@ fn status_info(id: u64, job: &JobRecord) -> JobStatusInfo {
         priority: job.spec.priority,
         state: job.state,
         detail: job.detail.clone(),
+        progress: job.progress,
     }
 }
 
@@ -429,16 +521,23 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
                 };
             }
             let _ = inner.queue.push(id, spec.priority, seq);
+            shared.metrics.add("tcm_serve_jobs_submitted_total", 1);
+            shared.metrics.raise_queue_high_water(inner.queue.len() as u64);
+            let priority = spec.priority;
             inner.jobs.insert(
                 id,
                 JobRecord {
                     spec,
                     state: JobState::Queued,
                     detail: String::new(),
+                    progress: None,
                 },
             );
+            let depth = inner.queue.len();
             drop(inner);
             shared.work.notify_one();
+            slog!(Level::Info, "server", "job admitted";
+                job = id, priority = priority, queue_depth = depth);
             Response::Submitted { id }
         }
         Request::JobStatus { id } => {
@@ -458,21 +557,30 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
                     .map(|(&id, job)| status_info(id, job))
                     .collect(),
             };
-            Response::Status { jobs }
+            let server = Some(server_info(shared, &inner));
+            Response::Status { jobs, server }
         }
+        Request::Metrics => Response::Metrics {
+            text: scrape(shared),
+        },
         Request::CancelJob { id } => {
             let mut inner = lock(&shared.inner);
             let found = if inner.queue.cancel(id) {
                 let detail = "cancelled while queued".to_string();
                 if let Err(e) = lock(&shared.wal).cancel(id) {
-                    eprintln!("tcm-serve: WAL cancel failed: {e}");
+                    slog!(Level::Warn, "server", "WAL cancel failed"; job = id, error = e);
                 }
                 if let Some(job) = inner.jobs.get_mut(&id) {
                     job.state = JobState::Cancelled;
                     job.detail = detail.clone();
                 }
+                shared
+                    .metrics
+                    .add_labeled("tcm_serve_jobs_completed_total", "state", "cancelled", 1);
+                slog!(Level::Info, "server", "job cancelled while queued"; job = id);
                 let mut subs = lock(&shared.subscribers);
                 broadcast_locked(
+                    shared,
                     &mut subs,
                     id,
                     Event::JobDone {
@@ -489,7 +597,7 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
                 .is_some_and(|j| j.state == JobState::Running)
             {
                 if let Err(e) = lock(&shared.wal).cancel(id) {
-                    eprintln!("tcm-serve: WAL cancel failed: {e}");
+                    slog!(Level::Warn, "server", "WAL cancel failed"; job = id, error = e);
                 }
                 if let Some(job) = inner.jobs.get_mut(&id) {
                     job.state = JobState::Cancelled;
@@ -498,6 +606,7 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
                 if let Some(token) = inner.active.get(&id) {
                     token.cancel(); // worker notices and concludes the job
                 }
+                slog!(Level::Info, "server", "cancel requested for running job"; job = id);
                 true
             } else {
                 false
@@ -520,17 +629,24 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> Response {
 type Subscribers = HashMap<u64, Vec<Arc<Mutex<UnixStream>>>>;
 
 fn broadcast(shared: &Shared, job: u64, event: Event) {
-    broadcast_locked(&mut lock(&shared.subscribers), job, event);
+    broadcast_locked(shared, &mut lock(&shared.subscribers), job, event);
 }
 
-fn broadcast_locked(subs: &mut MutexGuard<'_, Subscribers>, job: u64, event: Event) {
+fn broadcast_locked(shared: &Shared, subs: &mut MutexGuard<'_, Subscribers>, job: u64, event: Event) {
     let Some(streams) = subs.get_mut(&job) else {
         return;
     };
     let payload = Response::Event(event).encode();
     // A dead subscriber (client hung up) or a slow one (write timed out
     // after [`WRITE_TIMEOUT`]) is dropped on write failure.
+    let before = streams.len();
     streams.retain(|stream| write_frame(&mut *lock(stream), &payload).is_ok());
+    let pruned = before - streams.len();
+    if pruned > 0 {
+        shared.metrics.add("tcm_serve_watch_pruned_total", pruned as u64);
+        slog!(Level::Warn, "server", "pruned dead or stalled watch subscriber(s)";
+            job = job, pruned = pruned);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -560,7 +676,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                     let spec = job.spec.clone();
                     inner.active.insert(id, token.clone());
                     if let Err(e) = lock(&shared.wal).start(id) {
-                        eprintln!("tcm-serve: WAL start failed: {e}");
+                        slog!(Level::Warn, "worker", "WAL start failed"; job = id, error = e);
                     }
                     break (id, spec, token);
                 }
@@ -570,11 +686,19 @@ fn worker_loop(shared: &Arc<Shared>) {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
-        run_job(shared, id, &spec, &token);
+        let kind = match &spec.kind {
+            JobKind::Sweep(_) => "sweep",
+            JobKind::ChaosSoak(_) => "soak",
+        };
+        slog!(Level::Info, "worker", "job started";
+            job = id, kind = kind, priority = spec.priority);
+        shared.metrics.set_worker_busy(true);
+        run_job(shared, id, &spec, &token, Instant::now());
+        shared.metrics.set_worker_busy(false);
     }
 }
 
-fn run_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, token: &CancelToken) {
+fn run_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, token: &CancelToken, started: Instant) {
     // Cell-level panics are already caught inside the sweep engine; this
     // outer guard covers everything else (e.g. checkpoint-file creation
     // failing). An escaped panic would kill the worker thread, leaking
@@ -593,7 +717,7 @@ fn run_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, token: &CancelToken) {
         Some((JobState::Failed, format!("job panicked: {msg}")))
     });
     match outcome {
-        Some((state, detail)) => conclude(shared, id, state, detail),
+        Some((state, detail)) => conclude(shared, id, state, detail, started),
         // Drained mid-run: the WAL entry stays open so the next
         // incarnation re-admits the job and resumes its checkpoint.
         None => {
@@ -602,6 +726,9 @@ fn run_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, token: &CancelToken) {
             if let Some(job) = inner.jobs.get_mut(&id) {
                 job.detail = "drained mid-run; re-admitted on restart".into();
             }
+            drop(inner);
+            slog!(Level::Info, "worker", "job drained mid-run; re-admitted on restart";
+                job = id);
         }
     }
 }
@@ -609,7 +736,7 @@ fn run_job(shared: &Arc<Shared>, id: u64, spec: &JobSpec, token: &CancelToken) {
 /// Records a terminal state: memory, WAL, then subscribers — all under
 /// `inner` so a concurrent `Watch` either sees the terminal state or
 /// receives the `JobDone` broadcast, never neither.
-fn conclude(shared: &Arc<Shared>, id: u64, state: JobState, detail: String) {
+fn conclude(shared: &Arc<Shared>, id: u64, state: JobState, detail: String, started: Instant) {
     let mut inner = lock(&shared.inner);
     inner.active.remove(&id);
     // A client cancel that raced the final cells wins: the WAL already
@@ -625,11 +752,19 @@ fn conclude(shared: &Arc<Shared>, id: u64, state: JobState, detail: String) {
     }
     if matches!(state, JobState::Done | JobState::Failed) {
         if let Err(e) = lock(&shared.wal).finish(id, state) {
-            eprintln!("tcm-serve: WAL finish failed: {e}");
+            slog!(Level::Warn, "worker", "WAL finish failed"; job = id, error = e);
         }
     }
+    let elapsed_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    shared
+        .metrics
+        .add_labeled("tcm_serve_jobs_completed_total", "state", state.as_str(), 1);
+    shared.metrics.observe_job_duration(state, elapsed_ms);
+    slog!(Level::Info, "worker", "job concluded";
+        job = id, state = state.as_str(), elapsed_ms = elapsed_ms, detail = detail);
     let mut subs = lock(&shared.subscribers);
     broadcast_locked(
+        shared,
         &mut subs,
         id,
         Event::JobDone {
@@ -667,6 +802,11 @@ fn sweep_pass(
     let seeds = resolved.seeds.clone();
     let cell_shared = Arc::clone(shared);
     let fail_shared = Arc::clone(shared);
+    // Each pass rebuilds the progress counts from zero: a checkpoint
+    // resume re-fires `on_cell` (with `resumed = true`) for every
+    // already-complete cell, so counting from scratch stays exact.
+    let total = (resolved.policies.len() * resolved.workloads.len() * resolved.seeds.len()) as u64;
+    set_progress(shared, id, |p| *p = JobProgress { total, ..JobProgress::default() });
     session
         .sweep()
         .policies(resolved.policies.iter().cloned())
@@ -678,6 +818,19 @@ fn sweep_pass(
         .cancel_token(token.clone())
         .on_cell(move |cell, resumed| {
             let m = &cell.result.metrics;
+            set_progress(&cell_shared, id, |p| {
+                p.done += 1;
+                p.resumed += u64::from(resumed);
+            });
+            cell_shared.metrics.add("tcm_serve_cells_completed_total", 1);
+            if resumed {
+                cell_shared.metrics.add("tcm_serve_cells_resumed_total", 1);
+            }
+            slog!(Level::Debug, "worker", "cell done";
+                job = id,
+                cell = format!("{}x{}", cell.result.policy, cell.result.workload),
+                seed = seeds.get(cell.seed).copied().unwrap_or(0),
+                resumed = u8::from(resumed));
             broadcast(
                 &cell_shared,
                 id,
@@ -693,6 +846,11 @@ fn sweep_pass(
                 },
             );
             if let Some(snapshot) = &cell.result.telemetry {
+                if snapshot.dropped > 0 {
+                    cell_shared
+                        .metrics
+                        .add("tcm_trace_events_dropped_total", snapshot.dropped);
+                }
                 let summary = snapshot.metrics.summary();
                 broadcast(
                     &cell_shared,
@@ -706,6 +864,16 @@ fn sweep_pass(
             }
         })
         .on_failure(move |err| {
+            set_progress(&fail_shared, id, |p| p.failed += 1);
+            fail_shared.metrics.add("tcm_serve_cell_failures_total", 1);
+            fail_shared
+                .metrics
+                .add("tcm_serve_cell_retries_total", u64::from(err.attempts.saturating_sub(1)));
+            slog!(Level::Warn, "worker", "cell failed";
+                job = id,
+                cell = format!("{}x{}", err.policy_label, err.workload_name),
+                seed = err.seed_value,
+                attempts = err.attempts);
             broadcast(
                 &fail_shared,
                 id,
@@ -716,6 +884,14 @@ fn sweep_pass(
             );
         })
         .run()
+}
+
+/// Applies `f` to a job's progress counts (creating them zeroed).
+fn set_progress(shared: &Shared, id: u64, f: impl FnOnce(&mut JobProgress)) {
+    let mut inner = lock(&shared.inner);
+    if let Some(job) = inner.jobs.get_mut(&id) {
+        f(job.progress.get_or_insert_with(JobProgress::default));
+    }
 }
 
 fn run_sweep_job(
@@ -765,6 +941,9 @@ fn run_sweep_job(
         // failures. The checkpoint resume re-runs only the failed
         // cells; completed cells replay bit-identically.
         if result.failures().iter().any(|f| f.kind.is_retryable()) {
+            shared.metrics.add("tcm_serve_quarantine_passes_total", 1);
+            slog!(Level::Info, "worker", "starting quarantine pass for retryable failures";
+                job = id, failures = result.failures().len());
             result = sweep_pass(shared, id, &session, &resolved, &ckpt, retry, token);
             if !result.is_complete() {
                 if job_cancelled(shared, id) {
@@ -866,6 +1045,12 @@ fn run_soak_job(
     spec: &SoakSpec,
     token: &CancelToken,
 ) -> Option<(JobState, String)> {
+    set_progress(shared, id, |p| {
+        *p = JobProgress {
+            total: u64::from(spec.rounds),
+            ..JobProgress::default()
+        }
+    });
     for round in 0..spec.rounds {
         // Soak rounds are stateless, so a drained soak simply restarts
         // from round 0 after recovery (documented in DESIGN.md §11).
@@ -882,6 +1067,16 @@ fn run_soak_job(
             ));
         }
         let (detected, classes) = soak_round(spec.seed ^ u64::from(round), spec.horizon);
+        shared.metrics.add("tcm_serve_soak_rounds_total", 1);
+        set_progress(shared, id, |p| {
+            if detected < classes {
+                p.failed += 1;
+            } else {
+                p.done += 1;
+            }
+        });
+        slog!(Level::Debug, "worker", "soak round finished";
+            job = id, round = round, detected = detected, classes = classes);
         broadcast(
             shared,
             id,

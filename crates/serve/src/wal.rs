@@ -50,11 +50,26 @@ pub struct ReplayedJob {
     pub terminal: Option<JobState>,
 }
 
+/// Durability counters the daemon exposes for scraping: what this
+/// handle appended this lifetime and what [`Wal::open`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalStats {
+    /// Op records appended (and fsynced) through this handle.
+    pub appended_records: u64,
+    /// Bytes appended through this handle (records plus newlines).
+    pub appended_bytes: u64,
+    /// Jobs folded out of the log at open.
+    pub replayed_jobs: u64,
+    /// Torn-tail bytes truncated back to the durable prefix at open.
+    pub truncated_bytes: u64,
+}
+
 /// Append handle over the WAL file.
 #[derive(Debug)]
 pub struct Wal {
     file: fs::File,
     path: PathBuf,
+    stats: WalStats,
 }
 
 impl Wal {
@@ -62,6 +77,7 @@ impl Wal {
     /// every replayed job in first-admission order.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<(Self, Vec<ReplayedJob>)> {
         let path = path.into();
+        let mut truncated_bytes = 0;
         let jobs = match fs::read_to_string(&path) {
             Ok(text) => {
                 let (jobs, durable_len) = replay(&text)?;
@@ -70,6 +86,7 @@ impl Wal {
                 // the first post-recovery record, silently losing every
                 // fsynced op after it on the next replay.
                 if durable_len < text.len() as u64 {
+                    truncated_bytes = text.len() as u64 - durable_len;
                     let file = fs::OpenOptions::new().write(true).open(&path)?;
                     file.set_len(durable_len)?;
                     file.sync_all()?;
@@ -86,7 +103,12 @@ impl Wal {
             Err(e) => return Err(e),
         };
         let file = fs::OpenOptions::new().append(true).open(&path)?;
-        Ok((Self { file, path }, jobs))
+        let stats = WalStats {
+            replayed_jobs: jobs.len() as u64,
+            truncated_bytes,
+            ..WalStats::default()
+        };
+        Ok((Self { file, path, stats }, jobs))
     }
 
     /// Records an admission; durable before the caller acknowledges it.
@@ -120,10 +142,18 @@ impl Wal {
         &self.path
     }
 
+    /// Durability counters for this handle (see [`WalStats`]).
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
     fn append(&mut self, line: &str) -> io::Result<()> {
         self.file.write_all(line.as_bytes())?;
         self.file.write_all(b"\n")?;
-        self.file.sync_data()
+        self.file.sync_data()?;
+        self.stats.appended_records += 1;
+        self.stats.appended_bytes += line.len() as u64 + 1;
+        Ok(())
     }
 }
 
@@ -249,6 +279,7 @@ mod tests {
         {
             let (mut wal, replayed) = Wal::open(&path).unwrap();
             assert!(replayed.is_empty());
+            assert_eq!(wal.stats(), WalStats::default());
             wal.submit(1, 0, &spec()).unwrap();
             wal.submit(2, 1, &spec()).unwrap();
             wal.submit(3, 2, &spec()).unwrap();
@@ -256,8 +287,12 @@ mod tests {
             wal.finish(1, JobState::Done).unwrap();
             wal.start(2).unwrap(); // in-flight at the "crash"
             wal.cancel(3).unwrap();
+            assert_eq!(wal.stats().appended_records, 7);
+            assert!(wal.stats().appended_bytes > 0);
         }
-        let (_wal, replayed) = Wal::open(&path).unwrap();
+        let (wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(wal.stats().replayed_jobs, 3);
+        assert_eq!(wal.stats().appended_records, 0, "appends count per handle");
         assert_eq!(replayed.len(), 3);
         assert_eq!(replayed[0].terminal, Some(JobState::Done));
         assert_eq!(replayed[1].terminal, None, "in-flight job re-admits");
@@ -280,6 +315,7 @@ mod tests {
         {
             let (mut wal, replayed) = Wal::open(&path).unwrap();
             assert_eq!(replayed.len(), 1, "torn tail dropped, prefix kept");
+            assert_eq!(wal.stats().truncated_bytes, "{\"op\":\"sub".len() as u64);
             // Appends after a torn-tail recovery must survive the *next*
             // restart: the torn fragment is truncated, not appended onto.
             wal.submit(2, 1, &spec()).unwrap();

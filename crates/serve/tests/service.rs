@@ -28,7 +28,16 @@ fn config(dir: &Path) -> ServerConfig {
         workers: 2,
         queue_capacity: 8,
         drain_deadline: Duration::from_secs(20),
+        metrics_file: None,
     }
+}
+
+/// Pulls one sample out of a Prometheus text exposition; `name`
+/// includes any label set, e.g. `foo_total{state="done"}`.
+fn metric(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| l.strip_prefix(name)?.strip_prefix(' ')?.parse().ok())
 }
 
 fn sweep_spec() -> JobSpec {
@@ -118,6 +127,13 @@ fn restarted_daemon_readmits_wal_jobs_and_finishes_bit_identically() {
         std::fs::read_to_string(state_dir.join("job-1.ckpt.jsonl")).expect("ckpt republished");
     assert_eq!(republished.lines().count(), 5, "checkpoint is whole again");
 
+    // The restarted daemon's scrape must carry the recovery story: the
+    // job folded out of the WAL and the checkpoint cell it replayed.
+    let text = client.metrics().expect("metrics after recovery");
+    assert_eq!(metric(&text, "tcm_serve_wal_replayed_jobs_total"), Some(1.0), "{text}");
+    assert_eq!(metric(&text, "tcm_serve_jobs_readmitted_total"), Some(1.0), "{text}");
+    assert_eq!(metric(&text, "tcm_serve_cells_resumed_total"), Some(1.0), "{text}");
+
     client.drain().expect("drain");
     assert_eq!(handle.join().expect("join"), 0);
     let _ = std::fs::remove_dir_all(&ref_dir);
@@ -202,6 +218,86 @@ fn backpressure_cancel_and_streaming_roundtrip() {
     let (state, cells) = streamer.join().expect("streamer");
     assert_eq!(state, JobState::Done);
     assert_eq!(cells, 4, "2 policies × 2 seeds streamed to the watcher");
+
+    client.drain().expect("drain");
+    assert_eq!(handle.join().expect("join"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_and_progress_track_the_job_lifecycle() {
+    let dir = scratch_dir("metrics");
+    let (handle, socket) = start(config(&dir));
+    let mut client = Client::connect(&socket).expect("connect");
+
+    // Baseline scrape: gauges reflect the configuration before any job.
+    let text = client.metrics().expect("baseline scrape");
+    assert_eq!(metric(&text, "tcm_serve_queue_capacity"), Some(8.0), "{text}");
+    assert_eq!(metric(&text, "tcm_serve_workers"), Some(2.0), "{text}");
+    assert_eq!(metric(&text, "tcm_serve_queue_depth"), Some(0.0), "{text}");
+    assert!(metric(&text, "tcm_serve_jobs_submitted_total").is_none(), "{text}");
+
+    // One clean job: every submit/run/done stage must move its metric.
+    let id = client.submit(sweep_spec()).expect("submit");
+    let (state, detail) = client.watch(id, |_| {}).expect("watch");
+    assert_eq!(state, JobState::Done, "{detail}");
+
+    let (jobs, server) = client.status_full(Some(id)).expect("status");
+    let info = server.expect("daemon sends ServerInfo");
+    assert!(!info.version.is_empty());
+    assert_eq!(info.queue_capacity, 8);
+    assert_eq!(info.workers, 2);
+    assert!(!info.draining);
+    let progress = jobs[0].progress.expect("done job reports progress");
+    assert_eq!(progress.total, 4, "2 policies × 2 seeds");
+    assert_eq!(progress.done, 4);
+    assert_eq!(progress.failed, 0);
+
+    let text = client.metrics().expect("post-job scrape");
+    assert_eq!(metric(&text, "tcm_serve_jobs_submitted_total"), Some(1.0), "{text}");
+    assert_eq!(
+        metric(&text, "tcm_serve_jobs_completed_total{state=\"done\"}"),
+        Some(1.0),
+        "{text}"
+    );
+    assert_eq!(metric(&text, "tcm_serve_cells_completed_total"), Some(4.0), "{text}");
+    assert_eq!(
+        metric(&text, "tcm_serve_job_duration_ms_count{state=\"done\"}"),
+        Some(1.0),
+        "{text}"
+    );
+    assert!(
+        metric(&text, "tcm_serve_job_duration_ms_sum{state=\"done\"}").is_some(),
+        "{text}"
+    );
+    // submit + start + finish reached the WAL before the scrape.
+    assert!(
+        metric(&text, "tcm_serve_wal_appended_records_total") >= Some(3.0),
+        "{text}"
+    );
+    assert!(metric(&text, "tcm_serve_wal_appended_bytes_total") > Some(0.0), "{text}");
+
+    // A job that blows its wall-clock deadline lands in the failed
+    // family of the same counters and histogram.
+    let mut doomed = sweep_spec();
+    doomed.deadline_ms = Some(1);
+    if let JobKind::Sweep(sweep) = &mut doomed.kind {
+        sweep.horizon = 50_000_000;
+    }
+    let id = client.submit(doomed).expect("submit doomed");
+    let (state, detail) = client.watch(id, |_| {}).expect("watch doomed");
+    assert_eq!(state, JobState::Failed, "{detail}");
+    let text = client.metrics().expect("post-failure scrape");
+    assert_eq!(
+        metric(&text, "tcm_serve_jobs_completed_total{state=\"failed\"}"),
+        Some(1.0),
+        "{text}"
+    );
+    assert_eq!(
+        metric(&text, "tcm_serve_job_duration_ms_count{state=\"failed\"}"),
+        Some(1.0),
+        "{text}"
+    );
 
     client.drain().expect("drain");
     assert_eq!(handle.join().expect("join"), 0);

@@ -52,6 +52,7 @@
 mod event;
 mod export;
 mod metrics;
+pub mod prometheus;
 
 pub use event::{
     ClusterKind, DegradationAnomaly, MonitorCounter, QuarantineReason, RowOutcome, ShuffleAlgo,

@@ -33,11 +33,15 @@ pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
 ///
 /// Bucket `i` counts observations `<= bounds[i]` (and greater than the
 /// previous bound); the final slot counts overflow past the last bound,
-/// so `counts.len() == bounds.len() + 1`.
+/// so `counts.len() == bounds.len() + 1`. Alongside the buckets the
+/// histogram tracks the running sum of observed values (for
+/// Prometheus-style `_sum` exposition); histograms reconstructed from
+/// pre-bucketed counts have an unknown sum, reported as zero.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Histogram {
     bounds: Vec<u64>,
     counts: Vec<u64>,
+    sum: u64,
 }
 
 impl Histogram {
@@ -45,7 +49,7 @@ impl Histogram {
     pub fn with_bounds(bounds: Vec<u64>) -> Self {
         debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
         let counts = vec![0; bounds.len() + 1];
-        Self { bounds, counts }
+        Self { bounds, counts, sum: 0 }
     }
 
     /// A power-of-two histogram matching log2 bucketing: with `slots`
@@ -71,12 +75,13 @@ impl Histogram {
     }
 
     /// Rebuilds a histogram from exported parts. Returns `None` when the
-    /// shapes disagree.
+    /// shapes disagree. The sum of observations is unknown and reported
+    /// as zero.
     pub fn from_parts(bounds: Vec<u64>, counts: Vec<u64>) -> Option<Self> {
         if counts.len() != bounds.len() + 1 {
             return None;
         }
-        Some(Self { bounds, counts })
+        Some(Self { bounds, counts, sum: 0 })
     }
 
     /// Records one observation.
@@ -87,6 +92,7 @@ impl Histogram {
             .position(|&b| value <= b)
             .unwrap_or(self.bounds.len());
         self.counts[slot] += 1;
+        self.sum = self.sum.saturating_add(value);
     }
 
     /// Upper bounds, ascending (exclusive of the overflow slot).
@@ -104,12 +110,19 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
+    /// Running sum of observed values (zero for histograms rebuilt from
+    /// pre-bucketed counts, whose exact observations are unknown).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Folds another histogram with identical bounds into this one.
     pub fn merge(&mut self, other: &Histogram) {
         debug_assert_eq!(self.bounds, other.bounds, "histogram shapes must match");
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;
         }
+        self.sum = self.sum.saturating_add(other.sum);
     }
 }
 
@@ -289,7 +302,13 @@ mod tests {
             let slot = (64 - depth.leading_zeros()).min(11) as usize;
             raw[slot] += 1;
         }
-        assert_eq!(Histogram::from_log2_counts(&raw), by_observe);
+        let rebuilt = Histogram::from_log2_counts(&raw);
+        assert_eq!(rebuilt.bounds(), by_observe.bounds());
+        assert_eq!(rebuilt.counts(), by_observe.counts());
+        // The exact observations are gone after pre-bucketing; only
+        // `observe` can track the running sum.
+        assert_eq!(rebuilt.sum(), 0);
+        assert_eq!(by_observe.sum(), 2070);
     }
 
     #[test]
@@ -300,7 +319,10 @@ mod tests {
         h.observe(5000);
         let rebuilt =
             Histogram::from_parts(h.bounds().to_vec(), h.counts().to_vec()).unwrap();
-        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.bounds(), h.bounds());
+        assert_eq!(rebuilt.counts(), h.counts());
+        assert_eq!(rebuilt.sum(), 0, "parts carry no sum");
+        assert_eq!(h.sum(), 5055);
         assert!(Histogram::from_parts(vec![1, 2], vec![0]).is_none());
     }
 

@@ -15,6 +15,9 @@
 # empty-fault-plan overhead at <2% each (disabled hooks are one branch
 # on a None option; an inert chaos layer is a None check per window);
 # smoke mode only reports them, since sub-second runs are all noise.
+# A final leg times a daemon sweep with and without a `tcm-run top`
+# observer attached and gates the perturbation at <2% — watching the
+# daemon must not slow it down.
 #
 # Usage:
 #   scripts/bench.sh            full run (2M-cycle horizon per cell)
@@ -280,4 +283,76 @@ if smoke == "1":
                     sys.exit(f"committed BENCH_hotpath.json [{impl}]: "
                              f"missing key {key!r}")
         print("committed BENCH_hotpath.json: schema ok")
+PY
+
+# Observer-effect gate: the observability surface is read-only, so a
+# `tcm-run top`-style poller (Status+Metrics on a timer plus a Watch
+# stream on the active job) attached to the daemon must not perturb
+# sweep throughput. Bare and observed rounds interleave — same
+# drift-spreading rationale as the variant rounds above — and the full
+# run gates the median-to-median delta at <2%. Smoke mode reports only:
+# sub-second daemon sweeps are all scheduler noise.
+echo "==> observer-effect rounds: $RUNS x (bare, observed)"
+OBS_GRID=(--policies fr-fcfs,tcm --workloads random:5:4:0.75 --seeds 0,1
+          --cycles "$CYCLES")
+obs_round() {
+    local mode="$1" k="$2"
+    local dir="$TMPDIR_BENCH/obs-$mode-$k"
+    local sock="$dir/sock"
+    mkdir -p "$dir"
+    "$TMPDIR_BENCH/bin-indexed" serve --socket "$sock" --state-dir "$dir" \
+        --workers 1 --log-level warn &
+    local daemon=$!
+    for _ in $(seq 200); do
+        [[ -S "$sock" ]] && break
+        sleep 0.05
+    done
+    local top_pid=""
+    if [[ "$mode" == observed ]]; then
+        "$TMPDIR_BENCH/bin-indexed" top --socket "$sock" --interval 0.2 \
+            >/dev/null 2>&1 &
+        top_pid=$!
+    fi
+    local t0 t1
+    t0=$(date +%s%N)
+    "$TMPDIR_BENCH/bin-indexed" client --socket "$sock" \
+        submit "${OBS_GRID[@]}" --watch >/dev/null
+    t1=$(date +%s%N)
+    if [[ -n "$top_pid" ]]; then
+        kill "$top_pid" 2>/dev/null || true
+    fi
+    "$TMPDIR_BENCH/bin-indexed" client --socket "$sock" drain >/dev/null
+    wait "$daemon"
+    echo $(( t1 - t0 )) >> "$TMPDIR_BENCH/obs-$mode.ns"
+}
+for k in $(seq "$RUNS"); do
+    obs_round bare "$k"
+    obs_round observed "$k"
+done
+
+python3 - "$TMPDIR_BENCH" "$OUT" "$SMOKE" <<'PY'
+import json
+import statistics
+import sys
+
+tmp, out_path, smoke = sys.argv[1:4]
+
+def med(mode):
+    with open(f"{tmp}/obs-{mode}.ns") as f:
+        return statistics.median(int(line) for line in f if line.strip())
+
+bare, observed = med("bare"), med("observed")
+pct = 100.0 * (observed / bare - 1.0)
+with open(out_path) as f:
+    merged = json.load(f)
+merged["observer_overhead_pct"] = pct
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"observer effect: bare {bare/1e9:.2f}s vs observed {observed/1e9:.2f}s "
+      f"median sweep wall-clock ({pct:+.2f}%)")
+if smoke != "1" and pct > 2.0:
+    sys.exit(f"Watch+Metrics poller perturbs daemon throughput by {pct:.2f}% "
+             f"— over the 2% observability budget; the scrape path must stay "
+             f"off the worker hot path")
 PY

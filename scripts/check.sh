@@ -172,6 +172,119 @@ cmp "$SERVE_TMP/ref/job-1.result.json" "$SERVE_TMP/crash/job-1.result.json"
 wait "$SERVE_PID"
 echo "serve smoke ok: recovery byte-identical, both drains exited 0"
 
+# Metrics smoke: the daemon's whole observability surface end to end —
+# Prometheus exposition over the socket and via --metrics-file, the
+# `top --once` dashboard snapshot, and the recovery counters after a
+# real `kill -9` restart.
+echo "==> tcm-serve metrics smoke (exposition, top --once, kill -9 counters)"
+SOCK="$SERVE_TMP/msock"
+MDIR="$SERVE_TMP/mstate"
+MFLAGS=(--socket "$SOCK" --state-dir "$MDIR" --workers 1
+        --metrics-file "$SERVE_TMP/scrape.prom")
+"$SERVE_BIN" serve "${MFLAGS[@]}" &
+SERVE_PID=$!
+wait_for_socket
+"$SERVE_BIN" client --socket "$SOCK" submit --policies fr-fcfs,tcm \
+    --workloads random:5:4:0.75 --seeds 0 --cycles 2000000 --watch >/dev/null
+"$SERVE_BIN" client --socket "$SOCK" metrics > "$SERVE_TMP/exposition.txt"
+"$SERVE_BIN" top --socket "$SOCK" --once > "$SERVE_TMP/top.txt"
+grep -q "tcm-serve top" "$SERVE_TMP/top.txt"
+grep -q "done" "$SERVE_TMP/top.txt"
+[[ -s "$SERVE_TMP/scrape.prom" ]] # startup republish happened
+grep -q "tcm_serve_uptime_seconds" "$SERVE_TMP/scrape.prom"
+python3 - "$SERVE_TMP/exposition.txt" <<'PY'
+import sys
+
+families = {}   # name -> type
+samples = {}    # full key (name{labels}) -> float
+with open(sys.argv[1]) as f:
+    for n, line in enumerate(f, 1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            if kind not in ("counter", "gauge", "histogram"):
+                sys.exit(f"line {n}: unknown TYPE {kind!r}")
+            families[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        samples[key] = float(value)
+        base = key.split("{")[0]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in families:
+                base = base[: -len(suffix)]
+        if base not in families:
+            sys.exit(f"line {n}: sample {key!r} has no # TYPE header")
+
+for required, kind in (
+    ("tcm_serve_jobs_submitted_total", "counter"),
+    ("tcm_serve_jobs_completed_total", "counter"),
+    ("tcm_serve_cells_completed_total", "counter"),
+    ("tcm_serve_wal_appended_records_total", "counter"),
+    ("tcm_serve_queue_depth", "gauge"),
+    ("tcm_serve_queue_capacity", "gauge"),
+    ("tcm_serve_workers", "gauge"),
+    ("tcm_serve_uptime_seconds", "gauge"),
+    ("tcm_serve_job_duration_ms", "histogram"),
+):
+    if families.get(required) != kind:
+        sys.exit(f"{required}: expected {kind}, got {families.get(required)!r}")
+
+if samples['tcm_serve_jobs_completed_total{state="done"}'] != 1.0:
+    sys.exit("expected exactly one done job")
+if samples["tcm_serve_cells_completed_total"] != 2.0:
+    sys.exit("expected 2 completed cells (2 policies x 1 seed)")
+if samples['tcm_serve_job_duration_ms_count{state="done"}'] < 1.0:
+    sys.exit("job latency histogram is empty")
+
+# Histogram buckets must be cumulative and end at +Inf == _count.
+buckets = [
+    (k, v) for k, v in samples.items()
+    if k.startswith('tcm_serve_job_duration_ms_bucket{state="done"')
+]
+values = [v for _, v in buckets]
+if values != sorted(values):
+    sys.exit("histogram buckets are not cumulative")
+inf = [v for k, v in buckets if 'le="+Inf"' in k]
+if inf != [samples['tcm_serve_job_duration_ms_count{state="done"}']]:
+    sys.exit("+Inf bucket does not equal _count")
+print(f"metrics smoke ok: {len(families)} families, {len(samples)} samples")
+PY
+
+# kill -9 mid-sweep, restart on the same state dir: the scrape must now
+# carry the recovery story (replayed WAL jobs, re-admissions).
+"$SERVE_BIN" client --socket "$SOCK" submit "${GRID[@]}" >/dev/null
+sleep 0.4
+kill -KILL "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+rm -f "$SOCK"
+"$SERVE_BIN" serve "${MFLAGS[@]}" &
+SERVE_PID=$!
+wait_for_socket
+"$SERVE_BIN" client --socket "$SOCK" watch 2 >/dev/null
+"$SERVE_BIN" client --socket "$SOCK" metrics > "$SERVE_TMP/exposition2.txt"
+python3 - "$SERVE_TMP/exposition2.txt" <<'PY'
+import sys
+samples = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        if line.startswith("#") or not line.strip():
+            continue
+        key, _, value = line.rstrip("\n").rpartition(" ")
+        samples[key] = float(value)
+if samples.get("tcm_serve_wal_replayed_jobs_total", 0) < 1:
+    sys.exit("restarted daemon replayed no WAL jobs")
+if samples.get("tcm_serve_jobs_readmitted_total", 0) < 1:
+    sys.exit("restarted daemon re-admitted no jobs")
+print("restart counters ok: WAL replay visible in the scrape")
+PY
+"$SERVE_BIN" client --socket "$SOCK" drain >/dev/null
+wait "$SERVE_PID"
+echo "metrics smoke ok: exposition valid, top rendered, recovery counted"
+
 echo "==> bench harness compiles (feature-gated)"
 cargo build --benches -p tcm-bench --features bench-harness --offline
 
